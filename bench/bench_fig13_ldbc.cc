@@ -1,0 +1,63 @@
+// Reproduces paper Fig 13: box-plot statistics of the 30 LDBC query
+// runtimes per scale factor, baseline vs schema-based, on the relational
+// engine. Tune with GQOPT_SF_CAP / GQOPT_TIMEOUT_MS / GQOPT_REPS.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gqopt;
+  using namespace gqopt::bench;
+
+  std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+
+  std::printf("== Fig 13: LDBC runtime distribution per scale factor "
+              "(seconds over feasible runs) ==\n");
+  std::vector<std::string> header = {"SF",  "Approach", "n",    "min",
+                                     "q1",  "median",   "q3",   "max",
+                                     "mean"};
+  std::vector<std::vector<std::string>> rows;
+  size_t sf_count = ScaleFactorCount();
+  for (size_t s = 0; s < sf_count; ++s) {
+    const char* sf = LdbcScaleFactors()[s].name;
+    for (bool schema_side : {false, true}) {
+      std::vector<double> times;
+      for (const MatrixCell& cell : cells) {
+        if (cell.sf != sf) continue;
+        const RunMeasurement& m =
+            schema_side ? cell.schema : cell.baseline;
+        if (m.feasible) times.push_back(m.seconds);
+      }
+      Summary summary = Summarize(std::move(times));
+      std::vector<std::string> row(9);
+      row[0] = sf;
+      row[1] = schema_side ? "Schema" : "Baseline";
+      row[2] = std::to_string(summary.count);
+      row[3] = FormatSeconds(summary.min);
+      row[4] = FormatSeconds(summary.q1);
+      row[5] = FormatSeconds(summary.median);
+      row[6] = FormatSeconds(summary.q3);
+      row[7] = FormatSeconds(summary.max);
+      row[8] = FormatSeconds(summary.mean);
+      rows.push_back(std::move(row));
+    }
+  }
+  PrintTable(header, rows);
+
+  if (std::getenv("GQOPT_VERBOSE") != nullptr) {
+    std::printf("\n-- per-query measurements --\n");
+    for (const MatrixCell& cell : cells) {
+      std::printf("SF %-4s %-6s B=%s S=%s\n", cell.sf.c_str(),
+                  cell.query.c_str(),
+                  cell.baseline.feasible
+                      ? FormatSeconds(cell.baseline.seconds).c_str()
+                      : "timeout",
+                  cell.schema.feasible
+                      ? FormatSeconds(cell.schema.seconds).c_str()
+                      : "timeout");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark): the cost of the rewriting pipeline
+// itself (it runs at optimization time, so it must be cheap relative to
+// query execution) and of the core evaluation primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/path_parser.h"
+#include "core/rewriter.h"
+#include "core/simplifier.h"
+#include "core/type_inference.h"
+#include "datasets/ldbc.h"
+#include "datasets/workloads.h"
+#include "datasets/yago.h"
+#include "eval/binary_relation.h"
+#include "eval/graph_engine.h"
+#include "query/query_parser.h"
+#include "ra/catalog.h"
+#include "ra/executor.h"
+#include "ra/optimizer.h"
+#include "ra/ucqt_to_ra.h"
+#include "util/rng.h"
+
+namespace gqopt {
+namespace {
+
+void BM_RewriteYagoWorkload(benchmark::State& state) {
+  GraphSchema schema = YagoSchema();
+  std::vector<Ucqt> queries;
+  for (const WorkloadQuery& wq : YagoWorkload()) {
+    queries.push_back(*ParseWorkloadQuery(wq));
+  }
+  for (auto _ : state) {
+    for (const Ucqt& query : queries) {
+      benchmark::DoNotOptimize(RewriteQuery(query, schema));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_RewriteYagoWorkload);
+
+void BM_RewriteLdbcWorkload(benchmark::State& state) {
+  GraphSchema schema = LdbcSchema();
+  std::vector<Ucqt> queries;
+  for (const WorkloadQuery& wq : LdbcWorkload()) {
+    queries.push_back(*ParseWorkloadQuery(wq));
+  }
+  for (auto _ : state) {
+    for (const Ucqt& query : queries) {
+      benchmark::DoNotOptimize(RewriteQuery(query, schema));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_RewriteLdbcWorkload);
+
+void BM_InferenceClosure(benchmark::State& state) {
+  GraphSchema schema = YagoSchema();
+  PathExprPtr expr = *ParsePathExpr("owns/isLocatedIn+/dealsWith+");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferTriples(expr, schema));
+  }
+}
+BENCHMARK(BM_InferenceClosure);
+
+void BM_SimplifyFig7(benchmark::State& state) {
+  PathExprPtr expr = *ParsePathExpr(
+      "(((owns[isMarriedTo+/livesIn/dealsWith+])/(isLocatedIn+)+)+)+");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimplifyPath(expr));
+  }
+}
+BENCHMARK(BM_SimplifyFig7);
+
+void BM_ParseWorkloadQueries(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const WorkloadQuery& wq : LdbcWorkload()) {
+      benchmark::DoNotOptimize(ParseWorkloadQuery(wq));
+    }
+  }
+}
+BENCHMARK(BM_ParseWorkloadQueries);
+
+BinaryRelation RandomRelation(size_t nodes, size_t edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> pairs;
+  pairs.reserve(edges);
+  for (size_t i = 0; i < edges; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(nodes)),
+                       static_cast<NodeId>(rng.Uniform(nodes)));
+  }
+  return BinaryRelation::FromPairs(std::move(pairs));
+}
+
+void BM_Compose(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation a = RandomRelation(n, n * 4, 1);
+  BinaryRelation b = RandomRelation(n, n * 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinaryRelation::Compose(a, b));
+  }
+}
+BENCHMARK(BM_Compose)->Arg(1000)->Arg(10000);
+
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Edge> pairs;
+  for (NodeId i = 0; i + 1 < n; ++i) pairs.push_back({i, i + 1});
+  BinaryRelation chain = BinaryRelation::FromPairs(std::move(pairs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinaryRelation::TransitiveClosure(chain));
+  }
+}
+BENCHMARK(BM_TransitiveClosureChain)->Arg(64)->Arg(256);
+
+void BM_RelationalY6(benchmark::State& state) {
+  YagoConfig config;
+  config.persons = 1000;
+  PropertyGraph graph = GenerateYago(config);
+  Catalog catalog(graph);
+  Ucqt query = *ParseUcqt("x1, x2 <- (x1, owns/isLocatedIn+, x2)");
+  RaExprPtr plan = OptimizePlan(*UcqtToRa(query), catalog);
+  Executor executor(catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(plan));
+  }
+}
+BENCHMARK(BM_RelationalY6);
+
+void BM_GraphEngineY6(benchmark::State& state) {
+  YagoConfig config;
+  config.persons = 1000;
+  PropertyGraph graph = GenerateYago(config);
+  GraphEngine engine(graph);
+  Ucqt query = *ParseUcqt("x1, x2 <- (x1, owns/isLocatedIn+, x2)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(query));
+  }
+}
+BENCHMARK(BM_GraphEngineY6);
+
+void BM_LdbcGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    LdbcConfig config;
+    config.persons = static_cast<size_t>(state.range(0));
+    benchmark::DoNotOptimize(GenerateLdbc(config));
+  }
+}
+BENCHMARK(BM_LdbcGeneration)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace gqopt

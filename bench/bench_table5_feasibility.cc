@@ -1,0 +1,57 @@
+// Reproduces paper Tab 5: the number (and percentage) of LDBC queries that
+// complete within the timeout per scale factor, split into recursive and
+// non-recursive, baseline vs schema-based.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gqopt;
+  using namespace gqopt::bench;
+
+  std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+
+  std::printf("== Table 5: LDBC query feasibility across scale factors "
+              "==\n");
+  std::vector<std::string> header = {
+      "SF",      "RQ Baseline", "RQ Baseline %", "RQ Schema",
+      "RQ Schema %", "NQ Baseline", "NQ Baseline %", "NQ Schema",
+      "NQ Schema %"};
+  std::vector<std::vector<std::string>> rows;
+  size_t sf_count = ScaleFactorCount();
+  for (size_t s = 0; s < sf_count; ++s) {
+    const char* sf = LdbcScaleFactors()[s].name;
+    size_t rq_total = 0, nq_total = 0;
+    size_t rq_base = 0, rq_schema = 0, nq_base = 0, nq_schema = 0;
+    for (const MatrixCell& cell : cells) {
+      if (cell.sf != sf) continue;
+      if (cell.recursive) {
+        ++rq_total;
+        if (cell.baseline.feasible) ++rq_base;
+        if (cell.schema.feasible) ++rq_schema;
+      } else {
+        ++nq_total;
+        if (cell.baseline.feasible) ++nq_base;
+        if (cell.schema.feasible) ++nq_schema;
+      }
+    }
+    auto pct = [](size_t n, size_t total) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    total == 0 ? 0.0
+                               : 100.0 * static_cast<double>(n) /
+                                     static_cast<double>(total));
+      return std::string(buf);
+    };
+    rows.push_back({sf, std::to_string(rq_base), pct(rq_base, rq_total),
+                    std::to_string(rq_schema), pct(rq_schema, rq_total),
+                    std::to_string(nq_base), pct(nq_base, nq_total),
+                    std::to_string(nq_schema), pct(nq_schema, nq_total)});
+  }
+  PrintTable(header, rows);
+  std::printf("\nPaper's pattern: the schema approach keeps more recursive "
+              "queries feasible as SF grows (38.9%% vs 27.8%% at SF 30); "
+              "non-recursive feasibility is identical.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Tab 7 (runtime summary statistics for recursive vs
+// non-recursive LDBC queries, pooled over all scale factors) and Tab 8
+// (overall statistics). Only runs where BOTH approaches are measured are
+// pooled, mirroring the paper's "successful executions".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+std::vector<std::string> SummaryRow(const char* label,
+                                    const gqopt::Summary& s) {
+  using gqopt::FormatSeconds;
+  return {label,
+          std::to_string(s.count),
+          FormatSeconds(s.min),
+          FormatSeconds(s.q1),
+          FormatSeconds(s.median),
+          FormatSeconds(s.q3),
+          FormatSeconds(s.max),
+          FormatSeconds(s.mean)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gqopt;
+  using namespace gqopt::bench;
+
+  std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+
+  std::vector<double> rq_base, rq_schema, nq_base, nq_schema;
+  std::vector<double> all_base, all_schema;
+  for (const MatrixCell& cell : cells) {
+    if (!cell.baseline.feasible || !cell.schema.feasible) continue;
+    (cell.recursive ? rq_base : nq_base).push_back(cell.baseline.seconds);
+    (cell.recursive ? rq_schema : nq_schema)
+        .push_back(cell.schema.seconds);
+    all_base.push_back(cell.baseline.seconds);
+    all_schema.push_back(cell.schema.seconds);
+  }
+
+  std::printf("== Table 7: runtime summary, recursive vs non-recursive "
+              "(seconds, pooled over scale factors) ==\n");
+  std::vector<std::string> header = {"Series", "Count", "Min",  "Q1",
+                                     "Q2",     "Q3",    "Max", "Mean"};
+  Summary rq_b = Summarize(rq_base);
+  Summary rq_s = Summarize(rq_schema);
+  Summary nq_b = Summarize(nq_base);
+  Summary nq_s = Summarize(nq_schema);
+  PrintTable(header, {SummaryRow("RQ Baseline", rq_b),
+                      SummaryRow("RQ Schema", rq_s),
+                      SummaryRow("NQ Baseline", nq_b),
+                      SummaryRow("NQ Schema", nq_s)});
+  if (rq_s.mean > 0) {
+    std::printf("\nRecursive mean speedup: %.2fx (paper: 3.26x)\n",
+                rq_b.mean / rq_s.mean);
+  }
+
+  std::printf("\n== Table 8: overall runtime summary ==\n");
+  Summary all_b = Summarize(all_base);
+  Summary all_s = Summarize(all_schema);
+  PrintTable(header, {SummaryRow("Baseline", all_b),
+                      SummaryRow("Schema", all_s)});
+  if (all_s.mean > 0) {
+    std::printf("\nOverall mean speedup: %.2fx (paper: 2.58x)\n",
+                all_b.mean / all_s.mean);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Tarski's algebra path expressions (paper Fig 3) and their annotated
+// variant (paper §3.1.1): concatenations optionally carry a set of node
+// labels restricting the junction node.
+
+#ifndef GQOPT_ALGEBRA_PATH_EXPR_H_
+#define GQOPT_ALGEBRA_PATH_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqopt {
+
+class PathExpr;
+/// Path expressions are immutable and shared; copies are pointer copies.
+using PathExprPtr = std::shared_ptr<const PathExpr>;
+
+/// AST node kinds, mirroring the grammar of Fig 3 plus bounded repetition
+/// (`knows1..3` in the LDBC workload, desugared before inference).
+enum class PathOp : uint8_t {
+  kEdge,         // le            single edge label
+  kReverse,      // -le           reverse of a single edge label
+  kConcat,       // phi1/phi2     possibly annotated with node labels
+  kUnion,        // phi1 | phi2
+  kConjunction,  // phi1 & phi2
+  kBranchRight,  // phi1[phi2]
+  kBranchLeft,   // [phi1]phi2
+  kClosure,      // phi+
+  kRepeat,       // phi{m,n}      sugar for union of m..n concatenations
+};
+
+/// Sorted set of node labels annotating a concatenation junction.
+/// Empty means "unannotated".
+using AnnotationSet = std::vector<std::string>;
+
+/// Normalizes a label set into sorted unique AnnotationSet form.
+AnnotationSet MakeAnnotationSet(std::vector<std::string> labels);
+
+/// \brief Immutable path-expression tree.
+///
+/// Build via the static factories; structural equality via Equals().
+class PathExpr {
+ public:
+  PathOp op() const { return op_; }
+  /// Edge label; meaningful for kEdge / kReverse.
+  const std::string& label() const { return label_; }
+  const PathExprPtr& left() const { return left_; }
+  const PathExprPtr& right() const { return right_; }
+  /// Junction annotation; meaningful for kConcat (empty = unannotated).
+  const AnnotationSet& annotation() const { return annotation_; }
+  int min_repeat() const { return min_repeat_; }
+  int max_repeat() const { return max_repeat_; }
+
+  // ---- Factories ----------------------------------------------------------
+  static PathExprPtr Edge(std::string_view label);
+  static PathExprPtr Reverse(std::string_view label);
+  static PathExprPtr Concat(PathExprPtr l, PathExprPtr r);
+  static PathExprPtr AnnotatedConcat(PathExprPtr l, AnnotationSet annotation,
+                                     PathExprPtr r);
+  static PathExprPtr Union(PathExprPtr l, PathExprPtr r);
+  static PathExprPtr Conjunction(PathExprPtr l, PathExprPtr r);
+  static PathExprPtr BranchRight(PathExprPtr l, PathExprPtr r);
+  static PathExprPtr BranchLeft(PathExprPtr l, PathExprPtr r);
+  static PathExprPtr Closure(PathExprPtr child);
+  /// Bounded repetition; requires 1 <= min <= max.
+  static PathExprPtr Repeat(PathExprPtr child, int min, int max);
+
+  // ---- Queries -------------------------------------------------------------
+  /// Structural equality including annotations.
+  static bool Equals(const PathExprPtr& a, const PathExprPtr& b);
+
+  /// Human-readable rendering; re-parseable by ParsePathExpr.
+  std::string ToString() const;
+
+  /// Fully parenthesized unambiguous rendering; injective on structure, used
+  /// as a dedup/grouping key by the rewriter.
+  std::string CanonicalKey() const;
+
+  /// True when any transitive closure (kClosure) appears in the tree.
+  bool ContainsClosure() const;
+
+  /// True when any concatenation in the tree carries a non-empty annotation.
+  bool HasAnnotations() const;
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+ private:
+  PathExpr() = default;
+
+  PathOp op_ = PathOp::kEdge;
+  std::string label_;
+  PathExprPtr left_;
+  PathExprPtr right_;
+  AnnotationSet annotation_;
+  int min_repeat_ = 0;
+  int max_repeat_ = 0;
+};
+
+/// Returns `expr` with every concat annotation removed (the plain skeleton).
+PathExprPtr StripAnnotations(const PathExprPtr& expr);
+
+/// Collects the distinct edge labels referenced in `expr`, sorted.
+std::set<std::string> CollectEdgeLabels(const PathExprPtr& expr);
+
+/// Rewrites every kRepeat node phi{m,n} into the equivalent union of
+/// concatenations phi^m | ... | phi^n (paper queries like knows1..3).
+PathExprPtr DesugarRepeat(const PathExprPtr& expr);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_ALGEBRA_PATH_EXPR_H_

@@ -1,0 +1,195 @@
+#include "algebra/path_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace gqopt {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<PathExprPtr> Parse() {
+    GQOPT_ASSIGN_OR_RETURN(PathExprPtr e, ParseUnion());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("unexpected trailing input");
+    }
+    return e;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_) + " in '" +
+                                   std::string(text_) + "'");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected identifier");
+    std::string name(text_.substr(start, pos_ - start));
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+      return Err("identifier cannot start with a digit");
+    }
+    return name;
+  }
+
+  Result<int> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected integer");
+    return std::stoi(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  Result<PathExprPtr> ParseUnion() {
+    GQOPT_ASSIGN_OR_RETURN(PathExprPtr left, ParseConjunction());
+    while (Consume('|')) {
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr right, ParseConjunction());
+      left = PathExpr::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathExprPtr> ParseConjunction() {
+    GQOPT_ASSIGN_OR_RETURN(PathExprPtr left, ParseConcat());
+    while (Consume('&')) {
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr right, ParseConcat());
+      left = PathExpr::Conjunction(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathExprPtr> ParseConcat() {
+    GQOPT_ASSIGN_OR_RETURN(PathExprPtr left, ParseUnit());
+    while (Consume('/')) {
+      AnnotationSet annotation;
+      if (Peek('{')) {
+        GQOPT_ASSIGN_OR_RETURN(annotation, ParseAnnotation());
+      }
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr right, ParseUnit());
+      left = PathExpr::AnnotatedConcat(std::move(left), std::move(annotation),
+                                       std::move(right));
+    }
+    return left;
+  }
+
+  Result<AnnotationSet> ParseAnnotation() {
+    if (!Consume('{')) return Err("expected '{'");
+    std::vector<std::string> labels;
+    do {
+      GQOPT_ASSIGN_OR_RETURN(std::string label, ParseIdentifier());
+      labels.push_back(std::move(label));
+    } while (Consume(','));
+    if (!Consume('}')) return Err("expected '}' closing annotation");
+    return MakeAnnotationSet(std::move(labels));
+  }
+
+  Result<PathExprPtr> ParseUnit() {
+    GQOPT_ASSIGN_OR_RETURN(PathExprPtr e, ParsePrimary());
+    return ParsePostfix(std::move(e));
+  }
+
+  Result<PathExprPtr> ParsePostfix(PathExprPtr e) {
+    for (;;) {
+      if (Consume('+')) {
+        e = PathExpr::Closure(std::move(e));
+        continue;
+      }
+      if (Peek('{')) {
+        size_t save = pos_;
+        ++pos_;  // consume '{'
+        SkipSpace();
+        if (pos_ < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          GQOPT_ASSIGN_OR_RETURN(int min, ParseInt());
+          if (!Consume(',')) return Err("expected ',' in repetition bounds");
+          GQOPT_ASSIGN_OR_RETURN(int max, ParseInt());
+          if (!Consume('}')) return Err("expected '}' closing repetition");
+          if (min < 1 || min > max) {
+            return Err("repetition bounds must satisfy 1 <= min <= max");
+          }
+          e = PathExpr::Repeat(std::move(e), min, max);
+          continue;
+        }
+        pos_ = save;  // not a repetition; leave for caller
+        break;
+      }
+      if (Peek('[')) {
+        ++pos_;  // consume '['
+        GQOPT_ASSIGN_OR_RETURN(PathExprPtr inner, ParseUnion());
+        if (!Consume(']')) return Err("expected ']' closing branch");
+        e = PathExpr::BranchRight(std::move(e), std::move(inner));
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<PathExprPtr> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr e, ParseUnion());
+      if (!Consume(')')) return Err("expected ')'");
+      return e;
+    }
+    if (c == '[') {
+      ++pos_;
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr test, ParseUnion());
+      if (!Consume(']')) return Err("expected ']' closing left branch");
+      GQOPT_ASSIGN_OR_RETURN(PathExprPtr body, ParseUnit());
+      return PathExpr::BranchLeft(std::move(test), std::move(body));
+    }
+    if (c == '-') {
+      ++pos_;
+      GQOPT_ASSIGN_OR_RETURN(std::string label, ParseIdentifier());
+      return PathExpr::Reverse(label);
+    }
+    GQOPT_ASSIGN_OR_RETURN(std::string label, ParseIdentifier());
+    return PathExpr::Edge(label);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExprPtr> ParsePathExpr(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace gqopt

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the textual path-expression syntax.
+//
+// Grammar (loosest to tightest binding):
+//   expr   := conj ('|' conj)*                       union
+//   conj   := concat ('&' concat)*                   conjunction
+//   concat := unit ('/' annot? unit)*                concatenation
+//   annot  := '{' LABEL (',' LABEL)* '}'             junction annotation
+//   unit   := primary postfix*
+//   postfix:= '+' | '{' INT ',' INT '}' | '[' expr ']'
+//   primary:= LABEL | '-' LABEL | '(' expr ')' | '[' expr ']' unit
+//
+// '[e1]e2' is the left branch, 'e1[e2]' the right branch, '-le' reverses a
+// single edge label (reverse of compound expressions adds no power, Fig 3).
+
+#ifndef GQOPT_ALGEBRA_PATH_PARSER_H_
+#define GQOPT_ALGEBRA_PATH_PARSER_H_
+
+#include <string_view>
+
+#include "algebra/path_expr.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Parses `text` into a path expression.
+Result<PathExprPtr> ParsePathExpr(std::string_view text);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_ALGEBRA_PATH_PARSER_H_

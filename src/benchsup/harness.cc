@@ -1,0 +1,126 @@
+#include "benchsup/harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ra/executor.h"
+#include "ra/ucqt_to_ra.h"
+#include "util/deadline.h"
+
+namespace gqopt {
+namespace {
+
+double Now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HarnessOptions HarnessOptions::FromEnv() {
+  HarnessOptions options;
+  if (const char* timeout = std::getenv("GQOPT_TIMEOUT_MS")) {
+    options.timeout_ms = std::strtoll(timeout, nullptr, 10);
+  }
+  if (const char* reps = std::getenv("GQOPT_REPS")) {
+    options.repetitions = static_cast<int>(std::strtol(reps, nullptr, 10));
+    if (options.repetitions < 1) options.repetitions = 1;
+  }
+  return options;
+}
+
+RunMeasurement MeasureRelational(const Catalog& catalog, const Ucqt& query,
+                                 const HarnessOptions& options) {
+  RunMeasurement out;
+  auto plan_result = UcqtToRa(query);
+  if (!plan_result.ok()) {
+    out.error = plan_result.status().ToString();
+    return out;
+  }
+  RaExprPtr plan =
+      OptimizePlan(plan_result.value(), catalog, options.optimizer);
+
+  double total = 0;
+  Executor executor(catalog);
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    Deadline deadline = Deadline::AfterMillis(options.timeout_ms);
+    double start = Now();
+    auto table = executor.Run(plan, deadline);
+    double elapsed = Now() - start;
+    if (!table.ok()) {
+      out.error = table.status().ToString();
+      out.feasible = false;
+      return out;
+    }
+    out.result_rows = table->rows();
+    total += elapsed;
+  }
+  out.feasible = true;
+  out.seconds = total / options.repetitions;
+  return out;
+}
+
+RunMeasurement MeasureGraph(const PropertyGraph& graph, const Ucqt& query,
+                            const HarnessOptions& options) {
+  RunMeasurement out;
+  GraphEngine engine(graph);
+  double total = 0;
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    Deadline deadline = Deadline::AfterMillis(options.timeout_ms);
+    double start = Now();
+    auto result = engine.Run(query, deadline);
+    double elapsed = Now() - start;
+    if (!result.ok()) {
+      out.error = result.status().ToString();
+      out.feasible = false;
+      return out;
+    }
+    out.result_rows = result->rows.size();
+    total += elapsed;
+  }
+  out.feasible = true;
+  out.seconds = total / options.repetitions;
+  return out;
+}
+
+Result<RewriteResult> PrepareSchemaQuery(const Ucqt& query,
+                                         const GraphSchema& schema,
+                                         const RewriteOptions& options) {
+  return RewriteQuery(query, schema, options);
+}
+
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& row) {
+    std::fputs("|", stdout);
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fputs("\n", stdout);
+  };
+  print_row(header);
+  std::fputs("|", stdout);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::fputs("\n", stdout);
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  return buf;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,137 @@
+#include "core/cqt_translation.h"
+
+namespace gqopt {
+namespace {
+
+std::string FreshVar(int* counter) {
+  return "_m" + std::to_string((*counter)++);
+}
+
+// Flattens a concatenation tree into its step sequence and the junction
+// annotations between consecutive steps (junctions.size() == steps.size()-1).
+// Junction positions are independent of the tree's associativity.
+void FlattenConcat(const PathExprPtr& psi, std::vector<PathExprPtr>* steps,
+                   std::vector<AnnotationSet>* junctions) {
+  if (psi->op() != PathOp::kConcat) {
+    steps->push_back(psi);
+    return;
+  }
+  FlattenConcat(psi->left(), steps, junctions);
+  junctions->push_back(psi->annotation());
+  FlattenConcat(psi->right(), steps, junctions);
+  // The annotation belongs between left's last step and right's first step;
+  // fix up ordering: the push above landed after left's junctions but we
+  // appended right's junctions afterwards, so positions are already correct.
+}
+
+// Rebuilds a left-associative concatenation of steps[from..to] (inclusive),
+// with empty junction annotations.
+PathExprPtr RebuildSegment(const std::vector<PathExprPtr>& steps, size_t from,
+                           size_t to) {
+  PathExprPtr acc = steps[from];
+  for (size_t i = from + 1; i <= to; ++i) {
+    acc = PathExpr::Concat(acc, steps[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void EmitAnnotatedPath(const PathExprPtr& psi, const std::string& source_var,
+                       const std::string& target_var, int* fresh_counter,
+                       Cqt* cqt) {
+  if (!psi->HasAnnotations()) {
+    // Base case of Fig 9: a plain path expression becomes one relation.
+    cqt->relations.push_back(Relation{source_var, psi, target_var});
+    return;
+  }
+  switch (psi->op()) {
+    case PathOp::kConcat: {
+      // Split the chain exactly at annotated junctions (and around steps
+      // that carry annotations internally), so annotation-free stretches
+      // stay single relations — the shape of the paper's Example 13.
+      std::vector<PathExprPtr> steps;
+      std::vector<AnnotationSet> junctions;
+      FlattenConcat(psi, &steps, &junctions);
+      std::string current_var = source_var;
+      size_t segment_start = 0;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        bool internal = steps[i]->HasAnnotations();
+        bool cut_after = i + 1 == steps.size() || !junctions[i].empty();
+        if (internal) {
+          // Flush the pending plain segment, then recurse into the step.
+          if (i > segment_start) {
+            std::string mid = FreshVar(fresh_counter);
+            cqt->relations.push_back(
+                Relation{current_var,
+                         RebuildSegment(steps, segment_start, i - 1), mid});
+            current_var = mid;
+          }
+          std::string next = i + 1 == steps.size()
+                                 ? target_var
+                                 : FreshVar(fresh_counter);
+          EmitAnnotatedPath(steps[i], current_var, next, fresh_counter, cqt);
+          if (i + 1 < steps.size() && !junctions[i].empty()) {
+            cqt->atoms.push_back(LabelAtom{next, junctions[i]});
+          }
+          current_var = next;
+          segment_start = i + 1;
+          continue;
+        }
+        if (!cut_after) continue;
+        std::string next =
+            i + 1 == steps.size() ? target_var : FreshVar(fresh_counter);
+        cqt->relations.push_back(Relation{
+            current_var, RebuildSegment(steps, segment_start, i), next});
+        if (i + 1 < steps.size()) {
+          cqt->atoms.push_back(LabelAtom{next, junctions[i]});
+        }
+        current_var = next;
+        segment_start = i + 1;
+      }
+      return;
+    }
+    case PathOp::kBranchRight: {
+      // (alpha, beta) from psi1; existential continuation from beta.
+      std::string ext = FreshVar(fresh_counter);
+      EmitAnnotatedPath(psi->left(), source_var, target_var, fresh_counter,
+                        cqt);
+      EmitAnnotatedPath(psi->right(), target_var, ext, fresh_counter, cqt);
+      return;
+    }
+    case PathOp::kBranchLeft: {
+      std::string ext = FreshVar(fresh_counter);
+      EmitAnnotatedPath(psi->left(), source_var, ext, fresh_counter, cqt);
+      EmitAnnotatedPath(psi->right(), source_var, target_var, fresh_counter,
+                        cqt);
+      return;
+    }
+    case PathOp::kConjunction:
+      EmitAnnotatedPath(psi->left(), source_var, target_var, fresh_counter,
+                        cqt);
+      EmitAnnotatedPath(psi->right(), source_var, target_var, fresh_counter,
+                        cqt);
+      return;
+    default:
+      // By the syntactic invariants of inference output (§3.2.3) no other
+      // operator can dominate an annotation: closures drop annotations and
+      // unions never appear outside closures. Treat defensively as opaque.
+      cqt->relations.push_back(Relation{source_var, psi, target_var});
+      return;
+  }
+}
+
+void TranslateMergedTriple(const MergedTriple& triple,
+                           const std::string& source_var,
+                           const std::string& target_var, int* fresh_counter,
+                           Cqt* cqt) {
+  EmitAnnotatedPath(triple.expr, source_var, target_var, fresh_counter, cqt);
+  if (!triple.source_labels.empty()) {
+    cqt->atoms.push_back(LabelAtom{source_var, triple.source_labels});
+  }
+  if (!triple.target_labels.empty()) {
+    cqt->atoms.push_back(LabelAtom{target_var, triple.target_labels});
+  }
+}
+
+}  // namespace gqopt

@@ -1,0 +1,35 @@
+// Translation of merged triples into CQT bodies (paper Fig 9, Def 10/11).
+
+#ifndef GQOPT_CORE_CQT_TRANSLATION_H_
+#define GQOPT_CORE_CQT_TRANSLATION_H_
+
+#include <string>
+
+#include "core/merge.h"
+#include "query/ucqt.h"
+
+namespace gqopt {
+
+/// \brief Emits relations and label atoms realizing the annotated path
+/// expression `psi` between `source_var` and `target_var` into `cqt`
+/// (the Q function of Fig 9).
+///
+/// Annotation-free subtrees stay single relations (so the output matches
+/// the paper's Example 13: splits happen exactly at annotated junctions and
+/// at operators that dominate an annotation). `fresh_counter` names the
+/// existential junction variables `_m0, _m1, ...`.
+void EmitAnnotatedPath(const PathExprPtr& psi, const std::string& source_var,
+                       const std::string& target_var, int* fresh_counter,
+                       Cqt* cqt);
+
+/// Translates one merged triple into CQT body items between the given
+/// variables, including the endpoint label-set atoms when present
+/// (C(t) of Def 10).
+void TranslateMergedTriple(const MergedTriple& triple,
+                           const std::string& source_var,
+                           const std::string& target_var, int* fresh_counter,
+                           Cqt* cqt);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_CORE_CQT_TRANSLATION_H_

@@ -1,0 +1,159 @@
+#include "core/label_graph.h"
+
+#include <algorithm>
+
+namespace gqopt {
+
+size_t LabelGraph::AddVertex(const std::string& label) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return i;
+  }
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  return labels_.size() - 1;
+}
+
+void LabelGraph::AddEdge(size_t from, size_t to, size_t payload) {
+  adjacency_[from].push_back(EdgeRec{to, payload});
+}
+
+std::vector<bool> LabelGraph::CycleVertices() const {
+  // Iterative Tarjan SCC; a vertex is on a cycle iff its SCC has more than
+  // one vertex or it has a self-loop.
+  size_t n = num_vertices();
+  std::vector<int> index(n, -1), lowlink(n, 0), scc_id(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<size_t> scc_size;
+  int next_index = 0;
+
+  struct Frame {
+    size_t v;
+    size_t edge_pos;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge_pos < adjacency_[f.v].size()) {
+        size_t w = adjacency_[f.v][f.edge_pos++].to;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          size_t id = scc_size.size();
+          size_t count = 0;
+          for (;;) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_id[w] = static_cast<int>(id);
+            ++count;
+            if (w == f.v) break;
+          }
+          scc_size.push_back(count);
+        }
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> in_cycle(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    if (scc_size[scc_id[v]] > 1) in_cycle[v] = true;
+    for (const EdgeRec& e : adjacency_[v]) {
+      if (e.to == v) in_cycle[v] = true;  // self-loop
+    }
+  }
+  return in_cycle;
+}
+
+bool LabelGraph::EnumerateSimplePaths(size_t max_paths,
+                                      std::vector<Path>* out) const {
+  size_t n = num_vertices();
+  std::vector<bool> visited(n, false);
+  Path current;
+  bool complete = true;
+
+  // DFS from `start`; vertices may not repeat except closing back to start.
+  auto dfs = [&](auto&& self, size_t start, size_t v) -> bool {
+    for (const EdgeRec& e : adjacency_[v]) {
+      if (out->size() >= max_paths) {
+        complete = false;
+        return false;
+      }
+      if (e.to == start) {
+        // Simple cycle closing at the start vertex.
+        Path cycle = current;
+        cycle.vertices.push_back(e.to);
+        cycle.payloads.push_back(e.payload);
+        out->push_back(std::move(cycle));
+        continue;
+      }
+      if (visited[e.to]) continue;
+      current.vertices.push_back(e.to);
+      current.payloads.push_back(e.payload);
+      out->push_back(current);  // every prefix is a simple path
+      visited[e.to] = true;
+      if (!self(self, start, e.to)) return false;
+      visited[e.to] = false;
+      current.vertices.pop_back();
+      current.payloads.pop_back();
+    }
+    return true;
+  };
+
+  for (size_t start = 0; start < n && complete; ++start) {
+    current.vertices = {start};
+    current.payloads.clear();
+    visited.assign(n, false);
+    visited[start] = true;
+    dfs(dfs, start, start);
+  }
+  return complete;
+}
+
+std::vector<std::pair<size_t, size_t>> LabelGraph::ReachablePairs() const {
+  size_t n = num_vertices();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t start = 0; start < n; ++start) {
+    // BFS over >=1-step reachability.
+    std::vector<bool> seen(n, false);
+    std::vector<size_t> queue;
+    for (const EdgeRec& e : adjacency_[start]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      for (const EdgeRec& e : adjacency_[queue[qi]]) {
+        if (!seen[e.to]) {
+          seen[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (seen[v]) pairs.emplace_back(start, v);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace gqopt

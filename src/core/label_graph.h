@@ -1,0 +1,62 @@
+// The directed multigraph over node labels induced by a set of schema
+// triples (paper Def 8): vertices are node labels, edges are triples.
+// Supports the two questions PlC needs: which vertices lie on a cycle, and
+// the enumeration of simple paths / simple cycles.
+
+#ifndef GQOPT_CORE_LABEL_GRAPH_H_
+#define GQOPT_CORE_LABEL_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gqopt {
+
+/// \brief Multigraph on label vertices; parallel edges carry distinct
+/// payload indexes (indexes into the originating triple set).
+class LabelGraph {
+ public:
+  /// Adds (or finds) the vertex for `label`; returns its dense index.
+  size_t AddVertex(const std::string& label);
+
+  /// Adds edge `from -> to` carrying `payload` (a triple index).
+  void AddEdge(size_t from, size_t to, size_t payload);
+
+  size_t num_vertices() const { return labels_.size(); }
+  const std::string& label(size_t v) const { return labels_[v]; }
+
+  /// Vertices that lie on some cycle (non-trivial SCC membership or a
+  /// self-loop) — the set K of Def 8.
+  std::vector<bool> CycleVertices() const;
+
+  /// One enumerated path: vertex sequence plus the payloads of the edges
+  /// taken (payloads.size() == vertices.size() - 1).
+  struct Path {
+    std::vector<size_t> vertices;
+    std::vector<size_t> payloads;
+  };
+
+  /// Enumerates all simple paths (no repeated vertex) and simple cycles
+  /// (start == end, no other repeats) of length >= 1, over all start
+  /// vertices, respecting parallel-edge multiplicity. Stops after
+  /// `max_paths` results and reports truncation via the return value
+  /// (true = complete enumeration).
+  bool EnumerateSimplePaths(size_t max_paths, std::vector<Path>* out) const;
+
+  /// All ordered vertex pairs (a, b) such that b is reachable from a via a
+  /// non-empty walk.
+  std::vector<std::pair<size_t, size_t>> ReachablePairs() const;
+
+ private:
+  struct EdgeRec {
+    size_t to;
+    size_t payload;
+  };
+
+  std::vector<std::string> labels_;
+  std::vector<std::vector<EdgeRec>> adjacency_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_CORE_LABEL_GRAPH_H_

@@ -1,0 +1,49 @@
+// Merging compatible triples (paper Def 9) and removing redundant
+// annotations (paper §3.2.2).
+
+#ifndef GQOPT_CORE_MERGE_H_
+#define GQOPT_CORE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/type_inference.h"
+#include "schema/graph_schema.h"
+
+namespace gqopt {
+
+/// \brief A merged triple (L1, Psi, L2): label *sets* at the endpoints and
+/// set-valued annotations at each concatenation junction (Def 9).
+///
+/// Empty endpoint sets mean "unconstrained" (the annotation was pruned as
+/// redundant, §3.2.2).
+struct MergedTriple {
+  std::vector<std::string> source_labels;  // sorted set
+  std::vector<std::string> target_labels;  // sorted set
+  PathExprPtr expr;
+  std::vector<PlusReplacement> replacements;
+
+  std::string ToString() const;
+};
+
+/// Partitions `triples` by annotation-stripped skeleton and merges each
+/// group: endpoint labels are unioned, and each concatenation junction gets
+/// the union of the labels annotating it across the group.
+std::vector<MergedTriple> MergeTriples(const TripleSet& triples);
+
+/// Removes annotations that are implied by the schema (§3.2.2): a junction
+/// annotation L is dropped when every label the schema admits at that
+/// junction is already in L, and endpoint sets are cleared when they cover
+/// all schema-admissible sources/targets of the expression.
+void PruneRedundantAnnotations(const GraphSchema& schema,
+                               std::vector<MergedTriple>* triples);
+
+/// Ablation helper: strips every annotation and endpoint constraint but
+/// keeps the expression structure (so transitive-closure eliminations
+/// survive). Deduplicates resulting identical triples.
+std::vector<MergedTriple> StripAllAnnotations(
+    std::vector<MergedTriple> triples);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_CORE_MERGE_H_

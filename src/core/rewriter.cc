@@ -1,0 +1,349 @@
+#include "core/rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/cqt_translation.h"
+#include "core/merge.h"
+#include "core/simplifier.h"
+
+namespace gqopt {
+namespace {
+
+// Collects the CanonicalKeys of every closure subtree of `expr`.
+void CollectClosureKeys(const PathExprPtr& expr,
+                        std::map<std::string, std::string>* keys) {
+  if (!expr) return;
+  if (expr->op() == PathOp::kClosure) {
+    keys->emplace(expr->CanonicalKey(), expr->ToString());
+  }
+  CollectClosureKeys(expr->left(), keys);
+  CollectClosureKeys(expr->right(), keys);
+}
+
+// True when `expr` contains a subtree whose CanonicalKey equals `key`.
+bool ContainsSubtree(const PathExprPtr& expr, const std::string& key) {
+  if (!expr) return false;
+  if (expr->CanonicalKey() == key) return true;
+  return ContainsSubtree(expr->left(), key) ||
+         ContainsSubtree(expr->right(), key);
+}
+
+// Distributes unions over the other operators (closures excepted, where
+// distribution is unsound), yielding the union-free expansion branches of
+// `expr`. Returns false when the expansion exceeds `cap`.
+bool ExpandUnions(const PathExprPtr& expr, size_t cap,
+                  std::vector<PathExprPtr>* out) {
+  switch (expr->op()) {
+    case PathOp::kEdge:
+    case PathOp::kReverse:
+    case PathOp::kClosure:
+      out->push_back(expr);
+      return true;
+    case PathOp::kUnion: {
+      return ExpandUnions(expr->left(), cap, out) &&
+             ExpandUnions(expr->right(), cap, out) && out->size() <= cap;
+    }
+    case PathOp::kRepeat: {
+      return ExpandUnions(DesugarRepeat(expr), cap, out);
+    }
+    default: {
+      std::vector<PathExprPtr> left, right;
+      if (!ExpandUnions(expr->left(), cap, &left) ||
+          !ExpandUnions(expr->right(), cap, &right)) {
+        return false;
+      }
+      for (const PathExprPtr& l : left) {
+        for (const PathExprPtr& r : right) {
+          switch (expr->op()) {
+            case PathOp::kConcat:
+              out->push_back(
+                  PathExpr::AnnotatedConcat(l, expr->annotation(), r));
+              break;
+            case PathOp::kConjunction:
+              out->push_back(PathExpr::Conjunction(l, r));
+              break;
+            case PathOp::kBranchRight:
+              out->push_back(PathExpr::BranchRight(l, r));
+              break;
+            default:
+              out->push_back(PathExpr::BranchLeft(l, r));
+              break;
+          }
+          if (out->size() > cap) return false;
+        }
+      }
+      return true;
+    }
+  }
+}
+
+// Canonical keys of the union-free expansion, with concatenation chains
+// re-associated to the left (the shape inference produces).
+bool ExpansionKeys(const PathExprPtr& expr, size_t cap,
+                   std::set<std::string>* keys) {
+  std::vector<PathExprPtr> branches;
+  if (!ExpandUnions(expr, cap, &branches)) return false;
+  for (const PathExprPtr& branch : branches) {
+    // Left-associate concatenations so keys are comparable with the
+    // rewriter output (see LeftAssocConcat in type inference).
+    std::function<PathExprPtr(const PathExprPtr&)> normalize =
+        [&](const PathExprPtr& e) -> PathExprPtr {
+      if (!e->left()) return e;
+      if (e->op() == PathOp::kConcat &&
+          e->right()->op() == PathOp::kConcat) {
+        // (a / (b / c)) -> ((a / b) / c), annotations kept in position.
+        PathExprPtr inner = PathExpr::AnnotatedConcat(
+            PathExpr::AnnotatedConcat(e->left(), e->annotation(),
+                                      e->right()->left()),
+            e->right()->annotation(), e->right()->right());
+        return normalize(inner);
+      }
+      PathExprPtr l = normalize(e->left());
+      PathExprPtr r = e->right() ? normalize(e->right()) : nullptr;
+      switch (e->op()) {
+        case PathOp::kConcat: {
+          PathExprPtr node =
+              PathExpr::AnnotatedConcat(l, e->annotation(), r);
+          if (node->right()->op() == PathOp::kConcat) {
+            return normalize(node);
+          }
+          return node;
+        }
+        case PathOp::kConjunction:
+          return PathExpr::Conjunction(l, r);
+        case PathOp::kBranchRight:
+          return PathExpr::BranchRight(l, r);
+        case PathOp::kBranchLeft:
+          return PathExpr::BranchLeft(l, r);
+        case PathOp::kClosure:
+          return PathExpr::Closure(l);
+        default:
+          return e;
+      }
+    };
+    keys->insert(normalize(branch)->CanonicalKey());
+  }
+  return true;
+}
+
+// The rewrite alternatives of one input relation: each merged triple
+// becomes one alternative body fragment.
+struct RelationAlternatives {
+  const Relation* relation;
+  PathExprPtr simplified_path;
+  std::vector<MergedTriple> triples;
+
+  // True when the alternatives add no schema information: no annotations,
+  // no endpoint constraints, no closure replacement, and the stripped
+  // alternatives re-assemble exactly the union-free expansion of the
+  // simplified input path (paper §5.2: "reverted to the initial query").
+  bool is_identity() const {
+    for (const MergedTriple& triple : triples) {
+      if (!triple.source_labels.empty() || !triple.target_labels.empty() ||
+          triple.expr->HasAnnotations() || !triple.replacements.empty()) {
+        return false;
+      }
+    }
+    std::set<std::string> expected;
+    if (!ExpansionKeys(simplified_path, 64, &expected)) {
+      // Expansion too large to compare: only the trivial case reverts.
+      return triples.size() == 1 &&
+             PathExpr::Equals(StripAnnotations(triples[0].expr),
+                              simplified_path);
+    }
+    std::set<std::string> actual;
+    for (const MergedTriple& triple : triples) {
+      actual.insert(StripAnnotations(triple.expr)->CanonicalKey());
+    }
+    return actual == expected;
+  }
+};
+
+}  // namespace
+
+size_t RewriteStats::eliminated_closures() const {
+  size_t n = 0;
+  for (const ClosureStats& c : closures) {
+    if (c.eliminated) ++n;
+  }
+  return n;
+}
+
+std::vector<int> RewriteStats::all_path_lengths() const {
+  std::vector<int> out;
+  for (const ClosureStats& c : closures) {
+    out.insert(out.end(), c.path_lengths.begin(), c.path_lengths.end());
+  }
+  return out;
+}
+
+Result<RewriteResult> RewriteQuery(const Ucqt& input,
+                                   const GraphSchema& schema,
+                                   const RewriteOptions& options) {
+  RewriteResult result;
+  result.stats.disjuncts_before = input.disjuncts.size();
+
+  InferenceOptions inference_options = options.inference;
+  inference_options.enable_tc_elimination = options.enable_tc_elimination;
+
+  // Closure occurrences in the (simplified) input, for Tab 6 stats.
+  std::map<std::string, std::string> closure_keys;
+
+  std::vector<Cqt> out_disjuncts;
+  std::vector<PlusReplacement> used_replacements;
+  bool any_enrichment = false;
+  bool overflow_revert = false;
+
+  for (const Cqt& cqt : input.disjuncts) {
+    // Phase 1 per relation: PPS + inference + merge + prune.
+    std::vector<RelationAlternatives> alternatives;
+    bool cqt_unsatisfiable = false;
+    for (const Relation& rel : cqt.relations) {
+      PathExprPtr path = DesugarRepeat(rel.path);
+      if (options.enable_simplification) path = SimplifyPath(path);
+      CollectClosureKeys(path, &closure_keys);
+
+      auto inferred = InferTriples(path, schema, inference_options);
+      if (!inferred.ok()) {
+        if (inferred.status().code() == StatusCode::kResourceExhausted) {
+          overflow_revert = true;
+          break;
+        }
+        return inferred.status();
+      }
+      result.stats.inference_overflowed |= inferred->overflowed;
+      if (inferred->triples.empty()) {
+        cqt_unsatisfiable = true;
+        break;
+      }
+      std::vector<MergedTriple> merged = MergeTriples(inferred->triples);
+      if (options.enable_annotations) {
+        PruneRedundantAnnotations(schema, &merged);
+      } else {
+        merged = StripAllAnnotations(std::move(merged));
+      }
+      alternatives.push_back(
+          RelationAlternatives{&rel, path, std::move(merged)});
+    }
+    if (overflow_revert) break;
+    if (cqt_unsatisfiable) continue;  // this disjunct returns nothing
+
+    for (RelationAlternatives& alt : alternatives) {
+      if (alt.is_identity()) {
+        // No schema information was added: keep the relation in its
+        // original (unsplit) form so the plan shape does not change.
+        MergedTriple identity;
+        identity.expr = alt.simplified_path;
+        alt.triples = {std::move(identity)};
+        continue;
+      }
+      any_enrichment = true;
+      for (const MergedTriple& triple : alt.triples) {
+        used_replacements.insert(used_replacements.end(),
+                                 triple.replacements.begin(),
+                                 triple.replacements.end());
+      }
+    }
+
+    // Guard the cross product of per-relation alternatives.
+    size_t product = 1;
+    for (const RelationAlternatives& alt : alternatives) {
+      product *= alt.triples.size();
+      if (product > options.max_disjuncts) break;
+    }
+    if (product > options.max_disjuncts ||
+        out_disjuncts.size() + product > options.max_disjuncts) {
+      overflow_revert = true;
+      break;
+    }
+
+    // Phase 2: build the enriched CQTs (cross product of alternatives).
+    std::vector<Cqt> partial(1);
+    partial[0].head_vars = cqt.head_vars;
+    partial[0].atoms = cqt.atoms;  // pre-existing atoms are preserved
+    int fresh_counter = 0;
+    for (const RelationAlternatives& alt : alternatives) {
+      std::vector<Cqt> next;
+      for (const Cqt& base : partial) {
+        for (const MergedTriple& triple : alt.triples) {
+          Cqt extended = base;
+          TranslateMergedTriple(triple, alt.relation->source_var,
+                                alt.relation->target_var, &fresh_counter,
+                                &extended);
+          next.push_back(std::move(extended));
+        }
+      }
+      partial = std::move(next);
+    }
+    for (Cqt& built : partial) out_disjuncts.push_back(std::move(built));
+  }
+
+  if (overflow_revert) {
+    result.query = input;
+    result.reverted = true;
+    result.stats.inference_overflowed = true;
+    result.stats.disjuncts_after = input.disjuncts.size();
+    return result;
+  }
+
+  if (out_disjuncts.empty()) {
+    result.query.head_vars = input.head_vars;
+    result.unsatisfiable = true;
+    result.stats.disjuncts_after = 0;
+    return result;
+  }
+
+  if (!any_enrichment && out_disjuncts.size() == input.disjuncts.size()) {
+    // Opportunistic revert (paper §5.2): schema added nothing.
+    result.query = input;
+    result.reverted = true;
+    result.stats.disjuncts_after = input.disjuncts.size();
+    for (const auto& [key, rendering] : closure_keys) {
+      result.stats.closures.push_back(ClosureStats{rendering, false, {}});
+    }
+    return result;
+  }
+
+  GQOPT_ASSIGN_OR_RETURN(result.query,
+                         Ucqt::Make(input.head_vars,
+                                    std::move(out_disjuncts)));
+
+  for (const Cqt& cqt : result.query.disjuncts) {
+    result.stats.atoms_added += cqt.atoms.size();
+  }
+  // Stats: per original closure, is it still present in the final query
+  // (structural containment), and which fixed-length replacement paths
+  // were generated (provenance records attached by PlC)?
+  std::map<std::string, std::vector<int>> lengths_by_closure;
+  for (const PlusReplacement& rec : used_replacements) {
+    lengths_by_closure[rec.closure_key].push_back(rec.length);
+  }
+  for (const auto& [key, rendering] : closure_keys) {
+    bool present = false;
+    for (const Cqt& cqt : result.query.disjuncts) {
+      for (const Relation& rel : cqt.relations) {
+        if (ContainsSubtree(StripAnnotations(rel.path), key)) {
+          present = true;
+          break;
+        }
+      }
+      if (present) break;
+    }
+    ClosureStats stats;
+    stats.closure = rendering;
+    stats.eliminated = !present;
+    auto it = lengths_by_closure.find(key);
+    if (it != lengths_by_closure.end()) {
+      stats.path_lengths = it->second;
+      std::sort(stats.path_lengths.begin(), stats.path_lengths.end());
+    }
+    result.stats.closures.push_back(std::move(stats));
+  }
+  result.stats.disjuncts_after = result.query.disjuncts.size();
+  return result;
+}
+
+}  // namespace gqopt

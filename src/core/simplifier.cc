@@ -1,0 +1,135 @@
+#include "core/simplifier.h"
+
+namespace gqopt {
+namespace {
+
+// Splits a concatenation chain into its first step and the remainder, so
+// R3/R5 peel branches off from the left: a[b/c/d] -> a[b[c/d]] -> ... ->
+// a[b[c[d]]]. Fails (returns false) when the leftmost junction carries an
+// annotation, which a branch could not preserve.
+bool SplitLeftmost(const PathExprPtr& concat, PathExprPtr* head,
+                   PathExprPtr* rest) {
+  if (concat->left()->op() == PathOp::kConcat) {
+    PathExprPtr inner_rest;
+    if (!SplitLeftmost(concat->left(), head, &inner_rest)) return false;
+    *rest = PathExpr::AnnotatedConcat(std::move(inner_rest),
+                                      concat->annotation(), concat->right());
+    return true;
+  }
+  if (!concat->annotation().empty()) return false;
+  *head = concat->left();
+  *rest = concat->right();
+  return true;
+}
+
+// One bottom-up pass; sets *changed when any rule fired.
+PathExprPtr SimplifyOnce(const PathExprPtr& e, bool* changed) {
+  if (!e) return e;
+  switch (e->op()) {
+    case PathOp::kEdge:
+    case PathOp::kReverse:
+      return e;
+    case PathOp::kClosure: {
+      PathExprPtr child = SimplifyOnce(e->left(), changed);
+      // R1: (phi+)+ -> phi+
+      if (child->op() == PathOp::kClosure) {
+        *changed = true;
+        return child;
+      }
+      if (child == e->left()) return e;
+      return PathExpr::Closure(std::move(child));
+    }
+    case PathOp::kBranchRight: {
+      PathExprPtr l = SimplifyOnce(e->left(), changed);
+      PathExprPtr r = SimplifyOnce(e->right(), changed);
+      // R2 (generalized): phi1[phi2+] -> phi1[phi2].
+      if (r->op() == PathOp::kClosure) {
+        *changed = true;
+        return PathExpr::BranchRight(std::move(l), r->left());
+      }
+      // R3: phi1[phi2/phi3] -> phi1[phi2[phi3]] (unannotated junctions
+      // only), peeling from the leftmost step of the chain.
+      if (r->op() == PathOp::kConcat) {
+        PathExprPtr head, rest;
+        if (SplitLeftmost(r, &head, &rest)) {
+          *changed = true;
+          return PathExpr::BranchRight(
+              std::move(l),
+              PathExpr::BranchRight(std::move(head), std::move(rest)));
+        }
+      }
+      if (l == e->left() && r == e->right()) return e;
+      return PathExpr::BranchRight(std::move(l), std::move(r));
+    }
+    case PathOp::kBranchLeft: {
+      PathExprPtr l = SimplifyOnce(e->left(), changed);
+      PathExprPtr r = SimplifyOnce(e->right(), changed);
+      // R4 (generalized): [phi2+]phi1 -> [phi2]phi1.
+      if (l->op() == PathOp::kClosure) {
+        *changed = true;
+        return PathExpr::BranchLeft(l->left(), std::move(r));
+      }
+      // R5: [phi2/phi3]phi1 -> [phi2[phi3]]phi1, peeling from the left.
+      if (l->op() == PathOp::kConcat) {
+        PathExprPtr head, rest;
+        if (SplitLeftmost(l, &head, &rest)) {
+          *changed = true;
+          return PathExpr::BranchLeft(
+              PathExpr::BranchRight(std::move(head), std::move(rest)),
+              std::move(r));
+        }
+      }
+      if (l == e->left() && r == e->right()) return e;
+      return PathExpr::BranchLeft(std::move(l), std::move(r));
+    }
+    case PathOp::kConcat: {
+      PathExprPtr l = SimplifyOnce(e->left(), changed);
+      PathExprPtr r = SimplifyOnce(e->right(), changed);
+      if (l == e->left() && r == e->right()) return e;
+      return PathExpr::AnnotatedConcat(std::move(l), e->annotation(),
+                                       std::move(r));
+    }
+    case PathOp::kUnion: {
+      PathExprPtr l = SimplifyOnce(e->left(), changed);
+      PathExprPtr r = SimplifyOnce(e->right(), changed);
+      if (l == e->left() && r == e->right()) return e;
+      return PathExpr::Union(std::move(l), std::move(r));
+    }
+    case PathOp::kConjunction: {
+      PathExprPtr l = SimplifyOnce(e->left(), changed);
+      PathExprPtr r = SimplifyOnce(e->right(), changed);
+      if (l == e->left() && r == e->right()) return e;
+      return PathExpr::Conjunction(std::move(l), std::move(r));
+    }
+    case PathOp::kRepeat: {
+      PathExprPtr child = SimplifyOnce(e->left(), changed);
+      if (child == e->left()) return e;
+      return PathExpr::Repeat(std::move(child), e->min_repeat(),
+                              e->max_repeat());
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+PathExprPtr SimplifyPath(const PathExprPtr& expr) {
+  PathExprPtr current = expr;
+  for (;;) {
+    bool changed = false;
+    current = SimplifyOnce(current, &changed);
+    if (!changed) return current;
+  }
+}
+
+Ucqt SimplifyQuery(const Ucqt& query) {
+  Ucqt out = query;
+  for (Cqt& cqt : out.disjuncts) {
+    for (Relation& rel : cqt.relations) {
+      rel.path = SimplifyPath(rel.path);
+    }
+  }
+  return out;
+}
+
+}  // namespace gqopt

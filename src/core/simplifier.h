@@ -1,0 +1,33 @@
+// Preliminary path simplification (paper Fig 6, rules R1-R5).
+//
+// The rules eliminate schema-independent redundancies:
+//   R1: (phi+)+          -> phi+
+//   R2: phi1[phi2+]      -> phi1[phi2]     (closure redundant in a branch)
+//   R3: phi1[phi2/phi3]  -> phi1[phi2[phi3]]
+//   R4: [phi2+]phi1      -> [phi2]phi1
+//   R5: [phi2/phi3]phi1  -> [phi2[phi3]]phi1
+//
+// We implement R2/R4 in their general form (any phi1, not only phi1+): a
+// branch is an existential test, and a node has an outgoing phi2+ path iff
+// it has an outgoing phi2 path, so the generalization is still semantics
+// preserving (verified by the property test suite). R3/R5 only fire on
+// unannotated concatenations (annotations appear after inference only).
+
+#ifndef GQOPT_CORE_SIMPLIFIER_H_
+#define GQOPT_CORE_SIMPLIFIER_H_
+
+#include "algebra/path_expr.h"
+#include "query/ucqt.h"
+
+namespace gqopt {
+
+/// Applies R1-R5 bottom-up to a fixpoint. Returns the input pointer when
+/// nothing fires.
+PathExprPtr SimplifyPath(const PathExprPtr& expr);
+
+/// Simplifies every relation path of every disjunct.
+Ucqt SimplifyQuery(const Ucqt& query);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_CORE_SIMPLIFIER_H_

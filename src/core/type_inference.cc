@@ -1,0 +1,448 @@
+#include "core/type_inference.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/label_graph.h"
+
+namespace gqopt {
+namespace {
+
+// Deduplicates triples by Key(), merging provenance records.
+void AddTriple(SchemaTriple triple, TripleSet* set,
+               std::unordered_map<std::string, size_t>* index) {
+  std::string key = triple.Key();
+  auto it = index->find(key);
+  if (it == index->end()) {
+    index->emplace(std::move(key), set->size());
+    std::sort(triple.replacements.begin(), triple.replacements.end());
+    triple.replacements.erase(
+        std::unique(triple.replacements.begin(), triple.replacements.end()),
+        triple.replacements.end());
+    set->push_back(std::move(triple));
+    return;
+  }
+  SchemaTriple& existing = (*set)[it->second];
+  existing.replacements.insert(existing.replacements.end(),
+                               triple.replacements.begin(),
+                               triple.replacements.end());
+  std::sort(existing.replacements.begin(), existing.replacements.end());
+  existing.replacements.erase(
+      std::unique(existing.replacements.begin(), existing.replacements.end()),
+      existing.replacements.end());
+}
+
+// Builds l /ann r, re-associating so concatenation chains lean left; the
+// junction annotations are preserved at their positions. Keeping chains
+// left-associative makes renderings match the paper's notation and keeps
+// skeleton grouping (Def 9) canonical.
+PathExprPtr LeftAssocConcat(PathExprPtr l, AnnotationSet ann, PathExprPtr r) {
+  if (r->op() == PathOp::kConcat) {
+    PathExprPtr inner =
+        LeftAssocConcat(std::move(l), std::move(ann), r->left());
+    return PathExpr::AnnotatedConcat(std::move(inner), r->annotation(),
+                                     r->right());
+  }
+  return PathExpr::AnnotatedConcat(std::move(l), std::move(ann),
+                                   std::move(r));
+}
+
+std::vector<PlusReplacement> MergeReplacements(
+    const std::vector<PlusReplacement>& a,
+    const std::vector<PlusReplacement>& b) {
+  std::vector<PlusReplacement> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+class Inference {
+ public:
+  Inference(const GraphSchema& schema, const InferenceOptions& options)
+      : schema_(schema), options_(options) {}
+
+  Result<TripleSet> Infer(const PathExprPtr& expr) {
+    switch (expr->op()) {
+      case PathOp::kEdge:
+        return InferEdge(expr, /*reversed=*/false);
+      case PathOp::kReverse:
+        return InferEdge(expr, /*reversed=*/true);
+      case PathOp::kConcat:
+        return InferConcat(expr);
+      case PathOp::kUnion:
+        return InferUnion(expr);
+      case PathOp::kConjunction:
+        return InferConjunction(expr);
+      case PathOp::kBranchRight:
+        return InferBranchRight(expr);
+      case PathOp::kBranchLeft:
+        return InferBranchLeft(expr);
+      case PathOp::kClosure:
+        return InferClosure(expr);
+      case PathOp::kRepeat:
+        return Status::InvalidArgument(
+            "bounded repetition must be desugared before inference");
+    }
+    return Status::Internal("unhandled path op");
+  }
+
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  // TBASIC / TMINUS: the base cases over Tb(S).
+  Result<TripleSet> InferEdge(const PathExprPtr& expr, bool reversed) {
+    if (!schema_.HasEdgeLabel(expr->label())) {
+      return Status::InvalidArgument("edge label '" + expr->label() +
+                                     "' is not declared by the schema");
+    }
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (const BasicTriple& t : schema_.TriplesForEdge(expr->label())) {
+      SchemaTriple triple;
+      triple.expr = expr;
+      if (reversed) {
+        triple.source_label = t.target_label;
+        triple.target_label = t.source_label;
+      } else {
+        triple.source_label = t.source_label;
+        triple.target_label = t.target_label;
+      }
+      AddTriple(std::move(triple), &out, &index);
+    }
+    return out;
+  }
+
+  // TCONCAT: compatible pairs joined on the junction label, which becomes
+  // the annotation of the combined concatenation.
+  Result<TripleSet> InferConcat(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet left, Infer(expr->left()));
+    GQOPT_ASSIGN_OR_RETURN(TripleSet right, Infer(expr->right()));
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (const SchemaTriple& t1 : left) {
+      for (const SchemaTriple& t2 : right) {
+        if (t1.target_label != t2.source_label) continue;
+        SchemaTriple triple;
+        triple.source_label = t1.source_label;
+        triple.target_label = t2.target_label;
+        triple.expr = LeftAssocConcat(
+            t1.expr, AnnotationSet{t1.target_label}, t2.expr);
+        triple.replacements = MergeReplacements(t1.replacements,
+                                                t2.replacements);
+        AddTriple(std::move(triple), &out, &index);
+        if (out.size() > options_.max_triples) {
+          return Status::ResourceExhausted("triple set exceeds cap");
+        }
+      }
+    }
+    return out;
+  }
+
+  // TUNION L/R: triples of either operand pass through unchanged — the
+  // annotated expressions refer to the operands, and merging (Def 9)
+  // reassembles a union of CQTs later.
+  Result<TripleSet> InferUnion(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet left, Infer(expr->left()));
+    GQOPT_ASSIGN_OR_RETURN(TripleSet right, Infer(expr->right()));
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (SchemaTriple& t : left) AddTriple(std::move(t), &out, &index);
+    for (SchemaTriple& t : right) AddTriple(std::move(t), &out, &index);
+    if (out.size() > options_.max_triples) {
+      return Status::ResourceExhausted("triple set exceeds cap");
+    }
+    return out;
+  }
+
+  // TCONJ: both operands must connect the same labels.
+  Result<TripleSet> InferConjunction(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet left, Infer(expr->left()));
+    GQOPT_ASSIGN_OR_RETURN(TripleSet right, Infer(expr->right()));
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (const SchemaTriple& t1 : left) {
+      for (const SchemaTriple& t2 : right) {
+        if (t1.source_label != t2.source_label ||
+            t1.target_label != t2.target_label) {
+          continue;
+        }
+        SchemaTriple triple;
+        triple.source_label = t1.source_label;
+        triple.target_label = t1.target_label;
+        triple.expr = PathExpr::Conjunction(t1.expr, t2.expr);
+        triple.replacements = MergeReplacements(t1.replacements,
+                                                t2.replacements);
+        AddTriple(std::move(triple), &out, &index);
+        if (out.size() > options_.max_triples) {
+          return Status::ResourceExhausted("triple set exceeds cap");
+        }
+      }
+    }
+    return out;
+  }
+
+  // TBRANCH R: phi1[phi2] keeps phi1's endpoints; phi2 must be able to
+  // continue from phi1's target label.
+  Result<TripleSet> InferBranchRight(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet left, Infer(expr->left()));
+    GQOPT_ASSIGN_OR_RETURN(TripleSet right, Infer(expr->right()));
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (const SchemaTriple& t1 : left) {
+      for (const SchemaTriple& t2 : right) {
+        if (t1.target_label != t2.source_label) continue;
+        SchemaTriple triple;
+        triple.source_label = t1.source_label;
+        triple.target_label = t1.target_label;
+        triple.expr = PathExpr::BranchRight(t1.expr, t2.expr);
+        triple.replacements = MergeReplacements(t1.replacements,
+                                                t2.replacements);
+        AddTriple(std::move(triple), &out, &index);
+        if (out.size() > options_.max_triples) {
+          return Status::ResourceExhausted("triple set exceeds cap");
+        }
+      }
+    }
+    return out;
+  }
+
+  // TBRANCH L: [phi1]phi2 keeps phi2's endpoints; phi1 must be able to
+  // start from phi2's source label.
+  Result<TripleSet> InferBranchLeft(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet left, Infer(expr->left()));
+    GQOPT_ASSIGN_OR_RETURN(TripleSet right, Infer(expr->right()));
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+    for (const SchemaTriple& t2 : right) {
+      for (const SchemaTriple& t1 : left) {
+        if (t1.source_label != t2.source_label) continue;
+        SchemaTriple triple;
+        triple.source_label = t2.source_label;
+        triple.target_label = t2.target_label;
+        triple.expr = PathExpr::BranchLeft(t1.expr, t2.expr);
+        triple.replacements = MergeReplacements(t1.replacements,
+                                                t2.replacements);
+        AddTriple(std::move(triple), &out, &index);
+        if (out.size() > options_.max_triples) {
+          return Status::ResourceExhausted("triple set exceeds cap");
+        }
+      }
+    }
+    return out;
+  }
+
+  // TPLUS via PlC (Def 8).
+  Result<TripleSet> InferClosure(const PathExprPtr& expr) {
+    GQOPT_ASSIGN_OR_RETURN(TripleSet child, Infer(expr->left()));
+    std::string closure_key = expr->CanonicalKey();
+
+    // Build the label graph whose edges are the child triples.
+    LabelGraph graph;
+    std::vector<std::pair<size_t, size_t>> endpoints;  // per triple
+    for (const SchemaTriple& t : child) {
+      size_t from = graph.AddVertex(t.source_label);
+      size_t to = graph.AddVertex(t.target_label);
+      endpoints.emplace_back(from, to);
+    }
+    for (size_t i = 0; i < child.size(); ++i) {
+      graph.AddEdge(endpoints[i].first, endpoints[i].second, i);
+    }
+
+    TripleSet out;
+    std::unordered_map<std::string, size_t> index;
+
+    auto add_plus_triple = [&](const std::string& from,
+                               const std::string& to) {
+      SchemaTriple triple;
+      triple.source_label = from;
+      triple.target_label = to;
+      triple.expr = expr;  // plain phi+, annotations dropped (Def 8 case a)
+      AddTriple(std::move(triple), &out, &index);
+    };
+
+    std::vector<LabelGraph::Path> paths;
+    bool complete =
+        options_.enable_tc_elimination &&
+        graph.EnumerateSimplePaths(options_.max_plc_paths, &paths);
+    if (!complete) {
+      // Fallback: every reachable label pair keeps the closure. This is
+      // exactly the Def 8 output with all paths classified as case (a),
+      // hence still sound and complete.
+      overflowed_ = overflowed_ || options_.enable_tc_elimination;
+      for (const auto& [from, to] : graph.ReachablePairs()) {
+        add_plus_triple(graph.label(from), graph.label(to));
+      }
+      return out;
+    }
+
+    std::vector<bool> in_cycle = graph.CycleVertices();
+    for (const LabelGraph::Path& path : paths) {
+      bool touches_cycle = false;
+      for (size_t v : path.vertices) {
+        if (in_cycle[v]) touches_cycle = true;
+      }
+      const std::string& from = graph.label(path.vertices.front());
+      const std::string& to = graph.label(path.vertices.back());
+      if (touches_cycle) {
+        add_plus_triple(from, to);
+        continue;
+      }
+      // Def 8 case (b): concatenate the annotated expressions along the
+      // path, annotating each junction with the intermediate label.
+      SchemaTriple triple;
+      triple.source_label = from;
+      triple.target_label = to;
+      triple.expr = child[path.payloads[0]].expr;
+      triple.replacements = child[path.payloads[0]].replacements;
+      for (size_t i = 1; i < path.payloads.size(); ++i) {
+        const SchemaTriple& step = child[path.payloads[i]];
+        triple.expr = LeftAssocConcat(
+            triple.expr, AnnotationSet{graph.label(path.vertices[i])},
+            step.expr);
+        triple.replacements =
+            MergeReplacements(triple.replacements, step.replacements);
+      }
+      triple.replacements.push_back(PlusReplacement{
+          closure_key, static_cast<int>(path.payloads.size())});
+      AddTriple(std::move(triple), &out, &index);
+      if (out.size() > options_.max_triples) {
+        return Status::ResourceExhausted("triple set exceeds cap");
+      }
+    }
+    return out;
+  }
+
+  const GraphSchema& schema_;
+  const InferenceOptions& options_;
+  bool overflowed_ = false;
+};
+
+void SortedUnique(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::vector<std::string> Intersect(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> Unite(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::string SchemaTriple::Key() const {
+  return source_label + "\x01" + (expr ? expr->CanonicalKey() : "") + "\x01" +
+         target_label;
+}
+
+std::string SchemaTriple::ToString() const {
+  return "(" + source_label + ", " + (expr ? expr->ToString() : "<null>") +
+         ", " + target_label + ")";
+}
+
+Result<InferenceResult> InferTriples(const PathExprPtr& expr,
+                                     const GraphSchema& schema,
+                                     const InferenceOptions& options) {
+  Inference inference(schema, options);
+  GQOPT_ASSIGN_OR_RETURN(TripleSet triples, inference.Infer(expr));
+  InferenceResult result;
+  result.triples = std::move(triples);
+  result.overflowed = inference.overflowed();
+  return result;
+}
+
+std::vector<std::string> PossibleSourceLabels(const PathExprPtr& expr,
+                                              const GraphSchema& schema) {
+  switch (expr->op()) {
+    case PathOp::kEdge: {
+      auto s = schema.SourceLabelsOf(expr->label());
+      return {s.begin(), s.end()};
+    }
+    case PathOp::kReverse: {
+      auto s = schema.TargetLabelsOf(expr->label());
+      return {s.begin(), s.end()};
+    }
+    case PathOp::kConcat:
+    case PathOp::kBranchRight:
+      return PossibleSourceLabels(expr->left(), schema);
+    case PathOp::kBranchLeft: {
+      // Sources must admit both the test phi1 and the body phi2.
+      auto a = PossibleSourceLabels(expr->left(), schema);
+      auto b = PossibleSourceLabels(expr->right(), schema);
+      SortedUnique(&a);
+      SortedUnique(&b);
+      return Intersect(a, b);
+    }
+    case PathOp::kUnion: {
+      auto a = PossibleSourceLabels(expr->left(), schema);
+      auto b = PossibleSourceLabels(expr->right(), schema);
+      SortedUnique(&a);
+      SortedUnique(&b);
+      return Unite(a, b);
+    }
+    case PathOp::kConjunction: {
+      auto a = PossibleSourceLabels(expr->left(), schema);
+      auto b = PossibleSourceLabels(expr->right(), schema);
+      SortedUnique(&a);
+      SortedUnique(&b);
+      return Intersect(a, b);
+    }
+    case PathOp::kClosure:
+    case PathOp::kRepeat:
+      return PossibleSourceLabels(expr->left(), schema);
+  }
+  return {};
+}
+
+std::vector<std::string> PossibleTargetLabels(const PathExprPtr& expr,
+                                              const GraphSchema& schema) {
+  switch (expr->op()) {
+    case PathOp::kEdge: {
+      auto s = schema.TargetLabelsOf(expr->label());
+      return {s.begin(), s.end()};
+    }
+    case PathOp::kReverse: {
+      auto s = schema.SourceLabelsOf(expr->label());
+      return {s.begin(), s.end()};
+    }
+    case PathOp::kConcat:
+      return PossibleTargetLabels(expr->right(), schema);
+    case PathOp::kBranchRight:
+      return PossibleTargetLabels(expr->left(), schema);
+    case PathOp::kBranchLeft:
+      return PossibleTargetLabels(expr->right(), schema);
+    case PathOp::kUnion: {
+      auto a = PossibleTargetLabels(expr->left(), schema);
+      auto b = PossibleTargetLabels(expr->right(), schema);
+      SortedUnique(&a);
+      SortedUnique(&b);
+      return Unite(a, b);
+    }
+    case PathOp::kConjunction: {
+      auto a = PossibleTargetLabels(expr->left(), schema);
+      auto b = PossibleTargetLabels(expr->right(), schema);
+      SortedUnique(&a);
+      SortedUnique(&b);
+      return Intersect(a, b);
+    }
+    case PathOp::kClosure:
+    case PathOp::kRepeat:
+      return PossibleTargetLabels(expr->left(), schema);
+  }
+  return {};
+}
+
+}  // namespace gqopt

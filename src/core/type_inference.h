@@ -1,0 +1,88 @@
+// Path expression / graph schema triple compatibility (paper §3.1.3):
+// computes TS(phi) = { t | |-S phi : t } by the inference rules of Fig 8,
+// with PlC (Def 8) handling transitive closure.
+
+#ifndef GQOPT_CORE_TYPE_INFERENCE_H_
+#define GQOPT_CORE_TYPE_INFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/path_expr.h"
+#include "schema/graph_schema.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Provenance of one transitive-closure elimination: PlC replaced the
+/// closure whose plain expression has CanonicalKey `closure_key` by a fixed
+/// concatenation of `length` base steps. Records survive concatenation,
+/// branching and merging, so the rewriter can report exactly which
+/// replacements made it into the final query (paper Tab 6).
+struct PlusReplacement {
+  std::string closure_key;
+  int length = 0;
+
+  bool operator==(const PlusReplacement&) const = default;
+  auto operator<=>(const PlusReplacement&) const = default;
+};
+
+/// Graph schema triple (paper Def 6): source label, annotated path
+/// expression, target label.
+struct SchemaTriple {
+  std::string source_label;
+  PathExprPtr expr;
+  std::string target_label;
+  std::vector<PlusReplacement> replacements;
+
+  /// Injective grouping/dedup key over (source, expr structure, target).
+  std::string Key() const;
+  std::string ToString() const;
+};
+
+using TripleSet = std::vector<SchemaTriple>;
+
+/// Caps guarding against combinatorial blow-up. When a cap is hit the
+/// affected step degrades conservatively (see InferenceResult::overflowed);
+/// the result stays sound and complete, only less precise.
+struct InferenceOptions {
+  size_t max_triples = 4096;    // cap on |TS(subexpr)|
+  size_t max_plc_paths = 4096;  // cap on simple-path enumeration in PlC
+  /// Ablation switch: when false, PlC always emits (A, phi+, B) triples
+  /// (never removes transitive closures).
+  bool enable_tc_elimination = true;
+};
+
+/// Outcome of inference over one path expression.
+struct InferenceResult {
+  TripleSet triples;
+  /// True when a cap made some step fall back to the less precise (but
+  /// still correct) form.
+  bool overflowed = false;
+};
+
+/// \brief Computes the set of schema triples compatible with `expr` under
+/// `schema` (Fig 8). `expr` must be repeat-free (run DesugarRepeat first)
+/// and annotation-free.
+///
+/// Fails with InvalidArgument when `expr` references an edge label that the
+/// schema does not declare (almost certainly a query typo). An empty result
+/// set is legitimate and means the query is unsatisfiable on every database
+/// conforming to the schema.
+Result<InferenceResult> InferTriples(const PathExprPtr& expr,
+                                     const GraphSchema& schema,
+                                     const InferenceOptions& options = {});
+
+/// Over-approximation of the node labels that can source a match of `expr`
+/// on any conforming database. Used by annotation pruning (§3.2.2).
+std::vector<std::string> PossibleSourceLabels(const PathExprPtr& expr,
+                                              const GraphSchema& schema);
+
+/// Over-approximation of the node labels that can end a match of `expr`.
+std::vector<std::string> PossibleTargetLabels(const PathExprPtr& expr,
+                                              const GraphSchema& schema);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_CORE_TYPE_INFERENCE_H_

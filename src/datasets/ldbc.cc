@@ -1,0 +1,227 @@
+#include "datasets/ldbc.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace gqopt {
+namespace {
+
+constexpr const char* kPerson = "Person";
+constexpr const char* kForum = "Forum";
+constexpr const char* kPost = "Post";
+constexpr const char* kComment = "Comment";
+constexpr const char* kTag = "Tag";
+constexpr const char* kTagClass = "TagClass";
+constexpr const char* kOrganisation = "Organisation";
+constexpr const char* kPlace = "Place";
+
+}  // namespace
+
+GraphSchema LdbcSchema() {
+  GraphSchema schema;
+  for (const char* label : {kPerson, kForum, kPost, kComment, kTag, kTagClass,
+                            kOrganisation, kPlace}) {
+    schema.AddNodeLabel(label);
+  }
+  (void)schema.AddProperty(kPerson, "firstName", PropertyType::kString);
+  (void)schema.AddProperty(kPerson, "birthday", PropertyType::kDate);
+  (void)schema.AddProperty(kForum, "title", PropertyType::kString);
+  (void)schema.AddProperty(kPost, "length", PropertyType::kInt);
+  (void)schema.AddProperty(kComment, "length", PropertyType::kInt);
+  (void)schema.AddProperty(kTag, "name", PropertyType::kString);
+  (void)schema.AddProperty(kTagClass, "name", PropertyType::kString);
+  (void)schema.AddProperty(kOrganisation, "name", PropertyType::kString);
+  (void)schema.AddProperty(kPlace, "name", PropertyType::kString);
+
+  schema.AddEdge(kPerson, "knows", kPerson);
+  schema.AddEdge(kPost, "hasCreator", kPerson);
+  schema.AddEdge(kComment, "hasCreator", kPerson);
+  schema.AddEdge(kPerson, "likes", kPost);
+  schema.AddEdge(kPerson, "likes", kComment);
+  schema.AddEdge(kComment, "replyOf", kPost);
+  schema.AddEdge(kComment, "replyOf", kComment);
+  schema.AddEdge(kPost, "hasTag", kTag);
+  schema.AddEdge(kComment, "hasTag", kTag);
+  schema.AddEdge(kForum, "hasTag", kTag);
+  schema.AddEdge(kTag, "hasType", kTagClass);
+  schema.AddEdge(kTagClass, "isSubclassOf", kTagClass);
+  schema.AddEdge(kPerson, "isLocatedIn", kPlace);
+  schema.AddEdge(kOrganisation, "isLocatedIn", kPlace);
+  schema.AddEdge(kPost, "isLocatedIn", kPlace);
+  schema.AddEdge(kComment, "isLocatedIn", kPlace);
+  schema.AddEdge(kPlace, "isPartOf", kPlace);
+  schema.AddEdge(kPerson, "workAt", kOrganisation);
+  schema.AddEdge(kPerson, "studyAt", kOrganisation);
+  schema.AddEdge(kForum, "hasMember", kPerson);
+  schema.AddEdge(kForum, "hasModerator", kPerson);
+  schema.AddEdge(kForum, "containerOf", kPost);
+  schema.AddEdge(kPerson, "hasInterest", kTag);
+  // 16th edge relation (the paper's Tab 3 counts 16 edge tables; the 30
+  // workload queries use the 15 above).
+  schema.AddEdge(kPerson, "follows", kPerson);
+  return schema;
+}
+
+PropertyGraph GenerateLdbc(const LdbcConfig& config) {
+  Rng rng(config.seed);
+  PropertyGraph graph;
+
+  size_t n_person = config.persons;
+  size_t n_forum = std::max<size_t>(4, n_person / 2);
+  size_t n_post = n_person * 6;
+  size_t n_comment = n_person * 12;
+  size_t n_tag = std::max<size_t>(24, n_person / 4);
+  size_t n_tagclass = std::max<size_t>(8, n_tag / 8);
+  size_t n_org = std::max<size_t>(6, n_person / 8);
+  // Places form a three-level containment tree (cities -> countries ->
+  // continents) under the single Place label.
+  size_t n_continent = 3;
+  size_t n_country = std::max<size_t>(6, n_person / 24);
+  size_t n_city = std::max<size_t>(12, n_person / 6);
+
+  std::vector<NodeId> persons, forums, posts, comments, tags, tagclasses,
+      orgs, continents, places_country, places_city;
+  for (size_t i = 0; i < n_person; ++i) {
+    persons.push_back(graph.AddNode(
+        kPerson,
+        {{"firstName", Value::String("person" + std::to_string(i))},
+         {"birthday", Value::Date(rng.UniformRange(3650, 18250))}}));
+  }
+  for (size_t i = 0; i < n_forum; ++i) {
+    forums.push_back(graph.AddNode(
+        kForum, {{"title", Value::String("forum" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_post; ++i) {
+    posts.push_back(graph.AddNode(
+        kPost, {{"length", Value::Int(rng.UniformRange(5, 2000))}}));
+  }
+  for (size_t i = 0; i < n_comment; ++i) {
+    comments.push_back(graph.AddNode(
+        kComment, {{"length", Value::Int(rng.UniformRange(1, 500))}}));
+  }
+  for (size_t i = 0; i < n_tag; ++i) {
+    tags.push_back(graph.AddNode(
+        kTag, {{"name", Value::String("tag" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_tagclass; ++i) {
+    tagclasses.push_back(graph.AddNode(
+        kTagClass,
+        {{"name", Value::String("tagclass" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_org; ++i) {
+    orgs.push_back(graph.AddNode(
+        kOrganisation,
+        {{"name", Value::String("org" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_continent; ++i) {
+    continents.push_back(graph.AddNode(
+        kPlace, {{"name", Value::String("continent" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_country; ++i) {
+    places_country.push_back(graph.AddNode(
+        kPlace, {{"name", Value::String("country" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < n_city; ++i) {
+    places_city.push_back(graph.AddNode(
+        kPlace, {{"name", Value::String("city" + std::to_string(i))}}));
+  }
+
+  auto add = [&graph](NodeId src, const char* label, NodeId tgt) {
+    (void)graph.AddEdge(src, label, tgt);
+  };
+
+  // Place containment tree.
+  for (NodeId city : places_city) add(city, "isPartOf", rng.Pick(places_country));
+  for (NodeId country : places_country) {
+    add(country, "isPartOf", rng.Pick(continents));
+  }
+
+  // TagClass hierarchy: a forest rooted at class 0 (acyclic instance, but
+  // the schema-level self-loop keeps isSubclassOf+ unremovable).
+  for (size_t i = 1; i < tagclasses.size(); ++i) {
+    add(tagclasses[i], "isSubclassOf", tagclasses[rng.Uniform(i)]);
+  }
+  for (NodeId tag : tags) add(tag, "hasType", rng.Pick(tagclasses));
+
+  for (NodeId org : orgs) add(org, "isLocatedIn", rng.Pick(places_city));
+
+  // Person neighbourhood.
+  for (NodeId p : persons) {
+    add(p, "isLocatedIn", rng.Pick(places_city));
+    size_t degree = 2 + rng.Skewed(12);
+    for (size_t i = 0; i < degree; ++i) {
+      NodeId other = persons[rng.Skewed(persons.size())];
+      add(p, "knows", other);
+      if (rng.Chance(0.5)) add(other, "knows", p);
+    }
+    if (rng.Chance(0.75)) add(p, "workAt", rng.Pick(orgs));
+    if (rng.Chance(0.5)) add(p, "studyAt", rng.Pick(orgs));
+    size_t interests = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < interests; ++i) {
+      add(p, "hasInterest", rng.Pick(tags));
+    }
+    if (rng.Chance(0.3)) {
+      add(p, "follows", persons[rng.Skewed(persons.size())]);
+    }
+  }
+
+  // Forums.
+  for (NodeId f : forums) {
+    add(f, "hasModerator", rng.Pick(persons));
+    size_t members = 3 + rng.Skewed(20);
+    for (size_t i = 0; i < members; ++i) {
+      add(f, "hasMember", persons[rng.Skewed(persons.size())]);
+    }
+    size_t forum_tags = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < forum_tags; ++i) add(f, "hasTag", rng.Pick(tags));
+  }
+
+  // Posts: container forum, creator, location, tags.
+  for (NodeId post : posts) {
+    add(rng.Pick(forums), "containerOf", post);
+    add(post, "hasCreator", persons[rng.Skewed(persons.size())]);
+    add(post, "isLocatedIn", rng.Pick(places_country));
+    size_t post_tags = rng.Uniform(3);
+    for (size_t i = 0; i < post_tags; ++i) add(post, "hasTag", rng.Pick(tags));
+  }
+
+  // Comments: reply trees over posts and earlier comments.
+  for (size_t i = 0; i < comments.size(); ++i) {
+    NodeId c = comments[i];
+    add(c, "hasCreator", persons[rng.Skewed(persons.size())]);
+    add(c, "isLocatedIn", rng.Pick(places_country));
+    if (i > 0 && rng.Chance(0.6)) {
+      add(c, "replyOf", comments[rng.Uniform(i)]);  // earlier comment: acyclic
+    } else {
+      add(c, "replyOf", rng.Pick(posts));
+    }
+    if (rng.Chance(0.3)) add(c, "hasTag", rng.Pick(tags));
+  }
+
+  // Likes.
+  for (NodeId p : persons) {
+    size_t like_count = rng.Skewed(15);
+    for (size_t i = 0; i < like_count; ++i) {
+      if (rng.Chance(0.6)) {
+        add(p, "likes", posts[rng.Skewed(posts.size())]);
+      } else {
+        add(p, "likes", comments[rng.Skewed(comments.size())]);
+      }
+    }
+  }
+
+  graph.Finalize();
+  return graph;
+}
+
+const std::vector<ScaleFactor>& LdbcScaleFactors() {
+  static const std::vector<ScaleFactor> kFactors = {
+      {"0.1", 60},  {"0.3", 140}, {"1", 320},
+      {"3", 750},   {"10", 1700}, {"30", 4000},
+  };
+  return kFactors;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,44 @@
+// Synthetic LDBC Social Network Benchmark graph (paper §5.1.1): 8 node
+// labels and 16 edge relations (Tab 3), generated deterministically at a
+// configurable scale factor.
+//
+// The official multi-GB CSV dumps are substituted by a generator that
+// preserves the schema topology the rewriting depends on: Person/knows and
+// TagClass/isSubclassOf and Place/isPartOf are cyclic at the schema level
+// (no TC elimination), while isLocatedIn is acyclic (TC eliminable — the
+// paper's 5 LDBC queries with removable closures).
+
+#ifndef GQOPT_DATASETS_LDBC_H_
+#define GQOPT_DATASETS_LDBC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "schema/graph_schema.h"
+
+namespace gqopt {
+
+/// Builds the LDBC-SNB graph schema (8 node labels, 16 edge relations).
+GraphSchema LdbcSchema();
+
+/// Generator knobs; `persons` is the scale driver.
+struct LdbcConfig {
+  size_t persons = 300;
+  uint64_t seed = 7;
+};
+
+/// Generates an LDBC-SNB-like instance conforming to LdbcSchema().
+PropertyGraph GenerateLdbc(const LdbcConfig& config = {});
+
+/// The paper's six scale factors (Tab 3) mapped to laptop-scale person
+/// counts, preserving the paper's 0.1 -> 30 growth ratios (x3/x10 steps).
+struct ScaleFactor {
+  const char* name;   // "0.1" ... "30"
+  size_t persons;
+};
+const std::vector<ScaleFactor>& LdbcScaleFactors();
+
+}  // namespace gqopt
+
+#endif  // GQOPT_DATASETS_LDBC_H_

@@ -1,0 +1,33 @@
+// The experiment workloads: the 30 LDBC-SNB queries of paper Tab 4 and the
+// 18 YAGO recursive queries of §5.3, written in gqopt's UCQT syntax.
+
+#ifndef GQOPT_DATASETS_WORKLOADS_H_
+#define GQOPT_DATASETS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ucqt.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// One workload entry.
+struct WorkloadQuery {
+  std::string id;          // e.g. "IC13", "Y9"
+  std::string text;        // UCQT syntax, parseable by ParseUcqt
+  bool recursive = false;  // the paper's RQ/NQ classification (Tab 4)
+};
+
+/// The 30 LDBC queries of Tab 4 (18 recursive, 12 non-recursive).
+const std::vector<WorkloadQuery>& LdbcWorkload();
+
+/// The 18 YAGO queries (§5.3; all recursive).
+const std::vector<WorkloadQuery>& YagoWorkload();
+
+/// Parses a workload entry (convenience wrapper around ParseUcqt).
+Result<Ucqt> ParseWorkloadQuery(const WorkloadQuery& query);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_DATASETS_WORKLOADS_H_

@@ -1,0 +1,35 @@
+// Synthetic YAGO knowledge graph conforming to an extended version of the
+// paper's Fig 1 schema: 7 node labels and 88 edge relations (Tab 3), with
+// the acyclic isLocatedIn chain PROPERTY -> CITY -> REGION -> COUNTRY that
+// drives transitive-closure elimination, and the cyclic dealsWith relation
+// that prevents it.
+//
+// The real 26 GB YAGO2s dump is substituted by a deterministic generator
+// that preserves the schema topology; see DESIGN.md for the substitution
+// argument.
+
+#ifndef GQOPT_DATASETS_YAGO_H_
+#define GQOPT_DATASETS_YAGO_H_
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+#include "schema/graph_schema.h"
+
+namespace gqopt {
+
+/// Builds the YAGO graph schema (7 node labels, 88 edge relations).
+GraphSchema YagoSchema();
+
+/// Generator knobs. `persons` scales every other entity count.
+struct YagoConfig {
+  size_t persons = 2000;
+  uint64_t seed = 42;
+};
+
+/// Generates a YAGO instance conforming to YagoSchema().
+PropertyGraph GenerateYago(const YagoConfig& config = {});
+
+}  // namespace gqopt
+
+#endif  // GQOPT_DATASETS_YAGO_H_

@@ -1,0 +1,82 @@
+#include "eval/aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gqopt {
+namespace {
+
+Result<std::vector<int>> ResolveColumns(
+    const std::vector<std::string>& available,
+    const std::vector<std::string>& requested) {
+  std::vector<int> indexes;
+  indexes.reserve(requested.size());
+  for (const std::string& var : requested) {
+    auto it = std::find(available.begin(), available.end(), var);
+    if (it == available.end()) {
+      return Status::InvalidArgument("group variable '" + var +
+                                     "' is not a result column");
+    }
+    indexes.push_back(static_cast<int>(it - available.begin()));
+  }
+  return indexes;
+}
+
+AggregateResult GroupRows(const std::vector<std::vector<NodeId>>& rows,
+                          const std::vector<int>& key_columns,
+                          std::vector<std::string> group_vars) {
+  std::map<std::vector<NodeId>, size_t> counts;
+  for (const auto& row : rows) {
+    std::vector<NodeId> key;
+    key.reserve(key_columns.size());
+    for (int c : key_columns) key.push_back(row[c]);
+    ++counts[std::move(key)];
+  }
+  AggregateResult out;
+  out.group_vars = std::move(group_vars);
+  out.groups.reserve(counts.size());
+  for (auto& [key, count] : counts) {
+    out.groups.push_back(GroupCount{key, count});
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t AggregateResult::TotalRows() const {
+  size_t total = 0;
+  for (const GroupCount& group : groups) total += group.count;
+  return total;
+}
+
+const GroupCount* AggregateResult::MaxGroup() const {
+  const GroupCount* best = nullptr;
+  for (const GroupCount& group : groups) {
+    if (best == nullptr || group.count > best->count) best = &group;
+  }
+  return best;
+}
+
+Result<AggregateResult> CountByGroup(
+    const ResultSet& result, const std::vector<std::string>& group_vars) {
+  GQOPT_ASSIGN_OR_RETURN(std::vector<int> columns,
+                         ResolveColumns(result.vars, group_vars));
+  // ResultSet rows are already distinct (Normalize); group directly.
+  return GroupRows(result.rows, columns, group_vars);
+}
+
+Result<AggregateResult> CountByGroup(
+    const Table& table, const std::vector<std::string>& group_vars) {
+  GQOPT_ASSIGN_OR_RETURN(std::vector<int> columns,
+                         ResolveColumns(table.columns(), group_vars));
+  Table distinct = table;
+  distinct.SortDistinct();
+  std::vector<std::vector<NodeId>> rows;
+  rows.reserve(distinct.rows());
+  for (size_t r = 0; r < distinct.rows(); ++r) {
+    rows.emplace_back(distinct.Row(r), distinct.Row(r) + distinct.arity());
+  }
+  return GroupRows(rows, columns, group_vars);
+}
+
+}  // namespace gqopt

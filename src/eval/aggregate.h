@@ -1,0 +1,56 @@
+// Aggregation over query results — the extension the paper's conclusion
+// lists as future work ("considering queries with aggregations").
+//
+// UCQT has set-based output semantics (§2.4.2) and the schema-based
+// rewriting preserves the result *set* (Theorem 1), so any aggregate of
+// the result — counts, grouped counts, degree statistics — is preserved by
+// the rewriting as well. These helpers work uniformly over both engines'
+// outputs (ResultSet from the graph engine, Table from the RRA executor).
+
+#ifndef GQOPT_EVAL_AGGREGATE_H_
+#define GQOPT_EVAL_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/graph_engine.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// One group of an aggregation: the grouping key values plus the count of
+/// distinct result rows carrying that key.
+struct GroupCount {
+  std::vector<NodeId> key;
+  size_t count = 0;
+
+  bool operator==(const GroupCount&) const = default;
+};
+
+/// Result of a grouped count; groups are sorted by key.
+struct AggregateResult {
+  std::vector<std::string> group_vars;
+  std::vector<GroupCount> groups;
+
+  /// Total number of distinct rows across groups.
+  size_t TotalRows() const;
+
+  /// The largest group, or nullptr when empty (ties broken by key order).
+  const GroupCount* MaxGroup() const;
+};
+
+/// Counts distinct result rows per binding of `group_vars`, which must be
+/// a subset of the result columns. An empty `group_vars` produces a single
+/// group with the total count.
+Result<AggregateResult> CountByGroup(
+    const ResultSet& result, const std::vector<std::string>& group_vars);
+
+/// Table overload (RRA executor output). Rows are deduplicated first, so
+/// counts follow UCQT's set semantics regardless of the plan's bag stages.
+Result<AggregateResult> CountByGroup(
+    const Table& table, const std::vector<std::string>& group_vars);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_AGGREGATE_H_

@@ -1,0 +1,83 @@
+// Set-semantics binary relations over node ids: the value domain of path
+// expression evaluation (paper Fig 5 interprets every expression as a set
+// of (source, target) node pairs).
+
+#ifndef GQOPT_EVAL_BINARY_RELATION_H_
+#define GQOPT_EVAL_BINARY_RELATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Immutable sorted-unique set of (source, target) node pairs.
+///
+/// All operations respect set semantics; the mutating builders sort/dedup
+/// once at construction.
+class BinaryRelation {
+ public:
+  BinaryRelation() = default;
+
+  /// Takes ownership of `pairs`; sorts and deduplicates.
+  static BinaryRelation FromPairs(std::vector<Edge> pairs);
+
+  /// Wraps pairs already sorted by (first, second) and unique.
+  static BinaryRelation FromSortedUnique(std::vector<Edge> pairs);
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<Edge>& pairs() const { return pairs_; }
+
+  bool Contains(Edge pair) const;
+
+  /// Relational composition a ; b = {(x,z) | (x,y) in a, (y,z) in b}.
+  static Result<BinaryRelation> Compose(const BinaryRelation& a,
+                                        const BinaryRelation& b,
+                                        const Deadline& deadline = {});
+
+  static BinaryRelation Union(const BinaryRelation& a,
+                              const BinaryRelation& b);
+  static BinaryRelation Intersect(const BinaryRelation& a,
+                                  const BinaryRelation& b);
+  static BinaryRelation Difference(const BinaryRelation& a,
+                                   const BinaryRelation& b);
+
+  /// {(y,x) | (x,y) in this}.
+  BinaryRelation Reverse() const;
+
+  /// Transitive closure via semi-naive (delta) iteration.
+  static Result<BinaryRelation> TransitiveClosure(
+      const BinaryRelation& r, const Deadline& deadline = {});
+
+  /// Keeps pairs whose source satisfies `keep`.
+  BinaryRelation FilterSource(
+      const std::function<bool(NodeId)>& keep) const;
+  /// Keeps pairs whose target satisfies `keep`.
+  BinaryRelation FilterTarget(
+      const std::function<bool(NodeId)>& keep) const;
+
+  /// Keeps pairs whose source appears in sorted-unique `nodes`.
+  BinaryRelation SemiJoinSource(const std::vector<NodeId>& nodes) const;
+  /// Keeps pairs whose target appears in sorted-unique `nodes`.
+  BinaryRelation SemiJoinTarget(const std::vector<NodeId>& nodes) const;
+
+  /// Distinct sources, sorted.
+  std::vector<NodeId> Sources() const;
+  /// Distinct targets, sorted.
+  std::vector<NodeId> Targets() const;
+
+  bool operator==(const BinaryRelation& other) const {
+    return pairs_ == other.pairs_;
+  }
+
+ private:
+  std::vector<Edge> pairs_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_BINARY_RELATION_H_

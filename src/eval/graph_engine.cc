@@ -1,0 +1,287 @@
+#include "eval/graph_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "eval/path_eval.h"
+
+namespace gqopt {
+namespace {
+
+// Working table during multiway join.
+struct Working {
+  std::vector<std::string> vars;
+  std::vector<std::vector<NodeId>> rows;
+
+  int VarIndex(const std::string& var) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// One evaluated relation awaiting joining.
+struct EvaluatedRelation {
+  std::string source_var;
+  std::string target_var;
+  BinaryRelation pairs;
+  bool joined = false;
+};
+
+// Sorted union of the extents of `labels`.
+std::vector<NodeId> LabelExtent(const PropertyGraph& graph,
+                                const std::vector<std::string>& labels) {
+  std::vector<NodeId> out;
+  for (const std::string& label : labels) {
+    const auto& nodes = graph.NodesWithLabel(label);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status JoinRelation(const EvaluatedRelation& rel, Working* table,
+                    const Deadline& deadline) {
+  int src_idx = table->VarIndex(rel.source_var);
+  int tgt_idx = table->VarIndex(rel.target_var);
+  std::vector<std::vector<NodeId>> next;
+  size_t ops = 0;
+  auto poll = [&ops, &deadline]() -> bool {
+    if ((++ops & 0xFFFF) != 0) return true;
+    return !deadline.Expired();
+  };
+
+  if (src_idx >= 0 && tgt_idx >= 0) {
+    // Both endpoints bound: relation acts as a filter.
+    for (const auto& row : table->rows) {
+      if (!poll()) return Status::DeadlineExceeded("join timed out");
+      if (rel.pairs.Contains({row[src_idx], row[tgt_idx]})) {
+        next.push_back(row);
+      }
+    }
+    table->rows = std::move(next);
+    return Status::OK();
+  }
+
+  if (src_idx >= 0) {
+    // Extend rows with the new target variable.
+    const auto& pairs = rel.pairs.pairs();
+    for (const auto& row : table->rows) {
+      auto lo = std::lower_bound(pairs.begin(), pairs.end(),
+                                 Edge{row[src_idx], 0});
+      for (auto it = lo; it != pairs.end() && it->first == row[src_idx];
+           ++it) {
+        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        auto extended = row;
+        extended.push_back(it->second);
+        next.push_back(std::move(extended));
+      }
+    }
+    table->vars.push_back(rel.target_var);
+    table->rows = std::move(next);
+    return Status::OK();
+  }
+
+  if (tgt_idx >= 0) {
+    // Extend rows with the new source variable via the reversed relation.
+    BinaryRelation reversed = rel.pairs.Reverse();
+    const auto& pairs = reversed.pairs();
+    for (const auto& row : table->rows) {
+      auto lo = std::lower_bound(pairs.begin(), pairs.end(),
+                                 Edge{row[tgt_idx], 0});
+      for (auto it = lo; it != pairs.end() && it->first == row[tgt_idx];
+           ++it) {
+        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        auto extended = row;
+        extended.push_back(it->second);
+        next.push_back(std::move(extended));
+      }
+    }
+    table->vars.push_back(rel.source_var);
+    table->rows = std::move(next);
+    return Status::OK();
+  }
+
+  // Disconnected: cartesian product (rare; only for disconnected bodies).
+  for (const auto& row : table->rows) {
+    for (const Edge& e : rel.pairs.pairs()) {
+      if (!poll()) return Status::DeadlineExceeded("join timed out");
+      auto extended = row;
+      extended.push_back(e.first);
+      extended.push_back(e.second);
+      next.push_back(std::move(extended));
+    }
+  }
+  table->vars.push_back(rel.source_var);
+  table->vars.push_back(rel.target_var);
+  table->rows = std::move(next);
+  return Status::OK();
+}
+
+Result<Working> EvalCqt(const PropertyGraph& graph, const Cqt& cqt,
+                        const Deadline& deadline) {
+  // Label constraints per variable: intersect all atoms mentioning it.
+  std::map<std::string, std::vector<NodeId>> var_extent;
+  for (const LabelAtom& atom : cqt.atoms) {
+    std::vector<NodeId> extent = LabelExtent(graph, atom.labels);
+    auto it = var_extent.find(atom.var);
+    if (it == var_extent.end()) {
+      var_extent.emplace(atom.var, std::move(extent));
+    } else {
+      std::vector<NodeId> merged;
+      std::set_intersection(it->second.begin(), it->second.end(),
+                            extent.begin(), extent.end(),
+                            std::back_inserter(merged));
+      it->second = std::move(merged);
+    }
+  }
+
+  // Evaluate every relation, restricting endpoints by the atom extents.
+  std::vector<EvaluatedRelation> relations;
+  for (const Relation& rel : cqt.relations) {
+    GQOPT_ASSIGN_OR_RETURN(BinaryRelation pairs,
+                           EvalPath(graph, rel.path, deadline));
+    auto src_extent = var_extent.find(rel.source_var);
+    if (src_extent != var_extent.end()) {
+      pairs = pairs.SemiJoinSource(src_extent->second);
+    }
+    auto tgt_extent = var_extent.find(rel.target_var);
+    if (tgt_extent != var_extent.end()) {
+      pairs = pairs.SemiJoinTarget(tgt_extent->second);
+    }
+    relations.push_back(EvaluatedRelation{rel.source_var, rel.target_var,
+                                          std::move(pairs)});
+  }
+
+  // Greedy multiway join: smallest relation first, then connected ones.
+  Working table;
+  size_t joined = 0;
+  while (joined < relations.size()) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (relations[i].joined) continue;
+      bool connected = table.VarIndex(relations[i].source_var) >= 0 ||
+                       table.VarIndex(relations[i].target_var) >= 0;
+      if (table.vars.empty()) connected = true;  // first pick: size only
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           relations[i].pairs.size() <
+               relations[static_cast<size_t>(best)].pairs.size())) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    EvaluatedRelation& rel = relations[static_cast<size_t>(best)];
+    rel.joined = true;
+    ++joined;
+    if (table.vars.empty()) {
+      if (rel.source_var == rel.target_var) {
+        table.vars = {rel.source_var};
+        for (const Edge& e : rel.pairs.pairs()) {
+          if (e.first == e.second) table.rows.push_back({e.first});
+        }
+      } else {
+        table.vars = {rel.source_var, rel.target_var};
+        for (const Edge& e : rel.pairs.pairs()) {
+          table.rows.push_back({e.first, e.second});
+        }
+      }
+      continue;
+    }
+    if (rel.source_var == rel.target_var &&
+        table.VarIndex(rel.source_var) < 0) {
+      // Self-loop relation on an unseen variable: its matches are the
+      // diagonal pairs; bind the variable once per diagonal node.
+      std::vector<NodeId> diagonal;
+      for (const Edge& e : rel.pairs.pairs()) {
+        if (e.first == e.second) diagonal.push_back(e.first);
+      }
+      std::vector<std::vector<NodeId>> next;
+      for (const auto& row : table.rows) {
+        for (NodeId n : diagonal) {
+          auto extended = row;
+          extended.push_back(n);
+          next.push_back(std::move(extended));
+        }
+      }
+      table.vars.push_back(rel.source_var);
+      table.rows = std::move(next);
+      continue;
+    }
+    GQOPT_RETURN_NOT_OK(JoinRelation(rel, &table, deadline));
+  }
+
+  // Any variable constrained by atoms but absent from relations becomes a
+  // free unary column (defensive; translation never produces this).
+  for (const auto& [var, extent] : var_extent) {
+    if (table.VarIndex(var) >= 0) continue;
+    std::vector<std::vector<NodeId>> next;
+    for (const auto& row : table.rows) {
+      for (NodeId n : extent) {
+        auto extended = row;
+        extended.push_back(n);
+        next.push_back(std::move(extended));
+      }
+    }
+    table.vars.push_back(var);
+    table.rows = std::move(next);
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<BinaryRelation> ResultSet::ToBinaryRelation() const {
+  if (vars.size() != 2) {
+    return Status::InvalidArgument(
+        "ToBinaryRelation requires exactly two result columns");
+  }
+  std::vector<Edge> pairs;
+  pairs.reserve(rows.size());
+  for (const auto& row : rows) pairs.emplace_back(row[0], row[1]);
+  return BinaryRelation::FromPairs(std::move(pairs));
+}
+
+void ResultSet::Normalize() {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+Result<ResultSet> GraphEngine::Run(const Ucqt& query,
+                                   const Deadline& deadline) const {
+  ResultSet out;
+  out.vars = query.head_vars;
+  for (const Cqt& cqt : query.disjuncts) {
+    GQOPT_ASSIGN_OR_RETURN(Working table, EvalCqt(graph_, cqt, deadline));
+    // Project onto head variables.
+    std::vector<int> projection;
+    projection.reserve(query.head_vars.size());
+    for (const std::string& var : query.head_vars) {
+      int idx = table.VarIndex(var);
+      if (idx < 0) {
+        return Status::InvalidArgument("head variable '" + var +
+                                       "' is unbound in a disjunct");
+      }
+      projection.push_back(idx);
+    }
+    for (const auto& row : table.rows) {
+      std::vector<NodeId> projected;
+      projected.reserve(projection.size());
+      for (int idx : projection) projected.push_back(row[idx]);
+      out.rows.push_back(std::move(projected));
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<BinaryRelation> GraphEngine::RunPath(const PathExprPtr& path,
+                                            const Deadline& deadline) const {
+  return EvalPath(graph_, path, deadline);
+}
+
+}  // namespace gqopt

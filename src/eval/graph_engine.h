@@ -1,0 +1,53 @@
+// Direct UCQT evaluation over a property graph: the graph-database engine
+// role in the paper's experiments (§5.5, Neo4j column).
+//
+// Each CQT is evaluated by computing the pair set of every relation
+// (Fig 5 semantics), restricting endpoints by label atoms, and joining the
+// relations greedily on shared variables; disjuncts are unioned with set
+// semantics (paper §2.4.2: homomorphism-based evaluation, set output).
+
+#ifndef GQOPT_EVAL_GRAPH_ENGINE_H_
+#define GQOPT_EVAL_GRAPH_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/binary_relation.h"
+#include "graph/property_graph.h"
+#include "query/ucqt.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Named-column result table of a query run (rows sorted, unique).
+struct ResultSet {
+  std::vector<std::string> vars;
+  std::vector<std::vector<NodeId>> rows;
+
+  /// Converts a two-column result into a BinaryRelation.
+  Result<BinaryRelation> ToBinaryRelation() const;
+
+  /// Sorts rows lexicographically and removes duplicates.
+  void Normalize();
+};
+
+/// \brief Query engine evaluating UCQT queries directly on a PropertyGraph.
+class GraphEngine {
+ public:
+  explicit GraphEngine(const PropertyGraph& graph) : graph_(graph) {}
+
+  /// Evaluates `query`, honoring `deadline` (DeadlineExceeded on timeout).
+  Result<ResultSet> Run(const Ucqt& query, const Deadline& deadline = {}) const;
+
+  /// Evaluates a single path expression between two result columns.
+  Result<BinaryRelation> RunPath(const PathExprPtr& path,
+                                 const Deadline& deadline = {}) const;
+
+ private:
+  const PropertyGraph& graph_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_GRAPH_ENGINE_H_

@@ -1,0 +1,107 @@
+#include "eval/path_eval.h"
+
+#include <algorithm>
+
+namespace gqopt {
+namespace {
+
+// Sorted node-id union of several label extents.
+std::vector<NodeId> NodesWithAnyLabel(const PropertyGraph& graph,
+                                      const AnnotationSet& labels) {
+  std::vector<NodeId> out;
+  for (const std::string& label : labels) {
+    const std::vector<NodeId>& nodes = graph.NodesWithLabel(label);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<BinaryRelation> EvalPath(const PropertyGraph& graph,
+                                const PathExprPtr& expr,
+                                const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("path evaluation timed out");
+  }
+  switch (expr->op()) {
+    case PathOp::kEdge:
+      return BinaryRelation::FromSortedUnique(
+          graph.EdgesByLabel(expr->label()));
+    case PathOp::kReverse:
+      return BinaryRelation::FromSortedUnique(
+          graph.ReverseEdgesByLabel(expr->label()));
+    case PathOp::kConcat: {
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
+                             EvalPath(graph, expr->left(), deadline));
+      if (!expr->annotation().empty()) {
+        // Annotated concatenation: restrict the junction nodes first, which
+        // is exactly where the rewriting saves intermediate results.
+        left = left.SemiJoinTarget(NodesWithAnyLabel(graph,
+                                                     expr->annotation()));
+      }
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation right,
+                             EvalPath(graph, expr->right(), deadline));
+      return BinaryRelation::Compose(left, right, deadline);
+    }
+    case PathOp::kUnion: {
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
+                             EvalPath(graph, expr->left(), deadline));
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation right,
+                             EvalPath(graph, expr->right(), deadline));
+      return BinaryRelation::Union(left, right);
+    }
+    case PathOp::kConjunction: {
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
+                             EvalPath(graph, expr->left(), deadline));
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation right,
+                             EvalPath(graph, expr->right(), deadline));
+      return BinaryRelation::Intersect(left, right);
+    }
+    case PathOp::kBranchRight: {
+      // phi1[phi2]: keep (n,m) of phi1 whose m can start a phi2 path.
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
+                             EvalPath(graph, expr->left(), deadline));
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation right,
+                             EvalPath(graph, expr->right(), deadline));
+      return left.SemiJoinTarget(right.Sources());
+    }
+    case PathOp::kBranchLeft: {
+      // [phi1]phi2: keep (n,m) of phi2 whose n can start a phi1 path.
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
+                             EvalPath(graph, expr->left(), deadline));
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation right,
+                             EvalPath(graph, expr->right(), deadline));
+      return right.SemiJoinSource(left.Sources());
+    }
+    case PathOp::kClosure: {
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation base,
+                             EvalPath(graph, expr->left(), deadline));
+      return BinaryRelation::TransitiveClosure(base, deadline);
+    }
+    case PathOp::kRepeat: {
+      GQOPT_ASSIGN_OR_RETURN(BinaryRelation base,
+                             EvalPath(graph, expr->left(), deadline));
+      // phi^min ∪ ... ∪ phi^max, sharing the running power.
+      BinaryRelation power = base;
+      for (int i = 1; i < expr->min_repeat(); ++i) {
+        GQOPT_ASSIGN_OR_RETURN(power,
+                               BinaryRelation::Compose(power, base,
+                                                       deadline));
+      }
+      BinaryRelation acc = power;
+      for (int i = expr->min_repeat(); i < expr->max_repeat(); ++i) {
+        GQOPT_ASSIGN_OR_RETURN(power,
+                               BinaryRelation::Compose(power, base,
+                                                       deadline));
+        acc = BinaryRelation::Union(acc, power);
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unhandled path op in EvalPath");
+}
+
+}  // namespace gqopt

@@ -1,0 +1,28 @@
+// Direct evaluation of (annotated) path expressions over a property graph,
+// implementing the semantics of paper Fig 5 plus the annotated
+// concatenation of §3.1.1.
+
+#ifndef GQOPT_EVAL_PATH_EVAL_H_
+#define GQOPT_EVAL_PATH_EVAL_H_
+
+#include "algebra/path_expr.h"
+#include "eval/binary_relation.h"
+#include "graph/property_graph.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Evaluates `expr` over `graph`, returning all (source, target)
+/// node pairs connected by a matching path.
+///
+/// Unknown edge labels evaluate to the empty relation (Fig 5 base case over
+/// a graph that has no such edges). Honors `deadline` inside closures and
+/// compositions.
+Result<BinaryRelation> EvalPath(const PropertyGraph& graph,
+                                const PathExprPtr& expr,
+                                const Deadline& deadline = {});
+
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_PATH_EVAL_H_

@@ -1,0 +1,80 @@
+#include "graph/consistency.h"
+
+namespace gqopt {
+namespace {
+
+bool Full(const ConsistencyReport& report, size_t max_violations) {
+  return max_violations != 0 && report.violations.size() >= max_violations;
+}
+
+}  // namespace
+
+ConsistencyReport CheckConsistency(const PropertyGraph& graph,
+                                   const GraphSchema& schema,
+                                   size_t max_violations) {
+  ConsistencyReport report;
+  using Kind = ConsistencyViolation::Kind;
+
+  // Node labels + properties.
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (Full(report, max_violations)) return report;
+    const std::string& label = graph.NodeLabel(n);
+    if (!schema.HasNodeLabel(label)) {
+      report.violations.push_back(
+          {Kind::kUnknownNodeLabel,
+           "node " + std::to_string(n) + " has unknown label " + label});
+      continue;
+    }
+    const auto& defs = schema.Properties(label);
+    for (const Property& prop : graph.NodeProperties(n)) {
+      bool found = false;
+      for (const PropertyDef& def : defs) {
+        if (def.key != prop.key) continue;
+        found = true;
+        if (def.type != prop.value.type()) {
+          report.violations.push_back(
+              {Kind::kPropertyTypeMismatch,
+               "node " + std::to_string(n) + " property " + prop.key +
+                   " has type " +
+                   std::string(PropertyTypeName(prop.value.type())) +
+                   ", schema declares " +
+                   std::string(PropertyTypeName(def.type))});
+        }
+        break;
+      }
+      if (!found) {
+        report.violations.push_back(
+            {Kind::kUnknownProperty, "node " + std::to_string(n) +
+                                         " (label " + label +
+                                         ") has undeclared property " +
+                                         prop.key});
+      }
+      if (Full(report, max_violations)) return report;
+    }
+  }
+
+  // Edges.
+  for (const std::string& edge_label : graph.edge_label_names()) {
+    if (!schema.HasEdgeLabel(edge_label)) {
+      report.violations.push_back(
+          {Kind::kUnknownEdgeLabel, "unknown edge label " + edge_label});
+      continue;
+    }
+    for (const Edge& e : graph.EdgesByLabel(edge_label)) {
+      if (Full(report, max_violations)) return report;
+      const std::string& src = graph.NodeLabel(e.first);
+      const std::string& tgt = graph.NodeLabel(e.second);
+      if (!schema.Admits(src, edge_label, tgt)) {
+        report.violations.push_back(
+            {Kind::kEdgeNotAdmitted, "edge (" + std::to_string(e.first) +
+                                         ")-[" + edge_label + "]->(" +
+                                         std::to_string(e.second) +
+                                         ") with labels " + src + " -> " +
+                                         tgt + " is not admitted"});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gqopt

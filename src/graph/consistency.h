@@ -1,0 +1,45 @@
+// Schema-database consistency checking (paper Def 3).
+
+#ifndef GQOPT_GRAPH_CONSISTENCY_H_
+#define GQOPT_GRAPH_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "schema/graph_schema.h"
+
+namespace gqopt {
+
+/// One Def-3 violation found by CheckConsistency.
+struct ConsistencyViolation {
+  enum class Kind {
+    kUnknownNodeLabel,   // node label absent from the schema
+    kUnknownEdgeLabel,   // edge label absent from the schema
+    kEdgeNotAdmitted,    // (src label, edge label, tgt label) not in Tb(S)
+    kUnknownProperty,    // property key not declared for the node label
+    kPropertyTypeMismatch,
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// Result of a full consistency check.
+struct ConsistencyReport {
+  std::vector<ConsistencyViolation> violations;
+  bool consistent() const { return violations.empty(); }
+};
+
+/// \brief Verifies that `graph` conforms to `schema` per Def 3:
+/// every node label exists in the schema, every edge's
+/// (source label, edge label, target label) triple is admitted, and every
+/// node property matches a declared key:type pair.
+///
+/// Stops after `max_violations` findings (0 = unlimited).
+ConsistencyReport CheckConsistency(const PropertyGraph& graph,
+                                   const GraphSchema& schema,
+                                   size_t max_violations = 100);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_GRAPH_CONSISTENCY_H_

@@ -1,0 +1,140 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case PropertyType::kInt:
+      return "i:" + v.ToString();
+    case PropertyType::kDouble:
+      return "d:" + v.ToString();
+    case PropertyType::kBool:
+      return "b:" + v.ToString();
+    case PropertyType::kDate:
+      return "t:" + v.ToString();
+    case PropertyType::kString:
+      return v.AsString();
+  }
+  return v.ToString();
+}
+
+Value DecodeValue(std::string_view text) {
+  if (text.size() >= 2 && text[1] == ':') {
+    std::string body(text.substr(2));
+    switch (text[0]) {
+      case 'i':
+        return Value::Int(std::strtoll(body.c_str(), nullptr, 10));
+      case 'd':
+        return Value::Double(std::strtod(body.c_str(), nullptr));
+      case 'b':
+        return Value::Bool(body == "true");
+      case 't':
+        return Value::Date(std::strtoll(body.c_str(), nullptr, 10));
+      default:
+        break;
+    }
+  }
+  return Value::String(std::string(text));
+}
+
+}  // namespace
+
+std::string WriteGraphText(const PropertyGraph& graph) {
+  std::string out;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    out += "N|" + graph.NodeLabel(n) + "|";
+    const auto& props = graph.NodeProperties(n);
+    for (size_t i = 0; i < props.size(); ++i) {
+      if (i > 0) out += ";";
+      out += props[i].key + "=" + EncodeValue(props[i].value);
+    }
+    out += "\n";
+  }
+  for (const std::string& label : graph.edge_label_names()) {
+    for (const Edge& e : graph.EdgesByLabel(label)) {
+      out += "E|" + std::to_string(e.first) + "|" + label + "|" +
+             std::to_string(e.second) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<PropertyGraph> ReadGraphText(std::string_view text) {
+  PropertyGraph graph;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts = Split(line, '|');
+    if (parts[0] == "N") {
+      if (parts.size() < 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": node needs N|label|props");
+      }
+      std::vector<Property> props;
+      if (parts.size() >= 3 && !parts[2].empty()) {
+        for (const std::string& item : Split(parts[2], ';')) {
+          size_t eq = item.find('=');
+          if (eq == std::string::npos) {
+            return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                           ": property needs key=value");
+          }
+          props.push_back(
+              Property{item.substr(0, eq), DecodeValue(item.substr(eq + 1))});
+        }
+      }
+      graph.AddNode(parts[1], std::move(props));
+    } else if (parts[0] == "E") {
+      if (parts.size() != 4) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": edge needs E|src|label|tgt");
+      }
+      NodeId src = static_cast<NodeId>(std::strtoul(parts[1].c_str(),
+                                                    nullptr, 10));
+      NodeId tgt = static_cast<NodeId>(std::strtoul(parts[3].c_str(),
+                                                    nullptr, 10));
+      Status st = graph.AddEdge(src, parts[2], tgt);
+      if (!st.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + st.message());
+      }
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected N| or E| record");
+    }
+  }
+  return graph;
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,35 @@
+// CSV-style serialization of property graphs.
+//
+// Format (one record per line):
+//   N|<label>|key=value;key=value          node, ids assigned in file order
+//   E|<src>|<label>|<tgt>                  edge by node ids
+//
+// Property values are typed by prefix: i:42, d:3.5, b:true, t:18934 (date),
+// anything else is a string.
+
+#ifndef GQOPT_GRAPH_GRAPH_IO_H_
+#define GQOPT_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Serializes `graph` into the text format above.
+std::string WriteGraphText(const PropertyGraph& graph);
+
+/// Parses a graph from the text format above.
+Result<PropertyGraph> ReadGraphText(std::string_view text);
+
+/// Writes `text` to `path`.
+Status WriteFile(const std::string& path, const std::string& text);
+
+/// Reads the entire file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_GRAPH_GRAPH_IO_H_

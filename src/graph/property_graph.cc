@@ -1,0 +1,107 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace gqopt {
+
+const std::vector<Edge> PropertyGraph::kNoEdges;
+const std::vector<NodeId> PropertyGraph::kNoNodes;
+const std::vector<Property> PropertyGraph::kNoProps;
+
+NodeId PropertyGraph::AddNode(std::string_view label) {
+  return AddNode(label, {});
+}
+
+NodeId PropertyGraph::AddNode(std::string_view label,
+                              std::vector<Property> properties) {
+  SymbolId label_id = node_label_names_.Intern(label);
+  NodeId id = static_cast<NodeId>(node_labels_.size());
+  node_labels_.push_back(label_id);
+  if (!properties.empty()) {
+    node_properties_.resize(node_labels_.size());
+    node_properties_[id] = std::move(properties);
+  }
+  if (label_id >= label_index_.size()) label_index_.resize(label_id + 1);
+  finalized_ = false;
+  return id;
+}
+
+Status PropertyGraph::AddEdge(NodeId source, std::string_view label,
+                              NodeId target) {
+  if (source >= num_nodes() || target >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  SymbolId label_id = edge_label_names_.Intern(label);
+  if (label_id >= forward_.size()) {
+    forward_.resize(label_id + 1);
+    reverse_.resize(label_id + 1);
+  }
+  forward_[label_id].emplace_back(source, target);
+  reverse_[label_id].emplace_back(target, source);
+  ++num_edges_;
+  finalized_ = false;
+  return Status::OK();
+}
+
+const std::vector<Property>& PropertyGraph::NodeProperties(
+    NodeId node) const {
+  if (node >= node_properties_.size()) return kNoProps;
+  return node_properties_[node];
+}
+
+std::optional<Value> PropertyGraph::GetProperty(NodeId node,
+                                                std::string_view key) const {
+  for (const Property& p : NodeProperties(node)) {
+    if (p.key == key) return p.value;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Edge>& PropertyGraph::EdgesByLabel(
+    std::string_view label) const {
+  Finalize();
+  auto id = edge_label_names_.Find(label);
+  if (!id.has_value() || *id >= forward_.size()) return kNoEdges;
+  return forward_[*id];
+}
+
+const std::vector<Edge>& PropertyGraph::ReverseEdgesByLabel(
+    std::string_view label) const {
+  Finalize();
+  auto id = edge_label_names_.Find(label);
+  if (!id.has_value() || *id >= reverse_.size()) return kNoEdges;
+  return reverse_[*id];
+}
+
+const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
+    std::string_view label) const {
+  Finalize();
+  auto id = node_label_names_.Find(label);
+  if (!id.has_value() || *id >= label_index_.size()) return kNoNodes;
+  return label_index_[*id];
+}
+
+bool PropertyGraph::NodeHasLabel(NodeId node, std::string_view label) const {
+  auto id = node_label_names_.Find(label);
+  return id.has_value() && node < node_labels_.size() &&
+         node_labels_[node] == *id;
+}
+
+void PropertyGraph::Finalize() const {
+  if (finalized_) return;
+  for (auto& edges : forward_) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  for (auto& edges : reverse_) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  label_index_.assign(node_label_names_.size(), {});
+  for (NodeId n = 0; n < node_labels_.size(); ++n) {
+    label_index_[node_labels_[n]].push_back(n);
+  }
+  finalized_ = true;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,44 @@
+// Schema-enforcing graph construction: the rewriting's guarantees (paper
+// Theorem 1) hold only on databases conforming to the schema (Def 3), so
+// this builder validates every insertion instead of checking after the
+// fact with CheckConsistency.
+
+#ifndef GQOPT_GRAPH_SCHEMA_GUARD_H_
+#define GQOPT_GRAPH_SCHEMA_GUARD_H_
+
+#include <string_view>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "schema/graph_schema.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Builder that only admits nodes and edges conforming to a schema.
+///
+/// The guarded graph stays consistent (Def 3) by construction; every
+/// rejected insertion reports which rule failed. The guard borrows both
+/// the schema and the graph; neither is owned.
+class SchemaGuard {
+ public:
+  SchemaGuard(const GraphSchema& schema, PropertyGraph* graph)
+      : schema_(schema), graph_(graph) {}
+
+  /// Adds a node after validating the label and each property's key/type
+  /// against the schema declarations.
+  Result<NodeId> AddNode(std::string_view label,
+                         std::vector<Property> properties = {});
+
+  /// Adds an edge after validating that (source label, edge label, target
+  /// label) is one of the schema's basic triples (Def 5).
+  Status AddEdge(NodeId source, std::string_view edge_label, NodeId target);
+
+ private:
+  const GraphSchema& schema_;
+  PropertyGraph* graph_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_GRAPH_SCHEMA_GUARD_H_

@@ -1,0 +1,28 @@
+#include "graph/value.h"
+
+namespace gqopt {
+
+PropertyType Value::type() const {
+  if (is_date_) return PropertyType::kDate;
+  if (std::holds_alternative<std::string>(data_)) return PropertyType::kString;
+  if (std::holds_alternative<int64_t>(data_)) return PropertyType::kInt;
+  if (std::holds_alternative<double>(data_)) return PropertyType::kDouble;
+  return PropertyType::kBool;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case PropertyType::kString:
+      return std::get<std::string>(data_);
+    case PropertyType::kInt:
+    case PropertyType::kDate:
+      return std::to_string(std::get<int64_t>(data_));
+    case PropertyType::kDouble:
+      return std::to_string(std::get<double>(data_));
+    case PropertyType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+  }
+  return "";
+}
+
+}  // namespace gqopt

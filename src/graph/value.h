@@ -1,0 +1,72 @@
+// Property values stored on graph nodes (paper set V with typing map Υ).
+
+#ifndef GQOPT_GRAPH_VALUE_H_
+#define GQOPT_GRAPH_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "schema/graph_schema.h"
+
+namespace gqopt {
+
+/// \brief Atomic property value: string, int, double, bool or date.
+///
+/// Dates are stored as days since epoch; the schema only checks the type,
+/// matching the paper's atomic-property restriction (no lists/maps, §2.3).
+class Value {
+ public:
+  Value() : data_(std::string()) {}
+  static Value String(std::string s) { return Value(std::move(s)); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value Date(int64_t days_since_epoch) {
+    Value v(days_since_epoch);
+    v.is_date_ = true;
+    return v;
+  }
+
+  /// The paper's Υ: V → T typing function.
+  PropertyType type() const;
+
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_int() const {
+    return std::holds_alternative<int64_t>(data_) && !is_date_;
+  }
+  bool is_date() const { return is_date_; }
+
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Human-readable rendering ("James", "345", "true", ...).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const {
+    return is_date_ == other.is_date_ && data_ == other.data_;
+  }
+
+ private:
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+
+  std::variant<std::string, int64_t, double, bool> data_;
+  bool is_date_ = false;
+};
+
+/// A key-value property on a node (paper set PD).
+struct Property {
+  std::string key;
+  Value value;
+
+  bool operator==(const Property&) const = default;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_GRAPH_VALUE_H_

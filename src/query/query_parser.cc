@@ -1,0 +1,182 @@
+#include "query/query_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "algebra/path_parser.h"
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+// Splits `text` at top-level occurrences of `sep` (depth 0 w.r.t. all of
+// (), [], {}).
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (depth == 0 && text[i] == sep)) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+      continue;
+    }
+    char c = text[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseVarList(std::string_view text) {
+  std::vector<std::string> vars;
+  for (const std::string& item : Split(text, ',')) {
+    std::string_view v = StripWhitespace(item);
+    if (!IsIdentifier(v)) {
+      return Status::InvalidArgument("bad variable name: '" + std::string(v) +
+                                     "'");
+    }
+    vars.emplace_back(v);
+  }
+  return vars;
+}
+
+Result<LabelAtom> ParseAtom(std::string_view text) {
+  // "label(v) = LABEL"  or  "label(v) in {A, B}"
+  std::string_view rest = StripWhitespace(text);
+  if (!StartsWith(rest, "label(")) {
+    return Status::InvalidArgument("expected label atom, got: " +
+                                   std::string(text));
+  }
+  size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("unterminated label atom: " +
+                                   std::string(text));
+  }
+  std::string_view var = StripWhitespace(rest.substr(6, close - 6));
+  if (!IsIdentifier(var)) {
+    return Status::InvalidArgument("bad variable in label atom: " +
+                                   std::string(var));
+  }
+  std::string_view tail = StripWhitespace(rest.substr(close + 1));
+  LabelAtom atom;
+  atom.var = std::string(var);
+  if (StartsWith(tail, "=")) {
+    std::string_view label = StripWhitespace(tail.substr(1));
+    if (!IsIdentifier(label)) {
+      return Status::InvalidArgument("bad label in atom: " +
+                                     std::string(label));
+    }
+    atom.labels = {std::string(label)};
+    return atom;
+  }
+  if (StartsWith(tail, "in")) {
+    std::string_view body = StripWhitespace(tail.substr(2));
+    if (body.empty() || body.front() != '{' || body.back() != '}') {
+      return Status::InvalidArgument("label set needs braces: " +
+                                     std::string(tail));
+    }
+    std::vector<std::string> labels;
+    for (const std::string& item :
+         Split(body.substr(1, body.size() - 2), ',')) {
+      std::string_view label = StripWhitespace(item);
+      if (!IsIdentifier(label)) {
+        return Status::InvalidArgument("bad label in set: " +
+                                       std::string(label));
+      }
+      labels.emplace_back(label);
+    }
+    if (labels.empty()) {
+      return Status::InvalidArgument("empty label set in atom");
+    }
+    atom.labels = MakeAnnotationSet(std::move(labels));
+    return atom;
+  }
+  return Status::InvalidArgument("expected '=' or 'in' in label atom: " +
+                                 std::string(text));
+}
+
+Result<Relation> ParseRelation(std::string_view text) {
+  std::string_view rest = StripWhitespace(text);
+  if (rest.empty() || rest.front() != '(' || rest.back() != ')') {
+    return Status::InvalidArgument("relation needs (var, path, var): " +
+                                   std::string(text));
+  }
+  std::vector<std::string> parts =
+      SplitTopLevel(rest.substr(1, rest.size() - 2), ',');
+  // A path may contain top-level commas only inside braces, which
+  // SplitTopLevel respects; expect exactly 3 parts.
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "relation needs exactly (var, path, var): " + std::string(text));
+  }
+  std::string_view src = StripWhitespace(parts[0]);
+  std::string_view tgt = StripWhitespace(parts[2]);
+  if (!IsIdentifier(src) || !IsIdentifier(tgt)) {
+    return Status::InvalidArgument("bad relation variables in: " +
+                                   std::string(text));
+  }
+  GQOPT_ASSIGN_OR_RETURN(PathExprPtr path, ParsePathExpr(parts[1]));
+  return Relation{std::string(src), std::move(path), std::string(tgt)};
+}
+
+Result<Cqt> ParseCqt(std::string_view text,
+                     const std::vector<std::string>& head_vars) {
+  Cqt cqt;
+  cqt.head_vars = head_vars;
+  for (const std::string& item : SplitTopLevel(text, ',')) {
+    std::string_view piece = StripWhitespace(item);
+    if (piece.empty()) {
+      return Status::InvalidArgument("empty conjunct in CQT body");
+    }
+    if (StartsWith(piece, "label(")) {
+      GQOPT_ASSIGN_OR_RETURN(LabelAtom atom, ParseAtom(piece));
+      cqt.atoms.push_back(std::move(atom));
+    } else {
+      GQOPT_ASSIGN_OR_RETURN(Relation rel, ParseRelation(piece));
+      cqt.relations.push_back(std::move(rel));
+    }
+  }
+  if (cqt.relations.empty()) {
+    return Status::InvalidArgument("CQT body needs at least one relation");
+  }
+  return cqt;
+}
+
+}  // namespace
+
+Result<Ucqt> ParseUcqt(std::string_view text) {
+  size_t arrow = text.find("<-");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("query needs 'headvars <- body'");
+  }
+  GQOPT_ASSIGN_OR_RETURN(std::vector<std::string> head_vars,
+                         ParseVarList(text.substr(0, arrow)));
+  std::string_view body = text.substr(arrow + 2);
+
+  std::vector<Cqt> disjuncts;
+  // '++' separates disjuncts; SplitTopLevel on '+' would break closures, so
+  // scan for top-level "++" manually.
+  int depth = 0;
+  size_t start = 0;
+  std::vector<std::string> pieces;
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (depth == 0 && c == '+' && i + 1 < body.size() && body[i + 1] == '+') {
+      pieces.emplace_back(body.substr(start, i - start));
+      ++i;
+      start = i + 1;
+    }
+  }
+  pieces.emplace_back(body.substr(start));
+
+  for (const std::string& piece : pieces) {
+    GQOPT_ASSIGN_OR_RETURN(Cqt cqt, ParseCqt(piece, head_vars));
+    disjuncts.push_back(std::move(cqt));
+  }
+  return Ucqt::Make(std::move(head_vars), std::move(disjuncts));
+}
+
+}  // namespace gqopt

@@ -1,0 +1,27 @@
+// Parser for the textual UCQT syntax.
+//
+//   x1, x2 <- (x1, knows{1,3}/isLocatedIn, x2)
+//   y <- (y, livesIn/isLocatedIn+, m), (y, owns, z)
+//   x, y <- (x, a, y) ++ (x, b, y)                      union of CQTs
+//   x, y <- (x, a/b, y), label(y) = PERSON
+//   x, y <- (x, a/b, y), label(y) in {CITY, REGION}
+//
+// Head variables precede '<-'; disjuncts are separated by '++'; each
+// disjunct is a comma-separated list of relations and label atoms.
+
+#ifndef GQOPT_QUERY_QUERY_PARSER_H_
+#define GQOPT_QUERY_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ucqt.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Parses the UCQT syntax above.
+Result<Ucqt> ParseUcqt(std::string_view text);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_QUERY_QUERY_PARSER_H_

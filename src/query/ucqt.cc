@@ -1,0 +1,104 @@
+#include "query/ucqt.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gqopt {
+
+std::string LabelAtom::ToString() const {
+  if (labels.size() == 1) {
+    return "label(" + var + ") = " + labels[0];
+  }
+  std::string out = "label(" + var + ") in {";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += labels[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string Relation::ToString() const {
+  return "(" + source_var + ", " + (path ? path->ToString() : "<null>") +
+         ", " + target_var + ")";
+}
+
+std::vector<std::string> Cqt::AllVars() const {
+  std::vector<std::string> vars = head_vars;
+  auto add = [&vars](const std::string& v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (const Relation& rel : relations) {
+    add(rel.source_var);
+    add(rel.target_var);
+  }
+  for (const LabelAtom& atom : atoms) add(atom.var);
+  return vars;
+}
+
+std::vector<std::string> Cqt::BodyVars() const {
+  std::vector<std::string> all = AllVars();
+  std::vector<std::string> body;
+  for (const std::string& v : all) {
+    if (std::find(head_vars.begin(), head_vars.end(), v) == head_vars.end()) {
+      body.push_back(v);
+    }
+  }
+  return body;
+}
+
+std::string Cqt::ToString() const {
+  std::vector<std::string> parts;
+  for (const Relation& rel : relations) parts.push_back(rel.ToString());
+  for (const LabelAtom& atom : atoms) parts.push_back(atom.ToString());
+  return Join(parts, ", ");
+}
+
+Result<Ucqt> Ucqt::Make(std::vector<std::string> head_vars,
+                        std::vector<Cqt> disjuncts) {
+  for (const Cqt& cqt : disjuncts) {
+    if (cqt.head_vars != head_vars) {
+      return Status::InvalidArgument(
+          "UCQT disjuncts must be union compatible (same head variables)");
+    }
+  }
+  Ucqt out;
+  out.head_vars = std::move(head_vars);
+  out.disjuncts = std::move(disjuncts);
+  return out;
+}
+
+Ucqt Ucqt::FromPath(const std::string& source_var, PathExprPtr path,
+                    const std::string& target_var) {
+  Cqt cqt;
+  cqt.head_vars = {source_var, target_var};
+  cqt.relations.push_back(Relation{source_var, std::move(path), target_var});
+  Ucqt out;
+  out.head_vars = cqt.head_vars;
+  out.disjuncts.push_back(std::move(cqt));
+  return out;
+}
+
+bool Ucqt::IsRecursive() const {
+  for (const Cqt& cqt : disjuncts) {
+    for (const Relation& rel : cqt.relations) {
+      if (rel.path && rel.path->ContainsClosure()) return true;
+    }
+  }
+  return false;
+}
+
+std::string Ucqt::ToString() const {
+  std::string out = Join(head_vars, ", ") + " <- ";
+  if (disjuncts.empty()) return out + "{}";
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " ++ ";
+    out += disjuncts[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace gqopt

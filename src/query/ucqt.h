@@ -1,0 +1,79 @@
+// CQT / UCQT query representation (paper Def 4 and §2.4.1).
+
+#ifndef GQOPT_QUERY_UCQT_H_
+#define GQOPT_QUERY_UCQT_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/path_expr.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Atomic node-label formula: label(var) ∈ labels (paper's ηA(Y) = PERSON,
+/// generalized to label sets after triple merging, Def 9).
+struct LabelAtom {
+  std::string var;
+  std::vector<std::string> labels;  // sorted set; never empty
+
+  std::string ToString() const;
+  bool operator==(const LabelAtom&) const = default;
+};
+
+/// One relation (src_var, path, tgt_var) of a CQT body (paper's Rel).
+struct Relation {
+  std::string source_var;
+  PathExprPtr path;
+  std::string target_var;
+
+  std::string ToString() const;
+};
+
+/// \brief Conjunctive query with Tarski's algebra (paper Def 4).
+///
+/// Body variables are implicit: every variable occurring in relations or
+/// atoms that is not a head variable is existentially quantified.
+struct Cqt {
+  std::vector<std::string> head_vars;
+  std::vector<Relation> relations;
+  std::vector<LabelAtom> atoms;
+
+  /// Existential (body) variables in first-occurrence order.
+  std::vector<std::string> BodyVars() const;
+
+  /// All distinct variables, head first.
+  std::vector<std::string> AllVars() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Union of conjunctive queries with Tarski's algebra (§2.4.1).
+///
+/// All disjuncts must be union-compatible (same head variables). An empty
+/// disjunct list denotes the unsatisfiable query (used when type inference
+/// proves the result empty under the schema).
+struct Ucqt {
+  std::vector<std::string> head_vars;
+  std::vector<Cqt> disjuncts;
+
+  /// Validates union compatibility of `disjuncts` against `head_vars`.
+  static Result<Ucqt> Make(std::vector<std::string> head_vars,
+                           std::vector<Cqt> disjuncts);
+
+  /// Convenience: single-relation query `head <- (src, path, tgt)`.
+  static Ucqt FromPath(const std::string& source_var, PathExprPtr path,
+                       const std::string& target_var);
+
+  bool IsEmpty() const { return disjuncts.empty(); }
+
+  /// True when any path expression in any disjunct contains a transitive
+  /// closure — the paper's recursive-query (RQ) classification (§2.4.2).
+  bool IsRecursive() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_QUERY_UCQT_H_

@@ -1,0 +1,46 @@
+#include "ra/catalog.h"
+
+#include <algorithm>
+
+namespace gqopt {
+
+Catalog::Catalog(const PropertyGraph& graph) : graph_(graph) {
+  graph_.Finalize();
+}
+
+const BinaryRelation& Catalog::EdgeTable(const std::string& label) const {
+  auto it = edge_cache_.find(label);
+  if (it == edge_cache_.end()) {
+    it = edge_cache_
+             .emplace(label, BinaryRelation::FromSortedUnique(
+                                 graph_.EdgesByLabel(label)))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<NodeId> Catalog::NodeExtentUnion(
+    const std::vector<std::string>& labels) const {
+  std::vector<NodeId> out;
+  for (const std::string& label : labels) {
+    const auto& extent = NodeExtent(label);
+    out.insert(out.end(), extent.begin(), extent.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+EdgeStats Catalog::edge_stats(const std::string& label) const {
+  auto it = stats_cache_.find(label);
+  if (it != stats_cache_.end()) return it->second;
+  const BinaryRelation& table = EdgeTable(label);
+  EdgeStats stats;
+  stats.rows = table.size();
+  stats.distinct_sources = table.Sources().size();
+  stats.distinct_targets = table.Targets().size();
+  stats_cache_.emplace(label, stats);
+  return stats;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,57 @@
+// Relational catalog over a property graph: one binary table per edge
+// label and one unary table per node label (the layout of paper Fig 11),
+// plus the statistics the optimizer and EXPLAIN use.
+
+#ifndef GQOPT_RA_CATALOG_H_
+#define GQOPT_RA_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/binary_relation.h"
+#include "graph/property_graph.h"
+
+namespace gqopt {
+
+/// Cardinality statistics of one edge table.
+struct EdgeStats {
+  size_t rows = 0;
+  size_t distinct_sources = 0;
+  size_t distinct_targets = 0;
+};
+
+/// \brief Read-only relational view of a PropertyGraph.
+class Catalog {
+ public:
+  explicit Catalog(const PropertyGraph& graph);
+
+  const PropertyGraph& graph() const { return graph_; }
+
+  /// Edge table as a sorted pair set (empty for unknown labels).
+  const BinaryRelation& EdgeTable(const std::string& label) const;
+
+  /// Node extent, sorted ascending (empty for unknown labels).
+  const std::vector<NodeId>& NodeExtent(const std::string& label) const {
+    return graph_.NodesWithLabel(label);
+  }
+
+  /// Sorted union of several node extents.
+  std::vector<NodeId> NodeExtentUnion(
+      const std::vector<std::string>& labels) const;
+
+  EdgeStats edge_stats(const std::string& label) const;
+  size_t node_count(const std::string& label) const {
+    return NodeExtent(label).size();
+  }
+  size_t total_nodes() const { return graph_.num_nodes(); }
+
+ private:
+  const PropertyGraph& graph_;
+  mutable std::unordered_map<std::string, BinaryRelation> edge_cache_;
+  mutable std::unordered_map<std::string, EdgeStats> stats_cache_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_CATALOG_H_

@@ -1,0 +1,433 @@
+#include "ra/executor.h"
+
+#include <algorithm>
+
+namespace gqopt {
+namespace {
+
+constexpr size_t kPollStride = 1 << 16;
+
+uint64_t PackKey(const NodeId* row, const std::vector<int>& cols) {
+  if (cols.size() == 1) return row[cols[0]];
+  uint64_t key = (static_cast<uint64_t>(row[cols[0]]) << 32) | row[cols[1]];
+  // More than two shared columns are folded; probes re-verify equality.
+  for (size_t i = 2; i < cols.size(); ++i) {
+    key = key * 1000003ULL + row[cols[i]];
+  }
+  return key;
+}
+
+bool RowsMatch(const NodeId* a, const std::vector<int>& a_cols,
+               const NodeId* b, const std::vector<int>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (a[a_cols[i]] != b[b_cols[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Table> Executor::Run(const RaExprPtr& plan, const Deadline& deadline) {
+  memo_.clear();
+  key_cache_.clear();
+  return Eval(plan.get(), deadline);
+}
+
+namespace {
+
+// Builds a canonical plan key in which column names are replaced by their
+// first-occurrence index ($0, $1, ...) while labels stay literal. Plans
+// that are identical up to a consistent renaming of their columns — which
+// happens across UCQT disjuncts because each disjunct numbers its junction
+// columns independently — get the same key and can share one evaluation
+// (the cached table is relabeled positionally on a hit).
+void CanonicalKey(const RaExpr* e,
+                  std::unordered_map<std::string, size_t>* columns,
+                  std::string* out) {
+  auto col = [columns, out](const std::string& name) {
+    auto [it, inserted] = columns->emplace(name, columns->size());
+    (void)inserted;
+    *out += "$" + std::to_string(it->second);
+  };
+  switch (e->op()) {
+    case RaOp::kEdgeScan:
+      *out += "E[" + e->label() + "](";
+      col(e->columns()[0]);
+      *out += ",";
+      col(e->columns()[1]);
+      *out += ")";
+      return;
+    case RaOp::kNodeScan: {
+      *out += "N[";
+      for (const std::string& label : e->labels()) *out += label + ",";
+      *out += "](";
+      col(e->columns()[0]);
+      *out += ")";
+      return;
+    }
+    case RaOp::kProject:
+      *out += "P[";
+      for (const auto& [from, to] : e->mappings()) {
+        col(from);
+        *out += ">";
+        col(to);
+        *out += ",";
+      }
+      *out += "](";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      return;
+    case RaOp::kSelectEq:
+      *out += "S[";
+      col(e->eq_columns().first);
+      *out += "=";
+      col(e->eq_columns().second);
+      *out += "](";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      return;
+    case RaOp::kJoin:
+    case RaOp::kSemiJoin:
+    case RaOp::kUnion:
+      *out += e->op() == RaOp::kJoin
+                  ? "J("
+                  : (e->op() == RaOp::kSemiJoin ? "SJ(" : "U(");
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")(";
+      CanonicalKey(e->right().get(), columns, out);
+      *out += ")";
+      return;
+    case RaOp::kDistinct:
+      *out += "D(";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      return;
+    case RaOp::kTransitiveClosure:
+      *out += "T[";
+      col(e->src_col());
+      *out += ",";
+      col(e->tgt_col());
+      *out += "," + std::to_string(static_cast<int>(e->seed_side())) + "](";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      if (e->seed()) {
+        *out += "(";
+        CanonicalKey(e->seed().get(), columns, out);
+        *out += ")";
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+const std::string& Executor::KeyOf(const RaExpr* e) {
+  auto cached = key_cache_.find(e);
+  if (cached != key_cache_.end()) return cached->second;
+  std::unordered_map<std::string, size_t> columns;
+  std::string key;
+  CanonicalKey(e, &columns, &key);
+  return key_cache_.emplace(e, std::move(key)).first->second;
+}
+
+Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
+  const std::string& key = KeyOf(e);
+  auto cached = memo_.find(key);
+  if (cached != memo_.end()) {
+    // Same plan modulo column renaming: reuse the data, relabel the
+    // columns positionally for this node's schema.
+    return cached->second.RenamedTo(e->columns());
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("plan execution timed out");
+  }
+
+  Result<Table> result = [&]() -> Result<Table> {
+    switch (e->op()) {
+      case RaOp::kEdgeScan: {
+        Table t({e->columns()[0], e->columns()[1]});
+        const BinaryRelation& edges = catalog_.EdgeTable(e->label());
+        t.Reserve(edges.size());
+        for (const Edge& pair : edges.pairs()) {
+          NodeId row[2] = {pair.first, pair.second};
+          t.AddRow(row);
+        }
+        return t;
+      }
+      case RaOp::kNodeScan: {
+        Table t({e->columns()[0]});
+        for (NodeId n : catalog_.NodeExtentUnion(e->labels())) {
+          t.AddRow(&n);
+        }
+        return t;
+      }
+      case RaOp::kProject: {
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        Table t(e->columns());
+        std::vector<int> sources;
+        sources.reserve(e->mappings().size());
+        for (const auto& [from, to] : e->mappings()) {
+          (void)to;
+          int idx = child.ColumnIndex(from);
+          if (idx < 0) {
+            return Status::Internal("projection references unknown column " +
+                                    from);
+          }
+          sources.push_back(idx);
+        }
+        t.Reserve(child.rows());
+        std::vector<NodeId> row(sources.size());
+        for (size_t r = 0; r < child.rows(); ++r) {
+          const NodeId* in = child.Row(r);
+          for (size_t i = 0; i < sources.size(); ++i) row[i] = in[sources[i]];
+          t.AddRow(row);
+        }
+        return t;
+      }
+      case RaOp::kSelectEq: {
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        int a = child.ColumnIndex(e->eq_columns().first);
+        int b = child.ColumnIndex(e->eq_columns().second);
+        if (a < 0 || b < 0) {
+          return Status::Internal("selection references unknown column");
+        }
+        Table t(child.columns());
+        for (size_t r = 0; r < child.rows(); ++r) {
+          const NodeId* row = child.Row(r);
+          if (row[a] == row[b]) t.AddRow(row);
+        }
+        return t;
+      }
+      case RaOp::kJoin:
+        return EvalJoin(e, deadline);
+      case RaOp::kSemiJoin:
+        return EvalSemiJoin(e, deadline);
+      case RaOp::kUnion: {
+        GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
+        GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+        // Align right columns to the left order.
+        std::vector<int> align;
+        align.reserve(left.arity());
+        for (const std::string& col : left.columns()) {
+          int idx = right.ColumnIndex(col);
+          if (idx < 0) return Status::Internal("union schema mismatch");
+          align.push_back(idx);
+        }
+        Table t(left.columns());
+        t.Reserve(left.rows() + right.rows());
+        for (size_t r = 0; r < left.rows(); ++r) t.AddRow(left.Row(r));
+        std::vector<NodeId> row(align.size());
+        for (size_t r = 0; r < right.rows(); ++r) {
+          const NodeId* in = right.Row(r);
+          for (size_t i = 0; i < align.size(); ++i) row[i] = in[align[i]];
+          t.AddRow(row);
+        }
+        return t;
+      }
+      case RaOp::kDistinct: {
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        child.SortDistinct();
+        return child;
+      }
+      case RaOp::kTransitiveClosure:
+        return EvalClosure(e, deadline);
+    }
+    return Status::Internal("unhandled RA op");
+  }();
+
+  if (result.ok()) memo_.emplace(key, result.value());
+  return result;
+}
+
+Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+
+  std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
+  std::vector<int> left_keys, right_keys;
+  for (const std::string& col : shared) {
+    left_keys.push_back(left.ColumnIndex(col));
+    right_keys.push_back(right.ColumnIndex(col));
+  }
+  // Right-side columns that are new to the output.
+  std::vector<int> right_extra;
+  for (size_t i = 0; i < right.columns().size(); ++i) {
+    if (left.ColumnIndex(right.columns()[i]) < 0) {
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+
+  Table out(e->columns());
+  size_t ops = 0;
+  auto poll = [&]() -> bool {
+    if ((++ops & (kPollStride - 1)) != 0) return true;
+    return !deadline.Expired();
+  };
+
+  if (shared.empty()) {
+    // Cross product.
+    std::vector<NodeId> row(out.arity());
+    for (size_t l = 0; l < left.rows(); ++l) {
+      for (size_t r = 0; r < right.rows(); ++r) {
+        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        std::copy_n(left.Row(l), left.arity(), row.data());
+        for (size_t i = 0; i < right_extra.size(); ++i) {
+          row[left.arity() + i] = right.Row(r)[right_extra[i]];
+        }
+        out.AddRow(row);
+      }
+    }
+    return out;
+  }
+
+  // Hash join, building on the smaller input.
+  bool build_left = left.rows() < right.rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
+  const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  index.reserve(build.rows() * 2);
+  for (size_t r = 0; r < build.rows(); ++r) {
+    index[PackKey(build.Row(r), build_keys)].push_back(
+        static_cast<uint32_t>(r));
+  }
+
+  std::vector<NodeId> row(out.arity());
+  for (size_t p = 0; p < probe.rows(); ++p) {
+    auto it = index.find(PackKey(probe.Row(p), probe_keys));
+    if (it == index.end()) continue;
+    for (uint32_t b : it->second) {
+      if (!poll()) return Status::DeadlineExceeded("join timed out");
+      const NodeId* lrow = build_left ? build.Row(b) : probe.Row(p);
+      const NodeId* rrow = build_left ? probe.Row(p) : build.Row(b);
+      if (shared.size() > 2 &&
+          !RowsMatch(lrow, left_keys, rrow, right_keys)) {
+        continue;
+      }
+      std::copy_n(lrow, left.arity(), row.data());
+      for (size_t i = 0; i < right_extra.size(); ++i) {
+        row[left.arity() + i] = rrow[right_extra[i]];
+      }
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
+                                     const Deadline& deadline) {
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+  std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
+  if (shared.empty()) {
+    // Degenerate: keep left iff right non-empty.
+    if (right.rows() > 0) return left;
+    return Table(left.columns());
+  }
+  std::vector<int> left_keys, right_keys;
+  for (const std::string& col : shared) {
+    left_keys.push_back(left.ColumnIndex(col));
+    right_keys.push_back(right.ColumnIndex(col));
+  }
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  for (size_t r = 0; r < right.rows(); ++r) {
+    index[PackKey(right.Row(r), right_keys)].push_back(
+        static_cast<uint32_t>(r));
+  }
+  Table out(left.columns());
+  size_t ops = 0;
+  for (size_t l = 0; l < left.rows(); ++l) {
+    if ((++ops & (kPollStride - 1)) == 0 && deadline.Expired()) {
+      return Status::DeadlineExceeded("semi-join timed out");
+    }
+    auto it = index.find(PackKey(left.Row(l), left_keys));
+    if (it == index.end()) continue;
+    bool matched = shared.size() <= 2;
+    if (!matched) {
+      for (uint32_t r : it->second) {
+        if (RowsMatch(left.Row(l), left_keys, right.Row(r), right_keys)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) out.AddRow(left.Row(l));
+  }
+  return out;
+}
+
+Result<Table> Executor::EvalClosure(const RaExpr* e,
+                                    const Deadline& deadline) {
+  GQOPT_ASSIGN_OR_RETURN(Table body, Eval(e->left().get(), deadline));
+  int src = body.ColumnIndex(e->src_col());
+  int tgt = body.ColumnIndex(e->tgt_col());
+  if (src < 0 || tgt < 0) {
+    return Status::Internal("closure body lacks its endpoint columns");
+  }
+  std::vector<Edge> pairs;
+  pairs.reserve(body.rows());
+  for (size_t r = 0; r < body.rows(); ++r) {
+    pairs.emplace_back(body.Row(r)[src], body.Row(r)[tgt]);
+  }
+  BinaryRelation base = BinaryRelation::FromPairs(std::move(pairs));
+
+  BinaryRelation acc;
+  if (e->seed_side() == SeedSide::kNone) {
+    GQOPT_ASSIGN_OR_RETURN(acc,
+                           BinaryRelation::TransitiveClosure(base, deadline));
+  } else {
+    GQOPT_ASSIGN_OR_RETURN(Table seed_table,
+                           Eval(e->seed().get(), deadline));
+    std::vector<NodeId> seeds;
+    seeds.reserve(seed_table.rows());
+    for (size_t r = 0; r < seed_table.rows(); ++r) {
+      seeds.push_back(seed_table.Row(r)[0]);
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+    if (e->seed_side() == SeedSide::kSource) {
+      // Semi-naive expansion of paths starting at the seeds.
+      BinaryRelation delta = base.SemiJoinSource(seeds);
+      acc = delta;
+      while (!delta.empty()) {
+        if (deadline.Expired()) {
+          return Status::DeadlineExceeded("seeded closure timed out");
+        }
+        GQOPT_ASSIGN_OR_RETURN(BinaryRelation step,
+                               BinaryRelation::Compose(delta, base, deadline));
+        BinaryRelation fresh = BinaryRelation::Difference(step, acc);
+        if (fresh.empty()) break;
+        acc = BinaryRelation::Union(acc, fresh);
+        delta = std::move(fresh);
+      }
+    } else {
+      // Paths ending at the seeds: expand leftwards.
+      BinaryRelation delta = base.SemiJoinTarget(seeds);
+      acc = delta;
+      while (!delta.empty()) {
+        if (deadline.Expired()) {
+          return Status::DeadlineExceeded("seeded closure timed out");
+        }
+        GQOPT_ASSIGN_OR_RETURN(BinaryRelation step,
+                               BinaryRelation::Compose(base, delta, deadline));
+        BinaryRelation fresh = BinaryRelation::Difference(step, acc);
+        if (fresh.empty()) break;
+        acc = BinaryRelation::Union(acc, fresh);
+        delta = std::move(fresh);
+      }
+    }
+  }
+
+  Table out({e->src_col(), e->tgt_col()});
+  out.Reserve(acc.size());
+  for (const Edge& pair : acc.pairs()) {
+    NodeId row[2] = {pair.first, pair.second};
+    out.AddRow(row);
+  }
+  return out;
+}
+
+}  // namespace gqopt

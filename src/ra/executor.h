@@ -1,0 +1,42 @@
+// Bottom-up RRA plan execution over a Catalog: hash joins, set-semantics
+// distinct, and semi-naive (delta) fixpoint evaluation for transitive
+// closures, optionally seeded from either side (the µ-RA join-pushdown).
+
+#ifndef GQOPT_RA_EXECUTOR_H_
+#define GQOPT_RA_EXECUTOR_H_
+
+#include <unordered_map>
+
+#include "ra/catalog.h"
+#include "ra/ra_expr.h"
+#include "ra/table.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Evaluates RRA plans. Plans may be DAGs; equal subplans — whether
+/// pointer-shared or structurally identical across UCQT disjuncts — are
+/// evaluated once per Run() call (memoized by a structural plan key).
+class Executor {
+ public:
+  explicit Executor(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Evaluates `plan`, honoring `deadline` inside joins and fixpoints.
+  Result<Table> Run(const RaExprPtr& plan, const Deadline& deadline = {});
+
+ private:
+  Result<Table> Eval(const RaExpr* e, const Deadline& deadline);
+  Result<Table> EvalJoin(const RaExpr* e, const Deadline& deadline);
+  Result<Table> EvalSemiJoin(const RaExpr* e, const Deadline& deadline);
+  Result<Table> EvalClosure(const RaExpr* e, const Deadline& deadline);
+  const std::string& KeyOf(const RaExpr* e);
+
+  const Catalog& catalog_;
+  std::unordered_map<const RaExpr*, std::string> key_cache_;
+  std::unordered_map<std::string, Table> memo_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_EXECUTOR_H_

@@ -1,0 +1,169 @@
+#include "ra/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gqopt {
+namespace {
+
+// Average expansion factor assumed for a transitive closure, used only for
+// costing (execution is exact).
+constexpr double kClosureDepthFactor = 4.0;
+
+double NdvOf(const PlanEstimate& est, const std::string& col) {
+  auto it = est.ndv.find(col);
+  return it == est.ndv.end() ? std::max(1.0, est.rows) : it->second;
+}
+
+}  // namespace
+
+const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
+  auto cached = memo_.find(e);
+  if (cached != memo_.end()) return cached->second;
+
+  PlanEstimate est;
+  switch (e->op()) {
+    case RaOp::kEdgeScan: {
+      EdgeStats stats = catalog_.edge_stats(e->label());
+      est.rows = static_cast<double>(stats.rows);
+      est.cost = est.rows;
+      est.ndv[e->columns()[0]] =
+          std::max<double>(1.0, static_cast<double>(stats.distinct_sources));
+      est.ndv[e->columns()[1]] =
+          std::max<double>(1.0, static_cast<double>(stats.distinct_targets));
+      break;
+    }
+    case RaOp::kNodeScan: {
+      size_t rows = 0;
+      for (const std::string& label : e->labels()) {
+        rows += catalog_.node_count(label);
+      }
+      est.rows = static_cast<double>(rows);
+      est.cost = est.rows;
+      est.ndv[e->columns()[0]] = std::max(1.0, est.rows);
+      break;
+    }
+    case RaOp::kProject: {
+      const PlanEstimate& child = Estimate(e->left().get());
+      est.rows = child.rows;
+      est.cost = child.cost;
+      for (const auto& [from, to] : e->mappings()) {
+        est.ndv[to] = NdvOf(child, from);
+      }
+      break;
+    }
+    case RaOp::kSelectEq: {
+      const PlanEstimate& child = Estimate(e->left().get());
+      double ndv = std::max(NdvOf(child, e->eq_columns().first),
+                            NdvOf(child, e->eq_columns().second));
+      est.rows = child.rows / std::max(1.0, ndv);
+      est.cost = child.cost + child.rows;
+      est.ndv = child.ndv;
+      break;
+    }
+    case RaOp::kJoin: {
+      const PlanEstimate& l = Estimate(e->left().get());
+      const PlanEstimate& r = Estimate(e->right().get());
+      double selectivity = 1.0;
+      for (const std::string& col : SharedColumns(*e->left(), *e->right())) {
+        selectivity /= std::max({NdvOf(l, col), NdvOf(r, col), 1.0});
+      }
+      est.rows = l.rows * r.rows * selectivity;
+      est.cost = l.cost + r.cost + l.rows + r.rows + est.rows;
+      for (const std::string& col : e->columns()) {
+        double ndv = est.rows;
+        auto lit = l.ndv.find(col);
+        if (lit != l.ndv.end()) ndv = std::min(ndv, lit->second);
+        auto rit = r.ndv.find(col);
+        if (rit != r.ndv.end()) ndv = std::min(ndv, rit->second);
+        est.ndv[col] = std::max(1.0, ndv);
+      }
+      break;
+    }
+    case RaOp::kSemiJoin: {
+      const PlanEstimate& l = Estimate(e->left().get());
+      const PlanEstimate& r = Estimate(e->right().get());
+      double fraction = 1.0;
+      for (const std::string& col : SharedColumns(*e->left(), *e->right())) {
+        fraction =
+            std::min(fraction, NdvOf(r, col) / std::max(1.0, NdvOf(l, col)));
+      }
+      est.rows = l.rows * std::min(1.0, fraction);
+      est.cost = l.cost + r.cost + l.rows + r.rows;
+      est.ndv = l.ndv;
+      for (auto& [col, ndv] : est.ndv) ndv = std::min(ndv, est.rows);
+      break;
+    }
+    case RaOp::kUnion: {
+      const PlanEstimate& l = Estimate(e->left().get());
+      const PlanEstimate& r = Estimate(e->right().get());
+      est.rows = l.rows + r.rows;
+      est.cost = l.cost + r.cost + est.rows;
+      for (const std::string& col : e->columns()) {
+        est.ndv[col] = std::min(est.rows, NdvOf(l, col) + NdvOf(r, col));
+      }
+      break;
+    }
+    case RaOp::kDistinct: {
+      const PlanEstimate& child = Estimate(e->left().get());
+      double distinct = 1.0;
+      for (const std::string& col : e->columns()) {
+        distinct *= NdvOf(child, col);
+        if (distinct > child.rows) break;
+      }
+      est.rows = std::min(child.rows, std::max(1.0, distinct));
+      est.cost = child.cost + child.rows;
+      est.ndv = child.ndv;
+      break;
+    }
+    case RaOp::kTransitiveClosure: {
+      const PlanEstimate& body = Estimate(e->left().get());
+      double src_ndv = NdvOf(body, e->src_col());
+      double tgt_ndv = NdvOf(body, e->tgt_col());
+      est.rows = std::min(body.rows * kClosureDepthFactor, src_ndv * tgt_ndv);
+      est.cost = body.cost + est.rows * kClosureDepthFactor;
+      if (e->seed_side() != SeedSide::kNone) {
+        const PlanEstimate& seed = Estimate(e->seed().get());
+        double anchor_ndv =
+            e->seed_side() == SeedSide::kSource ? src_ndv : tgt_ndv;
+        double fraction =
+            std::min(1.0, seed.rows / std::max(1.0, anchor_ndv));
+        est.rows *= fraction;
+        est.cost = body.cost + seed.cost + est.rows * kClosureDepthFactor;
+      }
+      est.ndv[e->src_col()] = std::max(1.0, std::min(src_ndv, est.rows));
+      est.ndv[e->tgt_col()] = std::max(1.0, std::min(tgt_ndv, est.rows));
+      break;
+    }
+  }
+  est.rows = std::max(0.0, est.rows);
+  return memo_.emplace(e, std::move(est)).first->second;
+}
+
+namespace {
+
+void RenderExplain(const RaExpr& e, Estimator* estimator, int depth,
+                   std::string* out) {
+  const PlanEstimate& est = estimator->Estimate(&e);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %.0f)", est.cost,
+                est.rows);
+  *out += e.NodeString();
+  *out += buf;
+  *out += "\n";
+  if (e.left()) RenderExplain(*e.left(), estimator, depth + 1, out);
+  if (e.right()) RenderExplain(*e.right(), estimator, depth + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog) {
+  Estimator estimator(catalog);
+  std::string out;
+  RenderExplain(*plan, &estimator, 0, &out);
+  return out;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,42 @@
+// Cardinality/cost estimation and EXPLAIN rendering for RRA plans
+// (the machinery behind the paper's Fig 17 plan comparison).
+
+#ifndef GQOPT_RA_EXPLAIN_H_
+#define GQOPT_RA_EXPLAIN_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "ra/catalog.h"
+#include "ra/ra_expr.h"
+
+namespace gqopt {
+
+/// Estimated properties of one plan node.
+struct PlanEstimate {
+  double rows = 0;       // estimated output cardinality
+  double cost = 0;       // cumulative cost (rows touched)
+  std::unordered_map<std::string, double> ndv;  // per-column distinct count
+};
+
+/// \brief Memoizing cardinality estimator using textbook independence
+/// assumptions over the catalog statistics.
+class Estimator {
+ public:
+  explicit Estimator(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Estimate for `e` (computed once per node identity).
+  const PlanEstimate& Estimate(const RaExpr* e);
+
+ private:
+  const Catalog& catalog_;
+  std::unordered_map<const RaExpr*, PlanEstimate> memo_;
+};
+
+/// Renders the plan with per-node estimated cost and cardinality in the
+/// style of Fig 17 ("<op> (cost = ..., rows = ...)").
+std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_EXPLAIN_H_

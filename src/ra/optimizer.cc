@@ -1,0 +1,192 @@
+#include "ra/optimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ra/explain.h"
+
+namespace gqopt {
+namespace {
+
+class Optimizer {
+ public:
+  Optimizer(const Catalog& catalog, const OptimizerOptions& options)
+      : estimator_(catalog), options_(options) {}
+
+  RaExprPtr Rewrite(const RaExprPtr& e) {
+    switch (e->op()) {
+      case RaOp::kEdgeScan:
+      case RaOp::kNodeScan:
+        return e;
+      case RaOp::kJoin:
+        return RewriteJoinCluster(e);
+      case RaOp::kProject: {
+        RaExprPtr child = Rewrite(e->left());
+        // Identity projection: same columns in the same order, no rename.
+        bool identity = e->mappings().size() == child->columns().size();
+        if (identity) {
+          for (size_t i = 0; i < e->mappings().size(); ++i) {
+            if (e->mappings()[i].first != e->mappings()[i].second ||
+                e->mappings()[i].first != child->columns()[i]) {
+              identity = false;
+              break;
+            }
+          }
+        }
+        if (identity) return child;
+        if (child == e->left()) return e;
+        return RaExpr::Project(std::move(child), e->mappings());
+      }
+      case RaOp::kSelectEq: {
+        RaExprPtr child = Rewrite(e->left());
+        if (child == e->left()) return e;
+        return RaExpr::SelectEq(std::move(child), e->eq_columns().first,
+                                e->eq_columns().second);
+      }
+      case RaOp::kSemiJoin: {
+        RaExprPtr l = Rewrite(e->left());
+        RaExprPtr r = Rewrite(e->right());
+        if (l == e->left() && r == e->right()) return e;
+        return RaExpr::SemiJoin(std::move(l), std::move(r));
+      }
+      case RaOp::kUnion: {
+        RaExprPtr l = Rewrite(e->left());
+        RaExprPtr r = Rewrite(e->right());
+        if (l == e->left() && r == e->right()) return e;
+        return RaExpr::Union(std::move(l), std::move(r));
+      }
+      case RaOp::kDistinct: {
+        RaExprPtr child = Rewrite(e->left());
+        // Distinct over an already-distinct child is a no-op.
+        if (child->op() == RaOp::kDistinct) return child;
+        if (child == e->left()) return e;
+        return RaExpr::Distinct(std::move(child));
+      }
+      case RaOp::kTransitiveClosure: {
+        RaExprPtr body = Rewrite(e->left());
+        RaExprPtr seed = e->seed() ? Rewrite(e->seed()) : nullptr;
+        if (body == e->left() && seed == e->seed()) return e;
+        return RaExpr::TransitiveClosure(std::move(body), e->src_col(),
+                                         e->tgt_col(), std::move(seed),
+                                         e->seed_side());
+      }
+    }
+    return e;
+  }
+
+ private:
+  // Flattens nested joins into a conjunct list.
+  void Flatten(const RaExprPtr& e, std::vector<RaExprPtr>* conjuncts) {
+    if (e->op() == RaOp::kJoin) {
+      Flatten(e->left(), conjuncts);
+      Flatten(e->right(), conjuncts);
+      return;
+    }
+    conjuncts->push_back(Rewrite(e));
+  }
+
+  bool HasColumn(const RaExprPtr& e, const std::string& col) {
+    return std::find(e->columns().begin(), e->columns().end(), col) !=
+           e->columns().end();
+  }
+
+  bool SharesColumn(const RaExprPtr& a, const RaExprPtr& b) {
+    for (const std::string& col : a->columns()) {
+      if (HasColumn(b, col)) return true;
+    }
+    return false;
+  }
+
+  double Rows(const RaExprPtr& e) { return estimator_.Estimate(e.get()).rows; }
+
+  RaExprPtr RewriteJoinCluster(const RaExprPtr& e) {
+    std::vector<RaExprPtr> conjuncts;
+    Flatten(e, &conjuncts);
+    if (!options_.enable_join_reorder) {
+      // Keep the original shape; children were still rewritten by Flatten.
+      RaExprPtr acc = conjuncts[0];
+      for (size_t i = 1; i < conjuncts.size(); ++i) {
+        acc = JoinWithSeeding(std::move(acc), conjuncts[i]);
+      }
+      return acc;
+    }
+
+    // Pick the cheapest non-closure conjunct as the start (closures are
+    // most valuable late, once a seed is available).
+    size_t start = conjuncts.size();
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      bool closure = conjuncts[i]->op() == RaOp::kTransitiveClosure;
+      if (start == conjuncts.size()) {
+        start = i;
+        continue;
+      }
+      bool best_closure = conjuncts[start]->op() == RaOp::kTransitiveClosure;
+      if (closure != best_closure) {
+        if (!closure) start = i;
+        continue;
+      }
+      if (Rows(conjuncts[i]) < Rows(conjuncts[start])) start = i;
+    }
+
+    std::vector<bool> used(conjuncts.size(), false);
+    RaExprPtr acc = conjuncts[start];
+    used[start] = true;
+    for (size_t round = 1; round < conjuncts.size(); ++round) {
+      // Among unused conjuncts, prefer connected ones minimizing the
+      // estimated joined cardinality.
+      size_t best = conjuncts.size();
+      bool best_connected = false;
+      double best_rows = 0;
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (used[i]) continue;
+        bool connected = SharesColumn(acc, conjuncts[i]);
+        double joined_rows =
+            Rows(RaExpr::Join(acc, conjuncts[i]));  // estimate only
+        if (best == conjuncts.size() || (connected && !best_connected) ||
+            (connected == best_connected && joined_rows < best_rows)) {
+          best = i;
+          best_connected = connected;
+          best_rows = joined_rows;
+        }
+      }
+      acc = JoinWithSeeding(std::move(acc), conjuncts[best]);
+      used[best] = true;
+    }
+    return acc;
+  }
+
+  // Joins `acc` with `next`; when `next` is an unseeded transitive closure
+  // whose source or target column is already bound in `acc`, seed it so the
+  // fixpoint only explores the reachable frontier.
+  RaExprPtr JoinWithSeeding(RaExprPtr acc, RaExprPtr next) {
+    if (options_.enable_fixpoint_seeding &&
+        next->op() == RaOp::kTransitiveClosure &&
+        next->seed_side() == SeedSide::kNone) {
+      bool src_bound = HasColumn(acc, next->src_col());
+      bool tgt_bound = HasColumn(acc, next->tgt_col());
+      if (src_bound || tgt_bound) {
+        const std::string& col = src_bound ? next->src_col()
+                                           : next->tgt_col();
+        RaExprPtr seed =
+            RaExpr::Distinct(RaExpr::Project(acc, {{col, col}}));
+        next = RaExpr::TransitiveClosure(
+            next->left(), next->src_col(), next->tgt_col(), std::move(seed),
+            src_bound ? SeedSide::kSource : SeedSide::kTarget);
+      }
+    }
+    return RaExpr::Join(std::move(acc), std::move(next));
+  }
+
+  Estimator estimator_;
+  const OptimizerOptions& options_;
+};
+
+}  // namespace
+
+RaExprPtr OptimizePlan(const RaExprPtr& plan, const Catalog& catalog,
+                       const OptimizerOptions& options) {
+  Optimizer optimizer(catalog, options);
+  return optimizer.Rewrite(plan);
+}
+
+}  // namespace gqopt

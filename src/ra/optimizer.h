@@ -1,0 +1,34 @@
+// Rule-based RRA plan optimizer (the µ-RA-style optimisation step of the
+// paper's Translator, §4):
+//  - flattens join clusters and orders them greedily by estimated
+//    cardinality (cheapest-first, connected-next), which places selective
+//    node-label tables early — the semi-join shape of Fig 17;
+//  - pushes joins into fixpoints: an unseeded transitive closure joined on
+//    its source (or target) column is rewritten into a seeded closure whose
+//    semi-naive iteration only explores the relevant frontier (the µ-RA
+//    join-pushdown of Jachiet et al. applied to UCQT's recursion).
+//
+// The optimizer is applied to both baseline and schema-enriched plans, so
+// measured speedups isolate the contribution of the schema rewriting.
+
+#ifndef GQOPT_RA_OPTIMIZER_H_
+#define GQOPT_RA_OPTIMIZER_H_
+
+#include "ra/catalog.h"
+#include "ra/ra_expr.h"
+
+namespace gqopt {
+
+/// Optimizer switches (ablations).
+struct OptimizerOptions {
+  bool enable_join_reorder = true;
+  bool enable_fixpoint_seeding = true;
+};
+
+/// Returns an optimized equivalent of `plan`.
+RaExprPtr OptimizePlan(const RaExprPtr& plan, const Catalog& catalog,
+                       const OptimizerOptions& options = {});
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_OPTIMIZER_H_

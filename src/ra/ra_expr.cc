@@ -1,0 +1,193 @@
+#include "ra/ra_expr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gqopt {
+namespace {
+
+void Indent(int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void Render(const RaExpr& e, int depth, std::string* out) {
+  Indent(depth, out);
+  *out += e.NodeString();
+  *out += "\n";
+  if (e.left()) Render(*e.left(), depth + 1, out);
+  if (e.right()) Render(*e.right(), depth + 1, out);
+}
+
+}  // namespace
+
+RaExprPtr RaExpr::EdgeScan(std::string label, std::string src_col,
+                           std::string tgt_col) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kEdgeScan;
+  e->label_ = std::move(label);
+  e->columns_ = {src_col, tgt_col};
+  e->src_col_ = std::move(src_col);
+  e->tgt_col_ = std::move(tgt_col);
+  return e;
+}
+
+RaExprPtr RaExpr::NodeScan(std::vector<std::string> labels, std::string col) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kNodeScan;
+  e->labels_ = std::move(labels);
+  e->columns_ = {std::move(col)};
+  return e;
+}
+
+RaExprPtr RaExpr::Project(
+    RaExprPtr child,
+    std::vector<std::pair<std::string, std::string>> mappings) {
+  assert(child);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kProject;
+  e->left_ = std::move(child);
+  for (const auto& [from, to] : mappings) {
+    (void)from;
+    e->columns_.push_back(to);
+  }
+  e->mappings_ = std::move(mappings);
+  return e;
+}
+
+RaExprPtr RaExpr::SelectEq(RaExprPtr child, std::string col_a,
+                           std::string col_b) {
+  assert(child);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kSelectEq;
+  e->columns_ = child->columns();
+  e->left_ = std::move(child);
+  e->eq_columns_ = {std::move(col_a), std::move(col_b)};
+  return e;
+}
+
+RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r) {
+  assert(l && r);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kJoin;
+  e->columns_ = l->columns();
+  for (const std::string& col : r->columns()) {
+    if (std::find(e->columns_.begin(), e->columns_.end(), col) ==
+        e->columns_.end()) {
+      e->columns_.push_back(col);
+    }
+  }
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+RaExprPtr RaExpr::SemiJoin(RaExprPtr l, RaExprPtr r) {
+  assert(l && r);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kSemiJoin;
+  e->columns_ = l->columns();
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr l, RaExprPtr r) {
+  assert(l && r);
+  assert(std::set<std::string>(l->columns().begin(), l->columns().end()) ==
+         std::set<std::string>(r->columns().begin(), r->columns().end()));
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kUnion;
+  e->columns_ = l->columns();
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+RaExprPtr RaExpr::Distinct(RaExprPtr child) {
+  assert(child);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kDistinct;
+  e->columns_ = child->columns();
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::TransitiveClosure(RaExprPtr body, std::string src_col,
+                                    std::string tgt_col, RaExprPtr seed,
+                                    SeedSide seed_side) {
+  assert(body);
+  assert((seed == nullptr) == (seed_side == SeedSide::kNone));
+  assert(!seed || seed->columns().size() == 1);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kTransitiveClosure;
+  e->columns_ = {src_col, tgt_col};
+  e->src_col_ = std::move(src_col);
+  e->tgt_col_ = std::move(tgt_col);
+  e->seed_side_ = seed_side;
+  e->left_ = std::move(body);
+  e->right_ = std::move(seed);
+  return e;
+}
+
+std::string RaExpr::NodeString() const {
+  auto cols = [this]() {
+    std::string out = "(";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns_[i];
+    }
+    return out + ")";
+  };
+  switch (op_) {
+    case RaOp::kEdgeScan:
+      return "EdgeScan " + label_ + " " + cols();
+    case RaOp::kNodeScan: {
+      std::string names;
+      for (size_t i = 0; i < labels_.size(); ++i) {
+        if (i > 0) names += "|";
+        names += labels_[i];
+      }
+      return "NodeScan " + names + " " + cols();
+    }
+    case RaOp::kProject:
+      return "Project " + cols();
+    case RaOp::kSelectEq:
+      return "Select " + eq_columns_.first + " = " + eq_columns_.second;
+    case RaOp::kJoin:
+      return "Join " + cols();
+    case RaOp::kSemiJoin:
+      return "SemiJoin " + cols();
+    case RaOp::kUnion:
+      return "Union " + cols();
+    case RaOp::kDistinct:
+      return "Distinct " + cols();
+    case RaOp::kTransitiveClosure: {
+      std::string out = "TransitiveClosure " + cols();
+      if (seed_side_ == SeedSide::kSource) out += " seeded-on-source";
+      if (seed_side_ == SeedSide::kTarget) out += " seeded-on-target";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string RaExpr::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+std::vector<std::string> SharedColumns(const RaExpr& l, const RaExpr& r) {
+  std::vector<std::string> out;
+  for (const std::string& col : l.columns()) {
+    if (std::find(r.columns().begin(), r.columns().end(), col) !=
+        r.columns().end()) {
+      out.push_back(col);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gqopt

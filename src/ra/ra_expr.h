@@ -1,0 +1,115 @@
+// Recursive relational algebra (RRA) expressions: the relational plan
+// language targeted by the translator (paper §4, Tab 2), in the spirit of
+// µ-RA (Jachiet et al. 2020). UCQT's only recursion is the transitive
+// closure phi+, so the µ fixpoint operator is provided as a dedicated
+// kTransitiveClosure node supporting seeded (semi-naive, join-pushed)
+// evaluation from either side — the µ-RA rewriting that pushes joins into
+// fixpoints.
+//
+// Plans are immutable DAGs: subtrees may be shared (the optimizer shares
+// the probe side of a seeded fixpoint) and the executor memoizes by node.
+
+#ifndef GQOPT_RA_RA_EXPR_H_
+#define GQOPT_RA_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gqopt {
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// Plan operator kinds.
+enum class RaOp : uint8_t {
+  kEdgeScan,           // edge table, two named columns
+  kNodeScan,           // union of node-label extents, one named column
+  kProject,            // column projection + renaming
+  kSelectEq,           // keep rows where two columns are equal
+  kJoin,               // natural join on shared column names
+  kSemiJoin,           // left semi join on shared column names
+  kUnion,              // set union (same column set)
+  kDistinct,           // duplicate elimination
+  kTransitiveClosure,  // TC of a binary child, optionally seeded
+};
+
+/// Which side a transitive closure is seeded from.
+enum class SeedSide : uint8_t { kNone, kSource, kTarget };
+
+/// \brief Immutable RRA plan node. Build via the static factories; output
+/// column names are computed at construction and cached.
+class RaExpr {
+ public:
+  RaOp op() const { return op_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const RaExprPtr& left() const { return left_; }
+  const RaExprPtr& right() const { return right_; }
+
+  /// Edge label (kEdgeScan).
+  const std::string& label() const { return label_; }
+  /// Node label set (kNodeScan).
+  const std::vector<std::string>& labels() const { return labels_; }
+  /// (input, output) column pairs (kProject).
+  const std::vector<std::pair<std::string, std::string>>& mappings() const {
+    return mappings_;
+  }
+  /// Column pair tested for equality (kSelectEq).
+  const std::pair<std::string, std::string>& eq_columns() const {
+    return eq_columns_;
+  }
+  /// Closure column names (kTransitiveClosure).
+  const std::string& src_col() const { return src_col_; }
+  const std::string& tgt_col() const { return tgt_col_; }
+  SeedSide seed_side() const { return seed_side_; }
+  /// Unary seed plan (kTransitiveClosure with seed_side != kNone).
+  const RaExprPtr& seed() const { return right_; }
+
+  // ---- Factories ----------------------------------------------------------
+  static RaExprPtr EdgeScan(std::string label, std::string src_col,
+                            std::string tgt_col);
+  static RaExprPtr NodeScan(std::vector<std::string> labels, std::string col);
+  static RaExprPtr Project(
+      RaExprPtr child,
+      std::vector<std::pair<std::string, std::string>> mappings);
+  static RaExprPtr SelectEq(RaExprPtr child, std::string col_a,
+                            std::string col_b);
+  static RaExprPtr Join(RaExprPtr l, RaExprPtr r);
+  static RaExprPtr SemiJoin(RaExprPtr l, RaExprPtr r);
+  static RaExprPtr Union(RaExprPtr l, RaExprPtr r);
+  static RaExprPtr Distinct(RaExprPtr child);
+  /// Transitive closure of binary `body` whose columns are
+  /// (src_col, tgt_col); `seed` restricts sources (kSource) or targets
+  /// (kTarget) to the values of the single-column seed plan.
+  static RaExprPtr TransitiveClosure(RaExprPtr body, std::string src_col,
+                                     std::string tgt_col,
+                                     RaExprPtr seed = nullptr,
+                                     SeedSide seed_side = SeedSide::kNone);
+
+  /// Single-line description of this node (no children), for EXPLAIN.
+  std::string NodeString() const;
+
+  /// Multi-line plan rendering.
+  std::string ToString() const;
+
+ private:
+  RaExpr() = default;
+
+  RaOp op_ = RaOp::kEdgeScan;
+  std::string label_;
+  std::vector<std::string> labels_;
+  std::vector<std::pair<std::string, std::string>> mappings_;
+  std::pair<std::string, std::string> eq_columns_;
+  std::string src_col_, tgt_col_;
+  SeedSide seed_side_ = SeedSide::kNone;
+  RaExprPtr left_, right_;
+  std::vector<std::string> columns_;
+};
+
+/// Sorted vector of the column names shared by `l` and `r`.
+std::vector<std::string> SharedColumns(const RaExpr& l, const RaExpr& r);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_RA_EXPR_H_

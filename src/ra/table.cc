@@ -1,0 +1,98 @@
+#include "ra/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gqopt {
+
+int Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AddRow(const NodeId* values) {
+  data_.insert(data_.end(), values, values + arity());
+}
+
+void Table::AddRowParts(const NodeId* a, size_t na, const NodeId* b,
+                        size_t nb) {
+  data_.insert(data_.end(), a, a + na);
+  data_.insert(data_.end(), b, b + nb);
+}
+
+void Table::SortDistinct() {
+  size_t n = rows();
+  size_t k = arity();
+  if (n <= 1 || k == 0) return;
+  if (k == 1) {
+    std::sort(data_.begin(), data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+    return;
+  }
+  if (k == 2) {
+    // Pack pairs into 64-bit keys: one flat sort instead of an index sort
+    // with a lexicographic comparator.
+    std::vector<uint64_t> keys(n);
+    for (size_t r = 0; r < n; ++r) {
+      keys[r] = (static_cast<uint64_t>(data_[2 * r]) << 32) |
+                data_[2 * r + 1];
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    data_.resize(keys.size() * 2);
+    for (size_t r = 0; r < keys.size(); ++r) {
+      data_[2 * r] = static_cast<NodeId>(keys[r] >> 32);
+      data_[2 * r + 1] = static_cast<NodeId>(keys[r]);
+    }
+    return;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const NodeId* base = data_.data();
+  auto cmp = [base, k](size_t a, size_t b) {
+    return std::lexicographical_compare(base + a * k, base + (a + 1) * k,
+                                        base + b * k, base + (b + 1) * k);
+  };
+  auto eq = [base, k](size_t a, size_t b) {
+    return std::equal(base + a * k, base + (a + 1) * k, base + b * k);
+  };
+  std::sort(order.begin(), order.end(), cmp);
+  order.erase(std::unique(order.begin(), order.end(), eq), order.end());
+  std::vector<NodeId> out;
+  out.reserve(order.size() * k);
+  for (size_t row : order) {
+    out.insert(out.end(), base + row * k, base + (row + 1) * k);
+  }
+  data_ = std::move(out);
+}
+
+Table Table::RenamedTo(std::vector<std::string> columns) const {
+  Table out(std::move(columns));
+  out.data_ = data_;
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i];
+  }
+  out += "\n";
+  size_t shown = std::min(rows(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < arity(); ++c) {
+      if (c > 0) out += " | ";
+      out += std::to_string(At(r, c));
+    }
+    out += "\n";
+  }
+  if (shown < rows()) {
+    out += "... (" + std::to_string(rows()) + " rows total)\n";
+  }
+  return out;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,66 @@
+// Row-major in-memory tables over node ids: the value domain of RRA plan
+// execution (the relational representation of Fig 11).
+
+#ifndef GQOPT_RA_TABLE_H_
+#define GQOPT_RA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace gqopt {
+
+/// \brief Named-column table of NodeId values, row-major.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+  size_t rows() const {
+    return columns_.empty() ? 0 : data_.size() / columns_.size();
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Index of `column`, or -1.
+  int ColumnIndex(const std::string& column) const;
+
+  NodeId At(size_t row, size_t col) const {
+    return data_[row * arity() + col];
+  }
+
+  /// Appends a row; `values` must have arity() entries.
+  void AddRow(const NodeId* values);
+  void AddRow(const std::vector<NodeId>& values) { AddRow(values.data()); }
+
+  /// Appends a row built from another table's row plus extra values.
+  void AddRowParts(const NodeId* a, size_t na, const NodeId* b, size_t nb);
+
+  /// Pointer to the start of `row`.
+  const NodeId* Row(size_t row) const { return data_.data() + row * arity(); }
+
+  /// Sorts rows lexicographically and drops duplicates.
+  void SortDistinct();
+
+  /// Raw storage (row-major).
+  const std::vector<NodeId>& data() const { return data_; }
+  void Reserve(size_t row_count) { data_.reserve(row_count * arity()); }
+
+  /// Copy of this table with the columns renamed positionally.
+  /// `columns.size()` must equal arity().
+  Table RenamedTo(std::vector<std::string> columns) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<NodeId> data_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_TABLE_H_

@@ -1,0 +1,183 @@
+#include "ra/ucqt_to_ra.h"
+
+#include <algorithm>
+
+namespace gqopt {
+namespace {
+
+std::string FreshCol(int* counter) {
+  return "_c" + std::to_string((*counter)++);
+}
+
+// Projects `expr` down to exactly {src_col, tgt_col} if it carries more.
+// Projecting away a junction column can create duplicate pairs, so the
+// result is deduplicated — path expressions denote *sets* of pairs (Fig 5)
+// and letting bags through multiplies the fan-out of every later join.
+RaExprPtr KeepEndpoints(RaExprPtr expr, const std::string& src_col,
+                        const std::string& tgt_col) {
+  if (expr->columns().size() == 2 && expr->columns()[0] == src_col &&
+      expr->columns()[1] == tgt_col) {
+    return expr;
+  }
+  return RaExpr::Distinct(RaExpr::Project(
+      std::move(expr), {{src_col, src_col}, {tgt_col, tgt_col}}));
+}
+
+}  // namespace
+
+Result<RaExprPtr> PathToRa(const PathExprPtr& path, const std::string& src_col,
+                           const std::string& tgt_col, int* fresh_counter) {
+  switch (path->op()) {
+    case PathOp::kEdge:
+      return RaExpr::EdgeScan(path->label(), src_col, tgt_col);
+    case PathOp::kReverse:
+      // Reverse scan: swap the column roles.
+      return RaExpr::Project(
+          RaExpr::EdgeScan(path->label(), tgt_col, src_col),
+          {{src_col, src_col}, {tgt_col, tgt_col}});
+    case PathOp::kConcat: {
+      std::string mid = FreshCol(fresh_counter);
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr left, PathToRa(path->left(), src_col, mid, fresh_counter));
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr right,
+          PathToRa(path->right(), mid, tgt_col, fresh_counter));
+      RaExprPtr joined;
+      if (!path->annotation().empty()) {
+        // Annotated junction: the node-label filter becomes an extra join
+        // with the node table(s) — the semi-join insertion of Fig 15.
+        RaExprPtr labels = RaExpr::NodeScan(path->annotation(), mid);
+        joined = RaExpr::Join(RaExpr::Join(std::move(labels),
+                                           std::move(right)),
+                              std::move(left));
+      } else {
+        joined = RaExpr::Join(std::move(left), std::move(right));
+      }
+      return KeepEndpoints(std::move(joined), src_col, tgt_col);
+    }
+    case PathOp::kUnion: {
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr left,
+          PathToRa(path->left(), src_col, tgt_col, fresh_counter));
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr right,
+          PathToRa(path->right(), src_col, tgt_col, fresh_counter));
+      return RaExpr::Distinct(RaExpr::Union(std::move(left),
+                                            std::move(right)));
+    }
+    case PathOp::kConjunction: {
+      // Tab 2: join on both endpoints.
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr left,
+          PathToRa(path->left(), src_col, tgt_col, fresh_counter));
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr right,
+          PathToRa(path->right(), src_col, tgt_col, fresh_counter));
+      return RaExpr::Join(std::move(left), std::move(right));
+    }
+    case PathOp::kBranchRight: {
+      // Tab 2: semi-join keeping phi1, testing that phi2 continues from
+      // phi1's target.
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr left,
+          PathToRa(path->left(), src_col, tgt_col, fresh_counter));
+      std::string ext = FreshCol(fresh_counter);
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr right,
+          PathToRa(path->right(), tgt_col, ext, fresh_counter));
+      return RaExpr::SemiJoin(
+          std::move(left),
+          RaExpr::Project(std::move(right), {{tgt_col, tgt_col}}));
+    }
+    case PathOp::kBranchLeft: {
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr right,
+          PathToRa(path->right(), src_col, tgt_col, fresh_counter));
+      std::string ext = FreshCol(fresh_counter);
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr left,
+          PathToRa(path->left(), src_col, ext, fresh_counter));
+      return RaExpr::SemiJoin(
+          std::move(right),
+          RaExpr::Project(std::move(left), {{src_col, src_col}}));
+    }
+    case PathOp::kClosure: {
+      GQOPT_ASSIGN_OR_RETURN(
+          RaExprPtr body,
+          PathToRa(path->left(), src_col, tgt_col, fresh_counter));
+      return RaExpr::TransitiveClosure(std::move(body), src_col, tgt_col);
+    }
+    case PathOp::kRepeat: {
+      return PathToRa(DesugarRepeat(path), src_col, tgt_col, fresh_counter);
+    }
+  }
+  return Status::Internal("unhandled path op in PathToRa");
+}
+
+Result<RaExprPtr> UcqtToRa(const Ucqt& query) {
+  if (query.head_vars.empty()) {
+    return Status::InvalidArgument("query must project at least one variable");
+  }
+  RaExprPtr result;
+  for (const Cqt& cqt : query.disjuncts) {
+    int fresh_counter = 0;
+    RaExprPtr body;
+    for (const Relation& rel : cqt.relations) {
+      RaExprPtr plan;
+      if (rel.source_var == rel.target_var) {
+        // (x, phi, x): translate with a shadow target column, keep the
+        // diagonal and expose the single variable column.
+        std::string shadow = rel.target_var + "__loop";
+        GQOPT_ASSIGN_OR_RETURN(plan, PathToRa(DesugarRepeat(rel.path),
+                                              rel.source_var, shadow,
+                                              &fresh_counter));
+        plan = RaExpr::Distinct(RaExpr::Project(
+            RaExpr::SelectEq(std::move(plan), rel.source_var, shadow),
+            {{rel.source_var, rel.source_var}}));
+      } else {
+        GQOPT_ASSIGN_OR_RETURN(plan, PathToRa(DesugarRepeat(rel.path),
+                                              rel.source_var, rel.target_var,
+                                              &fresh_counter));
+      }
+      body = body ? RaExpr::Join(std::move(body), std::move(plan))
+                  : std::move(plan);
+    }
+    if (!body) {
+      return Status::InvalidArgument("CQT disjunct has no relations");
+    }
+    for (const LabelAtom& atom : cqt.atoms) {
+      body = RaExpr::Join(std::move(body),
+                          RaExpr::NodeScan(atom.labels, atom.var));
+    }
+    // Project the head variables.
+    std::vector<std::pair<std::string, std::string>> head;
+    head.reserve(query.head_vars.size());
+    for (const std::string& var : query.head_vars) {
+      if (std::find(body->columns().begin(), body->columns().end(), var) ==
+          body->columns().end()) {
+        return Status::InvalidArgument("head variable '" + var +
+                                       "' is unbound in a disjunct");
+      }
+      head.emplace_back(var, var);
+    }
+    RaExprPtr projected = RaExpr::Project(std::move(body), head);
+    result = result ? RaExpr::Union(std::move(result), std::move(projected))
+                    : std::move(projected);
+  }
+  if (!result) {
+    // Empty UCQT: an empty table with the head columns. Model as a scan of
+    // an impossible node-label union.
+    if (query.head_vars.size() == 1) {
+      return RaExprPtr(RaExpr::NodeScan({}, query.head_vars[0]));
+    }
+    RaExprPtr empty = RaExpr::NodeScan({}, query.head_vars[0]);
+    for (size_t i = 1; i < query.head_vars.size(); ++i) {
+      empty = RaExpr::Join(std::move(empty),
+                           RaExpr::NodeScan({}, query.head_vars[i]));
+    }
+    return empty;
+  }
+  return RaExprPtr(RaExpr::Distinct(std::move(result)));
+}
+
+}  // namespace gqopt

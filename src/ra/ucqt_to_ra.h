@@ -1,0 +1,28 @@
+// UCQT2RRA: translation of UCQT queries into recursive relational algebra
+// plans (paper §4, including the conjunction and branching rules of Tab 2).
+
+#ifndef GQOPT_RA_UCQT_TO_RA_H_
+#define GQOPT_RA_UCQT_TO_RA_H_
+
+#include "query/ucqt.h"
+#include "ra/ra_expr.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// \brief Translates `query` into an RRA plan whose output columns are the
+/// query's head variables (in order).
+///
+/// Per Tab 2: conjunction joins on both endpoint columns; branches become
+/// semi-joins; transitive closures become kTransitiveClosure nodes (the µ
+/// fixpoint specialization). Bounded repetitions are desugared first.
+Result<RaExprPtr> UcqtToRa(const Ucqt& query);
+
+/// Translates a single path expression into a binary plan with the given
+/// output column names. `fresh_counter` names internal junction columns.
+Result<RaExprPtr> PathToRa(const PathExprPtr& path, const std::string& src_col,
+                           const std::string& tgt_col, int* fresh_counter);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_UCQT_TO_RA_H_

@@ -1,0 +1,93 @@
+#include "schema/schema_parser.h"
+
+#include <string>
+
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+Status ParseNodeLine(std::string_view line, GraphSchema* schema) {
+  // line: "LABEL" or "LABEL {key:type, key:type}"
+  std::string_view rest = StripWhitespace(line);
+  size_t brace = rest.find('{');
+  std::string_view label =
+      StripWhitespace(brace == std::string_view::npos ? rest
+                                                      : rest.substr(0, brace));
+  if (!IsIdentifier(label)) {
+    return Status::InvalidArgument("bad node label: '" + std::string(label) +
+                                   "'");
+  }
+  schema->AddNodeLabel(label);
+  if (brace == std::string_view::npos) return Status::OK();
+  size_t close = rest.find('}', brace);
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("unterminated property block in: " +
+                                   std::string(line));
+  }
+  std::string_view props = rest.substr(brace + 1, close - brace - 1);
+  if (StripWhitespace(props).empty()) return Status::OK();
+  for (const std::string& item : Split(props, ',')) {
+    std::string_view entry = StripWhitespace(item);
+    size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("property needs key:type, got: " +
+                                     std::string(entry));
+    }
+    std::string_view key = StripWhitespace(entry.substr(0, colon));
+    std::string_view type_name = StripWhitespace(entry.substr(colon + 1));
+    if (!IsIdentifier(key)) {
+      return Status::InvalidArgument("bad property key: " + std::string(key));
+    }
+    GQOPT_ASSIGN_OR_RETURN(PropertyType type, ParsePropertyType(type_name));
+    GQOPT_RETURN_NOT_OK(schema->AddProperty(label, key, type));
+  }
+  return Status::OK();
+}
+
+Status ParseEdgeLine(std::string_view line, GraphSchema* schema) {
+  // line: "SRC -label-> TGT"
+  std::string_view rest = StripWhitespace(line);
+  size_t dash = rest.find('-');
+  size_t arrow = rest.find("->", dash);
+  if (dash == std::string_view::npos || arrow == std::string_view::npos) {
+    return Status::InvalidArgument("edge needs 'SRC -label-> TGT', got: " +
+                                   std::string(line));
+  }
+  std::string_view source = StripWhitespace(rest.substr(0, dash));
+  std::string_view label = StripWhitespace(rest.substr(dash + 1, arrow - dash - 1));
+  std::string_view target = StripWhitespace(rest.substr(arrow + 2));
+  if (!IsIdentifier(source) || !IsIdentifier(label) || !IsIdentifier(target)) {
+    return Status::InvalidArgument("bad edge declaration: " +
+                                   std::string(line));
+  }
+  schema->AddEdge(source, label, target);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GraphSchema> ParseSchema(std::string_view text) {
+  GraphSchema schema;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    Status st;
+    if (StartsWith(line, "node ")) {
+      st = ParseNodeLine(line.substr(5), &schema);
+    } else if (StartsWith(line, "edge ")) {
+      st = ParseEdgeLine(line.substr(5), &schema);
+    } else {
+      st = Status::InvalidArgument("expected 'node' or 'edge' directive");
+    }
+    if (!st.ok()) {
+      return Status::InvalidArgument("schema line " + std::to_string(line_no) +
+                                     ": " + st.message());
+    }
+  }
+  return schema;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,27 @@
+// Text format for graph schemas.
+//
+// Line-oriented:
+//   # comment
+//   node PERSON {name:string, age:int}
+//   node CITY {name:string}
+//   edge PERSON -livesIn-> CITY
+//
+// Property blocks are optional. Unknown node labels referenced by edges are
+// declared implicitly.
+
+#ifndef GQOPT_SCHEMA_SCHEMA_PARSER_H_
+#define GQOPT_SCHEMA_SCHEMA_PARSER_H_
+
+#include <string_view>
+
+#include "schema/graph_schema.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Parses the schema text format described above.
+Result<GraphSchema> ParseSchema(std::string_view text);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_SCHEMA_SCHEMA_PARSER_H_

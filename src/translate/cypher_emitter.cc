@@ -1,0 +1,151 @@
+#include "translate/cypher_emitter.h"
+
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+// One hop of a Cypher relationship chain.
+struct Step {
+  std::string label;
+  bool reversed = false;
+  int min_hops = 1;  // >1..: variable length
+  int max_hops = 1;  // -1 = unbounded
+  std::vector<std::string> node_labels;  // labels on the step's target node
+};
+
+// Flattens `path` into chain steps; returns false when inexpressible.
+bool FlattenChain(const PathExprPtr& path, std::vector<Step>* steps) {
+  switch (path->op()) {
+    case PathOp::kEdge:
+      steps->push_back(Step{path->label(), false, 1, 1, {}});
+      return true;
+    case PathOp::kReverse:
+      steps->push_back(Step{path->label(), true, 1, 1, {}});
+      return true;
+    case PathOp::kConcat: {
+      if (!FlattenChain(path->left(), steps)) return false;
+      size_t junction = steps->size();  // annotation lands on left's end
+      if (!FlattenChain(path->right(), steps)) return false;
+      if (!path->annotation().empty()) {
+        if (junction == 0) return false;
+        (*steps)[junction - 1].node_labels = path->annotation();
+      }
+      return true;
+    }
+    case PathOp::kClosure: {
+      const PathExprPtr& child = path->left();
+      if (child->op() == PathOp::kEdge || child->op() == PathOp::kReverse) {
+        steps->push_back(Step{child->label(),
+                              child->op() == PathOp::kReverse, 1, -1, {}});
+        return true;
+      }
+      return false;  // closure of a compound expression
+    }
+    case PathOp::kRepeat: {
+      const PathExprPtr& child = path->left();
+      if (child->op() == PathOp::kEdge || child->op() == PathOp::kReverse) {
+        steps->push_back(Step{child->label(),
+                              child->op() == PathOp::kReverse,
+                              path->min_repeat(), path->max_repeat(), {}});
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;  // union/branch/conjunction are beyond Cypher's RPQs
+  }
+}
+
+std::string NodePattern(const std::string& name,
+                        const std::vector<std::string>& labels) {
+  std::string out = "(" + name;
+  if (!labels.empty()) {
+    out += ":";
+    out += Join(std::vector<std::string>(labels.begin(), labels.end()), "|");
+  }
+  return out + ")";
+}
+
+Result<std::string> EmitCqtMatch(const Cqt& cqt) {
+  // Label atoms indexed by variable.
+  std::map<std::string, std::vector<std::string>> atom_labels;
+  for (const LabelAtom& atom : cqt.atoms) {
+    atom_labels[atom.var] = atom.labels;
+  }
+
+  std::vector<std::string> matches;
+  int anon_counter = 0;
+  for (const Relation& rel : cqt.relations) {
+    std::vector<Step> steps;
+    if (!FlattenChain(rel.path, &steps)) {
+      return Status::Unimplemented(
+          "path expression is outside Cypher's UC2RPQ fragment: " +
+          rel.path->ToString());
+    }
+    std::string pattern;
+    auto var_labels = [&](const std::string& var) {
+      auto it = atom_labels.find(var);
+      return it == atom_labels.end() ? std::vector<std::string>{}
+                                     : it->second;
+    };
+    pattern += NodePattern(rel.source_var, var_labels(rel.source_var));
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const Step& step = steps[i];
+      std::string rel_pattern = "[:" + step.label;
+      if (step.max_hops != 1 || step.min_hops != 1) {
+        rel_pattern += "*" + std::to_string(step.min_hops) + "..";
+        if (step.max_hops > 0) rel_pattern += std::to_string(step.max_hops);
+      }
+      rel_pattern += "]";
+      pattern += step.reversed ? "<-" + rel_pattern + "-"
+                               : "-" + rel_pattern + "->";
+      bool last = (i + 1 == steps.size());
+      if (last) {
+        std::vector<std::string> labels = var_labels(rel.target_var);
+        if (labels.empty()) labels = step.node_labels;
+        pattern += NodePattern(rel.target_var, labels);
+      } else {
+        std::string anon =
+            step.node_labels.empty()
+                ? ""
+                : "_j" + std::to_string(anon_counter++);
+        pattern += NodePattern(anon, step.node_labels);
+      }
+    }
+    matches.push_back("MATCH " + pattern);
+  }
+
+  std::string cypher = Join(matches, "\n");
+  cypher += "\nRETURN DISTINCT " + Join(cqt.head_vars, ", ");
+  return cypher;
+}
+
+}  // namespace
+
+bool IsCypherExpressible(const Ucqt& query) {
+  for (const Cqt& cqt : query.disjuncts) {
+    for (const Relation& rel : cqt.relations) {
+      std::vector<Step> steps;
+      if (!FlattenChain(rel.path, &steps)) return false;
+    }
+  }
+  return true;
+}
+
+Result<std::string> EmitCypher(const Ucqt& query) {
+  std::vector<std::string> parts;
+  for (const Cqt& cqt : query.disjuncts) {
+    GQOPT_ASSIGN_OR_RETURN(std::string cypher, EmitCqtMatch(cqt));
+    parts.push_back(std::move(cypher));
+  }
+  if (parts.empty()) {
+    return std::string("RETURN NULL LIMIT 0;");
+  }
+  return Join(parts, "\nUNION\n") + ";";
+}
+
+}  // namespace gqopt

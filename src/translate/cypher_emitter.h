@@ -1,0 +1,27 @@
+// GP2Cypher: emission of Cypher MATCH patterns for the UC2RPQ-expressible
+// fragment of UCQT (paper §4 and §5.5: Cypher supports only a restricted
+// form of UC2RPQ, so branching/conjunction/complex closures are rejected
+// with Status::Unimplemented — 15 of the paper's 30 LDBC queries qualify).
+
+#ifndef GQOPT_TRANSLATE_CYPHER_EMITTER_H_
+#define GQOPT_TRANSLATE_CYPHER_EMITTER_H_
+
+#include <string>
+
+#include "query/ucqt.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// True when every disjunct of `query` is a chain of single-edge steps
+/// (optionally reversed), closures/repetitions of single edges, and label
+/// annotations — the fragment GP2Cypher can express.
+bool IsCypherExpressible(const Ucqt& query);
+
+/// Emits a Cypher query (MATCH ... RETURN DISTINCT ..., disjuncts joined by
+/// UNION). Fails with Unimplemented outside the expressible fragment.
+Result<std::string> EmitCypher(const Ucqt& query);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_TRANSLATE_CYPHER_EMITTER_H_

@@ -1,0 +1,208 @@
+#include "translate/sql_emitter.h"
+
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+// Collects WITH RECURSIVE CTE definitions and generates aliases.
+class SqlContext {
+ public:
+  std::string FreshAlias(const char* prefix) {
+    return std::string(prefix) + std::to_string(alias_counter_++);
+  }
+
+  std::string AddClosureCte(const std::string& body_sql) {
+    std::string name = "tc_" + std::to_string(cte_counter_++);
+    std::string def = name + "(Sr, Tr) AS (\n" +
+                      "    SELECT base.Sr, base.Tr FROM (" + body_sql +
+                      ") AS base\n" +
+                      "  UNION\n" +
+                      "    SELECT t.Sr, s.Tr FROM " + name +
+                      " AS t JOIN (" + body_sql + ") AS s ON t.Tr = s.Sr\n" +
+                      "  )";
+    ctes_.push_back(std::move(def));
+    return name;
+  }
+
+  const std::vector<std::string>& ctes() const { return ctes_; }
+
+ private:
+  int alias_counter_ = 0;
+  int cte_counter_ = 0;
+  std::vector<std::string> ctes_;
+};
+
+std::string LabelSetSelect(const std::vector<std::string>& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += " UNION SELECT Sr FROM ";
+    else out += "SELECT Sr FROM ";
+    out += labels[i];
+  }
+  return out;
+}
+
+// Emits a derived-table SQL expression with output columns (Sr, Tr) for the
+// given (possibly annotated) path expression.
+Result<std::string> EmitPath(const PathExprPtr& path, SqlContext* ctx) {
+  switch (path->op()) {
+    case PathOp::kEdge:
+      return "SELECT Sr, Tr FROM " + path->label();
+    case PathOp::kReverse:
+      return "SELECT Tr AS Sr, Sr AS Tr FROM " + path->label();
+    case PathOp::kConcat: {
+      GQOPT_ASSIGN_OR_RETURN(std::string left, EmitPath(path->left(), ctx));
+      GQOPT_ASSIGN_OR_RETURN(std::string right, EmitPath(path->right(), ctx));
+      std::string a = ctx->FreshAlias("a");
+      std::string b = ctx->FreshAlias("b");
+      std::string sql = "SELECT " + a + ".Sr AS Sr, " + b + ".Tr AS Tr FROM (" +
+                        left + ") AS " + a + " JOIN (" + right + ") AS " + b +
+                        " ON " + a + ".Tr = " + b + ".Sr";
+      if (!path->annotation().empty()) {
+        std::string lab = ctx->FreshAlias("lab");
+        sql += " JOIN (" + LabelSetSelect(path->annotation()) + ") AS " + lab +
+               " ON " + a + ".Tr = " + lab + ".Sr";
+      }
+      return sql;
+    }
+    case PathOp::kUnion: {
+      GQOPT_ASSIGN_OR_RETURN(std::string left, EmitPath(path->left(), ctx));
+      GQOPT_ASSIGN_OR_RETURN(std::string right, EmitPath(path->right(), ctx));
+      std::string u = ctx->FreshAlias("u");
+      return "SELECT Sr, Tr FROM ((" + left + ") UNION (" + right + ")) AS " +
+             u;
+    }
+    case PathOp::kConjunction: {
+      GQOPT_ASSIGN_OR_RETURN(std::string left, EmitPath(path->left(), ctx));
+      GQOPT_ASSIGN_OR_RETURN(std::string right, EmitPath(path->right(), ctx));
+      std::string a = ctx->FreshAlias("a");
+      std::string b = ctx->FreshAlias("b");
+      return "SELECT " + a + ".Sr AS Sr, " + a + ".Tr AS Tr FROM (" + left +
+             ") AS " + a + " JOIN (" + right + ") AS " + b + " ON " + a +
+             ".Sr = " + b + ".Sr AND " + a + ".Tr = " + b + ".Tr";
+    }
+    case PathOp::kBranchRight: {
+      GQOPT_ASSIGN_OR_RETURN(std::string left, EmitPath(path->left(), ctx));
+      GQOPT_ASSIGN_OR_RETURN(std::string right, EmitPath(path->right(), ctx));
+      std::string a = ctx->FreshAlias("a");
+      std::string b = ctx->FreshAlias("b");
+      return "SELECT " + a + ".Sr AS Sr, " + a + ".Tr AS Tr FROM (" + left +
+             ") AS " + a + " WHERE EXISTS (SELECT 1 FROM (" + right +
+             ") AS " + b + " WHERE " + b + ".Sr = " + a + ".Tr)";
+    }
+    case PathOp::kBranchLeft: {
+      GQOPT_ASSIGN_OR_RETURN(std::string left, EmitPath(path->left(), ctx));
+      GQOPT_ASSIGN_OR_RETURN(std::string right, EmitPath(path->right(), ctx));
+      std::string a = ctx->FreshAlias("a");
+      std::string b = ctx->FreshAlias("b");
+      return "SELECT " + a + ".Sr AS Sr, " + a + ".Tr AS Tr FROM (" + right +
+             ") AS " + a + " WHERE EXISTS (SELECT 1 FROM (" + left +
+             ") AS " + b + " WHERE " + b + ".Sr = " + a + ".Sr)";
+    }
+    case PathOp::kClosure: {
+      GQOPT_ASSIGN_OR_RETURN(std::string body, EmitPath(path->left(), ctx));
+      std::string cte = ctx->AddClosureCte(body);
+      return "SELECT Sr, Tr FROM " + cte;
+    }
+    case PathOp::kRepeat:
+      return EmitPath(DesugarRepeat(path), ctx);
+  }
+  return Status::Internal("unhandled path op in EmitPath");
+}
+
+Result<std::string> EmitCqt(const Cqt& cqt, SqlContext* ctx) {
+  // Bind each variable to the first (alias, column) that produces it.
+  std::map<std::string, std::string> binding;
+  std::vector<std::string> from_items;
+  std::vector<std::string> predicates;
+
+  for (const Relation& rel : cqt.relations) {
+    GQOPT_ASSIGN_OR_RETURN(std::string sql, EmitPath(rel.path, ctx));
+    std::string alias = ctx->FreshAlias("r");
+    from_items.push_back("(" + sql + ") AS " + alias);
+    std::string src_expr = alias + ".Sr";
+    std::string tgt_expr = alias + ".Tr";
+    auto bind = [&](const std::string& var, const std::string& expr) {
+      auto it = binding.find(var);
+      if (it == binding.end()) {
+        binding.emplace(var, expr);
+      } else {
+        predicates.push_back(it->second + " = " + expr);
+      }
+    };
+    bind(rel.source_var, src_expr);
+    bind(rel.target_var, tgt_expr);
+  }
+  for (const LabelAtom& atom : cqt.atoms) {
+    auto it = binding.find(atom.var);
+    if (it == binding.end()) {
+      return Status::InvalidArgument("label atom on unbound variable " +
+                                     atom.var);
+    }
+    predicates.push_back(it->second + " IN (" + LabelSetSelect(atom.labels) +
+                         ")");
+  }
+
+  std::string sql = "SELECT DISTINCT ";
+  for (size_t i = 0; i < cqt.head_vars.size(); ++i) {
+    if (i > 0) sql += ", ";
+    auto it = binding.find(cqt.head_vars[i]);
+    if (it == binding.end()) {
+      return Status::InvalidArgument("head variable " + cqt.head_vars[i] +
+                                     " is unbound");
+    }
+    sql += it->second + " AS " + cqt.head_vars[i];
+  }
+  sql += "\nFROM " + Join(from_items, ",\n     ");
+  if (!predicates.empty()) {
+    sql += "\nWHERE " + Join(predicates, "\n  AND ");
+  }
+  return sql;
+}
+
+}  // namespace
+
+Result<std::string> EmitSql(const Ucqt& query, const SqlOptions& options) {
+  SqlContext ctx;
+  std::vector<std::string> selects;
+  for (const Cqt& cqt : query.disjuncts) {
+    GQOPT_ASSIGN_OR_RETURN(std::string sql, EmitCqt(cqt, &ctx));
+    selects.push_back(std::move(sql));
+  }
+  std::string body;
+  if (selects.empty()) {
+    body = "SELECT ";
+    for (size_t i = 0; i < query.head_vars.size(); ++i) {
+      if (i > 0) body += ", ";
+      body += "NULL AS " + query.head_vars[i];
+    }
+    body += " WHERE 1 = 0";
+  } else {
+    body = Join(selects, "\nUNION\n");
+  }
+
+  std::string sql;
+  if (!ctx.ctes().empty()) {
+    sql = "WITH RECURSIVE\n  " + Join(ctx.ctes(), ",\n  ") + "\n" + body;
+  } else {
+    sql = body;
+  }
+  sql += ";";
+
+  if (!options.as_view) return sql;
+  switch (options.dialect) {
+    case SqlDialect::kPostgres:
+      return "CREATE TEMPORARY VIEW " + options.view_name + " AS\n" + sql;
+    case SqlDialect::kMySql:
+      return "CREATE OR REPLACE VIEW " + options.view_name + " AS\n" + sql;
+    case SqlDialect::kSqlite:
+      return "CREATE VIEW " + options.view_name + " AS\n" + sql;
+  }
+  return sql;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,34 @@
+// RRA2SQL: emission of recursive SQL for UCQT queries against the
+// relational graph layout of Fig 11 (one binary table per edge label with
+// columns Sr/Tr, one table per node label keyed by Sr). Transitive
+// closures become WITH RECURSIVE common table expressions; the dialect
+// switch covers the view-statement variants of the paper's footnote 6.
+
+#ifndef GQOPT_TRANSLATE_SQL_EMITTER_H_
+#define GQOPT_TRANSLATE_SQL_EMITTER_H_
+
+#include <string>
+
+#include "query/ucqt.h"
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Target SQL dialect (affects the view wrapper only).
+enum class SqlDialect { kPostgres, kMySql, kSqlite };
+
+/// Emission options.
+struct SqlOptions {
+  SqlDialect dialect = SqlDialect::kPostgres;
+  /// Wrap the query into the dialect's recursive-view statement.
+  bool as_view = false;
+  std::string view_name = "query_view";
+};
+
+/// Emits a recursive SQL query computing `query`'s result set (one column
+/// per head variable, DISTINCT).
+Result<std::string> EmitSql(const Ucqt& query, const SqlOptions& options = {});
+
+}  // namespace gqopt
+
+#endif  // GQOPT_TRANSLATE_SQL_EMITTER_H_

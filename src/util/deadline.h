@@ -1,0 +1,39 @@
+// Cooperative deadline used to emulate the paper's 30-minute query timeout
+// (§5.1.5). Long-running loops (transitive closure, fixpoints, joins) poll
+// a Deadline and abort with Status::DeadlineExceeded.
+
+#ifndef GQOPT_UTIL_DEADLINE_H_
+#define GQOPT_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gqopt {
+
+/// \brief Wall-clock deadline. Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : expires_(Clock::time_point::max()) {}
+
+  /// Expires `ms` milliseconds from now; ms <= 0 means "never".
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    if (ms > 0) d.expires_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool Expired() const { return Clock::now() >= expires_; }
+
+  /// True when this deadline can actually expire.
+  bool IsFinite() const { return expires_ != Clock::time_point::max(); }
+
+ private:
+  Clock::time_point expires_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_DEADLINE_H_

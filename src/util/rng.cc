@@ -1,0 +1,46 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gqopt {
+
+uint64_t Rng::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias on small bounds.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::Skewed(uint64_t n) {
+  assert(n > 0);
+  // Inverse-CDF of a truncated power law; cheap and deterministic.
+  double u = NextDouble();
+  double x = std::pow(static_cast<double>(n) + 1.0, u) - 1.0;
+  uint64_t idx = static_cast<uint64_t>(x);
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace gqopt

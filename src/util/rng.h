@@ -1,0 +1,49 @@
+// Deterministic pseudo-random generator for dataset generation and tests.
+
+#ifndef GQOPT_UTIL_RNG_H_
+#define GQOPT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gqopt {
+
+/// \brief SplitMix64-based deterministic RNG.
+///
+/// Used by dataset generators and property tests so runs are reproducible
+/// across platforms (std::mt19937 distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability `p` in [0,1].
+  bool Chance(double p);
+
+  /// Uniform double in [0,1).
+  double NextDouble();
+
+  /// Zipf-like skewed pick in [0, n): favours small indices (exponent ~1).
+  uint64_t Skewed(uint64_t n);
+
+  /// Picks one element index of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_RNG_H_

@@ -1,0 +1,45 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace gqopt {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = Percentile(values, 0.25);
+  s.median = Percentile(values, 0.50);
+  s.q3 = Percentile(values, 0.75);
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  return s;
+}
+
+std::string SummaryToString(const Summary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.4f q1=%.4f med=%.4f q3=%.4f max=%.4f mean=%.4f",
+                s.count, s.min, s.q1, s.median, s.q3, s.max, s.mean);
+  return buf;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,33 @@
+// Summary statistics used by the benchmark harness (Tab 7/8, Fig 13/14).
+
+#ifndef GQOPT_UTIL_STATS_H_
+#define GQOPT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gqopt {
+
+/// Five-number summary plus mean over a sample of runtimes (or any doubles).
+struct Summary {
+  size_t count = 0;
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+/// Computes the summary of `values` (empty input yields a zero summary).
+/// Quartiles use linear interpolation between order statistics, matching
+/// the convention of numpy.percentile / pandas.describe used by the paper.
+Summary Summarize(std::vector<double> values);
+
+/// Renders a summary row, e.g. for markdown tables.
+std::string SummaryToString(const Summary& s);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_STATS_H_

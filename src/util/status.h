@@ -1,0 +1,148 @@
+// Status / Result error-handling primitives (Arrow / RocksDB idiom).
+//
+// gqopt does not throw exceptions across public API boundaries; fallible
+// operations return Status (void results) or Result<T> (value results).
+
+#ifndef GQOPT_UTIL_STATUS_H_
+#define GQOPT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gqopt {
+
+/// Error category attached to a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// A Status is either OK or carries a StatusCode plus a human-readable
+/// message. Statuses are cheap to copy and compare.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Outcome of a fallible operation producing a T.
+///
+/// Holds either a value or a non-ok Status. Accessing the value of a failed
+/// Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Returns early with the enclosing function's Status on failure.
+#define GQOPT_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::gqopt::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Assigns `lhs` from a Result expression, propagating failure.
+#define GQOPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define GQOPT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define GQOPT_ASSIGN_OR_RETURN_NAME(x, y) GQOPT_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define GQOPT_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  GQOPT_ASSIGN_OR_RETURN_IMPL(                                              \
+      GQOPT_ASSIGN_OR_RETURN_NAME(_gqopt_result_, __LINE__), lhs, rexpr)
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_STATUS_H_

@@ -1,0 +1,121 @@
+// Aggregation extension tests, including the invariant that makes the
+// extension sound: the schema rewriting preserves result sets (Theorem 1),
+// hence every aggregate of the result.
+
+#include <gtest/gtest.h>
+
+#include "core/rewriter.h"
+#include "datasets/yago.h"
+#include "eval/aggregate.h"
+#include "query/query_parser.h"
+#include "ra/catalog.h"
+#include "ra/executor.h"
+#include "ra/optimizer.h"
+#include "ra/ucqt_to_ra.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+using testing::kN2;
+using testing::kN3;
+
+ResultSet RunQuery(const PropertyGraph& graph, const std::string& text) {
+  auto query = ParseUcqt(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  GraphEngine engine(graph);
+  auto result = engine.Run(*query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : ResultSet{};
+}
+
+TEST(AggregateTest, TotalCount) {
+  PropertyGraph graph = testing::Fig2Graph();
+  ResultSet rows = RunQuery(graph, "x, y <- (x, isLocatedIn, y)");
+  auto agg = CountByGroup(rows, {});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->groups.size(), 1u);
+  EXPECT_EQ(agg->groups[0].count, 4u);
+  EXPECT_EQ(agg->TotalRows(), 4u);
+}
+
+TEST(AggregateTest, GroupBySource) {
+  PropertyGraph graph = testing::Fig2Graph();
+  // Everything each person can reach through marriage or residence.
+  ResultSet rows = RunQuery(graph, "x, y <- (x, isMarriedTo | livesIn, y)");
+  auto agg = CountByGroup(rows, {"x"});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->groups.size(), 2u);  // John and Shradha
+  EXPECT_EQ(agg->groups[0].key, (std::vector<NodeId>{kN2}));
+  EXPECT_EQ(agg->groups[0].count, 2u);
+  EXPECT_EQ(agg->groups[1].key, (std::vector<NodeId>{kN3}));
+  EXPECT_EQ(agg->groups[1].count, 2u);
+  ASSERT_NE(agg->MaxGroup(), nullptr);
+  EXPECT_EQ(agg->MaxGroup()->count, 2u);
+}
+
+TEST(AggregateTest, UnknownGroupVariableIsError) {
+  PropertyGraph graph = testing::Fig2Graph();
+  ResultSet rows = RunQuery(graph, "x, y <- (x, owns, y)");
+  auto agg = CountByGroup(rows, {"nope"});
+  ASSERT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateTest, EmptyResult) {
+  PropertyGraph graph = testing::Fig2Graph();
+  ResultSet rows = RunQuery(graph, "x, y <- (x, dealsWith, y)");
+  auto agg = CountByGroup(rows, {"x"});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->groups.empty());
+  EXPECT_EQ(agg->TotalRows(), 0u);
+  EXPECT_EQ(agg->MaxGroup(), nullptr);
+}
+
+TEST(AggregateTest, TableOverloadDeduplicatesFirst) {
+  Table table({"a", "b"});
+  table.AddRow(std::vector<NodeId>{1, 2});
+  table.AddRow(std::vector<NodeId>{1, 2});  // duplicate row
+  table.AddRow(std::vector<NodeId>{1, 3});
+  auto agg = CountByGroup(table, {"a"});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->groups.size(), 1u);
+  EXPECT_EQ(agg->groups[0].count, 2u);  // set semantics: {1,2} once
+}
+
+TEST(AggregateTest, RewritingPreservesAggregates) {
+  // The future-work extension's soundness: counts per person of reachable
+  // regions/countries agree between the baseline and the rewritten query,
+  // and between the two engines.
+  YagoConfig config;
+  config.persons = 200;
+  PropertyGraph graph = GenerateYago(config);
+  Catalog catalog(graph);
+  auto query =
+      ParseUcqt("x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)");
+  ASSERT_TRUE(query.ok());
+  auto rewritten = RewriteQuery(*query, YagoSchema());
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_FALSE(rewritten->reverted);
+
+  GraphEngine engine(graph);
+  auto base_rows = engine.Run(*query);
+  auto schema_rows = engine.Run(rewritten->query);
+  ASSERT_TRUE(base_rows.ok() && schema_rows.ok());
+  auto base_agg = CountByGroup(*base_rows, {"x1"});
+  auto schema_agg = CountByGroup(*schema_rows, {"x1"});
+  ASSERT_TRUE(base_agg.ok() && schema_agg.ok());
+  EXPECT_EQ(base_agg->groups, schema_agg->groups);
+
+  Executor executor(catalog);
+  auto plan = UcqtToRa(rewritten->query);
+  ASSERT_TRUE(plan.ok());
+  auto table = executor.Run(OptimizePlan(*plan, catalog));
+  ASSERT_TRUE(table.ok());
+  auto table_agg = CountByGroup(*table, {"x1"});
+  ASSERT_TRUE(table_agg.ok());
+  EXPECT_EQ(base_agg->groups, table_agg->groups);
+}
+
+}  // namespace
+}  // namespace gqopt

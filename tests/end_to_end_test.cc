@@ -1,0 +1,140 @@
+// Integration: the full experiment pipeline at miniature scale — every
+// workload query runs on both engines, baseline vs schema-enriched, and
+// must produce identical result sets (the soundness/completeness claim on
+// the real workloads rather than random ones).
+
+#include <gtest/gtest.h>
+
+#include "benchsup/harness.h"
+#include "core/rewriter.h"
+#include "datasets/ldbc.h"
+#include "datasets/workloads.h"
+#include "datasets/yago.h"
+#include "eval/graph_engine.h"
+#include "query/query_parser.h"
+#include "ra/catalog.h"
+#include "ra/executor.h"
+#include "ra/optimizer.h"
+#include "ra/ucqt_to_ra.h"
+
+namespace gqopt {
+namespace {
+
+std::vector<std::vector<NodeId>> RelationalRows(const Catalog& catalog,
+                                                const Ucqt& query) {
+  auto plan = UcqtToRa(query);
+  EXPECT_TRUE(plan.ok()) << query.ToString();
+  Executor executor(catalog);
+  auto table = executor.Run(OptimizePlan(*plan, catalog));
+  EXPECT_TRUE(table.ok()) << query.ToString() << ": "
+                          << table.status().ToString();
+  std::vector<std::vector<NodeId>> rows;
+  if (!table.ok()) return rows;
+  Table sorted = *table;
+  sorted.SortDistinct();
+  for (size_t r = 0; r < sorted.rows(); ++r) {
+    std::vector<NodeId> row;
+    for (size_t c = 0; c < sorted.arity(); ++c) row.push_back(sorted.At(r, c));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+class WorkloadEquivalenceTest : public ::testing::Test {
+ protected:
+  void CheckWorkload(const std::vector<WorkloadQuery>& workload,
+                     const GraphSchema& schema, const PropertyGraph& graph) {
+    Catalog catalog(graph);
+    GraphEngine engine(graph);
+    for (const WorkloadQuery& wq : workload) {
+      auto query = ParseWorkloadQuery(wq);
+      ASSERT_TRUE(query.ok()) << wq.id;
+      auto rewritten = RewriteQuery(*query, schema);
+      ASSERT_TRUE(rewritten.ok()) << wq.id << ": "
+                                  << rewritten.status().ToString();
+
+      auto baseline_graph = engine.Run(*query);
+      ASSERT_TRUE(baseline_graph.ok()) << wq.id;
+      auto schema_graph = engine.Run(rewritten->query);
+      ASSERT_TRUE(schema_graph.ok()) << wq.id;
+      EXPECT_EQ(baseline_graph->rows, schema_graph->rows)
+          << wq.id << " (graph engine): baseline vs schema";
+
+      auto baseline_rel = RelationalRows(catalog, *query);
+      EXPECT_EQ(baseline_rel, baseline_graph->rows)
+          << wq.id << ": relational vs graph engine (baseline)";
+      auto schema_rel = RelationalRows(catalog, rewritten->query);
+      EXPECT_EQ(schema_rel, baseline_graph->rows)
+          << wq.id << ": relational vs graph engine (schema)";
+    }
+  }
+};
+
+TEST_F(WorkloadEquivalenceTest, YagoWorkloadAllEnginesAgree) {
+  YagoConfig config;
+  config.persons = 120;
+  config.seed = 3;
+  PropertyGraph graph = GenerateYago(config);
+  CheckWorkload(YagoWorkload(), YagoSchema(), graph);
+}
+
+TEST_F(WorkloadEquivalenceTest, LdbcWorkloadAllEnginesAgree) {
+  LdbcConfig config;
+  config.persons = 40;
+  config.seed = 9;
+  PropertyGraph graph = GenerateLdbc(config);
+  CheckWorkload(LdbcWorkload(), LdbcSchema(), graph);
+}
+
+TEST(HarnessTest, MeasuresRelationalAndGraphRuns) {
+  YagoConfig config;
+  config.persons = 60;
+  PropertyGraph graph = GenerateYago(config);
+  Catalog catalog(graph);
+  auto query = ParseUcqt("x1, x2 <- (x1, owns/isLocatedIn, x2)");
+  ASSERT_TRUE(query.ok());
+  HarnessOptions options;
+  options.timeout_ms = 5000;
+  options.repetitions = 2;
+  RunMeasurement relational = MeasureRelational(catalog, *query, options);
+  EXPECT_TRUE(relational.feasible) << relational.error;
+  EXPECT_GT(relational.seconds, 0);
+  RunMeasurement graph_run = MeasureGraph(graph, *query, options);
+  EXPECT_TRUE(graph_run.feasible) << graph_run.error;
+  EXPECT_EQ(relational.result_rows, graph_run.result_rows);
+}
+
+TEST(HarnessTest, TimeoutMarksInfeasible) {
+  // A heavier recursive query with an immediate timeout must be reported
+  // infeasible, not crash — this is the Tab 5 bookkeeping.
+  YagoConfig config;
+  config.persons = 800;
+  PropertyGraph graph = GenerateYago(config);
+  Catalog catalog(graph);
+  auto query = ParseUcqt("x1, x2 <- (x1, (isMarriedTo | hasChild)+, x2)");
+  ASSERT_TRUE(query.ok());
+  HarnessOptions options;
+  options.timeout_ms = 1;
+  options.repetitions = 1;
+  RunMeasurement m = MeasureRelational(catalog, *query, options);
+  EXPECT_FALSE(m.feasible);
+  EXPECT_FALSE(m.error.empty());
+}
+
+TEST(HarnessTest, SchemaPreparationRoundTrip) {
+  auto query = ParseUcqt(
+      "x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)");
+  ASSERT_TRUE(query.ok());
+  auto prepared = PrepareSchemaQuery(*query, YagoSchema());
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->reverted);
+}
+
+TEST(HarnessTest, FromEnvDefaults) {
+  HarnessOptions options = HarnessOptions::FromEnv();
+  EXPECT_GT(options.timeout_ms, 0);
+  EXPECT_GE(options.repetitions, 1);
+}
+
+}  // namespace
+}  // namespace gqopt

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "eval/graph_engine.h"
+#include "query/query_parser.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+using testing::kN1;
+using testing::kN2;
+using testing::kN3;
+using testing::kN4;
+using testing::kN5;
+using testing::kN6;
+using testing::kN7;
+
+class GraphEngineTest : public ::testing::Test {
+ protected:
+  ResultSet Run(const std::string& text) {
+    auto query = ParseUcqt(text);
+    EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+    GraphEngine engine(graph_);
+    auto result = engine.Run(*query);
+    EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    return result.ok() ? *result : ResultSet{};
+  }
+
+  PropertyGraph graph_ = testing::Fig2Graph();
+};
+
+TEST_F(GraphEngineTest, SingleRelation) {
+  ResultSet result = Run("x, y <- (x, owns, y)");
+  EXPECT_EQ(result.rows,
+            (std::vector<std::vector<NodeId>>{{kN2, kN1}}));
+}
+
+TEST_F(GraphEngineTest, ProjectionToOneVariable) {
+  ResultSet result = Run("x <- (x, livesIn, y)");
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{{kN2}, {kN3}}));
+}
+
+TEST_F(GraphEngineTest, PaperC1Query) {
+  // Example 5: people with a livesIn/isLocatedIn+ path who also own
+  // something: only John (kN2).
+  ResultSet result =
+      Run("y <- (y, livesIn/isLocatedIn+, m), (y, owns, z)");
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{{kN2}}));
+}
+
+TEST_F(GraphEngineTest, JoinOnSharedTarget) {
+  // Pairs of people living in cities located in the same region.
+  ResultSet result = Run(
+      "x, y <- (x, livesIn/isLocatedIn, r), (y, livesIn/isLocatedIn, r)");
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{
+                             {kN2, kN2}, {kN2, kN3}, {kN3, kN2},
+                             {kN3, kN3}}));
+}
+
+TEST_F(GraphEngineTest, LabelAtomsFilter) {
+  ResultSet all = Run("x, y <- (x, isLocatedIn, y)");
+  EXPECT_EQ(all.rows.size(), 4u);
+  ResultSet cities =
+      Run("x, y <- (x, isLocatedIn, y), label(x) = CITY");
+  EXPECT_EQ(cities.rows, (std::vector<std::vector<NodeId>>{{kN4, kN5},
+                                                           {kN6, kN5}}));
+  ResultSet set = Run(
+      "x, y <- (x, isLocatedIn, y), label(x) in {CITY, REGION}");
+  EXPECT_EQ(set.rows.size(), 3u);
+}
+
+TEST_F(GraphEngineTest, ConflictingAtomsYieldNothing) {
+  ResultSet result = Run(
+      "x, y <- (x, isLocatedIn, y), label(x) = CITY, label(x) = REGION");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(GraphEngineTest, UnionOfDisjuncts) {
+  ResultSet result = Run("x, y <- (x, owns, y) ++ (x, livesIn, y)");
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{
+                             {kN2, kN1}, {kN2, kN4}, {kN3, kN6}}));
+}
+
+TEST_F(GraphEngineTest, DuplicateDisjunctsDeduplicated) {
+  ResultSet result = Run("x, y <- (x, owns, y) ++ (x, owns, y)");
+  EXPECT_EQ(result.rows.size(), 1u);
+}
+
+TEST_F(GraphEngineTest, SelfLoopRelation) {
+  // (x, isMarriedTo/isMarriedTo, x): marriage is symmetric here, so both
+  // spouses map to themselves.
+  ResultSet result = Run("x <- (x, isMarriedTo/isMarriedTo, x)");
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{{kN2}, {kN3}}));
+}
+
+TEST_F(GraphEngineTest, SelfLoopOnFreshVariableWithOtherRelations) {
+  ResultSet result = Run(
+      "x <- (x, owns, z), (w, isMarriedTo/isMarriedTo, w)");
+  // w ranges over self-loop nodes; x over owners; cross product projected
+  // onto x and deduplicated.
+  EXPECT_EQ(result.rows, (std::vector<std::vector<NodeId>>{{kN2}}));
+}
+
+TEST_F(GraphEngineTest, TriangleJoin) {
+  // x owns z, z located in c, x's spouse lives in c2: multiple relations
+  // chained through shared variables.
+  ResultSet result = Run(
+      "x, c <- (x, owns, z), (z, isLocatedIn, c), (x, isMarriedTo, s), "
+      "(s, livesIn, c)");
+  // John owns n1 located in Montbonnot (kN6); spouse Shradha lives in
+  // Montbonnot: match.
+  EXPECT_EQ(result.rows,
+            (std::vector<std::vector<NodeId>>{{kN2, kN6}}));
+}
+
+TEST_F(GraphEngineTest, HeadVariableUnboundIsError) {
+  auto query = ParseUcqt("x, w <- (x, owns, y)");
+  ASSERT_TRUE(query.ok());
+  GraphEngine engine(graph_);
+  auto result = engine.Run(*query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphEngineTest, EmptyQueryReturnsNothing) {
+  Ucqt empty;
+  empty.head_vars = {"x", "y"};
+  GraphEngine engine(graph_);
+  auto result = engine.Run(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(GraphEngineTest, ResultSetToBinaryRelation) {
+  ResultSet result = Run("x, y <- (x, livesIn, y)");
+  auto relation = result.ToBinaryRelation();
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->pairs(),
+            (std::vector<Edge>{{kN2, kN4}, {kN3, kN6}}));
+  ResultSet unary = Run("x <- (x, owns, y)");
+  EXPECT_FALSE(unary.ToBinaryRelation().ok());
+}
+
+TEST_F(GraphEngineTest, DeadlinePropagates) {
+  auto query = ParseUcqt("x, y <- (x, isLocatedIn+, y)");
+  ASSERT_TRUE(query.ok());
+  GraphEngine engine(graph_);
+  Deadline expired = Deadline::AfterMillis(1);
+  while (!expired.Expired()) {
+  }
+  auto result = engine.Run(*query, expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace gqopt

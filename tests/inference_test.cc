@@ -1,0 +1,321 @@
+// Type inference tests, including exact reproductions of the paper's
+// Example 10 / Tab 1 on the Fig 1 schema.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/path_parser.h"
+#include "core/label_graph.h"
+#include "core/type_inference.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+using testing::Fig1Schema;
+
+TripleSet Infer(const std::string& text, const GraphSchema& schema,
+                const InferenceOptions& options = {}) {
+  auto expr = ParsePathExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto result = InferTriples(*expr, schema, options);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+  return result.ok() ? result->triples : TripleSet{};
+}
+
+std::set<std::string> Render(const TripleSet& triples) {
+  std::set<std::string> out;
+  for (const SchemaTriple& t : triples) out.insert(t.ToString());
+  return out;
+}
+
+TEST(InferenceTest, TBasicSingleEdge) {
+  TripleSet triples = Infer("owns", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(PERSON, owns, PROPERTY)"}));
+}
+
+TEST(InferenceTest, TBasicMultiTripleEdge) {
+  TripleSet triples = Infer("isLocatedIn", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(PROPERTY, isLocatedIn, CITY)",
+                                   "(CITY, isLocatedIn, REGION)",
+                                   "(REGION, isLocatedIn, COUNTRY)"}));
+}
+
+TEST(InferenceTest, TMinusSwapsEndpoints) {
+  TripleSet triples = Infer("-livesIn", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(CITY, -livesIn, PERSON)"}));
+}
+
+TEST(InferenceTest, UnknownEdgeLabelIsAnError) {
+  auto expr = ParsePathExpr("flysTo");
+  ASSERT_TRUE(expr.ok());
+  auto result = InferTriples(*expr, Fig1Schema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceTest, TConcatJoinsOnJunction) {
+  // Paper §3.1.2: owns/isLocatedIn has exactly one compatible triple.
+  TripleSet triples = Infer("owns/isLocatedIn", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{
+                "(PERSON, owns/{PROPERTY}isLocatedIn, CITY)"}));
+}
+
+TEST(InferenceTest, TConcatIncompatibleIsEmpty) {
+  // livesIn ends at CITY; owns starts at PERSON: no junction.
+  EXPECT_TRUE(Infer("livesIn/owns", Fig1Schema()).empty());
+}
+
+TEST(InferenceTest, TUnionKeepsOperandTriples) {
+  TripleSet triples = Infer("owns | livesIn", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(PERSON, owns, PROPERTY)",
+                                   "(PERSON, livesIn, CITY)"}));
+}
+
+TEST(InferenceTest, TConjRequiresMatchingEndpoints) {
+  EXPECT_EQ(Render(Infer("isMarriedTo & isMarriedTo", Fig1Schema())),
+            (std::set<std::string>{
+                "(PERSON, isMarriedTo & isMarriedTo, PERSON)"}));
+  EXPECT_TRUE(Infer("owns & livesIn", Fig1Schema()).empty());
+}
+
+TEST(InferenceTest, TBranchRight) {
+  TripleSet triples = Infer("owns[isLocatedIn]", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{
+                "(PERSON, owns[isLocatedIn], PROPERTY)"}));
+  // A branch that cannot continue eliminates the triple.
+  EXPECT_TRUE(Infer("owns[owns]", Fig1Schema()).empty());
+}
+
+TEST(InferenceTest, TBranchLeft) {
+  TripleSet triples = Infer("[owns]livesIn", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(PERSON, [owns]livesIn, CITY)"}));
+  EXPECT_TRUE(Infer("[isLocatedIn]owns", Fig1Schema()).empty());
+}
+
+// ---- Example 10 / Tab 1 ----------------------------------------------------
+
+TEST(InferenceTest, Tab1ClosureWithCycleKeepsPlus) {
+  // TS(dealsWith+) = {(COUNTRY, dealsWith+, COUNTRY)}.
+  TripleSet triples = Infer("dealsWith+", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(COUNTRY, dealsWith+, COUNTRY)"}));
+}
+
+TEST(InferenceTest, Tab1AcyclicClosureEliminated) {
+  // TS(isLocatedIn+) contains the 6 triples of Tab 1 (no '+' remains).
+  TripleSet triples = Infer("isLocatedIn+", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{
+                "(PROPERTY, isLocatedIn, CITY)",
+                "(CITY, isLocatedIn, REGION)",
+                "(REGION, isLocatedIn, COUNTRY)",
+                "(PROPERTY, isLocatedIn/{CITY}isLocatedIn, REGION)",
+                "(PROPERTY, "
+                "isLocatedIn/{CITY}isLocatedIn/{REGION}isLocatedIn, "
+                "COUNTRY)",
+                "(CITY, isLocatedIn/{REGION}isLocatedIn, COUNTRY)"}));
+  // Replacement provenance: lengths 1,1,1,2,2,3.
+  std::multiset<int> lengths;
+  for (const SchemaTriple& t : triples) {
+    for (const PlusReplacement& r : t.replacements) {
+      lengths.insert(r.length);
+    }
+  }
+  EXPECT_EQ(lengths, (std::multiset<int>{1, 1, 1, 2, 2, 3}));
+}
+
+TEST(InferenceTest, Tab1ConcatPrunesTriples) {
+  // TS(livesIn/isLocatedIn+) = 2 triples (Tab 1 row 4).
+  TripleSet triples = Infer("livesIn/isLocatedIn+", Fig1Schema());
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{
+                "(PERSON, livesIn/{CITY}isLocatedIn, REGION)",
+                "(PERSON, "
+                "livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn, COUNTRY)"}));
+}
+
+TEST(InferenceTest, Tab1FullExpressionSingleTriple) {
+  // TS(livesIn/isLocatedIn+/dealsWith+) = 1 triple (Tab 1 row 5).
+  TripleSet triples =
+      Infer("livesIn/isLocatedIn+/dealsWith+", Fig1Schema());
+  EXPECT_EQ(
+      Render(triples),
+      (std::set<std::string>{
+          "(PERSON, "
+          "livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn/{COUNTRY}dealsWith+"
+          ", COUNTRY)"}));
+}
+
+TEST(InferenceTest, ClosureMixedCycleAndChain) {
+  // Schema: A -e-> A (cycle), A -e-> B. Every path touches the cycle
+  // vertex A, so all triples keep the closure.
+  GraphSchema schema;
+  schema.AddEdge("A", "e", "A");
+  schema.AddEdge("A", "e", "B");
+  TripleSet triples = Infer("e+", schema);
+  EXPECT_EQ(Render(triples), (std::set<std::string>{"(A, e+, A)",
+                                                    "(A, e+, B)"}));
+}
+
+TEST(InferenceTest, ClosureTwoVertexCycle) {
+  GraphSchema schema;
+  schema.AddEdge("A", "e", "B");
+  schema.AddEdge("B", "e", "A");
+  TripleSet triples = Infer("e+", schema);
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(A, e+, A)", "(A, e+, B)", "(B, e+, A)",
+                                   "(B, e+, B)"}));
+}
+
+TEST(InferenceTest, TcEliminationDisabledKeepsPlus) {
+  InferenceOptions options;
+  options.enable_tc_elimination = false;
+  TripleSet triples = Infer("isLocatedIn+", Fig1Schema(), options);
+  // All six reachable label pairs, each keeping the closure.
+  EXPECT_EQ(Render(triples),
+            (std::set<std::string>{"(PROPERTY, isLocatedIn+, CITY)",
+                                   "(PROPERTY, isLocatedIn+, REGION)",
+                                   "(PROPERTY, isLocatedIn+, COUNTRY)",
+                                   "(CITY, isLocatedIn+, REGION)",
+                                   "(CITY, isLocatedIn+, COUNTRY)",
+                                   "(REGION, isLocatedIn+, COUNTRY)"}));
+}
+
+TEST(InferenceTest, PlcPathCapFallsBackSoundly) {
+  InferenceOptions options;
+  options.max_plc_paths = 2;  // force the fallback
+  auto expr = ParsePathExpr("isLocatedIn+");
+  ASSERT_TRUE(expr.ok());
+  auto result = InferTriples(*expr, Fig1Schema(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->overflowed);
+  EXPECT_EQ(Render(result->triples),
+            (std::set<std::string>{"(PROPERTY, isLocatedIn+, CITY)",
+                                   "(PROPERTY, isLocatedIn+, REGION)",
+                                   "(PROPERTY, isLocatedIn+, COUNTRY)",
+                                   "(CITY, isLocatedIn+, REGION)",
+                                   "(CITY, isLocatedIn+, COUNTRY)",
+                                   "(REGION, isLocatedIn+, COUNTRY)"}));
+}
+
+TEST(InferenceTest, TripleCapIsAnError) {
+  InferenceOptions options;
+  options.max_triples = 2;
+  auto expr = ParsePathExpr("isLocatedIn+");
+  ASSERT_TRUE(expr.ok());
+  auto result = InferTriples(*expr, Fig1Schema(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(InferenceTest, PossibleSourceAndTargetLabels) {
+  GraphSchema schema = Fig1Schema();
+  auto parse = [](const char* text) {
+    auto e = ParsePathExpr(text);
+    EXPECT_TRUE(e.ok());
+    return *e;
+  };
+  auto sorted = [](std::vector<std::string> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(PossibleSourceLabels(parse("isLocatedIn"), schema)),
+            (std::vector<std::string>{"CITY", "PROPERTY", "REGION"}));
+  EXPECT_EQ(sorted(PossibleTargetLabels(parse("livesIn/isLocatedIn"),
+                                        schema)),
+            (std::vector<std::string>{"CITY", "COUNTRY", "REGION"}));
+  EXPECT_EQ(sorted(PossibleSourceLabels(parse("owns | livesIn"), schema)),
+            (std::vector<std::string>{"PERSON"}));
+  EXPECT_EQ(sorted(PossibleTargetLabels(parse("owns[isLocatedIn]"), schema)),
+            (std::vector<std::string>{"PROPERTY"}));
+  EXPECT_EQ(sorted(PossibleSourceLabels(parse("dealsWith+"), schema)),
+            (std::vector<std::string>{"COUNTRY"}));
+}
+
+TEST(LabelGraphTest, CycleVertices) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  size_t b = graph.AddVertex("B");
+  size_t c = graph.AddVertex("C");
+  graph.AddEdge(a, b, 0);
+  graph.AddEdge(b, a, 1);
+  graph.AddEdge(b, c, 2);
+  auto in_cycle = graph.CycleVertices();
+  EXPECT_TRUE(in_cycle[a]);
+  EXPECT_TRUE(in_cycle[b]);
+  EXPECT_FALSE(in_cycle[c]);
+}
+
+TEST(LabelGraphTest, SelfLoopIsACycle) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  graph.AddEdge(a, a, 0);
+  EXPECT_TRUE(graph.CycleVertices()[a]);
+}
+
+TEST(LabelGraphTest, EnumeratesSimplePathsAndCycles) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  size_t b = graph.AddVertex("B");
+  size_t c = graph.AddVertex("C");
+  graph.AddEdge(a, b, 0);
+  graph.AddEdge(b, c, 1);
+  graph.AddEdge(c, a, 2);  // 3-cycle
+  std::vector<LabelGraph::Path> paths;
+  EXPECT_TRUE(graph.EnumerateSimplePaths(1000, &paths));
+  // Simple paths: AB, ABC, BC, BCA, CA, CAB plus cycles ABCA, BCAB, CABC.
+  EXPECT_EQ(paths.size(), 9u);
+  size_t cycles = 0;
+  for (const auto& path : paths) {
+    if (path.vertices.front() == path.vertices.back()) ++cycles;
+  }
+  EXPECT_EQ(cycles, 3u);
+}
+
+TEST(LabelGraphTest, ParallelEdgesMultiplyPaths) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  size_t b = graph.AddVertex("B");
+  graph.AddEdge(a, b, 0);
+  graph.AddEdge(a, b, 1);  // parallel edge with a distinct payload
+  std::vector<LabelGraph::Path> paths;
+  EXPECT_TRUE(graph.EnumerateSimplePaths(1000, &paths));
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_NE(paths[0].payloads[0], paths[1].payloads[0]);
+}
+
+TEST(LabelGraphTest, PathCapTruncates) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  size_t b = graph.AddVertex("B");
+  size_t c = graph.AddVertex("C");
+  graph.AddEdge(a, b, 0);
+  graph.AddEdge(b, c, 1);
+  std::vector<LabelGraph::Path> paths;
+  EXPECT_FALSE(graph.EnumerateSimplePaths(1, &paths));
+}
+
+TEST(LabelGraphTest, ReachablePairs) {
+  LabelGraph graph;
+  size_t a = graph.AddVertex("A");
+  size_t b = graph.AddVertex("B");
+  size_t c = graph.AddVertex("C");
+  graph.AddEdge(a, b, 0);
+  graph.AddEdge(b, c, 1);
+  auto pairs = graph.ReachablePairs();
+  EXPECT_EQ(pairs, (std::vector<std::pair<size_t, size_t>>{
+                       {a, b}, {a, c}, {b, c}}));
+}
+
+}  // namespace
+}  // namespace gqopt

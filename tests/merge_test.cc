@@ -1,0 +1,144 @@
+// Triple merging (Def 9, Example 11) and redundant-annotation removal
+// (§3.2.2, Examples 12/13).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/path_parser.h"
+#include "core/merge.h"
+#include "core/type_inference.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+using testing::Fig1Schema;
+
+PathExprPtr Parse(const std::string& text) {
+  auto result = ParsePathExpr(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : nullptr;
+}
+
+SchemaTriple MakeTriple(const std::string& src, const std::string& expr,
+                        const std::string& tgt) {
+  SchemaTriple t;
+  t.source_label = src;
+  t.expr = Parse(expr);
+  t.target_label = tgt;
+  return t;
+}
+
+TEST(MergeTest, Example11MergesAnnotationsPositionWise) {
+  // Triples (m, a+/{n}b/{l}d, p) and (m, a+/{q}b/{r}d, l) merge into
+  // ({m}, a+/{n,q}b/{l,r}d, {l, p}).
+  TripleSet triples = {MakeTriple("m", "a+/{n}b/{l}d", "p"),
+                       MakeTriple("m", "a+/{q}b/{r}d", "l")};
+  std::vector<MergedTriple> merged = MergeTriples(triples);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].source_labels, (std::vector<std::string>{"m"}));
+  EXPECT_EQ(merged[0].target_labels, (std::vector<std::string>{"l", "p"}));
+  EXPECT_TRUE(
+      PathExpr::Equals(merged[0].expr, Parse("a+/{n,q}b/{l,r}d")))
+      << merged[0].expr->ToString();
+}
+
+TEST(MergeTest, DistinctSkeletonsStaySeparate) {
+  TripleSet triples = {MakeTriple("A", "a/{X}b", "B"),
+                       MakeTriple("A", "a/{X}c", "B")};
+  EXPECT_EQ(MergeTriples(triples).size(), 2u);
+}
+
+TEST(MergeTest, MergeIgnoresAnnotationDifferencesInGrouping) {
+  // Same skeleton, different annotations: one group.
+  TripleSet triples = {MakeTriple("A", "a/{X}b", "B"),
+                       MakeTriple("C", "a/{Y}b", "D")};
+  std::vector<MergedTriple> merged = MergeTriples(triples);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].source_labels, (std::vector<std::string>{"A", "C"}));
+  EXPECT_TRUE(PathExpr::Equals(merged[0].expr, Parse("a/{X,Y}b")));
+}
+
+TEST(MergeTest, MergeUnionsReplacementRecords) {
+  SchemaTriple a = MakeTriple("A", "x/{M}y", "B");
+  a.replacements = {{"(x+)", 2}};
+  SchemaTriple b = MakeTriple("A", "x/{N}y", "B");
+  b.replacements = {{"(x+)", 2}, {"(y+)", 1}};
+  std::vector<MergedTriple> merged = MergeTriples({a, b});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].replacements.size(), 2u);  // deduplicated
+}
+
+TEST(PruneTest, Example13JunctionPruning) {
+  // The single triple of TS(livesIn/isLocatedIn+/dealsWith+): the {CITY}
+  // junction after livesIn and the {COUNTRY} junction before dealsWith+
+  // are schema-implied and pruned; {REGION} stays.
+  GraphSchema schema = Fig1Schema();
+  auto expr = Parse(
+      "livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn/{COUNTRY}dealsWith+");
+  std::vector<MergedTriple> triples(1);
+  triples[0].source_labels = {"PERSON"};
+  triples[0].target_labels = {"COUNTRY"};
+  triples[0].expr = expr;
+  PruneRedundantAnnotations(schema, &triples);
+  EXPECT_TRUE(PathExpr::Equals(
+      triples[0].expr,
+      Parse("livesIn/isLocatedIn/{REGION}isLocatedIn/dealsWith+")))
+      << triples[0].expr->ToString();
+  // Endpoint sets are covered by the schema and cleared (Example 13 ends
+  // with an unconstrained merged triple).
+  EXPECT_TRUE(triples[0].source_labels.empty());
+  EXPECT_TRUE(triples[0].target_labels.empty());
+}
+
+TEST(PruneTest, KeepsSelectiveJunction) {
+  // owns/{PROPERTY}isLocatedIn: implied by owns' target set -> pruned;
+  // but a {CITY} junction between two isLocatedIn steps is selective on
+  // both sides -> kept.
+  GraphSchema schema = Fig1Schema();
+  std::vector<MergedTriple> triples(2);
+  triples[0].expr = Parse("owns/{PROPERTY}isLocatedIn");
+  triples[1].expr = Parse("isLocatedIn/{CITY}isLocatedIn");
+  PruneRedundantAnnotations(schema, &triples);
+  EXPECT_FALSE(triples[0].expr->HasAnnotations());
+  EXPECT_TRUE(triples[1].expr->HasAnnotations());
+}
+
+TEST(PruneTest, EndpointSubsetStaysConstrained) {
+  // A target set smaller than what the schema admits must be kept.
+  GraphSchema schema = Fig1Schema();
+  std::vector<MergedTriple> triples(1);
+  triples[0].expr = Parse("isLocatedIn");
+  triples[0].source_labels = {"PROPERTY"};  // schema also admits CITY/REGION
+  triples[0].target_labels = {"CITY", "COUNTRY", "REGION"};  // all: covered
+  PruneRedundantAnnotations(schema, &triples);
+  EXPECT_EQ(triples[0].source_labels,
+            (std::vector<std::string>{"PROPERTY"}));
+  EXPECT_TRUE(triples[0].target_labels.empty());
+}
+
+TEST(PruneTest, StripAllAnnotationsDedups) {
+  std::vector<MergedTriple> triples(2);
+  triples[0].expr = Parse("a/{X}b");
+  triples[0].source_labels = {"A"};
+  triples[1].expr = Parse("a/{Y}b");
+  triples[1].target_labels = {"B"};
+  auto stripped = StripAllAnnotations(std::move(triples));
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_FALSE(stripped[0].expr->HasAnnotations());
+  EXPECT_TRUE(stripped[0].source_labels.empty());
+  EXPECT_TRUE(stripped[0].target_labels.empty());
+}
+
+TEST(MergedTripleTest, ToStringRendersConstraints) {
+  MergedTriple t;
+  t.expr = Parse("a/b");
+  EXPECT_EQ(t.ToString(), "(*, a/b, *)");
+  t.source_labels = {"A", "B"};
+  t.target_labels = {"C"};
+  EXPECT_EQ(t.ToString(), "({A,B}, a/b, {C})");
+}
+
+}  // namespace
+}  // namespace gqopt

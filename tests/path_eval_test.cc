@@ -1,0 +1,131 @@
+// Fig 5 semantics evaluated on the paper's Fig 2 example database.
+
+#include <gtest/gtest.h>
+
+#include "algebra/path_parser.h"
+#include "eval/path_eval.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+using testing::kN1;
+using testing::kN2;
+using testing::kN3;
+using testing::kN4;
+using testing::kN5;
+using testing::kN6;
+using testing::kN7;
+
+class PathEvalTest : public ::testing::Test {
+ protected:
+  std::vector<Edge> Eval(const std::string& text) {
+    auto expr = ParsePathExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto result = EvalPath(graph_, *expr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->pairs() : std::vector<Edge>{};
+  }
+
+  PropertyGraph graph_ = testing::Fig2Graph();
+};
+
+TEST_F(PathEvalTest, SingleEdgeLabel) {
+  EXPECT_EQ(Eval("owns"), (std::vector<Edge>{{kN2, kN1}}));
+  EXPECT_EQ(Eval("livesIn"),
+            (std::vector<Edge>{{kN2, kN4}, {kN3, kN6}}));
+  EXPECT_TRUE(Eval("unknownLabel").empty());
+}
+
+TEST_F(PathEvalTest, Reverse) {
+  EXPECT_EQ(Eval("-owns"), (std::vector<Edge>{{kN1, kN2}}));
+}
+
+TEST_F(PathEvalTest, Concatenation) {
+  // owns/isLocatedIn: John -> property -> Montbonnot.
+  EXPECT_EQ(Eval("owns/isLocatedIn"), (std::vector<Edge>{{kN2, kN6}}));
+}
+
+TEST_F(PathEvalTest, AnnotatedConcatenationFiltersJunction) {
+  // Annotation that matches the junction label keeps the result...
+  EXPECT_EQ(Eval("owns/{PROPERTY}isLocatedIn"),
+            (std::vector<Edge>{{kN2, kN6}}));
+  // ...and a wrong junction label empties it.
+  EXPECT_TRUE(Eval("owns/{CITY}isLocatedIn").empty());
+}
+
+TEST_F(PathEvalTest, UnionAndConjunction) {
+  EXPECT_EQ(Eval("livesIn | owns"),
+            (std::vector<Edge>{{kN2, kN1}, {kN2, kN4}, {kN3, kN6}}));
+  EXPECT_EQ(Eval("livesIn & (livesIn | owns)"), Eval("livesIn"));
+  EXPECT_TRUE(Eval("livesIn & owns").empty());
+}
+
+TEST_F(PathEvalTest, TransitiveClosure) {
+  // isLocatedIn+ from the property: n1 -> n6 -> n5 -> n7.
+  std::vector<Edge> tc = Eval("isLocatedIn+");
+  EXPECT_EQ(tc, (std::vector<Edge>{{kN1, kN5},
+                                   {kN1, kN6},
+                                   {kN1, kN7},
+                                   {kN4, kN5},
+                                   {kN4, kN7},
+                                   {kN5, kN7},
+                                   {kN6, kN5},
+                                   {kN6, kN7}}));
+}
+
+TEST_F(PathEvalTest, Example6BranchQuery) {
+  // Paper Example 6: [owns]([isMarriedTo]livesIn) = {(n2, n4)}.
+  EXPECT_EQ(Eval("[owns]([isMarriedTo]livesIn)"),
+            (std::vector<Edge>{{kN2, kN4}}));
+}
+
+TEST_F(PathEvalTest, BranchRightIsExistential) {
+  // livesIn[isLocatedIn]: people living in cities with a located-in edge;
+  // both cities qualify here.
+  EXPECT_EQ(Eval("livesIn[isLocatedIn]"), Eval("livesIn"));
+  // Branch target that leads nowhere prunes everything.
+  EXPECT_TRUE(Eval("livesIn[owns]").empty());
+}
+
+TEST_F(PathEvalTest, BranchKeepsLeftEndpoints) {
+  // phi1[phi2] returns pairs of phi1, not extended by phi2 (Fig 5).
+  std::vector<Edge> branched = Eval("owns[isLocatedIn]");
+  EXPECT_EQ(branched, (std::vector<Edge>{{kN2, kN1}}));
+}
+
+TEST_F(PathEvalTest, Example13EquivalentForms) {
+  // livesIn/isLocatedIn+ vs the rewritten fixed-length form.
+  EXPECT_EQ(Eval("livesIn/isLocatedIn+"),
+            Eval("livesIn/isLocatedIn | livesIn/isLocatedIn/isLocatedIn"));
+}
+
+TEST_F(PathEvalTest, BoundedRepeat) {
+  EXPECT_EQ(Eval("isLocatedIn{1,2}"),
+            Eval("isLocatedIn | isLocatedIn/isLocatedIn"));
+  EXPECT_EQ(Eval("isLocatedIn{2,3}"),
+            Eval("isLocatedIn/isLocatedIn | "
+                 "isLocatedIn/isLocatedIn/isLocatedIn"));
+  EXPECT_EQ(Eval("isMarriedTo{2,2}"),
+            (std::vector<Edge>{{kN2, kN2}, {kN3, kN3}}));
+}
+
+TEST_F(PathEvalTest, ClosureOfCompound) {
+  // (isMarriedTo/isMarriedTo)+ keeps cycling between the spouses.
+  EXPECT_EQ(Eval("(isMarriedTo/isMarriedTo)+"),
+            (std::vector<Edge>{{kN2, kN2}, {kN3, kN3}}));
+}
+
+TEST_F(PathEvalTest, DeadlineAborts) {
+  auto expr = ParsePathExpr("isLocatedIn+");
+  ASSERT_TRUE(expr.ok());
+  Deadline expired = Deadline::AfterMillis(1);
+  while (!expired.Expired()) {
+  }
+  auto result = EvalPath(graph_, *expr, expired);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace gqopt

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "algebra/path_expr.h"
+#include "algebra/path_parser.h"
+
+namespace gqopt {
+namespace {
+
+PathExprPtr Parse(const std::string& text) {
+  auto result = ParsePathExpr(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+  return result.ok() ? *result : nullptr;
+}
+
+TEST(PathExprTest, FactoriesAndAccessors) {
+  PathExprPtr e = PathExpr::Concat(PathExpr::Edge("a"), PathExpr::Edge("b"));
+  EXPECT_EQ(e->op(), PathOp::kConcat);
+  EXPECT_EQ(e->left()->label(), "a");
+  EXPECT_EQ(e->right()->label(), "b");
+  EXPECT_TRUE(e->annotation().empty());
+}
+
+TEST(PathExprTest, ToStringBasics) {
+  EXPECT_EQ(Parse("a/b")->ToString(), "a/b");
+  EXPECT_EQ(Parse("-a")->ToString(), "-a");
+  EXPECT_EQ(Parse("a+")->ToString(), "a+");
+  EXPECT_EQ(Parse("a | b")->ToString(), "a | b");
+  EXPECT_EQ(Parse("a & b")->ToString(), "a & b");
+  EXPECT_EQ(Parse("a[b]")->ToString(), "a[b]");
+  EXPECT_EQ(Parse("[a]b")->ToString(), "[a]b");
+  EXPECT_EQ(Parse("a{1,3}")->ToString(), "a{1,3}");
+}
+
+TEST(PathExprTest, PrecedenceInPrinting) {
+  // Union binds loosest; closure tightest.
+  EXPECT_EQ(Parse("(a|b)/c")->ToString(), "(a | b)/c");
+  EXPECT_EQ(Parse("(a/b)+")->ToString(), "(a/b)+");
+  EXPECT_EQ(Parse("a/b+")->ToString(), "a/b+");
+  EXPECT_EQ(Parse("(a|b)&c")->ToString(), "(a | b) & c");
+}
+
+TEST(PathExprTest, AnnotationPrinting) {
+  PathExprPtr e = PathExpr::AnnotatedConcat(
+      PathExpr::Edge("a"), MakeAnnotationSet({"CITY", "REGION"}),
+      PathExpr::Edge("b"));
+  EXPECT_EQ(e->ToString(), "a/{CITY,REGION}b");
+}
+
+TEST(PathParserTest, RoundTripsItsOwnOutput) {
+  for (const char* text :
+       {"a/b/c", "a | b/c", "(a | b)+", "a[b/c]", "[a]b+", "-a/b{2,4}",
+        "a/{CITY}b", "a/{CITY,REGION}b/c", "(a & b)[c]",
+        "owns[isMarriedTo[livesIn[dealsWith]]]/isLocatedIn+"}) {
+    PathExprPtr first = Parse(text);
+    ASSERT_NE(first, nullptr) << text;
+    PathExprPtr second = Parse(first->ToString());
+    ASSERT_NE(second, nullptr) << first->ToString();
+    EXPECT_TRUE(PathExpr::Equals(first, second)) << text;
+  }
+}
+
+TEST(PathParserTest, BranchDisambiguation) {
+  // 'a[b]' is a right branch; '[a]b' is a left branch.
+  EXPECT_EQ(Parse("a[b]")->op(), PathOp::kBranchRight);
+  EXPECT_EQ(Parse("[a]b")->op(), PathOp::kBranchLeft);
+  // '[a]b/c' binds the left branch to b only.
+  PathExprPtr e = Parse("[a]b/c");
+  EXPECT_EQ(e->op(), PathOp::kConcat);
+  EXPECT_EQ(e->left()->op(), PathOp::kBranchLeft);
+}
+
+TEST(PathParserTest, ConcatIsLeftAssociative) {
+  PathExprPtr e = Parse("a/b/c");
+  EXPECT_EQ(e->op(), PathOp::kConcat);
+  EXPECT_EQ(e->left()->op(), PathOp::kConcat);
+  EXPECT_EQ(e->right()->label(), "c");
+}
+
+TEST(PathParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePathExpr("").ok());
+  EXPECT_FALSE(ParsePathExpr("a/").ok());
+  EXPECT_FALSE(ParsePathExpr("(a").ok());
+  EXPECT_FALSE(ParsePathExpr("a[b").ok());
+  EXPECT_FALSE(ParsePathExpr("a{3,1}").ok());  // min > max
+  EXPECT_FALSE(ParsePathExpr("a{0,2}").ok());  // min < 1
+  EXPECT_FALSE(ParsePathExpr("-(a/b)").ok());  // reverse of compound
+  EXPECT_FALSE(ParsePathExpr("a b").ok());     // trailing garbage
+}
+
+TEST(PathExprTest, EqualsIsStructural) {
+  EXPECT_TRUE(PathExpr::Equals(Parse("a/b+"), Parse("a/b+")));
+  EXPECT_FALSE(PathExpr::Equals(Parse("a/b"), Parse("b/a")));
+  EXPECT_FALSE(PathExpr::Equals(Parse("a/{CITY}b"), Parse("a/b")));
+  EXPECT_FALSE(PathExpr::Equals(Parse("a{1,2}"), Parse("a{1,3}")));
+}
+
+TEST(PathExprTest, CanonicalKeyDistinguishesShapes) {
+  // ToString of these differ too, but CanonicalKey must be injective even
+  // for shapes where precedence could be ambiguous.
+  EXPECT_NE(Parse("a/(b/c)")->CanonicalKey(), Parse("a/b/c")->CanonicalKey());
+  EXPECT_NE(Parse("[a]b")->CanonicalKey(), Parse("a[b]")->CanonicalKey());
+  EXPECT_EQ(Parse("a/b")->CanonicalKey(), Parse("a / b")->CanonicalKey());
+}
+
+TEST(PathExprTest, ContainsClosureAndAnnotations) {
+  EXPECT_TRUE(Parse("a/b+")->ContainsClosure());
+  EXPECT_FALSE(Parse("a/b")->ContainsClosure());
+  EXPECT_TRUE(Parse("a/{CITY}b")->HasAnnotations());
+  EXPECT_FALSE(Parse("a/b")->HasAnnotations());
+}
+
+TEST(PathExprTest, StripAnnotations) {
+  PathExprPtr annotated = Parse("a/{CITY}b/{REGION}c");
+  PathExprPtr stripped = StripAnnotations(annotated);
+  EXPECT_FALSE(stripped->HasAnnotations());
+  EXPECT_TRUE(PathExpr::Equals(stripped, Parse("a/b/c")));
+  // Stripping an already-plain expression returns the same node.
+  PathExprPtr plain = Parse("a/b");
+  EXPECT_EQ(StripAnnotations(plain), plain);
+}
+
+TEST(PathExprTest, CollectEdgeLabels) {
+  auto labels = CollectEdgeLabels(Parse("a/-b | c[d]+"));
+  EXPECT_EQ(labels, (std::set<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(PathExprTest, DesugarRepeatExpandsToUnion) {
+  // a{1,3} = a | a/a | a/a/a
+  PathExprPtr desugared = DesugarRepeat(Parse("a{1,3}"));
+  EXPECT_TRUE(PathExpr::Equals(desugared, Parse("a | a/a | a/a/a")));
+  // a{2,2} = a/a
+  EXPECT_TRUE(
+      PathExpr::Equals(DesugarRepeat(Parse("a{2,2}")), Parse("a/a")));
+}
+
+TEST(PathExprTest, DesugarRepeatIsRecursive) {
+  PathExprPtr desugared = DesugarRepeat(Parse("x/(a{1,2})/y"));
+  EXPECT_TRUE(PathExpr::Equals(desugared, Parse("x/(a | a/a)/y")));
+  // No repeat nodes remain anywhere.
+  std::function<bool(const PathExprPtr&)> has_repeat =
+      [&](const PathExprPtr& e) -> bool {
+    if (!e) return false;
+    if (e->op() == PathOp::kRepeat) return true;
+    return has_repeat(e->left()) || has_repeat(e->right());
+  };
+  EXPECT_FALSE(has_repeat(desugared));
+}
+
+TEST(PathExprTest, MakeAnnotationSetSortsAndDedups) {
+  AnnotationSet set = MakeAnnotationSet({"B", "A", "B"});
+  EXPECT_EQ(set, (AnnotationSet{"A", "B"}));
+}
+
+TEST(PathExprTest, SizeCountsNodes) {
+  EXPECT_EQ(Parse("a")->Size(), 1u);
+  EXPECT_EQ(Parse("a/b")->Size(), 3u);
+  EXPECT_EQ(Parse("(a/b)+")->Size(), 4u);
+}
+
+}  // namespace
+}  // namespace gqopt

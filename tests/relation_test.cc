@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "eval/binary_relation.h"
+
+namespace gqopt {
+namespace {
+
+BinaryRelation Rel(std::vector<Edge> pairs) {
+  return BinaryRelation::FromPairs(std::move(pairs));
+}
+
+TEST(BinaryRelationTest, FromPairsSortsAndDedups) {
+  BinaryRelation r = Rel({{2, 1}, {1, 2}, {2, 1}});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.pairs()[0], (Edge{1, 2}));
+  EXPECT_EQ(r.pairs()[1], (Edge{2, 1}));
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({1, 3}));
+}
+
+TEST(BinaryRelationTest, Compose) {
+  BinaryRelation a = Rel({{1, 2}, {2, 3}});
+  BinaryRelation b = Rel({{2, 5}, {3, 6}, {9, 9}});
+  auto c = BinaryRelation::Compose(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->pairs(), (std::vector<Edge>{{1, 5}, {2, 6}}));
+}
+
+TEST(BinaryRelationTest, ComposeWithEmpty) {
+  BinaryRelation a = Rel({{1, 2}});
+  auto c = BinaryRelation::Compose(a, BinaryRelation());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->empty());
+}
+
+TEST(BinaryRelationTest, SetOperations) {
+  BinaryRelation a = Rel({{1, 1}, {2, 2}});
+  BinaryRelation b = Rel({{2, 2}, {3, 3}});
+  EXPECT_EQ(BinaryRelation::Union(a, b).size(), 3u);
+  EXPECT_EQ(BinaryRelation::Intersect(a, b).pairs(),
+            (std::vector<Edge>{{2, 2}}));
+  EXPECT_EQ(BinaryRelation::Difference(a, b).pairs(),
+            (std::vector<Edge>{{1, 1}}));
+}
+
+TEST(BinaryRelationTest, Reverse) {
+  BinaryRelation r = Rel({{1, 2}, {3, 4}});
+  EXPECT_EQ(r.Reverse().pairs(), (std::vector<Edge>{{2, 1}, {4, 3}}));
+  // Reverse is an involution.
+  EXPECT_EQ(r.Reverse().Reverse(), r);
+}
+
+TEST(BinaryRelationTest, TransitiveClosureChain) {
+  BinaryRelation r = Rel({{1, 2}, {2, 3}, {3, 4}});
+  auto tc = BinaryRelation::TransitiveClosure(r);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->pairs(), (std::vector<Edge>{{1, 2},
+                                            {1, 3},
+                                            {1, 4},
+                                            {2, 3},
+                                            {2, 4},
+                                            {3, 4}}));
+}
+
+TEST(BinaryRelationTest, TransitiveClosureCycle) {
+  BinaryRelation r = Rel({{1, 2}, {2, 1}});
+  auto tc = BinaryRelation::TransitiveClosure(r);
+  ASSERT_TRUE(tc.ok());
+  // All four pairs, including the loops via the cycle.
+  EXPECT_EQ(tc->pairs(),
+            (std::vector<Edge>{{1, 1}, {1, 2}, {2, 1}, {2, 2}}));
+}
+
+TEST(BinaryRelationTest, TransitiveClosureIsIdempotent) {
+  BinaryRelation r = Rel({{1, 2}, {2, 3}, {3, 1}, {4, 4}});
+  auto tc1 = BinaryRelation::TransitiveClosure(r);
+  ASSERT_TRUE(tc1.ok());
+  auto tc2 = BinaryRelation::TransitiveClosure(*tc1);
+  ASSERT_TRUE(tc2.ok());
+  EXPECT_EQ(*tc1, *tc2);
+}
+
+TEST(BinaryRelationTest, TransitiveClosureContainsBaseAndComposition) {
+  BinaryRelation r = Rel({{0, 1}, {1, 5}, {5, 0}, {2, 2}});
+  auto tc = BinaryRelation::TransitiveClosure(r);
+  ASSERT_TRUE(tc.ok());
+  // TC ⊇ R and TC ∘ R ⊆ TC.
+  for (const Edge& e : r.pairs()) EXPECT_TRUE(tc->Contains(e));
+  auto comp = BinaryRelation::Compose(*tc, r);
+  ASSERT_TRUE(comp.ok());
+  for (const Edge& e : comp->pairs()) EXPECT_TRUE(tc->Contains(e));
+}
+
+TEST(BinaryRelationTest, DeadlinesAbortLongClosures) {
+  // A large cyclic relation with an already-expired deadline must abort.
+  std::vector<Edge> pairs;
+  for (NodeId i = 0; i < 2000; ++i) {
+    pairs.push_back({i, (i + 1) % 2000});
+    pairs.push_back({i, (i + 7) % 2000});
+  }
+  BinaryRelation r = Rel(std::move(pairs));
+  Deadline expired = Deadline::AfterMillis(1);
+  while (!expired.Expired()) {
+  }
+  auto tc = BinaryRelation::TransitiveClosure(r, expired);
+  ASSERT_FALSE(tc.ok());
+  EXPECT_EQ(tc.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BinaryRelationTest, Filters) {
+  BinaryRelation r = Rel({{1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(r.FilterSource([](NodeId n) { return n >= 2; }).size(), 2u);
+  EXPECT_EQ(r.FilterTarget([](NodeId n) { return n == 3; }).pairs(),
+            (std::vector<Edge>{{2, 3}}));
+}
+
+TEST(BinaryRelationTest, SemiJoins) {
+  BinaryRelation r = Rel({{1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(r.SemiJoinSource({2, 3}).pairs(),
+            (std::vector<Edge>{{2, 3}, {3, 4}}));
+  EXPECT_EQ(r.SemiJoinTarget({2}).pairs(), (std::vector<Edge>{{1, 2}}));
+  EXPECT_TRUE(r.SemiJoinSource({}).empty());
+}
+
+TEST(BinaryRelationTest, SourcesTargets) {
+  BinaryRelation r = Rel({{5, 2}, {5, 3}, {1, 2}});
+  EXPECT_EQ(r.Sources(), (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(r.Targets(), (std::vector<NodeId>{2, 3}));
+}
+
+}  // namespace
+}  // namespace gqopt

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "schema/graph_schema.h"
+#include "schema/schema_parser.h"
+#include "schema/symbol_table.h"
+#include "test_fixtures.h"
+
+namespace gqopt {
+namespace {
+
+TEST(SymbolTableTest, InternsAndFinds) {
+  SymbolTable table;
+  SymbolId a = table.Intern("PERSON");
+  SymbolId b = table.Intern("CITY");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("PERSON"), a);  // idempotent
+  EXPECT_EQ(table.Name(a), "PERSON");
+  EXPECT_EQ(table.Find("CITY"), b);
+  EXPECT_FALSE(table.Find("REGION").has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GraphSchemaTest, Fig1Shape) {
+  GraphSchema schema = testing::Fig1Schema();
+  // Fig 1: five node labels, seven edges (Example 1 / Example 9).
+  EXPECT_EQ(schema.num_node_labels(), 5u);
+  EXPECT_EQ(schema.num_triples(), 7u);
+  EXPECT_TRUE(schema.HasNodeLabel("PERSON"));
+  EXPECT_TRUE(schema.HasEdgeLabel("isLocatedIn"));
+  EXPECT_FALSE(schema.HasEdgeLabel("unknown"));
+}
+
+TEST(GraphSchemaTest, TriplesForEdge) {
+  GraphSchema schema = testing::Fig1Schema();
+  auto triples = schema.TriplesForEdge("isLocatedIn");
+  ASSERT_EQ(triples.size(), 3u);
+  auto owns = schema.TriplesForEdge("owns");
+  ASSERT_EQ(owns.size(), 1u);
+  // Example 9: t1 = (PERSON, owns, PROPERTY).
+  EXPECT_EQ(owns[0].source_label, "PERSON");
+  EXPECT_EQ(owns[0].target_label, "PROPERTY");
+}
+
+TEST(GraphSchemaTest, SourceAndTargetLabelSets) {
+  GraphSchema schema = testing::Fig1Schema();
+  auto sources = schema.SourceLabelsOf("isLocatedIn");
+  EXPECT_EQ(sources, (std::set<std::string>{"CITY", "PROPERTY", "REGION"}));
+  auto targets = schema.TargetLabelsOf("isLocatedIn");
+  EXPECT_EQ(targets, (std::set<std::string>{"CITY", "COUNTRY", "REGION"}));
+}
+
+TEST(GraphSchemaTest, Admits) {
+  GraphSchema schema = testing::Fig1Schema();
+  EXPECT_TRUE(schema.Admits("PERSON", "owns", "PROPERTY"));
+  EXPECT_FALSE(schema.Admits("PERSON", "owns", "CITY"));
+  EXPECT_FALSE(schema.Admits("CITY", "owns", "PROPERTY"));
+}
+
+TEST(GraphSchemaTest, AddEdgeIsIdempotent) {
+  GraphSchema schema;
+  schema.AddEdge("A", "e", "B");
+  schema.AddEdge("A", "e", "B");
+  EXPECT_EQ(schema.num_triples(), 1u);
+}
+
+TEST(GraphSchemaTest, PropertyRedeclarationConflicts) {
+  GraphSchema schema;
+  EXPECT_TRUE(schema.AddProperty("A", "name", PropertyType::kString).ok());
+  EXPECT_TRUE(schema.AddProperty("A", "name", PropertyType::kString).ok());
+  Status st = schema.AddProperty("A", "name", PropertyType::kInt);
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PropertyTypeTest, ParseRoundTrip) {
+  for (PropertyType type :
+       {PropertyType::kString, PropertyType::kInt, PropertyType::kDouble,
+        PropertyType::kBool, PropertyType::kDate}) {
+    auto parsed = ParsePropertyType(PropertyTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParsePropertyType("list").ok());
+}
+
+TEST(SchemaParserTest, ParsesNodesEdgesAndProperties) {
+  auto result = ParseSchema(R"(
+# YAGO extract
+node PERSON {name:string, age:int}
+node CITY {name:string}
+edge PERSON -livesIn-> CITY
+edge PERSON -isMarriedTo-> PERSON
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const GraphSchema& schema = *result;
+  EXPECT_EQ(schema.num_node_labels(), 2u);
+  EXPECT_EQ(schema.num_triples(), 2u);
+  ASSERT_EQ(schema.Properties("PERSON").size(), 2u);
+  EXPECT_EQ(schema.Properties("PERSON")[1].type, PropertyType::kInt);
+}
+
+TEST(SchemaParserTest, ImplicitNodeFromEdge) {
+  auto result = ParseSchema("edge A -e-> B\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasNodeLabel("A"));
+  EXPECT_TRUE(result->HasNodeLabel("B"));
+}
+
+TEST(SchemaParserTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseSchema("nonsense\n").ok());
+  EXPECT_FALSE(ParseSchema("edge A -> B\n").ok());
+  EXPECT_FALSE(ParseSchema("node A {name}\n").ok());
+  EXPECT_FALSE(ParseSchema("node A {name:list}\n").ok());
+}
+
+TEST(SchemaParserTest, RoundTripsToString) {
+  GraphSchema schema = testing::Fig1Schema();
+  auto reparsed = ParseSchema(schema.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->num_node_labels(), schema.num_node_labels());
+  EXPECT_EQ(reparsed->num_triples(), schema.num_triples());
+  EXPECT_EQ(reparsed->ToString(), schema.ToString());
+}
+
+}  // namespace
+}  // namespace gqopt

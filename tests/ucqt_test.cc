@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "query/query_parser.h"
+#include "query/ucqt.h"
+
+namespace gqopt {
+namespace {
+
+TEST(UcqtParserTest, SingleRelation) {
+  auto q = ParseUcqt("x1, x2 <- (x1, knows/-hasCreator, x2)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head_vars, (std::vector<std::string>{"x1", "x2"}));
+  ASSERT_EQ(q->disjuncts.size(), 1u);
+  ASSERT_EQ(q->disjuncts[0].relations.size(), 1u);
+  EXPECT_EQ(q->disjuncts[0].relations[0].source_var, "x1");
+  EXPECT_EQ(q->disjuncts[0].relations[0].target_var, "x2");
+  EXPECT_EQ(q->disjuncts[0].relations[0].path->ToString(),
+            "knows/-hasCreator");
+}
+
+TEST(UcqtParserTest, MultipleRelationsAndAtoms) {
+  // The paper's C1 (Example 5) plus a label atom.
+  auto q = ParseUcqt(
+      "y <- (y, livesIn/isLocatedIn+, m), (y, owns, z), "
+      "label(y) = PERSON");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Cqt& cqt = q->disjuncts[0];
+  EXPECT_EQ(cqt.relations.size(), 2u);
+  ASSERT_EQ(cqt.atoms.size(), 1u);
+  EXPECT_EQ(cqt.atoms[0].var, "y");
+  EXPECT_EQ(cqt.atoms[0].labels, (std::vector<std::string>{"PERSON"}));
+  // Body variables: everything but the head.
+  EXPECT_EQ(cqt.BodyVars(), (std::vector<std::string>{"m", "z"}));
+}
+
+TEST(UcqtParserTest, LabelSetAtom) {
+  auto q = ParseUcqt(
+      "x, y <- (x, a/b, y), label(y) in {REGION, COUNTRY, CITY}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->disjuncts[0].atoms[0].labels,
+            (std::vector<std::string>{"CITY", "COUNTRY", "REGION"}));
+}
+
+TEST(UcqtParserTest, UnionOfCqts) {
+  auto q = ParseUcqt("x, y <- (x, a, y) ++ (x, b, y), (x, c, z)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_EQ(q->disjuncts[0].relations.size(), 1u);
+  EXPECT_EQ(q->disjuncts[1].relations.size(), 2u);
+}
+
+TEST(UcqtParserTest, UnionPlusVsClosurePlus) {
+  // '++' at top level separates disjuncts; 'a+' inside stays a closure.
+  auto q = ParseUcqt("x, y <- (x, a+, y) ++ (x, b+, y)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_TRUE(q->disjuncts[0].relations[0].path->ContainsClosure());
+}
+
+TEST(UcqtParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseUcqt("no arrow").ok());
+  EXPECT_FALSE(ParseUcqt("x <- ").ok());
+  EXPECT_FALSE(ParseUcqt("x <- (x, a)").ok());
+  EXPECT_FALSE(ParseUcqt("x <- (x, a, y, z)").ok());
+  EXPECT_FALSE(ParseUcqt("x <- label(x) = A").ok());  // no relation
+  EXPECT_FALSE(ParseUcqt("1x <- (1x, a, y)").ok());
+  EXPECT_FALSE(ParseUcqt("x <- (x, a, y), label(y) in {}").ok());
+}
+
+TEST(UcqtTest, UnionCompatibilityEnforced) {
+  Cqt a;
+  a.head_vars = {"x"};
+  a.relations.push_back(Relation{"x", PathExpr::Edge("e"), "y"});
+  Cqt b;
+  b.head_vars = {"z"};
+  b.relations.push_back(Relation{"z", PathExpr::Edge("e"), "y"});
+  auto bad = Ucqt::Make({"x"}, {a, b});
+  EXPECT_FALSE(bad.ok());
+  auto good = Ucqt::Make({"x"}, {a});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(UcqtTest, RecursiveClassification) {
+  auto rq = ParseUcqt("x, y <- (x, knows+, y)");
+  auto nq = ParseUcqt("x, y <- (x, knows/knows, y)");
+  ASSERT_TRUE(rq.ok() && nq.ok());
+  EXPECT_TRUE(rq->IsRecursive());
+  EXPECT_FALSE(nq->IsRecursive());
+}
+
+TEST(UcqtTest, EmptyQuery) {
+  Ucqt empty;
+  empty.head_vars = {"x", "y"};
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.IsRecursive());
+  EXPECT_EQ(empty.ToString(), "x, y <- {}");
+}
+
+TEST(UcqtTest, ToStringRoundTrips) {
+  for (const char* text : {
+           "x1, x2 <- (x1, knows+, x2)",
+           "x, y <- (x, a, y) ++ (x, b/c+, y)",
+           "y <- (y, livesIn/isLocatedIn+, m), (y, owns, z), "
+           "label(y) = PERSON",
+       }) {
+    auto q = ParseUcqt(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto reparsed = ParseUcqt(q->ToString());
+    ASSERT_TRUE(reparsed.ok()) << q->ToString();
+    EXPECT_EQ(reparsed->ToString(), q->ToString());
+  }
+}
+
+TEST(UcqtTest, FromPathConvenience) {
+  Ucqt q = Ucqt::FromPath("a", PathExpr::Edge("knows"), "b");
+  EXPECT_EQ(q.head_vars, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(q.disjuncts.size(), 1u);
+  EXPECT_EQ(q.disjuncts[0].relations[0].path->label(), "knows");
+}
+
+TEST(UcqtTest, AllVarsOrder) {
+  auto q = ParseUcqt("x <- (x, a, y), (y, b, z), label(w) = A, (w, c, x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->disjuncts[0].AllVars(),
+            (std::vector<std::string>{"x", "y", "z", "w"}));
+}
+
+}  // namespace
+}  // namespace gqopt

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(ResultTest, MacroPropagatesErrors) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("nope"); };
+  auto outer = [&]() -> Result<int> {
+    GQOPT_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  Result<int> r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("knows"));
+  EXPECT_TRUE(IsIdentifier("_x1"));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier("has-tag"));
+  EXPECT_FALSE(IsIdentifier(""));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, SkewedFavorsSmallIndices) {
+  Rng rng(11);
+  size_t small = 0;
+  const size_t n = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Skewed(100) < 10) ++small;
+  }
+  EXPECT_GT(small, n / 4);  // far above the uniform 10%
+}
+
+TEST(StatsTest, EmptySummary) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(StatsTest, SingleValue) {
+  Summary s = Summarize({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+}
+
+TEST(StatsTest, QuartilesOfKnownSample) {
+  // numpy.percentile(..., [25, 50, 75]) of 1..5 = 2, 3, 4.
+  Summary s = Summarize({5, 4, 3, 2, 1});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(StatsTest, InterpolatedQuartiles) {
+  Summary s = Summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+}  // namespace
+}  // namespace gqopt

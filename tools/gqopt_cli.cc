@@ -1,0 +1,235 @@
+// gqopt_cli — interactive shell around the library: load or generate a
+// schema + graph, then rewrite, explain, translate and run UCQT queries.
+//
+//   $ gqopt_cli                 # starts with the YAGO demo dataset
+//   gqopt> dataset ldbc 300
+//   gqopt> rewrite x1, x2 <- (x1, likes/replyOf+/isLocatedIn+, x2)
+//   gqopt> run     x1, x2 <- (x1, knows{1,2}/workAt, x2)
+//   gqopt> explain x1, x2 <- (x1, owns/isLocatedIn+, x2)
+//   gqopt> sql     x1, x2 <- (x1, knows+, x2)
+//   gqopt> cypher  x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)
+//   gqopt> schema            # print the active schema
+//   gqopt> help
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "benchsup/harness.h"
+#include "core/rewriter.h"
+#include "datasets/ldbc.h"
+#include "datasets/yago.h"
+#include "eval/graph_engine.h"
+#include "graph/consistency.h"
+#include "graph/graph_io.h"
+#include "query/query_parser.h"
+#include "ra/catalog.h"
+#include "ra/executor.h"
+#include "ra/explain.h"
+#include "ra/optimizer.h"
+#include "ra/ucqt_to_ra.h"
+#include "schema/schema_parser.h"
+#include "translate/cypher_emitter.h"
+#include "translate/sql_emitter.h"
+#include "util/strings.h"
+
+namespace gqopt {
+namespace {
+
+struct Session {
+  GraphSchema schema;
+  PropertyGraph graph;
+  std::unique_ptr<Catalog> catalog;
+
+  void Use(GraphSchema s, PropertyGraph g) {
+    schema = std::move(s);
+    graph = std::move(g);
+    catalog = std::make_unique<Catalog>(graph);
+    std::printf("dataset: %zu nodes, %zu edges, %zu node labels, %zu edge "
+                "relations\n",
+                graph.num_nodes(), graph.num_edges(),
+                graph.num_node_labels(), graph.num_edge_labels());
+  }
+};
+
+void PrintHelp() {
+  std::puts(
+      "commands:\n"
+      "  dataset yago [persons]     generate the YAGO demo dataset\n"
+      "  dataset ldbc [persons]     generate the LDBC-SNB demo dataset\n"
+      "  load <schema> <graph>      load schema/graph text files\n"
+      "  schema                     print the active schema\n"
+      "  check                      check schema-database consistency\n"
+      "  rewrite <query>            show the schema-enriched query\n"
+      "  run <query>                rewrite + run on both engines\n"
+      "  explain <query>            optimized relational plan (EXPLAIN)\n"
+      "  sql <query>                recursive SQL translation\n"
+      "  cypher <query>             Cypher translation\n"
+      "  help | quit");
+}
+
+void DoRewrite(Session& session, const std::string& text, bool print_only) {
+  auto query = ParseUcqt(text);
+  if (!query.ok()) {
+    std::printf("parse error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  auto rewritten = RewriteQuery(*query, session.schema);
+  if (!rewritten.ok()) {
+    std::printf("rewrite error: %s\n",
+                rewritten.status().ToString().c_str());
+    return;
+  }
+  std::printf("baseline:  %s\n", query->ToString().c_str());
+  if (rewritten->reverted) {
+    std::printf("rewritten: (reverted — schema adds nothing)\n");
+  } else if (rewritten->unsatisfiable) {
+    std::printf("rewritten: (unsatisfiable under the schema)\n");
+  } else {
+    std::printf("rewritten: %s\n", rewritten->query.ToString().c_str());
+  }
+  for (const ClosureStats& c : rewritten->stats.closures) {
+    std::printf("  closure %-24s %s\n", c.closure.c_str(),
+                c.eliminated ? "eliminated" : "kept");
+  }
+  if (print_only) return;
+
+  HarnessOptions options = HarnessOptions::FromEnv();
+  const Ucqt& to_run =
+      rewritten->reverted ? *query : rewritten->query;
+  RunMeasurement base_rel =
+      MeasureRelational(*session.catalog, *query, options);
+  RunMeasurement schema_rel =
+      MeasureRelational(*session.catalog, to_run, options);
+  RunMeasurement base_graph = MeasureGraph(session.graph, *query, options);
+  auto render = [](const RunMeasurement& m) {
+    return m.feasible ? FormatSeconds(m.seconds) + "s, " +
+                            std::to_string(m.result_rows) + " rows"
+                      : "timeout (" + m.error + ")";
+  };
+  std::printf("relational baseline: %s\n", render(base_rel).c_str());
+  std::printf("relational schema:   %s\n", render(schema_rel).c_str());
+  std::printf("graph engine:        %s\n", render(base_graph).c_str());
+}
+
+void DoExplain(Session& session, const std::string& text) {
+  auto query = ParseUcqt(text);
+  if (!query.ok()) {
+    std::printf("parse error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  auto rewritten = RewriteQuery(*query, session.schema);
+  const Ucqt& to_plan =
+      rewritten.ok() && !rewritten->reverted ? rewritten->query : *query;
+  auto plan = UcqtToRa(to_plan);
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::fputs(
+      ExplainPlan(OptimizePlan(*plan, *session.catalog), *session.catalog)
+          .c_str(),
+      stdout);
+}
+
+void DoTranslate(Session& session, const std::string& text, bool to_sql) {
+  auto query = ParseUcqt(text);
+  if (!query.ok()) {
+    std::printf("parse error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  auto rewritten = RewriteQuery(*query, session.schema);
+  const Ucqt& to_emit =
+      rewritten.ok() && !rewritten->reverted ? rewritten->query : *query;
+  auto emitted = to_sql ? EmitSql(to_emit) : EmitCypher(to_emit);
+  if (!emitted.ok()) {
+    std::printf("%s\n", emitted.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", emitted->c_str());
+}
+
+}  // namespace
+}  // namespace gqopt
+
+int main() {
+  using namespace gqopt;
+  Session session;
+  session.Use(YagoSchema(), GenerateYago({.persons = 500, .seed = 42}));
+  PrintHelp();
+
+  std::string line;
+  while (std::fputs("gqopt> ", stdout), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    size_t space = trimmed.find(' ');
+    std::string command(trimmed.substr(0, space));
+    std::string rest(space == std::string_view::npos
+                         ? std::string_view{}
+                         : StripWhitespace(trimmed.substr(space + 1)));
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "dataset") {
+      auto parts = Split(rest, ' ');
+      size_t persons = parts.size() > 1 && !parts[1].empty()
+                           ? std::strtoul(parts[1].c_str(), nullptr, 10)
+                           : 500;
+      if (!parts.empty() && parts[0] == "ldbc") {
+        session.Use(LdbcSchema(), GenerateLdbc({.persons = persons}));
+      } else {
+        session.Use(YagoSchema(), GenerateYago({.persons = persons}));
+      }
+    } else if (command == "load") {
+      auto parts = Split(rest, ' ');
+      if (parts.size() != 2) {
+        std::puts("usage: load <schema-file> <graph-file>");
+        continue;
+      }
+      auto schema_text = ReadFile(parts[0]);
+      auto graph_text = ReadFile(parts[1]);
+      if (!schema_text.ok() || !graph_text.ok()) {
+        std::puts("cannot read files");
+        continue;
+      }
+      auto schema = ParseSchema(*schema_text);
+      auto graph = ReadGraphText(*graph_text);
+      if (!schema.ok() || !graph.ok()) {
+        std::printf("parse error: %s %s\n",
+                    schema.ok() ? "" : schema.status().ToString().c_str(),
+                    graph.ok() ? "" : graph.status().ToString().c_str());
+        continue;
+      }
+      session.Use(std::move(*schema), std::move(*graph));
+    } else if (command == "schema") {
+      std::fputs(session.schema.ToString().c_str(), stdout);
+    } else if (command == "check") {
+      ConsistencyReport report =
+          CheckConsistency(session.graph, session.schema, 5);
+      if (report.consistent()) {
+        std::puts("consistent with the schema");
+      } else {
+        for (const auto& violation : report.violations) {
+          std::printf("violation: %s\n", violation.detail.c_str());
+        }
+      }
+    } else if (command == "rewrite") {
+      DoRewrite(session, rest, /*print_only=*/true);
+    } else if (command == "run") {
+      DoRewrite(session, rest, /*print_only=*/false);
+    } else if (command == "explain") {
+      DoExplain(session, rest);
+    } else if (command == "sql") {
+      DoTranslate(session, rest, /*to_sql=*/true);
+    } else if (command == "cypher") {
+      DoTranslate(session, rest, /*to_sql=*/false);
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+  return 0;
+}
