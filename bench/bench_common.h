@@ -112,6 +112,29 @@ inline std::vector<MatrixCell> RunLdbcMatrix(const HarnessOptions& options) {
   return cells;
 }
 
+/// If GQOPT_JSON_OUT is set, writes the matrix cells there as one JSON
+/// object keyed "SF/query/{baseline,schema}". Returns true when nothing
+/// needed writing or the write succeeded.
+inline bool MaybeWriteMatrixJson(const std::vector<MatrixCell>& cells) {
+  const char* path = std::getenv("GQOPT_JSON_OUT");
+  if (path == nullptr) return true;
+  std::vector<std::pair<std::string, std::string>> members;
+  members.reserve(cells.size() * 2);
+  for (const MatrixCell& cell : cells) {
+    std::string prefix = cell.sf + "/" + cell.query + "/";
+    members.emplace_back(prefix + "baseline",
+                         MeasurementJson(cell.baseline));
+    members.emplace_back(prefix + "schema", MeasurementJson(cell.schema));
+  }
+  bool ok = WriteJsonObjectFile(path, members);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  } else {
+    std::fprintf(stderr, "# wrote %s\n", path);
+  }
+  return ok;
+}
+
 /// Env-tuned harness defaults for the heavyweight matrix benches.
 inline HarnessOptions MatrixOptions() {
   HarnessOptions options = HarnessOptions::FromEnv();

@@ -12,6 +12,7 @@ int main() {
   using namespace gqopt::bench;
 
   std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+  MaybeWriteMatrixJson(cells);
 
   std::printf("== Fig 13: LDBC runtime distribution per scale factor "
               "(seconds over feasible runs) ==\n");

@@ -4,7 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "algebra/path_parser.h"
+#include "eval/naive_reference.h"
+#include "util/flat_hash.h"
 #include "core/rewriter.h"
 #include "core/simplifier.h"
 #include "core/type_inference.h"
@@ -113,6 +118,247 @@ void BM_TransitiveClosureChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitiveClosureChain)->Arg(64)->Arg(256);
+
+// The BM_Naive* / BM_Seed* benchmarks below run the retained pre-CSR
+// algorithms (eval/naive_reference.h, or inlined where noted) on the same
+// inputs as their optimized counterparts, so one bench run yields
+// machine-drift-free before/after ratios.
+
+void BM_NaiveCompose(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation a = RandomRelation(n, n * 4, 1);
+  BinaryRelation b = RandomRelation(n, n * 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Compose(a, b));
+  }
+}
+BENCHMARK(BM_NaiveCompose)->Arg(1000)->Arg(10000);
+
+void BM_TransitiveClosureRandom(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation r = RandomRelation(n, n * 2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinaryRelation::TransitiveClosure(r));
+  }
+}
+BENCHMARK(BM_TransitiveClosureRandom)->Arg(512)->Arg(1024);
+
+void BM_NaiveTransitiveClosureRandom(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation r = RandomRelation(n, n * 2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::TransitiveClosure(r));
+  }
+}
+BENCHMARK(BM_NaiveTransitiveClosureRandom)->Arg(512)->Arg(1024);
+
+void BM_SemiJoinSource(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation r = RandomRelation(n, n * 4, 11);
+  Rng rng(13);
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < n / 4; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.Uniform(n)));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.SemiJoinSource(nodes));
+    benchmark::DoNotOptimize(r.SemiJoinTarget(nodes));
+  }
+}
+BENCHMARK(BM_SemiJoinSource)->Arg(10000)->Arg(100000);
+
+void BM_NaiveSemiJoinSource(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BinaryRelation r = RandomRelation(n, n * 4, 11);
+  Rng rng(13);
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < n / 4; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.Uniform(n)));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::SemiJoinSource(r, nodes));
+    benchmark::DoNotOptimize(naive::SemiJoinTarget(r, nodes));
+  }
+}
+BENCHMARK(BM_NaiveSemiJoinSource)->Arg(10000)->Arg(100000);
+
+// Random two-edge-label graph for executor-level join benchmarks; a small
+// SEED-labelled node population drives the seeded-closure bench.
+PropertyGraph RandomJoinGraph(size_t nodes, size_t edges_per_label) {
+  Rng rng(17);
+  PropertyGraph graph;
+  for (size_t i = 0; i < nodes; ++i) {
+    graph.AddNode(i % 64 == 0 ? "SEED" : "N");
+  }
+  for (size_t i = 0; i < edges_per_label; ++i) {
+    (void)graph.AddEdge(static_cast<NodeId>(rng.Uniform(nodes)), "e1",
+                        static_cast<NodeId>(rng.Uniform(nodes)));
+    (void)graph.AddEdge(static_cast<NodeId>(rng.Uniform(nodes)), "e2",
+                        static_cast<NodeId>(rng.Uniform(nodes)));
+  }
+  return graph;
+}
+
+void BM_ExecHashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::Join(RaExpr::EdgeScan("e1", "x", "y"),
+                                RaExpr::EdgeScan("e2", "y", "z"));
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecHashJoin)->Arg(10000)->Arg(30000);
+
+// The seed executor's hash join verbatim (std::unordered_map from packed
+// key to a per-bucket row vector), on the same edge tables as
+// BM_ExecHashJoin's plan.
+void BM_SeedHashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  const auto& e1 = catalog.EdgeTable("e1").pairs();  // (x, y)
+  const auto& e2 = catalog.EdgeTable("e2").pairs();  // (y, z)
+  for (auto _ : state) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+    index.reserve(e1.size() * 2);
+    for (size_t r = 0; r < e1.size(); ++r) {
+      index[e1[r].second].push_back(static_cast<uint32_t>(r));
+    }
+    std::vector<NodeId> out;
+    for (size_t p = 0; p < e2.size(); ++p) {
+      auto it = index.find(e2[p].first);
+      if (it == index.end()) continue;
+      for (uint32_t b : it->second) {
+        out.push_back(e1[b].first);
+        out.push_back(e1[b].second);
+        out.push_back(e2[p].second);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SeedHashJoin)->Arg(10000)->Arg(30000);
+
+// The current flat-hash join on identical inputs to BM_SeedHashJoin,
+// without plan/scan overhead — the like-for-like counterpart.
+void BM_FlatHashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  const auto& e1 = catalog.EdgeTable("e1").pairs();
+  const auto& e2 = catalog.EdgeTable("e2").pairs();
+  for (auto _ : state) {
+    std::vector<uint64_t> keys(e1.size());
+    for (size_t r = 0; r < e1.size(); ++r) keys[r] = e1[r].second;
+    FlatJoinIndex index(keys);
+    std::vector<NodeId> out;
+    for (size_t p = 0; p < e2.size(); ++p) {
+      auto [it, end] = index.Equal(e2[p].first);
+      for (; it != end; ++it) {
+        out.push_back(e1[*it].first);
+        out.push_back(e1[*it].second);
+        out.push_back(e2[p].second);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FlatHashJoin)->Arg(10000)->Arg(30000);
+
+// The executor's dense-offset join fast path on identical inputs: e2 is
+// sorted on the join column, so an offset array replaces hashing.
+void BM_OffsetJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  const auto& e1 = catalog.EdgeTable("e1").pairs();
+  const auto& e2 = catalog.EdgeTable("e2").pairs();
+  for (auto _ : state) {
+    const CsrView& csr = catalog.EdgeTable("e2").SourceCsr();
+    std::vector<NodeId> out;
+    for (size_t p = 0; p < e1.size(); ++p) {
+      auto [lo, hi] = csr.Range(e1[p].second);
+      for (uint32_t i = lo; i < hi; ++i) {
+        out.push_back(e1[p].first);
+        out.push_back(e1[p].second);
+        out.push_back(e2[i].second);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_OffsetJoin)->Arg(10000)->Arg(30000);
+
+void BM_ExecSemiJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::SemiJoin(RaExpr::EdgeScan("e1", "x", "y"),
+                                    RaExpr::EdgeScan("e2", "y", "z"));
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecSemiJoin)->Arg(10000)->Arg(30000);
+
+void BM_ExecSeededClosure(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 2);
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::TransitiveClosure(
+      RaExpr::EdgeScan("e1", "s", "t"), "s", "t",
+      RaExpr::NodeScan({"SEED"}, "s"), SeedSide::kSource);
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecSeededClosure)->Arg(1024)->Arg(4096);
+
+void BM_NaiveSeededClosure(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 2);
+  Catalog catalog(graph);
+  const BinaryRelation& base = catalog.EdgeTable("e1");
+  std::vector<NodeId> seeds = graph.NodesWithLabel("SEED");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::SeededClosure(base, seeds, true));
+  }
+}
+BENCHMARK(BM_NaiveSeededClosure)->Arg(1024)->Arg(4096);
+
+void BM_ExecMemoizedUnion(benchmark::State& state) {
+  // Two disjuncts identical up to column renaming: the second is a memo
+  // hit whose cost is the relabel (a full data copy before zero-copy
+  // sharing, a constant-time relabel after).
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 4);
+  Catalog catalog(graph);
+  RaExprPtr left = RaExpr::Join(RaExpr::EdgeScan("e1", "x", "y"),
+                                RaExpr::EdgeScan("e2", "y", "z"));
+  RaExprPtr right = RaExpr::Join(RaExpr::EdgeScan("e1", "a", "b"),
+                                 RaExpr::EdgeScan("e2", "b", "c"));
+  RaExprPtr plan = RaExpr::Union(
+      RaExpr::Project(left, {{"x", "u"}, {"z", "v"}}),
+      RaExpr::Project(right, {{"a", "u"}, {"c", "v"}}));
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecMemoizedUnion)->Arg(10000);
 
 void BM_RelationalY6(benchmark::State& state) {
   YagoConfig config;

@@ -1,0 +1,42 @@
+// Entry point for bench_micro with machine-readable output support.
+//
+// In addition to the standard google-benchmark flags, understands
+//   --json[=PATH]   write results as JSON to PATH (default BENCH_micro.json)
+// which is translated to --benchmark_out/--benchmark_out_format so the
+// perf trajectory can be tracked across PRs without scraping stdout.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_micro.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      // An empty path (e.g. a stray '--json=') still means "emit JSON".
+      json_path = argv[i][7] != '\0' ? argv[i] + 7 : "BENCH_micro.json";
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    storage.push_back("--benchmark_out=" + json_path);
+    storage.push_back("--benchmark_out_format=json");
+    for (std::string& s : storage) args.push_back(s.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@ int main() {
   using namespace gqopt::bench;
 
   std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+  MaybeWriteMatrixJson(cells);
 
   std::printf("== Table 5: LDBC query feasibility across scale factors "
               "==\n");

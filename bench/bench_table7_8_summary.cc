@@ -30,6 +30,7 @@ int main() {
   using namespace gqopt::bench;
 
   std::vector<MatrixCell> cells = RunLdbcMatrix(MatrixOptions());
+  MaybeWriteMatrixJson(cells);
 
   std::vector<double> rq_base, rq_schema, nq_base, nq_schema;
   std::vector<double> all_base, all_schema;

@@ -123,4 +123,69 @@ std::string FormatSeconds(double seconds) {
   return buf;
 }
 
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MeasurementJson(const RunMeasurement& m) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"feasible\":%s,\"seconds\":%.6f,\"rows\":%zu",
+                m.feasible ? "true" : "false", m.seconds, m.result_rows);
+  std::string out = buf;
+  if (!m.error.empty()) {
+    out += ",\"error\":\"" + JsonEscape(m.error) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+bool WriteJsonObjectFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& members) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\n", f);
+  for (size_t i = 0; i < members.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %s%s\n", JsonEscape(members[i].first).c_str(),
+                 members[i].second.c_str(),
+                 i + 1 < members.size() ? "," : "");
+  }
+  std::fputs("}\n", f);
+  bool ok = std::ferror(f) == 0;
+  // fclose flushes; fold its result in so disk-full at flush time is
+  // reported as a failure.
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
 }  // namespace gqopt

@@ -6,6 +6,7 @@
 #define GQOPT_BENCHSUP_HARNESS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rewriter.h"
@@ -70,6 +71,22 @@ void PrintTable(const std::vector<std::string>& header,
 
 /// Formats seconds with 4 significant decimals.
 std::string FormatSeconds(double seconds);
+
+/// JSON-escapes `text` (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& text);
+
+/// Serializes one measurement as a JSON object, e.g.
+/// {"feasible":true,"seconds":0.0123,"rows":42}.
+std::string MeasurementJson(const RunMeasurement& m);
+
+/// Writes `{"name1":json1,...}` to `path`. Values must already be valid
+/// JSON (e.g. from MeasurementJson). Returns false on I/O failure. The
+/// experiment binaries use this to persist machine-readable results next
+/// to their printed tables so the perf trajectory is trackable across
+/// changes.
+bool WriteJsonObjectFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& members);
 
 }  // namespace gqopt
 

@@ -1,6 +1,9 @@
 #include "eval/binary_relation.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/flat_hash.h"
 
 namespace gqopt {
 namespace {
@@ -14,19 +17,24 @@ constexpr size_t kDeadlineStride = 1 << 16;
 // of the paper's 30-minute timeout.
 constexpr size_t kMaxPairs = size_t{1} << 24;
 
+// Largest node id for which SemiJoinTarget builds a membership bitmap;
+// beyond it (sparse ids) the per-pair binary search is used instead.
+constexpr NodeId kMaxBitmapNode = NodeId{1} << 26;
+
 }  // namespace
 
 BinaryRelation BinaryRelation::FromPairs(std::vector<Edge> pairs) {
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  SortUniquePairs(&pairs);
   BinaryRelation r;
   r.pairs_ = std::move(pairs);
   return r;
 }
 
-BinaryRelation BinaryRelation::FromSortedUnique(std::vector<Edge> pairs) {
+BinaryRelation BinaryRelation::FromSortedUnique(
+    std::vector<Edge> pairs, std::shared_ptr<const CsrView> csr) {
   BinaryRelation r;
   r.pairs_ = std::move(pairs);
+  r.csr_ = std::move(csr);
   return r;
 }
 
@@ -34,31 +42,59 @@ bool BinaryRelation::Contains(Edge pair) const {
   return std::binary_search(pairs_.begin(), pairs_.end(), pair);
 }
 
+const CsrView& BinaryRelation::SourceCsr() const {
+  if (!csr_) csr_ = std::make_shared<const CsrView>(CsrView::Build(pairs_));
+  return *csr_;
+}
+
+std::pair<uint32_t, uint32_t> BinaryRelation::EqualRange(NodeId v) const {
+  const CsrView& csr = SourceCsr();
+  if (csr.indexed()) return csr.Range(v);
+  auto lo = std::lower_bound(pairs_.begin(), pairs_.end(), Edge{v, 0});
+  auto hi = std::upper_bound(
+      lo, pairs_.end(), Edge{v, std::numeric_limits<NodeId>::max()});
+  return {static_cast<uint32_t>(lo - pairs_.begin()),
+          static_cast<uint32_t>(hi - pairs_.begin())};
+}
+
 Result<BinaryRelation> BinaryRelation::Compose(const BinaryRelation& a,
                                                const BinaryRelation& b,
                                                const Deadline& deadline) {
+  if (a.empty() || b.empty()) return BinaryRelation();
+  const std::vector<Edge>& bp = b.pairs_;
+  const std::vector<Edge>& ap = a.pairs_;
+  // a is sorted by source, so the output is produced in runs of equal x.
+  // Sorting/deduping each run's targets independently yields globally
+  // sorted-unique output without a final full-size sort.
   std::vector<Edge> out;
+  std::vector<NodeId> targets;
   size_t since_poll = 0;
-  for (const Edge& left : a.pairs_) {
-    // Pairs in b with first == left.second form a contiguous sorted range.
-    auto lo = std::lower_bound(b.pairs_.begin(), b.pairs_.end(),
-                               Edge{left.second, 0});
-    for (auto it = lo; it != b.pairs_.end() && it->first == left.second;
-         ++it) {
-      out.emplace_back(left.first, it->second);
-      if (++since_poll >= kDeadlineStride) {
-        since_poll = 0;
-        if (deadline.Expired()) {
-          return Status::DeadlineExceeded("compose timed out");
-        }
-        if (out.size() > kMaxPairs) {
-          return Status::ResourceExhausted(
-              "compose exceeded the intermediate-result cap");
+  size_t i = 0;
+  while (i < ap.size()) {
+    NodeId x = ap[i].first;
+    targets.clear();
+    for (; i < ap.size() && ap[i].first == x; ++i) {
+      auto [lo, hi] = b.EqualRange(ap[i].second);
+      for (uint32_t j = lo; j < hi; ++j) {
+        targets.push_back(bp[j].second);
+        if (++since_poll >= kDeadlineStride) {
+          since_poll = 0;
+          if (deadline.Expired()) {
+            return Status::DeadlineExceeded("compose timed out");
+          }
+          if (out.size() + targets.size() > kMaxPairs) {
+            return Status::ResourceExhausted(
+                "compose exceeded the intermediate-result cap");
+          }
         }
       }
     }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    for (NodeId z : targets) out.emplace_back(x, z);
   }
-  return FromPairs(std::move(out));
+  return FromSortedUnique(std::move(out));
 }
 
 BinaryRelation BinaryRelation::Union(const BinaryRelation& a,
@@ -79,7 +115,7 @@ BinaryRelation BinaryRelation::Intersect(const BinaryRelation& a,
 }
 
 BinaryRelation BinaryRelation::Difference(const BinaryRelation& a,
-                                          const BinaryRelation& b) {
+                                         const BinaryRelation& b) {
   std::vector<Edge> out;
   std::set_difference(a.pairs_.begin(), a.pairs_.end(), b.pairs_.begin(),
                       b.pairs_.end(), std::back_inserter(out));
@@ -90,66 +126,97 @@ BinaryRelation BinaryRelation::Reverse() const {
   std::vector<Edge> out;
   out.reserve(pairs_.size());
   for (const Edge& e : pairs_) out.emplace_back(e.second, e.first);
-  return FromPairs(std::move(out));
+  // Reversing a unique pair set keeps it unique: sort directly, no dedup.
+  std::sort(out.begin(), out.end());
+  return FromSortedUnique(std::move(out));
 }
 
 Result<BinaryRelation> BinaryRelation::TransitiveClosure(
     const BinaryRelation& r, const Deadline& deadline) {
-  BinaryRelation acc = r;
-  BinaryRelation delta = r;
+  if (r.empty()) return r;
+  const std::vector<Edge>& base = r.pairs_;
+
+  // Semi-naive iteration with a dedup set: each candidate pair costs one
+  // bitmap test-and-set (dense id domains) or flat hash insert instead of
+  // a full sort + Difference + Union re-merge of the accumulator per
+  // round.
+  NodeId max_target = 0;
+  for (const Edge& e : base) max_target = std::max(max_target, e.second);
+  PairDedupSet seen(static_cast<uint64_t>(base.back().first) + 1,
+                    static_cast<uint64_t>(max_target) + 1, r.size() * 4);
+  std::vector<Edge> acc = base;
+  for (const Edge& e : acc) seen.Insert(e.first, e.second);
+  std::vector<Edge> delta = base;
+  std::vector<Edge> next;
+  size_t since_poll = 0;
   while (!delta.empty()) {
     if (deadline.Expired()) {
       return Status::DeadlineExceeded("transitive closure timed out");
     }
-    GQOPT_ASSIGN_OR_RETURN(BinaryRelation step,
-                           Compose(delta, r, deadline));
-    BinaryRelation fresh = Difference(step, acc);
-    if (fresh.empty()) break;
-    acc = Union(acc, fresh);
+    next.clear();
+    for (const Edge& e : delta) {
+      auto [lo, hi] = r.EqualRange(e.second);
+      for (uint32_t i = lo; i < hi; ++i) {
+        NodeId z = base[i].second;
+        if (seen.Insert(e.first, z)) next.emplace_back(e.first, z);
+        if (++since_poll >= kDeadlineStride) {
+          since_poll = 0;
+          if (deadline.Expired()) {
+            return Status::DeadlineExceeded("transitive closure timed out");
+          }
+          if (acc.size() + next.size() > kMaxPairs) {
+            return Status::ResourceExhausted(
+                "transitive closure exceeded the result cap");
+          }
+        }
+      }
+    }
+    acc.insert(acc.end(), next.begin(), next.end());
     if (acc.size() > kMaxPairs) {
       return Status::ResourceExhausted(
           "transitive closure exceeded the result cap");
     }
-    delta = std::move(fresh);
+    delta.swap(next);
   }
-  return acc;
-}
-
-BinaryRelation BinaryRelation::FilterSource(
-    const std::function<bool(NodeId)>& keep) const {
-  std::vector<Edge> out;
-  for (const Edge& e : pairs_) {
-    if (keep(e.first)) out.push_back(e);
-  }
-  return FromSortedUnique(std::move(out));
-}
-
-BinaryRelation BinaryRelation::FilterTarget(
-    const std::function<bool(NodeId)>& keep) const {
-  std::vector<Edge> out;
-  for (const Edge& e : pairs_) {
-    if (keep(e.second)) out.push_back(e);
-  }
-  return FromSortedUnique(std::move(out));
+  // The dedup set guarantees uniqueness; one final packed sort restores
+  // order.
+  SortUniquePairs(&acc);
+  return FromSortedUnique(std::move(acc));
 }
 
 BinaryRelation BinaryRelation::SemiJoinSource(
     const std::vector<NodeId>& nodes) const {
+  if (empty() || nodes.empty()) return BinaryRelation();
+  // Each kept source contributes a contiguous pair range; `nodes` is
+  // sorted and unique, so concatenating the ranges preserves sorted
+  // order.
   std::vector<Edge> out;
-  for (const Edge& e : pairs_) {
-    if (std::binary_search(nodes.begin(), nodes.end(), e.first)) {
-      out.push_back(e);
-    }
+  for (NodeId v : nodes) {
+    auto [lo, hi] = EqualRange(v);
+    out.insert(out.end(), pairs_.begin() + lo, pairs_.begin() + hi);
   }
   return FromSortedUnique(std::move(out));
 }
 
 BinaryRelation BinaryRelation::SemiJoinTarget(
     const std::vector<NodeId>& nodes) const {
+  if (empty() || nodes.empty()) return BinaryRelation();
   std::vector<Edge> out;
-  for (const Edge& e : pairs_) {
-    if (std::binary_search(nodes.begin(), nodes.end(), e.second)) {
-      out.push_back(e);
+  // The bitmap costs O(max node id); require the id domain to be dense
+  // relative to the input sizes, else binary-search per pair.
+  if (nodes.back() < kMaxBitmapNode &&
+      nodes.back() < 64 * (nodes.size() + pairs_.size()) + 1024) {
+    // O(1) membership via a dense bitmap over the node-id domain.
+    std::vector<bool> member(nodes.back() + 1, false);
+    for (NodeId v : nodes) member[v] = true;
+    for (const Edge& e : pairs_) {
+      if (e.second < member.size() && member[e.second]) out.push_back(e);
+    }
+  } else {
+    for (const Edge& e : pairs_) {
+      if (std::binary_search(nodes.begin(), nodes.end(), e.second)) {
+        out.push_back(e);
+      }
     }
   }
   return FromSortedUnique(std::move(out));
@@ -159,7 +226,6 @@ std::vector<NodeId> BinaryRelation::Sources() const {
   std::vector<NodeId> out;
   out.reserve(pairs_.size());
   for (const Edge& e : pairs_) out.push_back(e.first);
-  std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }

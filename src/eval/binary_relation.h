@@ -5,9 +5,10 @@
 #ifndef GQOPT_EVAL_BINARY_RELATION_H_
 #define GQOPT_EVAL_BINARY_RELATION_H_
 
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "eval/csr_view.h"
 #include "graph/property_graph.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -17,7 +18,10 @@ namespace gqopt {
 /// \brief Immutable sorted-unique set of (source, target) node pairs.
 ///
 /// All operations respect set semantics; the mutating builders sort/dedup
-/// once at construction.
+/// once at construction. A CSR offset index over the pairs is built lazily
+/// on first use and shared across copies (the pair set is immutable), so
+/// repeated compositions against the same relation — the fixpoint inner
+/// loop — pay for the index once.
 class BinaryRelation {
  public:
   BinaryRelation() = default;
@@ -25,14 +29,26 @@ class BinaryRelation {
   /// Takes ownership of `pairs`; sorts and deduplicates.
   static BinaryRelation FromPairs(std::vector<Edge> pairs);
 
-  /// Wraps pairs already sorted by (first, second) and unique.
-  static BinaryRelation FromSortedUnique(std::vector<Edge> pairs);
+  /// Wraps pairs already sorted by (first, second) and unique. The
+  /// optional `csr` adopts a pre-built index over the same pair contents
+  /// (e.g. the PropertyGraph per-label cache) instead of rebuilding it.
+  static BinaryRelation FromSortedUnique(
+      std::vector<Edge> pairs, std::shared_ptr<const CsrView> csr = nullptr);
 
   size_t size() const { return pairs_.size(); }
   bool empty() const { return pairs_.empty(); }
   const std::vector<Edge>& pairs() const { return pairs_; }
 
   bool Contains(Edge pair) const;
+
+  /// CSR index over the pairs by source; built on first call, cached.
+  /// May be unindexed (csr.indexed() == false) for pathologically sparse
+  /// source ids — prefer EqualRange(), which handles both cases.
+  const CsrView& SourceCsr() const;
+
+  /// Index range [first, second) into pairs() whose source is `v`:
+  /// O(1) through the CSR for dense id spaces, binary search otherwise.
+  std::pair<uint32_t, uint32_t> EqualRange(NodeId v) const;
 
   /// Relational composition a ; b = {(x,z) | (x,y) in a, (y,z) in b}.
   static Result<BinaryRelation> Compose(const BinaryRelation& a,
@@ -53,12 +69,26 @@ class BinaryRelation {
   static Result<BinaryRelation> TransitiveClosure(
       const BinaryRelation& r, const Deadline& deadline = {});
 
-  /// Keeps pairs whose source satisfies `keep`.
-  BinaryRelation FilterSource(
-      const std::function<bool(NodeId)>& keep) const;
+  /// Keeps pairs whose source satisfies `keep`. Templated so the predicate
+  /// inlines into the scan loop.
+  template <typename Pred>
+  BinaryRelation FilterSource(const Pred& keep) const {
+    std::vector<Edge> out;
+    for (const Edge& e : pairs_) {
+      if (keep(e.first)) out.push_back(e);
+    }
+    return FromSortedUnique(std::move(out));
+  }
+
   /// Keeps pairs whose target satisfies `keep`.
-  BinaryRelation FilterTarget(
-      const std::function<bool(NodeId)>& keep) const;
+  template <typename Pred>
+  BinaryRelation FilterTarget(const Pred& keep) const {
+    std::vector<Edge> out;
+    for (const Edge& e : pairs_) {
+      if (keep(e.second)) out.push_back(e);
+    }
+    return FromSortedUnique(std::move(out));
+  }
 
   /// Keeps pairs whose source appears in sorted-unique `nodes`.
   BinaryRelation SemiJoinSource(const std::vector<NodeId>& nodes) const;
@@ -76,6 +106,10 @@ class BinaryRelation {
 
  private:
   std::vector<Edge> pairs_;
+  // Lazy CSR over pairs_ by source. Offsets are positional, so a copied
+  // relation shares the index with its original. Never reassigned once
+  // set (pairs_ is immutable after construction).
+  mutable std::shared_ptr<const CsrView> csr_;
 };
 
 }  // namespace gqopt

@@ -1,0 +1,47 @@
+#include "eval/csr_view.h"
+
+#include <algorithm>
+
+namespace gqopt {
+
+CsrView CsrView::Build(const std::vector<Pair>& pairs) {
+  CsrView view;
+  if (pairs.empty()) return view;
+  // Gate on density, not just the absolute cap: the offset array costs
+  // O(max source), which only pays off when the source domain is within
+  // a constant factor of the pair count.
+  if (pairs.back().first >= kMaxIndexedSource ||
+      pairs.back().first > 8 * pairs.size() + 1024) {
+    view.indexed_ = false;
+    return view;
+  }
+  view.num_sources_ = pairs.back().first + 1;
+  view.offsets_.assign(view.num_sources_ + 1, 0);
+  // Single sorted walk: offsets_[v] = index of the first pair with
+  // source >= v.
+  uint32_t source = 0;
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    while (source <= pairs[i].first) view.offsets_[source++] = i;
+  }
+  while (source <= view.num_sources_) {
+    view.offsets_[source++] = static_cast<uint32_t>(pairs.size());
+  }
+  return view;
+}
+
+void SortUniquePairs(std::vector<CsrView::Pair>* pairs) {
+  std::vector<uint64_t> keys(pairs->size());
+  for (size_t i = 0; i < pairs->size(); ++i) {
+    keys[i] = (static_cast<uint64_t>((*pairs)[i].first) << 32) |
+              (*pairs)[i].second;
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  pairs->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*pairs)[i] = {static_cast<uint32_t>(keys[i] >> 32),
+                   static_cast<uint32_t>(keys[i])};
+  }
+}
+
+}  // namespace gqopt

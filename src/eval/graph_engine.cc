@@ -67,16 +67,14 @@ Status JoinRelation(const EvaluatedRelation& rel, Working* table,
   }
 
   if (src_idx >= 0) {
-    // Extend rows with the new target variable.
+    // Extend rows with the new target variable via the CSR index.
     const auto& pairs = rel.pairs.pairs();
     for (const auto& row : table->rows) {
-      auto lo = std::lower_bound(pairs.begin(), pairs.end(),
-                                 Edge{row[src_idx], 0});
-      for (auto it = lo; it != pairs.end() && it->first == row[src_idx];
-           ++it) {
+      auto [lo, hi] = rel.pairs.EqualRange(row[src_idx]);
+      for (uint32_t i = lo; i < hi; ++i) {
         if (!poll()) return Status::DeadlineExceeded("join timed out");
         auto extended = row;
-        extended.push_back(it->second);
+        extended.push_back(pairs[i].second);
         next.push_back(std::move(extended));
       }
     }
@@ -90,13 +88,11 @@ Status JoinRelation(const EvaluatedRelation& rel, Working* table,
     BinaryRelation reversed = rel.pairs.Reverse();
     const auto& pairs = reversed.pairs();
     for (const auto& row : table->rows) {
-      auto lo = std::lower_bound(pairs.begin(), pairs.end(),
-                                 Edge{row[tgt_idx], 0});
-      for (auto it = lo; it != pairs.end() && it->first == row[tgt_idx];
-           ++it) {
+      auto [lo, hi] = reversed.EqualRange(row[tgt_idx]);
+      for (uint32_t i = lo; i < hi; ++i) {
         if (!poll()) return Status::DeadlineExceeded("join timed out");
         auto extended = row;
-        extended.push_back(it->second);
+        extended.push_back(pairs[i].second);
         next.push_back(std::move(extended));
       }
     }

@@ -1,0 +1,141 @@
+#include "eval/naive_reference.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gqopt {
+namespace naive {
+
+BinaryRelation Compose(const BinaryRelation& a, const BinaryRelation& b) {
+  std::vector<Edge> out;
+  const std::vector<Edge>& bp = b.pairs();
+  for (const Edge& left : a.pairs()) {
+    auto lo = std::lower_bound(bp.begin(), bp.end(), Edge{left.second, 0});
+    for (auto it = lo; it != bp.end() && it->first == left.second; ++it) {
+      out.emplace_back(left.first, it->second);
+    }
+  }
+  // The seed's FromPairs: a comparator-based sort of the pair structs
+  // (today's FromPairs sorts packed 64-bit keys, which would flatter the
+  // baseline).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return BinaryRelation::FromSortedUnique(std::move(out));
+}
+
+BinaryRelation TransitiveClosure(const BinaryRelation& r) {
+  BinaryRelation acc = r;
+  BinaryRelation delta = r;
+  while (!delta.empty()) {
+    BinaryRelation step = Compose(delta, r);
+    BinaryRelation fresh = BinaryRelation::Difference(step, acc);
+    if (fresh.empty()) break;
+    acc = BinaryRelation::Union(acc, fresh);
+    delta = std::move(fresh);
+  }
+  return acc;
+}
+
+BinaryRelation SeededClosure(const BinaryRelation& base,
+                             const std::vector<NodeId>& seeds,
+                             bool seed_source) {
+  BinaryRelation delta = seed_source ? SemiJoinSource(base, seeds)
+                                     : SemiJoinTarget(base, seeds);
+  BinaryRelation acc = delta;
+  while (!delta.empty()) {
+    BinaryRelation step =
+        seed_source ? Compose(delta, base) : Compose(base, delta);
+    BinaryRelation fresh = BinaryRelation::Difference(step, acc);
+    if (fresh.empty()) break;
+    acc = BinaryRelation::Union(acc, fresh);
+    delta = std::move(fresh);
+  }
+  return acc;
+}
+
+BinaryRelation SemiJoinSource(const BinaryRelation& r,
+                              const std::vector<NodeId>& nodes) {
+  std::vector<Edge> out;
+  for (const Edge& e : r.pairs()) {
+    if (std::binary_search(nodes.begin(), nodes.end(), e.first)) {
+      out.push_back(e);
+    }
+  }
+  return BinaryRelation::FromSortedUnique(std::move(out));
+}
+
+BinaryRelation SemiJoinTarget(const BinaryRelation& r,
+                              const std::vector<NodeId>& nodes) {
+  std::vector<Edge> out;
+  for (const Edge& e : r.pairs()) {
+    if (std::binary_search(nodes.begin(), nodes.end(), e.second)) {
+      out.push_back(e);
+    }
+  }
+  return BinaryRelation::FromSortedUnique(std::move(out));
+}
+
+namespace {
+
+// Shared column indexes (left index, right index) by column name.
+std::vector<std::pair<int, int>> SharedIndexes(const Table& left,
+                                               const Table& right) {
+  std::vector<std::pair<int, int>> shared;
+  for (size_t i = 0; i < left.columns().size(); ++i) {
+    int r = right.ColumnIndex(left.columns()[i]);
+    if (r >= 0) shared.emplace_back(static_cast<int>(i), r);
+  }
+  return shared;
+}
+
+bool RowsAgree(const NodeId* lrow, const NodeId* rrow,
+               const std::vector<std::pair<int, int>>& shared) {
+  for (const auto& [l, r] : shared) {
+    if (lrow[l] != rrow[r]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Table Join(const Table& left, const Table& right) {
+  std::vector<std::pair<int, int>> shared = SharedIndexes(left, right);
+  std::vector<std::string> columns = left.columns();
+  std::vector<int> right_extra;
+  for (size_t i = 0; i < right.columns().size(); ++i) {
+    if (left.ColumnIndex(right.columns()[i]) < 0) {
+      right_extra.push_back(static_cast<int>(i));
+      columns.push_back(right.columns()[i]);
+    }
+  }
+  Table out(std::move(columns));
+  std::vector<NodeId> row(out.arity());
+  for (size_t l = 0; l < left.rows(); ++l) {
+    for (size_t r = 0; r < right.rows(); ++r) {
+      if (!RowsAgree(left.Row(l), right.Row(r), shared)) continue;
+      std::copy_n(left.Row(l), left.arity(), row.data());
+      for (size_t i = 0; i < right_extra.size(); ++i) {
+        row[left.arity() + i] = right.Row(r)[right_extra[i]];
+      }
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+Table SemiJoin(const Table& left, const Table& right) {
+  std::vector<std::pair<int, int>> shared = SharedIndexes(left, right);
+  Table out(left.columns());
+  for (size_t l = 0; l < left.rows(); ++l) {
+    for (size_t r = 0; r < right.rows(); ++r) {
+      if (RowsAgree(left.Row(l), right.Row(r), shared)) {
+        out.AddRow(left.Row(l));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace naive
+}  // namespace gqopt

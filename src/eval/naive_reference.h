@@ -1,0 +1,48 @@
+// Naive reference implementations of the evaluation-core primitives,
+// retained verbatim from the pre-CSR engine. They are deliberately simple
+// (per-pair binary search, full Union/Difference re-merges, nested-loop
+// joins) and exist so differential tests can assert that the optimized
+// CSR / flat-hash paths return identical results on arbitrary inputs.
+
+#ifndef GQOPT_EVAL_NAIVE_REFERENCE_H_
+#define GQOPT_EVAL_NAIVE_REFERENCE_H_
+
+#include <vector>
+
+#include "eval/binary_relation.h"
+#include "graph/property_graph.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gqopt {
+namespace naive {
+
+/// Composition via per-left-pair binary search (the pre-CSR algorithm).
+BinaryRelation Compose(const BinaryRelation& a, const BinaryRelation& b);
+
+/// Semi-naive closure with full Union/Difference re-merges per round.
+BinaryRelation TransitiveClosure(const BinaryRelation& r);
+
+/// Seeded closure expanding from `seeds` on the given side.
+BinaryRelation SeededClosure(const BinaryRelation& base,
+                             const std::vector<NodeId>& seeds,
+                             bool seed_source);
+
+/// Semi-joins via per-pair binary search over the sorted node list.
+BinaryRelation SemiJoinSource(const BinaryRelation& r,
+                              const std::vector<NodeId>& nodes);
+BinaryRelation SemiJoinTarget(const BinaryRelation& r,
+                              const std::vector<NodeId>& nodes);
+
+/// Natural nested-loop join on the shared column names; output columns are
+/// the left columns followed by the right-only columns, matching the
+/// executor's kJoin schema.
+Table Join(const Table& left, const Table& right);
+
+/// Nested-loop left semi-join on the shared column names.
+Table SemiJoin(const Table& left, const Table& right);
+
+}  // namespace naive
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_NAIVE_REFERENCE_H_

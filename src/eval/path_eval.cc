@@ -28,11 +28,14 @@ Result<BinaryRelation> EvalPath(const PropertyGraph& graph,
   }
   switch (expr->op()) {
     case PathOp::kEdge:
+      // Adopt the graph's cached per-label CSR: repeated evaluations over
+      // the same graph never rebuild the edge index.
       return BinaryRelation::FromSortedUnique(
-          graph.EdgesByLabel(expr->label()));
+          graph.EdgesByLabel(expr->label()), graph.ForwardCsr(expr->label()));
     case PathOp::kReverse:
       return BinaryRelation::FromSortedUnique(
-          graph.ReverseEdgesByLabel(expr->label()));
+          graph.ReverseEdgesByLabel(expr->label()),
+          graph.ReverseCsr(expr->label()));
     case PathOp::kConcat: {
       GQOPT_ASSIGN_OR_RETURN(BinaryRelation left,
                              EvalPath(graph, expr->left(), deadline));

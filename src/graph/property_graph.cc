@@ -73,6 +73,36 @@ const std::vector<Edge>& PropertyGraph::ReverseEdgesByLabel(
   return reverse_[*id];
 }
 
+std::shared_ptr<const CsrView> PropertyGraph::ForwardCsr(
+    std::string_view label) const {
+  Finalize();
+  auto id = edge_label_names_.Find(label);
+  if (!id.has_value() || *id >= forward_.size()) return nullptr;
+  if (forward_csr_.size() < forward_.size()) {
+    forward_csr_.resize(forward_.size());
+  }
+  if (!forward_csr_[*id]) {
+    forward_csr_[*id] =
+        std::make_shared<const CsrView>(CsrView::Build(forward_[*id]));
+  }
+  return forward_csr_[*id];
+}
+
+std::shared_ptr<const CsrView> PropertyGraph::ReverseCsr(
+    std::string_view label) const {
+  Finalize();
+  auto id = edge_label_names_.Find(label);
+  if (!id.has_value() || *id >= reverse_.size()) return nullptr;
+  if (reverse_csr_.size() < reverse_.size()) {
+    reverse_csr_.resize(reverse_.size());
+  }
+  if (!reverse_csr_[*id]) {
+    reverse_csr_[*id] =
+        std::make_shared<const CsrView>(CsrView::Build(reverse_[*id]));
+  }
+  return reverse_csr_[*id];
+}
+
 const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
     std::string_view label) const {
   Finalize();
@@ -89,6 +119,8 @@ bool PropertyGraph::NodeHasLabel(NodeId node, std::string_view label) const {
 
 void PropertyGraph::Finalize() const {
   if (finalized_) return;
+  forward_csr_.clear();  // stale once the vectors re-sort
+  reverse_csr_.clear();
   for (auto& edges : forward_) {
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());

@@ -5,12 +5,14 @@
 #define GQOPT_GRAPH_PROPERTY_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "eval/csr_view.h"
 #include "graph/value.h"
 #include "schema/graph_schema.h"
 #include "schema/symbol_table.h"
@@ -81,6 +83,14 @@ class PropertyGraph {
   /// Edges with `label` as (target, source) pairs sorted by (target, source).
   const std::vector<Edge>& ReverseEdgesByLabel(std::string_view label) const;
 
+  /// CSR offset index over EdgesByLabel(label), built once per label from
+  /// the already-sorted edge vector (no re-sort) and cached. The returned
+  /// pointer stays valid until edges are added. Null for unknown labels.
+  std::shared_ptr<const CsrView> ForwardCsr(std::string_view label) const;
+
+  /// CSR offset index over ReverseEdgesByLabel(label).
+  std::shared_ptr<const CsrView> ReverseCsr(std::string_view label) const;
+
   /// Node ids carrying `label`, sorted ascending. Empty for unknown label.
   const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
 
@@ -100,6 +110,10 @@ class PropertyGraph {
   // Per edge-label-id adjacency: forward (src,tgt) and reverse (tgt,src).
   mutable std::vector<std::vector<Edge>> forward_;
   mutable std::vector<std::vector<Edge>> reverse_;
+  // Lazily built per-label CSR indexes over the vectors above; cleared
+  // whenever Finalize() re-sorts.
+  mutable std::vector<std::shared_ptr<const CsrView>> forward_csr_;
+  mutable std::vector<std::shared_ptr<const CsrView>> reverse_csr_;
   // Per node-label-id node lists.
   mutable std::vector<std::vector<NodeId>> label_index_;
   mutable bool finalized_ = true;

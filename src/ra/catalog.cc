@@ -11,9 +11,12 @@ Catalog::Catalog(const PropertyGraph& graph) : graph_(graph) {
 const BinaryRelation& Catalog::EdgeTable(const std::string& label) const {
   auto it = edge_cache_.find(label);
   if (it == edge_cache_.end()) {
+    // Adopt the graph's cached CSR alongside the pair copy so downstream
+    // compositions never rebuild the per-label index.
     it = edge_cache_
              .emplace(label, BinaryRelation::FromSortedUnique(
-                                 graph_.EdgesByLabel(label)))
+                                 graph_.EdgesByLabel(label),
+                                 graph_.ForwardCsr(label)))
              .first;
   }
   return it->second;

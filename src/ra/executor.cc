@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "eval/csr_view.h"
+#include "util/flat_hash.h"
+
 namespace gqopt {
 namespace {
 
 constexpr size_t kPollStride = 1 << 16;
+
+// Cap on materialized closure pairs, mirroring BinaryRelation's limit.
+constexpr size_t kMaxClosurePairs = size_t{1} << 24;
 
 uint64_t PackKey(const NodeId* row, const std::vector<int>& cols) {
   if (cols.size() == 1) return row[cols[0]];
@@ -134,8 +140,8 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
   const std::string& key = KeyOf(e);
   auto cached = memo_.find(key);
   if (cached != memo_.end()) {
-    // Same plan modulo column renaming: reuse the data, relabel the
-    // columns positionally for this node's schema.
+    // Same plan modulo column renaming: share the row storage (copy on
+    // write) and relabel the columns positionally for this node's schema.
     return cached->second.RenamedTo(e->columns());
   }
   if (deadline.Expired()) {
@@ -145,13 +151,23 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
   Result<Table> result = [&]() -> Result<Table> {
     switch (e->op()) {
       case RaOp::kEdgeScan: {
-        Table t({e->columns()[0], e->columns()[1]});
         const BinaryRelation& edges = catalog_.EdgeTable(e->label());
-        t.Reserve(edges.size());
+        std::vector<NodeId> data;
+        data.reserve(edges.size() * 2);
+        size_t since_poll = 0;
         for (const Edge& pair : edges.pairs()) {
-          NodeId row[2] = {pair.first, pair.second};
-          t.AddRow(row);
+          data.push_back(pair.first);
+          data.push_back(pair.second);
+          if (++since_poll >= kPollStride) {
+            since_poll = 0;
+            if (deadline.Expired()) {
+              return Status::DeadlineExceeded("edge scan timed out");
+            }
+          }
         }
+        Table t = Table::FromData({e->columns()[0], e->columns()[1]},
+                                  std::move(data));
+        t.MarkSorted();  // edge tables are sorted by (source, target)
         return t;
       }
       case RaOp::kNodeScan: {
@@ -159,11 +175,11 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         for (NodeId n : catalog_.NodeExtentUnion(e->labels())) {
           t.AddRow(&n);
         }
+        t.MarkSorted();  // node extents are sorted ascending
         return t;
       }
       case RaOp::kProject: {
         GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
-        Table t(e->columns());
         std::vector<int> sources;
         sources.reserve(e->mappings().size());
         for (const auto& [from, to] : e->mappings()) {
@@ -175,14 +191,19 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
           }
           sources.push_back(idx);
         }
-        t.Reserve(child.rows());
-        std::vector<NodeId> row(sources.size());
+        // Identity projection (pure rename): share the row block.
+        bool identity = sources.size() == child.arity();
+        for (size_t i = 0; identity && i < sources.size(); ++i) {
+          identity = sources[i] == static_cast<int>(i);
+        }
+        if (identity) return child.RenamedTo(e->columns());
+        std::vector<NodeId> data;
+        data.reserve(child.rows() * sources.size());
         for (size_t r = 0; r < child.rows(); ++r) {
           const NodeId* in = child.Row(r);
-          for (size_t i = 0; i < sources.size(); ++i) row[i] = in[sources[i]];
-          t.AddRow(row);
+          for (int src_idx : sources) data.push_back(in[src_idx]);
         }
-        return t;
+        return Table::FromData(e->columns(), std::move(data));
       }
       case RaOp::kSelectEq: {
         GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
@@ -191,11 +212,13 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         if (a < 0 || b < 0) {
           return Status::Internal("selection references unknown column");
         }
+        bool was_sorted = child.sorted();
         Table t(child.columns());
         for (size_t r = 0; r < child.rows(); ++r) {
           const NodeId* row = child.Row(r);
           if (row[a] == row[b]) t.AddRow(row);
         }
+        if (was_sorted) t.MarkSorted();  // filtering preserves order
         return t;
       }
       case RaOp::kJoin:
@@ -213,16 +236,33 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
           if (idx < 0) return Status::Internal("union schema mismatch");
           align.push_back(idx);
         }
-        Table t(left.columns());
-        t.Reserve(left.rows() + right.rows());
-        for (size_t r = 0; r < left.rows(); ++r) t.AddRow(left.Row(r));
-        std::vector<NodeId> row(align.size());
-        for (size_t r = 0; r < right.rows(); ++r) {
-          const NodeId* in = right.Row(r);
-          for (size_t i = 0; i < align.size(); ++i) row[i] = in[align[i]];
-          t.AddRow(row);
+        bool align_identity = true;
+        for (size_t i = 0; i < align.size(); ++i) {
+          if (align[i] != static_cast<int>(i)) align_identity = false;
         }
-        return t;
+        std::vector<NodeId> data;
+        data.reserve(left.data().size() + right.data().size());
+        // Left columns match the output order: one block append.
+        data.insert(data.end(), left.data().begin(), left.data().end());
+        if (deadline.Expired()) {
+          return Status::DeadlineExceeded("union timed out");
+        }
+        if (align_identity) {
+          data.insert(data.end(), right.data().begin(), right.data().end());
+        } else {
+          size_t since_poll = 0;
+          for (size_t r = 0; r < right.rows(); ++r) {
+            const NodeId* in = right.Row(r);
+            for (int idx : align) data.push_back(in[idx]);
+            if (++since_poll >= kPollStride) {
+              since_poll = 0;
+              if (deadline.Expired()) {
+                return Status::DeadlineExceeded("union timed out");
+              }
+            }
+          }
+        }
+        return Table::FromData(left.columns(), std::move(data));
       }
       case RaOp::kDistinct: {
         GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
@@ -257,63 +297,115 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
     }
   }
 
-  Table out(e->columns());
   size_t ops = 0;
   auto poll = [&]() -> bool {
     if ((++ops & (kPollStride - 1)) != 0) return true;
     return !deadline.Expired();
   };
 
+  // Output rows accumulate in a plain vector (adopted via FromData at the
+  // end) so the inner loops skip per-row copy-on-write checks.
+  std::vector<NodeId> out_data;
+  // Speculative reserve bounded by the smaller input: avoids the first
+  // few growth doublings without committing huge memory up front for
+  // selective joins.
+  out_data.reserve(std::min(left.rows(), right.rows()) *
+                   e->columns().size());
+  size_t left_arity = left.arity();
+  auto emit = [&](const NodeId* lrow, const NodeId* rrow) {
+    out_data.insert(out_data.end(), lrow, lrow + left_arity);
+    for (int idx : right_extra) out_data.push_back(rrow[idx]);
+  };
+
   if (shared.empty()) {
     // Cross product.
-    std::vector<NodeId> row(out.arity());
     for (size_t l = 0; l < left.rows(); ++l) {
       for (size_t r = 0; r < right.rows(); ++r) {
         if (!poll()) return Status::DeadlineExceeded("join timed out");
-        std::copy_n(left.Row(l), left.arity(), row.data());
-        for (size_t i = 0; i < right_extra.size(); ++i) {
-          row[left.arity() + i] = right.Row(r)[right_extra[i]];
-        }
-        out.AddRow(row);
+        emit(left.Row(l), right.Row(r));
       }
     }
-    return out;
+    return Table::FromData(e->columns(), std::move(out_data));
   }
 
-  // Hash join, building on the smaller input.
+  // Offset fast path: a single shared column that one input is sorted on
+  // (lexicographic order sorts on the leading column; edge scans and
+  // closure outputs qualify). A dense offset array over the sorted side
+  // gives O(1) lookup with contiguous matches — no hashing at all.
+  // The offset array costs O(max key), so require the key domain to be
+  // within a constant factor of the build rows (true for dense node ids;
+  // false for a tiny table with a huge maximum id, where hashing wins).
+  auto offset_worthwhile = [](const Table& t) {
+    if (!t.sorted() || t.rows() == 0) return false;
+    NodeId max_key = t.Row(t.rows() - 1)[0];
+    return static_cast<size_t>(max_key) < 8 * t.rows() + 1024;
+  };
+  bool right_indexable =
+      shared.size() == 1 && right_keys[0] == 0 && offset_worthwhile(right);
+  bool left_indexable =
+      shared.size() == 1 && left_keys[0] == 0 && offset_worthwhile(left);
+  if (right_indexable || left_indexable) {
+    const Table& bld = right_indexable ? right : left;
+    const Table& prb = right_indexable ? left : right;
+    int prb_key = right_indexable ? left_keys[0] : right_keys[0];
+    size_t bld_arity = bld.arity();
+    const std::vector<NodeId>& bld_data = bld.data();
+    // offsets[v] = first build row whose key column is >= v.
+    NodeId max_key = bld.Row(bld.rows() - 1)[0];
+    std::vector<uint32_t> offsets(static_cast<size_t>(max_key) + 2, 0);
+    NodeId v = 0;
+    for (size_t r = 0; r < bld.rows(); ++r) {
+      while (v <= bld_data[r * bld_arity]) {
+        offsets[v++] = static_cast<uint32_t>(r);
+      }
+    }
+    while (v <= max_key + 1) {
+      offsets[v++] = static_cast<uint32_t>(bld.rows());
+    }
+    for (size_t p = 0; p < prb.rows(); ++p) {
+      const NodeId* prow = prb.Row(p);
+      NodeId key = prow[prb_key];
+      if (key > max_key) continue;
+      for (uint32_t r = offsets[key]; r < offsets[key + 1]; ++r) {
+        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        const NodeId* brow = bld.Row(r);
+        emit(right_indexable ? prow : brow, right_indexable ? brow : prow);
+      }
+    }
+    return Table::FromData(e->columns(), std::move(out_data));
+  }
+
+  // Flat hash join, building on the smaller input: contiguous (key, row)
+  // entries with linear-probing buckets, no per-bucket allocations.
   bool build_left = left.rows() < right.rows();
   const Table& build = build_left ? left : right;
   const Table& probe = build_left ? right : left;
   const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
   const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
 
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
-  index.reserve(build.rows() * 2);
+  std::vector<uint64_t> build_key_vec(build.rows());
   for (size_t r = 0; r < build.rows(); ++r) {
-    index[PackKey(build.Row(r), build_keys)].push_back(
-        static_cast<uint32_t>(r));
+    if (!poll()) return Status::DeadlineExceeded("join timed out");
+    build_key_vec[r] = PackKey(build.Row(r), build_keys);
   }
+  FlatJoinIndex index(build_key_vec);
 
-  std::vector<NodeId> row(out.arity());
   for (size_t p = 0; p < probe.rows(); ++p) {
-    auto it = index.find(PackKey(probe.Row(p), probe_keys));
-    if (it == index.end()) continue;
-    for (uint32_t b : it->second) {
+    const NodeId* prow = probe.Row(p);
+    auto [it, end] = index.Equal(PackKey(prow, probe_keys));
+    for (; it != end; ++it) {
       if (!poll()) return Status::DeadlineExceeded("join timed out");
-      const NodeId* lrow = build_left ? build.Row(b) : probe.Row(p);
-      const NodeId* rrow = build_left ? probe.Row(p) : build.Row(b);
+      const NodeId* brow = build.Row(*it);
+      const NodeId* lrow = build_left ? brow : prow;
+      const NodeId* rrow = build_left ? prow : brow;
       if (shared.size() > 2 &&
           !RowsMatch(lrow, left_keys, rrow, right_keys)) {
         continue;
       }
-      std::copy_n(lrow, left.arity(), row.data());
-      for (size_t i = 0; i < right_extra.size(); ++i) {
-        row[left.arity() + i] = rrow[right_extra[i]];
-      }
-      out.AddRow(row);
+      emit(lrow, rrow);
     }
   }
-  return out;
+  return Table::FromData(e->columns(), std::move(out_data));
 }
 
 Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
@@ -331,30 +423,73 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     left_keys.push_back(left.ColumnIndex(col));
     right_keys.push_back(right.ColumnIndex(col));
   }
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
-  for (size_t r = 0; r < right.rows(); ++r) {
-    index[PackKey(right.Row(r), right_keys)].push_back(
-        static_cast<uint32_t>(r));
-  }
+
+  bool was_sorted = left.sorted();
   Table out(left.columns());
   size_t ops = 0;
-  for (size_t l = 0; l < left.rows(); ++l) {
-    if ((++ops & (kPollStride - 1)) == 0 && deadline.Expired()) {
-      return Status::DeadlineExceeded("semi-join timed out");
+  auto poll = [&]() -> bool {
+    if ((++ops & (kPollStride - 1)) != 0) return true;
+    return !deadline.Expired();
+  };
+
+  // Offset fast path: existence bitmap over a right side sorted on the
+  // single shared column, gated on a dense key domain (the bitmap costs
+  // O(max key)).
+  if (shared.size() == 1 && right_keys[0] == 0 && right.sorted() &&
+      right.rows() > 0 &&
+      static_cast<size_t>(right.Row(right.rows() - 1)[0]) <
+          64 * right.rows() + 1024) {
+    NodeId max_key = right.Row(right.rows() - 1)[0];
+    std::vector<bool> present(static_cast<size_t>(max_key) + 1, false);
+    for (size_t r = 0; r < right.rows(); ++r) {
+      present[right.Row(r)[0]] = true;
     }
-    auto it = index.find(PackKey(left.Row(l), left_keys));
-    if (it == index.end()) continue;
-    bool matched = shared.size() <= 2;
-    if (!matched) {
-      for (uint32_t r : it->second) {
-        if (RowsMatch(left.Row(l), left_keys, right.Row(r), right_keys)) {
+    int lk = left_keys[0];
+    for (size_t l = 0; l < left.rows(); ++l) {
+      if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+      NodeId key = left.Row(l)[lk];
+      if (key <= max_key && present[key]) out.AddRow(left.Row(l));
+    }
+    if (was_sorted) out.MarkSorted();
+    return out;
+  }
+
+  // Flat existence set; row groups are only needed when the packed key
+  // folds more than two columns and probes must re-verify equality.
+  bool verify = shared.size() > 2;
+  FlatKeySet keys(verify ? 0 : right.rows());
+  std::vector<uint64_t> right_key_vec;
+  if (verify) {
+    right_key_vec.resize(right.rows());
+  }
+  for (size_t r = 0; r < right.rows(); ++r) {
+    if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+    uint64_t key = PackKey(right.Row(r), right_keys);
+    if (verify) {
+      right_key_vec[r] = key;
+    } else {
+      keys.Insert(key);
+    }
+  }
+  FlatJoinIndex index(right_key_vec);
+  for (size_t l = 0; l < left.rows(); ++l) {
+    if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+    uint64_t key = PackKey(left.Row(l), left_keys);
+    bool matched = false;
+    if (verify) {
+      auto [it, end] = index.Equal(key);
+      for (; it != end; ++it) {
+        if (RowsMatch(left.Row(l), left_keys, right.Row(*it), right_keys)) {
           matched = true;
           break;
         }
       }
+    } else {
+      matched = keys.Contains(key);
     }
     if (matched) out.AddRow(left.Row(l));
   }
+  if (was_sorted) out.MarkSorted();
   return out;
 }
 
@@ -387,47 +522,91 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
     }
     std::sort(seeds.begin(), seeds.end());
     seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    GQOPT_ASSIGN_OR_RETURN(
+        acc, SeededClosure(base, seeds,
+                           e->seed_side() == SeedSide::kSource, deadline));
+  }
 
-    if (e->seed_side() == SeedSide::kSource) {
-      // Semi-naive expansion of paths starting at the seeds.
-      BinaryRelation delta = base.SemiJoinSource(seeds);
-      acc = delta;
-      while (!delta.empty()) {
-        if (deadline.Expired()) {
-          return Status::DeadlineExceeded("seeded closure timed out");
+  std::vector<NodeId> data;
+  data.reserve(acc.size() * 2);
+  for (const Edge& pair : acc.pairs()) {
+    data.push_back(pair.first);
+    data.push_back(pair.second);
+  }
+  Table out = Table::FromData({e->src_col(), e->tgt_col()}, std::move(data));
+  out.MarkSorted();  // closure results are sorted pair sets
+  return out;
+}
+
+Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
+                                               const std::vector<NodeId>& seeds,
+                                               bool seed_source,
+                                               const Deadline& deadline) {
+  // Semi-naive expansion from the seeds over a CSR of the (reversed, for
+  // target seeds) base relation, deduplicating each candidate pair with a
+  // flat hash insert instead of re-merging the accumulator every round.
+  BinaryRelation start = seed_source ? base.SemiJoinSource(seeds)
+                                     : base.SemiJoinTarget(seeds);
+  if (start.empty()) return start;
+  BinaryRelation reversed;
+  if (!seed_source) reversed = base.Reverse();
+  const BinaryRelation& adj = seed_source ? base : reversed;
+  const std::vector<Edge>& adj_pairs = adj.pairs();
+
+  std::vector<Edge> acc = start.pairs();
+  // Dedup domain: sources stay within the start set's sources (source
+  // seeds) or targets within the start set's targets (target seeds);
+  // the other component ranges over the adjacency's targets.
+  NodeId max_x = 0, max_z = 0;
+  for (const Edge& e : acc) max_x = std::max(max_x, e.first);
+  for (const Edge& e : acc) max_z = std::max(max_z, e.second);
+  for (const Edge& e : adj_pairs) {
+    (seed_source ? max_z : max_x) = std::max(
+        seed_source ? max_z : max_x, e.second);
+  }
+  PairDedupSet seen(static_cast<uint64_t>(max_x) + 1,
+                    static_cast<uint64_t>(max_z) + 1, acc.size() * 4);
+  for (const Edge& e : acc) seen.Insert(e.first, e.second);
+  std::vector<Edge> delta = acc;
+  std::vector<Edge> next;
+  size_t since_poll = 0;
+  while (!delta.empty()) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("seeded closure timed out");
+    }
+    next.clear();
+    for (const Edge& d : delta) {
+      // Source seeds: extend (x,y) by successors z of y to (x,z).
+      // Target seeds: extend (x,y) by predecessors w of x to (w,y).
+      auto [lo, hi] = adj.EqualRange(seed_source ? d.second : d.first);
+      for (uint32_t i = lo; i < hi; ++i) {
+        Edge candidate = seed_source
+                             ? Edge{d.first, adj_pairs[i].second}
+                             : Edge{adj_pairs[i].second, d.second};
+        if (seen.Insert(candidate.first, candidate.second)) {
+          next.push_back(candidate);
         }
-        GQOPT_ASSIGN_OR_RETURN(BinaryRelation step,
-                               BinaryRelation::Compose(delta, base, deadline));
-        BinaryRelation fresh = BinaryRelation::Difference(step, acc);
-        if (fresh.empty()) break;
-        acc = BinaryRelation::Union(acc, fresh);
-        delta = std::move(fresh);
-      }
-    } else {
-      // Paths ending at the seeds: expand leftwards.
-      BinaryRelation delta = base.SemiJoinTarget(seeds);
-      acc = delta;
-      while (!delta.empty()) {
-        if (deadline.Expired()) {
-          return Status::DeadlineExceeded("seeded closure timed out");
+        if (++since_poll >= kPollStride) {
+          since_poll = 0;
+          if (deadline.Expired()) {
+            return Status::DeadlineExceeded("seeded closure timed out");
+          }
+          if (acc.size() + next.size() > kMaxClosurePairs) {
+            return Status::ResourceExhausted(
+                "seeded closure exceeded the result cap");
+          }
         }
-        GQOPT_ASSIGN_OR_RETURN(BinaryRelation step,
-                               BinaryRelation::Compose(base, delta, deadline));
-        BinaryRelation fresh = BinaryRelation::Difference(step, acc);
-        if (fresh.empty()) break;
-        acc = BinaryRelation::Union(acc, fresh);
-        delta = std::move(fresh);
       }
     }
+    acc.insert(acc.end(), next.begin(), next.end());
+    if (acc.size() > kMaxClosurePairs) {
+      return Status::ResourceExhausted(
+          "seeded closure exceeded the result cap");
+    }
+    delta.swap(next);
   }
-
-  Table out({e->src_col(), e->tgt_col()});
-  out.Reserve(acc.size());
-  for (const Edge& pair : acc.pairs()) {
-    NodeId row[2] = {pair.first, pair.second};
-    out.AddRow(row);
-  }
-  return out;
+  SortUniquePairs(&acc);
+  return BinaryRelation::FromSortedUnique(std::move(acc));
 }
 
 }  // namespace gqopt

@@ -6,7 +6,9 @@
 #define GQOPT_RA_EXECUTOR_H_
 
 #include <unordered_map>
+#include <vector>
 
+#include "eval/binary_relation.h"
 #include "ra/catalog.h"
 #include "ra/ra_expr.h"
 #include "ra/table.h"
@@ -30,6 +32,10 @@ class Executor {
   Result<Table> EvalJoin(const RaExpr* e, const Deadline& deadline);
   Result<Table> EvalSemiJoin(const RaExpr* e, const Deadline& deadline);
   Result<Table> EvalClosure(const RaExpr* e, const Deadline& deadline);
+  Result<BinaryRelation> SeededClosure(const BinaryRelation& base,
+                                       const std::vector<NodeId>& seeds,
+                                       bool seed_source,
+                                       const Deadline& deadline);
   const std::string& KeyOf(const RaExpr* e);
 
   const Catalog& catalog_;

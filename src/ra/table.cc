@@ -13,22 +13,34 @@ int Table::ColumnIndex(const std::string& column) const {
 }
 
 void Table::AddRow(const NodeId* values) {
-  data_.insert(data_.end(), values, values + arity());
-}
-
-void Table::AddRowParts(const NodeId* a, size_t na, const NodeId* b,
-                        size_t nb) {
-  data_.insert(data_.end(), a, a + na);
-  data_.insert(data_.end(), b, b + nb);
+  std::vector<NodeId>& data = Mutable();
+  data.insert(data.end(), values, values + arity());
+  sorted_ = false;
 }
 
 void Table::SortDistinct() {
   size_t n = rows();
   size_t k = arity();
-  if (n <= 1 || k == 0) return;
+  if (n <= 1 || k == 0) {
+    sorted_ = true;
+    return;
+  }
+  if (sorted_) {
+    // Already sorted: scan for adjacent duplicates on the const block
+    // first, so distinct-on-distinct (edge scans, closure results) never
+    // clones shared copy-on-write storage.
+    const NodeId* base = block_->data();
+    bool has_dup = false;
+    for (size_t r = 1; r < n && !has_dup; ++r) {
+      has_dup = std::equal(base + (r - 1) * k, base + r * k, base + r * k);
+    }
+    if (!has_dup) return;
+  }
+  std::vector<NodeId>& data = Mutable();
   if (k == 1) {
-    std::sort(data_.begin(), data_.end());
-    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+    if (!sorted_) std::sort(data.begin(), data.end());
+    data.erase(std::unique(data.begin(), data.end()), data.end());
+    sorted_ = true;
     return;
   }
   if (k == 2) {
@@ -36,21 +48,22 @@ void Table::SortDistinct() {
     // with a lexicographic comparator.
     std::vector<uint64_t> keys(n);
     for (size_t r = 0; r < n; ++r) {
-      keys[r] = (static_cast<uint64_t>(data_[2 * r]) << 32) |
-                data_[2 * r + 1];
+      keys[r] = (static_cast<uint64_t>(data[2 * r]) << 32) |
+                data[2 * r + 1];
     }
-    std::sort(keys.begin(), keys.end());
+    if (!sorted_) std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    data_.resize(keys.size() * 2);
+    data.resize(keys.size() * 2);
     for (size_t r = 0; r < keys.size(); ++r) {
-      data_[2 * r] = static_cast<NodeId>(keys[r] >> 32);
-      data_[2 * r + 1] = static_cast<NodeId>(keys[r]);
+      data[2 * r] = static_cast<NodeId>(keys[r] >> 32);
+      data[2 * r + 1] = static_cast<NodeId>(keys[r]);
     }
+    sorted_ = true;
     return;
   }
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  const NodeId* base = data_.data();
+  const NodeId* base = data.data();
   auto cmp = [base, k](size_t a, size_t b) {
     return std::lexicographical_compare(base + a * k, base + (a + 1) * k,
                                         base + b * k, base + (b + 1) * k);
@@ -58,19 +71,21 @@ void Table::SortDistinct() {
   auto eq = [base, k](size_t a, size_t b) {
     return std::equal(base + a * k, base + (a + 1) * k, base + b * k);
   };
-  std::sort(order.begin(), order.end(), cmp);
+  if (!sorted_) std::sort(order.begin(), order.end(), cmp);
   order.erase(std::unique(order.begin(), order.end(), eq), order.end());
   std::vector<NodeId> out;
   out.reserve(order.size() * k);
   for (size_t row : order) {
     out.insert(out.end(), base + row * k, base + (row + 1) * k);
   }
-  data_ = std::move(out);
+  data = std::move(out);
+  sorted_ = true;
 }
 
 Table Table::RenamedTo(std::vector<std::string> columns) const {
   Table out(std::move(columns));
-  out.data_ = data_;
+  out.block_ = block_;  // shared copy-on-write: no data copy
+  out.sorted_ = sorted_;
   return out;
 }
 

@@ -5,6 +5,7 @@
 #define GQOPT_RA_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,52 +14,84 @@
 namespace gqopt {
 
 /// \brief Named-column table of NodeId values, row-major.
+///
+/// Row storage is a shared copy-on-write block: copying a Table (memo
+/// hits, relabeling) shares the data and only mutation clones it. This
+/// makes structural-memoization hits O(columns) instead of O(rows).
 class Table {
  public:
-  Table() = default;
+  Table() : block_(std::make_shared<std::vector<NodeId>>()) {}
   explicit Table(std::vector<std::string> columns)
-      : columns_(std::move(columns)) {}
+      : columns_(std::move(columns)),
+        block_(std::make_shared<std::vector<NodeId>>()) {}
+
+  /// Wraps pre-built row-major storage without copying. `data.size()`
+  /// must be a multiple of `columns.size()`. The hot executor paths build
+  /// rows into a plain vector and adopt it here, skipping the per-row
+  /// copy-on-write bookkeeping of AddRow.
+  static Table FromData(std::vector<std::string> columns,
+                        std::vector<NodeId> data) {
+    Table t(std::move(columns));
+    *t.block_ = std::move(data);
+    return t;
+  }
 
   const std::vector<std::string>& columns() const { return columns_; }
   size_t arity() const { return columns_.size(); }
   size_t rows() const {
-    return columns_.empty() ? 0 : data_.size() / columns_.size();
+    return columns_.empty() ? 0 : block_->size() / columns_.size();
   }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return block_->empty(); }
 
   /// Index of `column`, or -1.
   int ColumnIndex(const std::string& column) const;
 
   NodeId At(size_t row, size_t col) const {
-    return data_[row * arity() + col];
+    return (*block_)[row * arity() + col];
   }
 
   /// Appends a row; `values` must have arity() entries.
   void AddRow(const NodeId* values);
   void AddRow(const std::vector<NodeId>& values) { AddRow(values.data()); }
 
-  /// Appends a row built from another table's row plus extra values.
-  void AddRowParts(const NodeId* a, size_t na, const NodeId* b, size_t nb);
-
   /// Pointer to the start of `row`.
-  const NodeId* Row(size_t row) const { return data_.data() + row * arity(); }
+  const NodeId* Row(size_t row) const {
+    return block_->data() + row * arity();
+  }
 
   /// Sorts rows lexicographically and drops duplicates.
   void SortDistinct();
 
-  /// Raw storage (row-major).
-  const std::vector<NodeId>& data() const { return data_; }
-  void Reserve(size_t row_count) { data_.reserve(row_count * arity()); }
+  /// True when the rows are known to be lexicographically sorted (hence
+  /// sorted on the first column). Cleared by row mutation; set by
+  /// SortDistinct and MarkSorted.
+  bool sorted() const { return sorted_; }
 
-  /// Copy of this table with the columns renamed positionally.
-  /// `columns.size()` must equal arity().
+  /// Declares the rows lexicographically sorted (caller-asserted; used by
+  /// scans and closures that produce sorted output by construction).
+  void MarkSorted() { sorted_ = true; }
+
+  /// Raw storage (row-major).
+  const std::vector<NodeId>& data() const { return *block_; }
+
+  /// This table with the columns renamed positionally; shares the row
+  /// storage (zero copy). `columns.size()` must equal arity().
   Table RenamedTo(std::vector<std::string> columns) const;
 
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Row storage for writing; clones the block first when shared.
+  std::vector<NodeId>& Mutable() {
+    if (block_.use_count() > 1) {
+      block_ = std::make_shared<std::vector<NodeId>>(*block_);
+    }
+    return *block_;
+  }
+
   std::vector<std::string> columns_;
-  std::vector<NodeId> data_;
+  std::shared_ptr<std::vector<NodeId>> block_;
+  bool sorted_ = false;
 };
 
 }  // namespace gqopt

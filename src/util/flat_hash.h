@@ -1,0 +1,203 @@
+// Flat open-addressing hash containers for the evaluation hot paths.
+//
+// Both containers key on 64-bit values (packed (source, target) pairs or
+// folded join keys) and probe linearly over power-of-two tables, replacing
+// node-based std::unordered_map/set whose per-bucket allocations dominate
+// the join and fixpoint inner loops.
+
+#ifndef GQOPT_UTIL_FLAT_HASH_H_
+#define GQOPT_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gqopt {
+
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash.
+inline uint64_t HashKey64(uint64_t key) {
+  key += 0x9E3779B97F4A7C15ULL;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31);
+}
+
+/// \brief Growable linear-probing set of 64-bit keys.
+///
+/// Used as the per-round dedup structure of semi-naive fixpoints: one
+/// membership insert per candidate pair instead of re-merging the full
+/// accumulator every delta round.
+class FlatKeySet {
+ public:
+  explicit FlatKeySet(size_t expected = 0) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  /// Inserts `key`; returns true when it was not already present.
+  bool Insert(uint64_t key) {
+    if (key == kEmpty) {
+      if (has_empty_key_) return false;
+      has_empty_key_ = true;
+      ++size_;
+      return true;
+    }
+    if ((size_ + 1) * 2 > slots_.size()) Grow();
+    size_t slot = HashKey64(key) & mask_;
+    while (slots_[slot] != kEmpty) {
+      if (slots_[slot] == key) return false;
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = key;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    if (key == kEmpty) return has_empty_key_;
+    size_t slot = HashKey64(key) & mask_;
+    while (slots_[slot] != kEmpty) {
+      if (slots_[slot] == key) return true;
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  void Grow() {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    for (uint64_t key : old) {
+      if (key == kEmpty) continue;
+      size_t slot = HashKey64(key) & mask_;
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      slots_[slot] = key;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool has_empty_key_ = false;
+};
+
+/// \brief Dedup set for (x, z) id pairs, used by fixpoint rounds.
+///
+/// When the id cross-product is small enough it is a dense bitmap — one
+/// test-and-set bit per candidate, no hashing at all; otherwise it falls
+/// back to the flat hash set over packed pairs.
+class PairDedupSet {
+ public:
+  /// `x_bound`/`z_bound`: exclusive upper bounds on the pair components.
+  /// `expected`: initial hash capacity hint for the sparse fallback.
+  PairDedupSet(uint64_t x_bound, uint64_t z_bound, size_t expected)
+      : dense_(x_bound * z_bound <= kDenseBits &&
+               (x_bound == 0 || z_bound <= kDenseBits / x_bound)),
+        stride_(z_bound),
+        hash_(dense_ ? 0 : expected) {
+    if (dense_) bits_.assign((x_bound * z_bound + 63) / 64, 0);
+  }
+
+  /// Inserts (x, z); returns true when it was not already present.
+  bool Insert(uint32_t x, uint32_t z) {
+    if (dense_) {
+      uint64_t bit = static_cast<uint64_t>(x) * stride_ + z;
+      uint64_t mask = uint64_t{1} << (bit & 63);
+      uint64_t& word = bits_[bit >> 6];
+      if (word & mask) return false;
+      word |= mask;
+      return true;
+    }
+    return hash_.Insert((static_cast<uint64_t>(x) << 32) | z);
+  }
+
+ private:
+  // 2^26 bits = 8 MB: roughly the footprint the hash set would reach on
+  // closures large enough to overflow it.
+  static constexpr uint64_t kDenseBits = uint64_t{1} << 26;
+
+  bool dense_;
+  uint64_t stride_;
+  std::vector<uint64_t> bits_;
+  FlatKeySet hash_;
+};
+
+/// \brief Flat hash join index: rows grouped per key into one contiguous
+/// array, with a linear-probing slot table from key to its row range.
+///
+/// Built in two counting passes from the full build-side key vector:
+/// no rehashing, no per-bucket allocations, and — unlike a chained
+/// layout — every key's matching rows are adjacent, so probe-side chain
+/// walks are sequential reads.
+class FlatJoinIndex {
+ public:
+  /// Builds the index; `keys[r]` is the join key of build row `r`.
+  explicit FlatJoinIndex(const std::vector<uint64_t>& keys) {
+    size_t cap = 16;
+    while (cap < keys.size() * 2) cap <<= 1;
+    slots_.assign(cap, Slot{0, 0, 0});
+    mask_ = cap - 1;
+    rows_.resize(keys.size());
+    // Pass 1: claim a slot per distinct key and count its rows,
+    // remembering each row's slot to skip re-probing in pass 2.
+    std::vector<uint32_t> slot_of_row(keys.size());
+    for (size_t r = 0; r < keys.size(); ++r) {
+      size_t i = HashKey64(keys[r]) & mask_;
+      while (slots_[i].count != 0 && slots_[i].key != keys[r]) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i].key = keys[r];
+      ++slots_[i].count;
+      slot_of_row[r] = static_cast<uint32_t>(i);
+    }
+    // Prefix-sum the counts into per-slot write cursors.
+    uint32_t begin = 0;
+    for (Slot& slot : slots_) {
+      slot.cursor = begin;
+      begin += slot.count;
+    }
+    // Pass 2: scatter rows into their contiguous groups. Afterwards each
+    // cursor sits at its group's end; Equal() recovers the start from the
+    // count.
+    for (size_t r = 0; r < keys.size(); ++r) {
+      rows_[slots_[slot_of_row[r]].cursor++] = static_cast<uint32_t>(r);
+    }
+  }
+
+  /// The contiguous [begin, end) run of build rows with `key`.
+  std::pair<const uint32_t*, const uint32_t*> Equal(uint64_t key) const {
+    size_t i = HashKey64(key) & mask_;
+    while (slots_[i].count != 0) {
+      if (slots_[i].key == key) {
+        const uint32_t* end = rows_.data() + slots_[i].cursor;
+        return {end - slots_[i].count, end};
+      }
+      i = (i + 1) & mask_;
+    }
+    return {nullptr, nullptr};
+  }
+
+  size_t entries() const { return rows_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    uint32_t cursor;  // end of the key's row group after construction
+    uint32_t count;   // 0 marks an empty slot
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> rows_;  // build rows grouped by key
+  size_t mask_ = 0;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_FLAT_HASH_H_

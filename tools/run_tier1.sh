@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, and refresh
+# the micro-benchmark JSON snapshot (BENCH_micro.json at the repo root).
+#
+# Usage: tools/run_tier1.sh [--no-bench]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+run_bench=1
+if [[ "${1:-}" == "--no-bench" ]]; then
+  run_bench=0
+fi
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_bench" -eq 1 ]]; then
+  if [[ -x build/bench_micro ]]; then
+    # The interesting subset: evaluation-core primitives with their
+    # retained naive counterparts for drift-free before/after ratios.
+    ./build/bench_micro \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion' \
+      --benchmark_min_time=0.2 \
+      --json=BENCH_micro.json
+    echo "wrote $repo_root/BENCH_micro.json"
+  else
+    echo "bench_micro not built (google-benchmark missing?); skipping" >&2
+  fi
+fi
