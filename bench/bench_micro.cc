@@ -10,6 +10,7 @@
 #include "algebra/path_parser.h"
 #include "eval/naive_reference.h"
 #include "util/flat_hash.h"
+#include "util/radix.h"
 #include "core/rewriter.h"
 #include "core/simplifier.h"
 #include "core/type_inference.h"
@@ -296,6 +297,200 @@ void BM_OffsetJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OffsetJoin)->Arg(10000)->Arg(30000);
+
+// ---- Join-strategy counterparts -------------------------------------------
+// Radix-partitioned vs single-table flat-hash join on identical unsorted
+// two-column-key inputs (uniform or probe-skewed), and sort-merge vs hash
+// on identical sorted inputs. tools/bench_diff.py pairs these entries
+// within one BENCH_micro.json snapshot for machine-drift-free ratios.
+
+struct KeyedRows {
+  std::vector<NodeId> data;    // row-major (a, b, payload)
+  std::vector<uint64_t> keys;  // packed (a, b) join keys, one per row
+};
+
+// `domain` is the per-component key range; domain^2 ~ rows gives ~one
+// match per probe. `skew` concentrates keys on the low ids (probe side
+// only in the benchmarks, so the output stays ~rows).
+KeyedRows MakeKeyedRows(size_t rows, uint32_t domain, bool skew,
+                        uint64_t seed) {
+  Rng rng(seed);
+  KeyedRows t;
+  t.data.reserve(rows * 3);
+  t.keys.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    uint32_t a = static_cast<uint32_t>(skew ? rng.Skewed(domain)
+                                            : rng.Uniform(domain));
+    uint32_t b = static_cast<uint32_t>(skew ? rng.Skewed(domain)
+                                            : rng.Uniform(domain));
+    t.data.push_back(a);
+    t.data.push_back(b);
+    t.data.push_back(static_cast<NodeId>(rng.Uniform(1u << 30)));
+    t.keys.push_back((static_cast<uint64_t>(a) << 32) | b);
+  }
+  return t;
+}
+
+// Sorts the rows by packed key (ties in arbitrary order): merge-join input.
+void SortKeyedRows(KeyedRows* t) {
+  size_t rows = t->keys.size();
+  std::vector<uint32_t> order(rows);
+  for (uint32_t i = 0; i < rows; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [t](uint32_t x, uint32_t y) {
+    return t->keys[x] < t->keys[y];
+  });
+  KeyedRows sorted;
+  sorted.data.reserve(rows * 3);
+  sorted.keys.reserve(rows);
+  for (uint32_t r : order) {
+    sorted.data.insert(sorted.data.end(), t->data.begin() + r * 3,
+                       t->data.begin() + r * 3 + 3);
+    sorted.keys.push_back(t->keys[r]);
+  }
+  *t = std::move(sorted);
+}
+
+uint32_t KeyDomainFor(size_t rows) {
+  uint32_t domain = 1;
+  while (static_cast<uint64_t>(domain) * domain < rows) domain <<= 1;
+  return domain;
+}
+
+inline void EmitJoinRow(const KeyedRows& build, uint32_t b,
+                        const KeyedRows& probe, uint32_t p,
+                        std::vector<NodeId>* out) {
+  out->push_back(build.data[b * 3]);
+  out->push_back(build.data[b * 3 + 1]);
+  out->push_back(build.data[b * 3 + 2]);
+  out->push_back(probe.data[p * 3 + 2]);
+}
+
+void BM_JoinFlatHashMultiKey(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool skew = state.range(1) != 0;
+  uint32_t domain = KeyDomainFor(n);
+  KeyedRows build = MakeKeyedRows(n, domain, false, 101);
+  KeyedRows probe = MakeKeyedRows(n, domain, skew, 102);
+  for (auto _ : state) {
+    FlatJoinIndex index(build.keys);
+    std::vector<NodeId> out;
+    out.reserve(n * 4);
+    for (uint32_t p = 0; p < n; ++p) {
+      auto [it, end] = index.Equal(probe.keys[p]);
+      for (; it != end; ++it) EmitJoinRow(build, *it, probe, p, &out);
+    }
+    benchmark::DoNotOptimize(out);
+    state.counters["out_rows"] = static_cast<double>(out.size() / 4);
+  }
+}
+BENCHMARK(BM_JoinFlatHashMultiKey)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 23, 0})
+    ->Args({1 << 23, 1});
+
+void BM_JoinRadixMultiKey(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool skew = state.range(1) != 0;
+  uint32_t domain = KeyDomainFor(n);
+  KeyedRows build = MakeKeyedRows(n, domain, false, 101);
+  KeyedRows probe = MakeKeyedRows(n, domain, skew, 102);
+  for (auto _ : state) {
+    int bits = RadixBitsFor(n);
+    RadixPartitions bparts, pparts;
+    BuildRadixPartitions(build.keys, bits, Deadline(), &bparts,
+                         build.data.data(), 3);
+    BuildRadixPartitions(probe.keys, bits, Deadline(), &pparts,
+                         probe.data.data(), 3);
+    std::vector<NodeId> out;
+    out.reserve(n * 4);
+    std::vector<uint64_t> part_keys;
+    for (size_t part = 0; part < bparts.partitions(); ++part) {
+      uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
+      uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
+      if (bb == be || pb == pe) continue;
+      part_keys.resize(be - bb);
+      for (uint32_t i = bb; i < be; ++i) {
+        const NodeId* brow = bparts.Row(i);
+        part_keys[i - bb] = (static_cast<uint64_t>(brow[0]) << 32) | brow[1];
+      }
+      FlatJoinIndex index(part_keys.data(), part_keys.size());
+      for (uint32_t p = pb; p < pe; ++p) {
+        const NodeId* prow = pparts.Row(p);
+        uint64_t key = (static_cast<uint64_t>(prow[0]) << 32) | prow[1];
+        auto [it, end] = index.Equal(key);
+        for (; it != end; ++it) {
+          const NodeId* brow = bparts.Row(bb + *it);
+          out.push_back(brow[0]);
+          out.push_back(brow[1]);
+          out.push_back(brow[2]);
+          out.push_back(prow[2]);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out);
+    state.counters["out_rows"] = static_cast<double>(out.size() / 4);
+  }
+}
+BENCHMARK(BM_JoinRadixMultiKey)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 23, 0})
+    ->Args({1 << 23, 1});
+
+void BM_JoinHashSorted(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t domain = KeyDomainFor(n);
+  KeyedRows build = MakeKeyedRows(n, domain, false, 103);
+  KeyedRows probe = MakeKeyedRows(n, domain, false, 104);
+  SortKeyedRows(&build);
+  SortKeyedRows(&probe);
+  for (auto _ : state) {
+    FlatJoinIndex index(build.keys);
+    std::vector<NodeId> out;
+    for (uint32_t p = 0; p < n; ++p) {
+      auto [it, end] = index.Equal(probe.keys[p]);
+      for (; it != end; ++it) EmitJoinRow(build, *it, probe, p, &out);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JoinHashSorted)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_JoinMergeSorted(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t domain = KeyDomainFor(n);
+  KeyedRows build = MakeKeyedRows(n, domain, false, 103);
+  KeyedRows probe = MakeKeyedRows(n, domain, false, 104);
+  SortKeyedRows(&build);
+  SortKeyedRows(&probe);
+  for (auto _ : state) {
+    std::vector<NodeId> out;
+    uint32_t l = 0, r = 0;
+    while (l < n && r < n) {
+      uint64_t lk = probe.keys[l], rk = build.keys[r];
+      if (lk < rk) {
+        ++l;
+      } else if (lk > rk) {
+        ++r;
+      } else {
+        uint32_t le = l + 1;
+        while (le < n && probe.keys[le] == lk) ++le;
+        uint32_t re = r + 1;
+        while (re < n && build.keys[re] == rk) ++re;
+        for (uint32_t li = l; li < le; ++li) {
+          for (uint32_t ri = r; ri < re; ++ri) {
+            EmitJoinRow(build, ri, probe, li, &out);
+          }
+        }
+        l = le;
+        r = re;
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JoinMergeSorted)->Arg(1 << 18)->Arg(1 << 20);
 
 void BM_ExecSemiJoin(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -8,9 +8,6 @@
 namespace gqopt {
 namespace {
 
-// Deadline polls are amortized over this many produced pairs.
-constexpr size_t kDeadlineStride = 1 << 16;
-
 // Hard cap on materialized pairs per operation (~128 MB of Edge storage).
 // Queries whose intermediate results exceed it fail with ResourceExhausted,
 // which the benchmark harness counts as infeasible — the in-memory analogue
@@ -68,7 +65,7 @@ Result<BinaryRelation> BinaryRelation::Compose(const BinaryRelation& a,
   // sorted-unique output without a final full-size sort.
   std::vector<Edge> out;
   std::vector<NodeId> targets;
-  size_t since_poll = 0;
+  DeadlinePoller poll(deadline);
   size_t i = 0;
   while (i < ap.size()) {
     NodeId x = ap[i].first;
@@ -77,8 +74,7 @@ Result<BinaryRelation> BinaryRelation::Compose(const BinaryRelation& a,
       auto [lo, hi] = b.EqualRange(ap[i].second);
       for (uint32_t j = lo; j < hi; ++j) {
         targets.push_back(bp[j].second);
-        if (++since_poll >= kDeadlineStride) {
-          since_poll = 0;
+        if (poll.Due()) {
           if (deadline.Expired()) {
             return Status::DeadlineExceeded("compose timed out");
           }
@@ -148,7 +144,7 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
   for (const Edge& e : acc) seen.Insert(e.first, e.second);
   std::vector<Edge> delta = base;
   std::vector<Edge> next;
-  size_t since_poll = 0;
+  DeadlinePoller poll(deadline);
   while (!delta.empty()) {
     if (deadline.Expired()) {
       return Status::DeadlineExceeded("transitive closure timed out");
@@ -159,8 +155,7 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
       for (uint32_t i = lo; i < hi; ++i) {
         NodeId z = base[i].second;
         if (seen.Insert(e.first, z)) next.emplace_back(e.first, z);
-        if (++since_poll >= kDeadlineStride) {
-          since_poll = 0;
+        if (poll.Due()) {
           if (deadline.Expired()) {
             return Status::DeadlineExceeded("transitive closure timed out");
           }

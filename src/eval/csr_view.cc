@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/offsets.h"
+
 namespace gqopt {
 
 CsrView CsrView::Build(const std::vector<Pair>& pairs) {
@@ -16,16 +18,9 @@ CsrView CsrView::Build(const std::vector<Pair>& pairs) {
     return view;
   }
   view.num_sources_ = pairs.back().first + 1;
-  view.offsets_.assign(view.num_sources_ + 1, 0);
-  // Single sorted walk: offsets_[v] = index of the first pair with
-  // source >= v.
-  uint32_t source = 0;
-  for (uint32_t i = 0; i < pairs.size(); ++i) {
-    while (source <= pairs[i].first) view.offsets_[source++] = i;
-  }
-  while (source <= view.num_sources_) {
-    view.offsets_[source++] = static_cast<uint32_t>(pairs.size());
-  }
+  FillSortedOffsets(
+      pairs.size(), view.num_sources_,
+      [&pairs](uint32_t i) { return pairs[i].first; }, &view.offsets_);
   return view;
 }
 

@@ -4,11 +4,11 @@
 
 #include "eval/csr_view.h"
 #include "util/flat_hash.h"
+#include "util/offsets.h"
+#include "util/radix.h"
 
 namespace gqopt {
 namespace {
-
-constexpr size_t kPollStride = 1 << 16;
 
 // Cap on materialized closure pairs, mirroring BinaryRelation's limit.
 constexpr size_t kMaxClosurePairs = size_t{1} << 24;
@@ -95,9 +95,18 @@ void CanonicalKey(const RaExpr* e,
     case RaOp::kJoin:
     case RaOp::kSemiJoin:
     case RaOp::kUnion:
-      *out += e->op() == RaOp::kJoin
-                  ? "J("
-                  : (e->op() == RaOp::kSemiJoin ? "SJ(" : "U(");
+      if (e->op() == RaOp::kJoin) {
+        // The physical annotation is part of join identity: strategies
+        // produce differently-ordered rows, so differently-annotated
+        // joins must not share one memoized table.
+        *out += "J";
+        if (e->join_strategy() != JoinStrategy::kAuto) {
+          *out += JoinStrategyName(e->join_strategy());
+        }
+        *out += "(";
+      } else {
+        *out += e->op() == RaOp::kSemiJoin ? "SJ(" : "U(";
+      }
       CanonicalKey(e->left().get(), columns, out);
       *out += ")(";
       CanonicalKey(e->right().get(), columns, out);
@@ -154,15 +163,12 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         const BinaryRelation& edges = catalog_.EdgeTable(e->label());
         std::vector<NodeId> data;
         data.reserve(edges.size() * 2);
-        size_t since_poll = 0;
+        DeadlinePoller poll(deadline);
         for (const Edge& pair : edges.pairs()) {
           data.push_back(pair.first);
           data.push_back(pair.second);
-          if (++since_poll >= kPollStride) {
-            since_poll = 0;
-            if (deadline.Expired()) {
-              return Status::DeadlineExceeded("edge scan timed out");
-            }
+          if (poll.Expired()) {
+            return Status::DeadlineExceeded("edge scan timed out");
           }
         }
         Table t = Table::FromData({e->columns()[0], e->columns()[1]},
@@ -172,8 +178,12 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
       }
       case RaOp::kNodeScan: {
         Table t({e->columns()[0]});
+        DeadlinePoller poll(deadline);
         for (NodeId n : catalog_.NodeExtentUnion(e->labels())) {
           t.AddRow(&n);
+          if (poll.Expired()) {
+            return Status::DeadlineExceeded("node scan timed out");
+          }
         }
         t.MarkSorted();  // node extents are sorted ascending
         return t;
@@ -191,19 +201,32 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
           }
           sources.push_back(idx);
         }
-        // Identity projection (pure rename): share the row block.
-        bool identity = sources.size() == child.arity();
-        for (size_t i = 0; identity && i < sources.size(); ++i) {
-          identity = sources[i] == static_cast<int>(i);
+        // A projection whose leading output columns are the child's
+        // leading columns in place preserves that much of the child's
+        // sorted prefix (renaming does not matter — order is positional).
+        size_t identity_run = 0;
+        while (identity_run < sources.size() &&
+               sources[identity_run] == static_cast<int>(identity_run)) {
+          ++identity_run;
         }
-        if (identity) return child.RenamedTo(e->columns());
+        // Identity projection (pure rename): share the row block.
+        if (identity_run == sources.size() &&
+            sources.size() == child.arity()) {
+          return child.RenamedTo(e->columns());
+        }
         std::vector<NodeId> data;
         data.reserve(child.rows() * sources.size());
+        DeadlinePoller poll(deadline);
         for (size_t r = 0; r < child.rows(); ++r) {
           const NodeId* in = child.Row(r);
           for (int src_idx : sources) data.push_back(in[src_idx]);
+          if (poll.Expired()) {
+            return Status::DeadlineExceeded("projection timed out");
+          }
         }
-        return Table::FromData(e->columns(), std::move(data));
+        Table t = Table::FromData(e->columns(), std::move(data));
+        t.MarkSortPrefix(std::min(identity_run, child.sort_prefix()));
+        return t;
       }
       case RaOp::kSelectEq: {
         GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
@@ -212,13 +235,17 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         if (a < 0 || b < 0) {
           return Status::Internal("selection references unknown column");
         }
-        bool was_sorted = child.sorted();
+        size_t child_prefix = child.sort_prefix();
         Table t(child.columns());
+        DeadlinePoller poll(deadline);
         for (size_t r = 0; r < child.rows(); ++r) {
           const NodeId* row = child.Row(r);
           if (row[a] == row[b]) t.AddRow(row);
+          if (poll.Expired()) {
+            return Status::DeadlineExceeded("selection timed out");
+          }
         }
-        if (was_sorted) t.MarkSorted();  // filtering preserves order
+        t.MarkSortPrefix(child_prefix);  // filtering preserves order
         return t;
       }
       case RaOp::kJoin:
@@ -250,19 +277,23 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         if (align_identity) {
           data.insert(data.end(), right.data().begin(), right.data().end());
         } else {
-          size_t since_poll = 0;
+          DeadlinePoller poll(deadline);
           for (size_t r = 0; r < right.rows(); ++r) {
             const NodeId* in = right.Row(r);
             for (int idx : align) data.push_back(in[idx]);
-            if (++since_poll >= kPollStride) {
-              since_poll = 0;
-              if (deadline.Expired()) {
-                return Status::DeadlineExceeded("union timed out");
-              }
+            if (poll.Expired()) {
+              return Status::DeadlineExceeded("union timed out");
             }
           }
         }
-        return Table::FromData(left.columns(), std::move(data));
+        Table t = Table::FromData(left.columns(), std::move(data));
+        // Concatenation drops ordering unless one side was empty.
+        if (right.rows() == 0) {
+          t.MarkSortPrefix(left.sort_prefix());
+        } else if (left.rows() == 0 && align_identity) {
+          t.MarkSortPrefix(right.sort_prefix());
+        }
+        return t;
       }
       case RaOp::kDistinct: {
         GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
@@ -297,11 +328,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
     }
   }
 
-  size_t ops = 0;
-  auto poll = [&]() -> bool {
-    if ((++ops & (kPollStride - 1)) != 0) return true;
-    return !deadline.Expired();
-  };
+  DeadlinePoller poll(deadline);
 
   // Output rows accumulate in a plain vector (adopted via FromData at the
   // end) so the inner loops skip per-row copy-on-write checks.
@@ -316,96 +343,252 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
     out_data.insert(out_data.end(), lrow, lrow + left_arity);
     for (int idx : right_extra) out_data.push_back(rrow[idx]);
   };
+  auto finish = [&](size_t sorted_prefix) {
+    Table t = Table::FromData(e->columns(), std::move(out_data));
+    t.MarkSortPrefix(sorted_prefix);
+    return t;
+  };
 
   if (shared.empty()) {
-    // Cross product.
+    // Cross product; left rows drive the outer loop, so the left side's
+    // ordering survives.
     for (size_t l = 0; l < left.rows(); ++l) {
       for (size_t r = 0; r < right.rows(); ++r) {
-        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
         emit(left.Row(l), right.Row(r));
       }
     }
-    return Table::FromData(e->columns(), std::move(out_data));
+    return finish(left.sort_prefix());
   }
 
-  // Offset fast path: a single shared column that one input is sorted on
-  // (lexicographic order sorts on the leading column; edge scans and
-  // closure outputs qualify). A dense offset array over the sorted side
-  // gives O(1) lookup with contiguous matches — no hashing at all.
-  // The offset array costs O(max key), so require the key domain to be
-  // within a constant factor of the build rows (true for dense node ids;
-  // false for a tiny table with a huge maximum id, where hashing wins).
+  // ---- Physical strategy -------------------------------------------------
+  // Honor the optimizer's plan-time annotation when its runtime
+  // preconditions hold; otherwise (and for unannotated plans) derive the
+  // same choice from the concrete tables' ordering properties. Every
+  // strategy computes the same join, so degrading is always safe.
+  size_t m = shared.size();
+  // Merge: the shared columns are the leading m columns of both sides at
+  // pairwise-equal positions (one key order) and both inputs are sorted
+  // at least that deep.
+  bool merge_ok = left.sort_prefix() >= m && right.sort_prefix() >= m;
+  for (size_t j = 0; merge_ok && j < m; ++j) {
+    merge_ok = left_keys[j] == right_keys[j] &&
+               left_keys[j] < static_cast<int>(m);
+  }
+  // Offset: a single shared column that one input is sorted on as its
+  // first column. The offset array costs O(max key), so require the key
+  // domain to be within a constant factor of the build rows (true for
+  // dense node ids; false for a tiny table with a huge maximum id, where
+  // hashing wins).
   auto offset_worthwhile = [](const Table& t) {
-    if (!t.sorted() || t.rows() == 0) return false;
+    if (t.sort_prefix() < 1 || t.rows() == 0) return false;
     NodeId max_key = t.Row(t.rows() - 1)[0];
     return static_cast<size_t>(max_key) < 8 * t.rows() + 1024;
   };
   bool right_indexable =
-      shared.size() == 1 && right_keys[0] == 0 && offset_worthwhile(right);
+      m == 1 && right_keys[0] == 0 && offset_worthwhile(right);
   bool left_indexable =
-      shared.size() == 1 && left_keys[0] == 0 && offset_worthwhile(left);
-  if (right_indexable || left_indexable) {
+      m == 1 && left_keys[0] == 0 && offset_worthwhile(left);
+
+  JoinStrategy strategy = e->join_strategy();
+  if (strategy == JoinStrategy::kMergeSorted && !merge_ok) {
+    strategy = JoinStrategy::kAuto;
+  }
+  if (strategy == JoinStrategy::kOffset &&
+      !(right_indexable || left_indexable)) {
+    strategy = JoinStrategy::kAuto;
+  }
+  if (strategy == JoinStrategy::kFlatHash &&
+      std::min(left.rows(), right.rows()) >= kRadixMinBuildRows) {
+    // kFlatHash's precondition is a build side small enough for one
+    // cache-resident index; when the optimizer's estimate undershot the
+    // actual size, partitioning pays for itself — the mirror image of an
+    // annotated radix join degrading to one flat index (radix_bits = 0)
+    // on a small actual build.
+    strategy = JoinStrategy::kRadixHash;
+  }
+  if (strategy == JoinStrategy::kAuto) {
+    if (merge_ok) {
+      strategy = JoinStrategy::kMergeSorted;
+    } else if (right_indexable || left_indexable) {
+      strategy = JoinStrategy::kOffset;
+    } else {
+      strategy = std::min(left.rows(), right.rows()) >= kRadixMinBuildRows
+                     ? JoinStrategy::kRadixHash
+                     : JoinStrategy::kFlatHash;
+    }
+  }
+
+  if (strategy == JoinStrategy::kMergeSorted) {
+    // Sort-merge join: one streaming pass, cross-producting each run of
+    // equal keys. Keys sit at positions [0, m) on both sides in the same
+    // order, so rows compare directly.
+    auto cmp_keys = [m](const NodeId* a, const NodeId* b) {
+      for (size_t i = 0; i < m; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+      }
+      return 0;
+    };
+    size_t l = 0, r = 0;
+    size_t ln = left.rows(), rn = right.rows();
+    while (l < ln && r < rn) {
+      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      int c = cmp_keys(left.Row(l), right.Row(r));
+      if (c < 0) {
+        ++l;
+        continue;
+      }
+      if (c > 0) {
+        ++r;
+        continue;
+      }
+      size_t le = l + 1;
+      while (le < ln && cmp_keys(left.Row(le), left.Row(l)) == 0) {
+        ++le;
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      }
+      size_t re = r + 1;
+      while (re < rn && cmp_keys(right.Row(re), right.Row(r)) == 0) {
+        ++re;
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      }
+      for (size_t li = l; li < le; ++li) {
+        for (size_t ri = r; ri < re; ++ri) {
+          if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+          emit(left.Row(li), right.Row(ri));
+        }
+      }
+      l = le;
+      r = re;
+    }
+    // Output streams in left-row order (each row repeated per matching
+    // right run), so the left side's full sorted prefix survives.
+    return finish(left.sort_prefix());
+  }
+
+  if (strategy == JoinStrategy::kOffset) {
+    // Dense offset array over the sorted side: O(1) lookup with
+    // contiguous matches — no hashing at all. Prefer the right side as
+    // the build so the left (probe) side's ordering survives.
     const Table& bld = right_indexable ? right : left;
     const Table& prb = right_indexable ? left : right;
     int prb_key = right_indexable ? left_keys[0] : right_keys[0];
     size_t bld_arity = bld.arity();
     const std::vector<NodeId>& bld_data = bld.data();
-    // offsets[v] = first build row whose key column is >= v.
+    // offsets[v] = first build row whose key column is >= v (shared
+    // offset-fill helper, same walk as CsrView::Build).
     NodeId max_key = bld.Row(bld.rows() - 1)[0];
-    std::vector<uint32_t> offsets(static_cast<size_t>(max_key) + 2, 0);
-    NodeId v = 0;
-    for (size_t r = 0; r < bld.rows(); ++r) {
-      while (v <= bld_data[r * bld_arity]) {
-        offsets[v++] = static_cast<uint32_t>(r);
-      }
-    }
-    while (v <= max_key + 1) {
-      offsets[v++] = static_cast<uint32_t>(bld.rows());
+    std::vector<uint32_t> offsets;
+    FillSortedOffsets(
+        bld.rows(), static_cast<size_t>(max_key) + 1,
+        [&bld_data, bld_arity](uint32_t r) { return bld_data[r * bld_arity]; },
+        &offsets);
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("join timed out");
     }
     for (size_t p = 0; p < prb.rows(); ++p) {
       const NodeId* prow = prb.Row(p);
+      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
       NodeId key = prow[prb_key];
       if (key > max_key) continue;
       for (uint32_t r = offsets[key]; r < offsets[key + 1]; ++r) {
-        if (!poll()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
         const NodeId* brow = bld.Row(r);
         emit(right_indexable ? prow : brow, right_indexable ? brow : prow);
       }
     }
-    return Table::FromData(e->columns(), std::move(out_data));
+    return finish(right_indexable ? left.sort_prefix() : 0);
   }
 
-  // Flat hash join, building on the smaller input: contiguous (key, row)
-  // entries with linear-probing buckets, no per-bucket allocations.
+  // Hash join, building on the smaller input.
   bool build_left = left.rows() < right.rows();
   const Table& build = build_left ? left : right;
   const Table& probe = build_left ? right : left;
   const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
   const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
+  bool verify = shared.size() > 2;
 
   std::vector<uint64_t> build_key_vec(build.rows());
   for (size_t r = 0; r < build.rows(); ++r) {
-    if (!poll()) return Status::DeadlineExceeded("join timed out");
+    if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
     build_key_vec[r] = PackKey(build.Row(r), build_keys);
   }
-  FlatJoinIndex index(build_key_vec);
 
+  int radix_bits = strategy == JoinStrategy::kRadixHash
+                       ? RadixBitsFor(build.rows())
+                       : 0;
+  if (radix_bits > 0) {
+    // Radix-partitioned hash join: scatter both sides by the high bits of
+    // the key hash, then build and probe one cache-sized FlatJoinIndex
+    // per partition. Matching keys land in the same partition on both
+    // sides by construction.
+    std::vector<uint64_t> probe_key_vec(probe.rows());
+    for (size_t p = 0; p < probe.rows(); ++p) {
+      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      probe_key_vec[p] = PackKey(probe.Row(p), probe_keys);
+    }
+    // Tuple-mode scatter: only the rows themselves move; each
+    // partition's keys are re-packed from its cache-resident tuple run,
+    // so the build, probe and emit loops all touch partition-local
+    // memory and the bandwidth-bound scatter moves half the bytes.
+    RadixPartitions bparts, pparts;
+    if (!BuildRadixPartitions(build_key_vec, radix_bits, deadline, &bparts,
+                              build.data().data(), build.arity()) ||
+        !BuildRadixPartitions(probe_key_vec, radix_bits, deadline, &pparts,
+                              probe.data().data(), probe.arity())) {
+      return Status::DeadlineExceeded("join timed out");
+    }
+    std::vector<uint64_t> part_keys;
+    for (size_t part = 0; part < bparts.partitions(); ++part) {
+      uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
+      uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
+      if (bb == be || pb == pe) continue;
+      part_keys.resize(be - bb);
+      for (uint32_t i = bb; i < be; ++i) {
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        part_keys[i - bb] = PackKey(bparts.Row(i), build_keys);
+      }
+      FlatJoinIndex index(part_keys.data(), part_keys.size());
+      for (uint32_t p = pb; p < pe; ++p) {
+        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        const NodeId* prow = pparts.Row(p);
+        auto [it, end] = index.Equal(PackKey(prow, probe_keys));
+        for (; it != end; ++it) {
+          if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+          const NodeId* brow = bparts.Row(bb + *it);
+          const NodeId* lrow = build_left ? brow : prow;
+          const NodeId* rrow = build_left ? prow : brow;
+          if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
+            continue;
+          }
+          emit(lrow, rrow);
+        }
+      }
+    }
+    return finish(0);
+  }
+
+  // Flat hash join: contiguous (key, row) entries with linear-probing
+  // buckets, no per-bucket allocations.
+  FlatJoinIndex index(build_key_vec);
   for (size_t p = 0; p < probe.rows(); ++p) {
     const NodeId* prow = probe.Row(p);
     auto [it, end] = index.Equal(PackKey(prow, probe_keys));
     for (; it != end; ++it) {
-      if (!poll()) return Status::DeadlineExceeded("join timed out");
+      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
       const NodeId* brow = build.Row(*it);
       const NodeId* lrow = build_left ? brow : prow;
       const NodeId* rrow = build_left ? prow : brow;
-      if (shared.size() > 2 &&
-          !RowsMatch(lrow, left_keys, rrow, right_keys)) {
+      if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
         continue;
       }
       emit(lrow, rrow);
     }
   }
-  return Table::FromData(e->columns(), std::move(out_data));
+  // When the left side drove the probe loop, the output streams in
+  // left-row order with the left columns leading, so its prefix survives
+  // (the radix path scatters probe rows and cannot claim this).
+  return finish(build_left ? 0 : left.sort_prefix());
 }
 
 Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
@@ -424,33 +607,30 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     right_keys.push_back(right.ColumnIndex(col));
   }
 
-  bool was_sorted = left.sorted();
+  size_t left_prefix = left.sort_prefix();
   Table out(left.columns());
-  size_t ops = 0;
-  auto poll = [&]() -> bool {
-    if ((++ops & (kPollStride - 1)) != 0) return true;
-    return !deadline.Expired();
-  };
+  DeadlinePoller poll(deadline);
 
   // Offset fast path: existence bitmap over a right side sorted on the
   // single shared column, gated on a dense key domain (the bitmap costs
   // O(max key)).
-  if (shared.size() == 1 && right_keys[0] == 0 && right.sorted() &&
-      right.rows() > 0 &&
+  if (shared.size() == 1 && right_keys[0] == 0 &&
+      right.sort_prefix() >= 1 && right.rows() > 0 &&
       static_cast<size_t>(right.Row(right.rows() - 1)[0]) <
           64 * right.rows() + 1024) {
     NodeId max_key = right.Row(right.rows() - 1)[0];
     std::vector<bool> present(static_cast<size_t>(max_key) + 1, false);
     for (size_t r = 0; r < right.rows(); ++r) {
+      if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
       present[right.Row(r)[0]] = true;
     }
     int lk = left_keys[0];
     for (size_t l = 0; l < left.rows(); ++l) {
-      if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+      if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
       NodeId key = left.Row(l)[lk];
       if (key <= max_key && present[key]) out.AddRow(left.Row(l));
     }
-    if (was_sorted) out.MarkSorted();
+    out.MarkSortPrefix(left_prefix);
     return out;
   }
 
@@ -463,7 +643,7 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     right_key_vec.resize(right.rows());
   }
   for (size_t r = 0; r < right.rows(); ++r) {
-    if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+    if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
     uint64_t key = PackKey(right.Row(r), right_keys);
     if (verify) {
       right_key_vec[r] = key;
@@ -473,7 +653,7 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
   }
   FlatJoinIndex index(right_key_vec);
   for (size_t l = 0; l < left.rows(); ++l) {
-    if (!poll()) return Status::DeadlineExceeded("semi-join timed out");
+    if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
     uint64_t key = PackKey(left.Row(l), left_keys);
     bool matched = false;
     if (verify) {
@@ -489,7 +669,7 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     }
     if (matched) out.AddRow(left.Row(l));
   }
-  if (was_sorted) out.MarkSorted();
+  out.MarkSortPrefix(left_prefix);
   return out;
 }
 
@@ -503,8 +683,12 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
   }
   std::vector<Edge> pairs;
   pairs.reserve(body.rows());
+  DeadlinePoller poll(deadline);
   for (size_t r = 0; r < body.rows(); ++r) {
     pairs.emplace_back(body.Row(r)[src], body.Row(r)[tgt]);
+    if (poll.Expired()) {
+      return Status::DeadlineExceeded("closure timed out");
+    }
   }
   BinaryRelation base = BinaryRelation::FromPairs(std::move(pairs));
 
@@ -569,7 +753,7 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
   for (const Edge& e : acc) seen.Insert(e.first, e.second);
   std::vector<Edge> delta = acc;
   std::vector<Edge> next;
-  size_t since_poll = 0;
+  DeadlinePoller poll(deadline);
   while (!delta.empty()) {
     if (deadline.Expired()) {
       return Status::DeadlineExceeded("seeded closure timed out");
@@ -586,8 +770,7 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
         if (seen.Insert(candidate.first, candidate.second)) {
           next.push_back(candidate);
         }
-        if (++since_poll >= kPollStride) {
-          since_poll = 0;
+        if (poll.Due()) {
           if (deadline.Expired()) {
             return Status::DeadlineExceeded("seeded closure timed out");
           }

@@ -148,8 +148,14 @@ void RenderExplain(const RaExpr& e, Estimator* estimator, int depth,
   const PlanEstimate& est = estimator->Estimate(&e);
   out->append(static_cast<size_t>(depth) * 2, ' ');
   char buf[96];
-  std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %.0f)", est.cost,
-                est.rows);
+  if (e.sorted_prefix() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " (cost = %.2f, rows = %.0f, sorted = %zu)", est.cost,
+                  est.rows, e.sorted_prefix());
+  } else {
+    std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %.0f)", est.cost,
+                  est.rows);
+  }
   *out += e.NodeString();
   *out += buf;
   *out += "\n";

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ra/explain.h"
+#include "util/radix.h"
 
 namespace gqopt {
 namespace {
@@ -157,7 +158,14 @@ class Optimizer {
 
   // Joins `acc` with `next`; when `next` is an unseeded transitive closure
   // whose source or target column is already bound in `acc`, seed it so the
-  // fixpoint only explores the reachable frontier.
+  // fixpoint only explores the reachable frontier. Every join the
+  // optimizer emits is annotated with its physical strategy: the choice
+  // the propagated ordering properties admit (AnalyzeJoinShape), with the
+  // hash fallback refined to radix-partitioned when the estimated build
+  // side is large enough to pay for the partition passes. The executor
+  // validates each choice against the runtime Table properties and
+  // degrades gracefully when a prediction (e.g. key-domain density for
+  // kOffset) does not hold.
   RaExprPtr JoinWithSeeding(RaExprPtr acc, RaExprPtr next) {
     if (options_.enable_fixpoint_seeding &&
         next->op() == RaOp::kTransitiveClosure &&
@@ -174,7 +182,13 @@ class Optimizer {
             src_bound ? SeedSide::kSource : SeedSide::kTarget);
       }
     }
-    return RaExpr::Join(std::move(acc), std::move(next));
+    JoinPhysical phys = AnalyzeJoinShape(*acc, *next);
+    if (phys.strategy == JoinStrategy::kFlatHash &&
+        std::min(Rows(acc), Rows(next)) >=
+            static_cast<double>(kRadixMinBuildRows)) {
+      phys.strategy = JoinStrategy::kRadixHash;
+    }
+    return RaExpr::Join(std::move(acc), std::move(next), phys.strategy);
   }
 
   Estimator estimator_;

@@ -21,6 +21,22 @@ void Render(const RaExpr& e, int depth, std::string* out) {
 
 }  // namespace
 
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kOffset:
+      return "offset";
+    case JoinStrategy::kMergeSorted:
+      return "merge";
+    case JoinStrategy::kRadixHash:
+      return "radix-hash";
+    case JoinStrategy::kFlatHash:
+      return "flat-hash";
+  }
+  return "?";
+}
+
 RaExprPtr RaExpr::EdgeScan(std::string label, std::string src_col,
                            std::string tgt_col) {
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
@@ -29,6 +45,7 @@ RaExprPtr RaExpr::EdgeScan(std::string label, std::string src_col,
   e->columns_ = {src_col, tgt_col};
   e->src_col_ = std::move(src_col);
   e->tgt_col_ = std::move(tgt_col);
+  e->sorted_prefix_ = 2;  // edge tables are sorted by (source, target)
   return e;
 }
 
@@ -37,6 +54,7 @@ RaExprPtr RaExpr::NodeScan(std::vector<std::string> labels, std::string col) {
   e->op_ = RaOp::kNodeScan;
   e->labels_ = std::move(labels);
   e->columns_ = {std::move(col)};
+  e->sorted_prefix_ = 1;  // node extents are sorted ascending
   return e;
 }
 
@@ -51,6 +69,16 @@ RaExprPtr RaExpr::Project(
     (void)from;
     e->columns_.push_back(to);
   }
+  // A projection keeping the child's leading columns in place (renames
+  // allowed — ordering is positional) preserves that much of the child's
+  // sorted prefix.
+  size_t identity_run = 0;
+  const std::vector<std::string>& child_cols = e->left_->columns();
+  while (identity_run < mappings.size() && identity_run < child_cols.size() &&
+         mappings[identity_run].first == child_cols[identity_run]) {
+    ++identity_run;
+  }
+  e->sorted_prefix_ = std::min(identity_run, e->left_->sorted_prefix());
   e->mappings_ = std::move(mappings);
   return e;
 }
@@ -61,12 +89,13 @@ RaExprPtr RaExpr::SelectEq(RaExprPtr child, std::string col_a,
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kSelectEq;
   e->columns_ = child->columns();
+  e->sorted_prefix_ = child->sorted_prefix();  // filtering preserves order
   e->left_ = std::move(child);
   e->eq_columns_ = {std::move(col_a), std::move(col_b)};
   return e;
 }
 
-RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r) {
+RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r, JoinStrategy strategy) {
   assert(l && r);
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kJoin;
@@ -79,6 +108,15 @@ RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r) {
   }
   e->left_ = std::move(l);
   e->right_ = std::move(r);
+  e->join_strategy_ = strategy;
+  JoinPhysical phys = AnalyzeJoinShape(*e->left_, *e->right_);
+  // The ordering prediction assumes the strategy the shapes admit; a
+  // forced annotation that differs either hashes (order destroying) or
+  // degrades at runtime, so predict nothing then.
+  e->sorted_prefix_ =
+      strategy == JoinStrategy::kAuto || strategy == phys.strategy
+          ? phys.sorted_prefix
+          : 0;
   return e;
 }
 
@@ -87,6 +125,7 @@ RaExprPtr RaExpr::SemiJoin(RaExprPtr l, RaExprPtr r) {
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kSemiJoin;
   e->columns_ = l->columns();
+  e->sorted_prefix_ = l->sorted_prefix();  // filters the left side
   e->left_ = std::move(l);
   e->right_ = std::move(r);
   return e;
@@ -109,6 +148,7 @@ RaExprPtr RaExpr::Distinct(RaExprPtr child) {
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kDistinct;
   e->columns_ = child->columns();
+  e->sorted_prefix_ = e->columns_.size();  // sort-based dedup: fully sorted
   e->left_ = std::move(child);
   return e;
 }
@@ -122,6 +162,7 @@ RaExprPtr RaExpr::TransitiveClosure(RaExprPtr body, std::string src_col,
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kTransitiveClosure;
   e->columns_ = {src_col, tgt_col};
+  e->sorted_prefix_ = 2;  // closure results are sorted pair sets
   e->src_col_ = std::move(src_col);
   e->tgt_col_ = std::move(tgt_col);
   e->seed_side_ = seed_side;
@@ -154,8 +195,13 @@ std::string RaExpr::NodeString() const {
       return "Project " + cols();
     case RaOp::kSelectEq:
       return "Select " + eq_columns_.first + " = " + eq_columns_.second;
-    case RaOp::kJoin:
-      return "Join " + cols();
+    case RaOp::kJoin: {
+      std::string out = "Join " + cols();
+      if (join_strategy_ != JoinStrategy::kAuto) {
+        out += std::string(" [") + JoinStrategyName(join_strategy_) + "]";
+      }
+      return out;
+    }
     case RaOp::kSemiJoin:
       return "SemiJoin " + cols();
     case RaOp::kUnion:
@@ -175,6 +221,56 @@ std::string RaExpr::NodeString() const {
 std::string RaExpr::ToString() const {
   std::string out;
   Render(*this, 0, &out);
+  return out;
+}
+
+JoinPhysical AnalyzeJoinShape(const RaExpr& l, const RaExpr& r) {
+  JoinPhysical out;
+  std::vector<std::string> shared = SharedColumns(l, r);
+  size_t m = shared.size();
+  if (m == 0) {
+    // Cross product: the executor iterates left rows in the outer loop.
+    out.sorted_prefix = l.sorted_prefix();
+    return out;
+  }
+  auto pos = [](const RaExpr& e, const std::string& col) {
+    auto it = std::find(e.columns().begin(), e.columns().end(), col);
+    return static_cast<size_t>(it - e.columns().begin());
+  };
+  // Merge: every shared column sits at the same position < m on both
+  // sides (so the leading m columns are the keys, in one order) and both
+  // inputs are sorted at least that deep.
+  if (l.sorted_prefix() >= m && r.sorted_prefix() >= m) {
+    bool aligned = true;
+    for (const std::string& col : shared) {
+      size_t lp = pos(l, col);
+      if (lp >= m || pos(r, col) != lp) {
+        aligned = false;
+        break;
+      }
+    }
+    if (aligned) {
+      out.strategy = JoinStrategy::kMergeSorted;
+      // Output rows stream in left-row order (each repeated per right
+      // match), so the left side's full prefix survives.
+      out.sorted_prefix = l.sorted_prefix();
+      return out;
+    }
+  }
+  // Offset: a single shared column leading a sorted side; that side is
+  // the build, the other probes in its own order.
+  if (m == 1) {
+    if (pos(r, shared[0]) == 0 && r.sorted_prefix() >= 1) {
+      out.strategy = JoinStrategy::kOffset;
+      out.sorted_prefix = l.sorted_prefix();  // probe = left, in order
+      return out;
+    }
+    if (pos(l, shared[0]) == 0 && l.sorted_prefix() >= 1) {
+      out.strategy = JoinStrategy::kOffset;  // probe = right: order lost
+      return out;
+    }
+  }
+  out.strategy = JoinStrategy::kFlatHash;  // hash fallback; size picks radix
   return out;
 }
 

@@ -38,6 +38,27 @@ enum class RaOp : uint8_t {
 /// Which side a transitive closure is seeded from.
 enum class SeedSide : uint8_t { kNone, kSource, kTarget };
 
+/// Physical join strategy, chosen by the optimizer at plan time from the
+/// propagated ordering properties and cardinality estimates.
+///  - kAuto:        not annotated; the executor detects at runtime.
+///  - kOffset:      dense offset array over one side sorted on the single
+///                  shared column (no hashing).
+///  - kMergeSorted: both sides sorted on the shared columns as their
+///                  leading prefix, in the same order — streaming merge.
+///  - kRadixHash:   hash join with both sides radix-partitioned into
+///                  cache-sized buckets (large unsorted inputs).
+///  - kFlatHash:    single flat hash index (small unsorted inputs).
+enum class JoinStrategy : uint8_t {
+  kAuto,
+  kOffset,
+  kMergeSorted,
+  kRadixHash,
+  kFlatHash,
+};
+
+/// Short lowercase name for EXPLAIN output ("offset", "merge", ...).
+const char* JoinStrategyName(JoinStrategy s);
+
 /// \brief Immutable RRA plan node. Build via the static factories; output
 /// column names are computed at construction and cached.
 class RaExpr {
@@ -66,6 +87,21 @@ class RaExpr {
   /// Unary seed plan (kTransitiveClosure with seed_side != kNone).
   const RaExprPtr& seed() const { return right_; }
 
+  /// Derived physical ordering: the number of leading output columns this
+  /// plan's result is known to be sorted on, propagated bottom-up at
+  /// construction (scans and closures are sorted by construction, filters
+  /// and identity-prefix projections preserve their input's prefix,
+  /// merge/offset joins preserve the probe side's). The executor
+  /// re-derives the same property on concrete Tables, so this plan-level
+  /// value is a prediction the runtime validates before relying on it.
+  size_t sorted_prefix() const { return sorted_prefix_; }
+
+  /// Physical join strategy annotation (kJoin only; kAuto when the plan
+  /// has not been through the optimizer). Fixed at construction — nodes
+  /// stay truly immutable, so optimizing one plan can never re-annotate
+  /// a subtree another plan shares.
+  JoinStrategy join_strategy() const { return join_strategy_; }
+
   // ---- Factories ----------------------------------------------------------
   static RaExprPtr EdgeScan(std::string label, std::string src_col,
                             std::string tgt_col);
@@ -75,7 +111,11 @@ class RaExpr {
       std::vector<std::pair<std::string, std::string>> mappings);
   static RaExprPtr SelectEq(RaExprPtr child, std::string col_a,
                             std::string col_b);
-  static RaExprPtr Join(RaExprPtr l, RaExprPtr r);
+  /// `strategy` annotates the physical join choice (optimizer, tests);
+  /// kAuto leaves it to runtime detection. Every strategy computes the
+  /// same join — the executor validates preconditions and degrades.
+  static RaExprPtr Join(RaExprPtr l, RaExprPtr r,
+                        JoinStrategy strategy = JoinStrategy::kAuto);
   static RaExprPtr SemiJoin(RaExprPtr l, RaExprPtr r);
   static RaExprPtr Union(RaExprPtr l, RaExprPtr r);
   static RaExprPtr Distinct(RaExprPtr child);
@@ -105,10 +145,24 @@ class RaExpr {
   SeedSide seed_side_ = SeedSide::kNone;
   RaExprPtr left_, right_;
   std::vector<std::string> columns_;
+  size_t sorted_prefix_ = 0;
+  JoinStrategy join_strategy_ = JoinStrategy::kAuto;
 };
 
 /// Sorted vector of the column names shared by `l` and `r`.
 std::vector<std::string> SharedColumns(const RaExpr& l, const RaExpr& r);
+
+/// Structural physical analysis of Join(l, r): which strategy the shapes
+/// of the inputs admit (ignoring cardinalities — kFlatHash stands in for
+/// "hash join", refined to kRadixHash by size) and the output sorted
+/// prefix under that strategy. kAuto means cross product (no shared
+/// columns). Shared by the Join factory's ordering derivation and the
+/// optimizer's strategy annotation.
+struct JoinPhysical {
+  JoinStrategy strategy = JoinStrategy::kAuto;
+  size_t sorted_prefix = 0;
+};
+JoinPhysical AnalyzeJoinShape(const RaExpr& l, const RaExpr& r);
 
 }  // namespace gqopt
 

@@ -15,17 +15,17 @@ int Table::ColumnIndex(const std::string& column) const {
 void Table::AddRow(const NodeId* values) {
   std::vector<NodeId>& data = Mutable();
   data.insert(data.end(), values, values + arity());
-  sorted_ = false;
+  sort_prefix_ = 0;
 }
 
 void Table::SortDistinct() {
   size_t n = rows();
   size_t k = arity();
   if (n <= 1 || k == 0) {
-    sorted_ = true;
+    MarkSorted();
     return;
   }
-  if (sorted_) {
+  if (sorted()) {
     // Already sorted: scan for adjacent duplicates on the const block
     // first, so distinct-on-distinct (edge scans, closure results) never
     // clones shared copy-on-write storage.
@@ -36,11 +36,12 @@ void Table::SortDistinct() {
     }
     if (!has_dup) return;
   }
+  bool was_sorted = sorted();
   std::vector<NodeId>& data = Mutable();
   if (k == 1) {
-    if (!sorted_) std::sort(data.begin(), data.end());
+    if (!was_sorted) std::sort(data.begin(), data.end());
     data.erase(std::unique(data.begin(), data.end()), data.end());
-    sorted_ = true;
+    MarkSorted();
     return;
   }
   if (k == 2) {
@@ -51,14 +52,14 @@ void Table::SortDistinct() {
       keys[r] = (static_cast<uint64_t>(data[2 * r]) << 32) |
                 data[2 * r + 1];
     }
-    if (!sorted_) std::sort(keys.begin(), keys.end());
+    if (!was_sorted) std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     data.resize(keys.size() * 2);
     for (size_t r = 0; r < keys.size(); ++r) {
       data[2 * r] = static_cast<NodeId>(keys[r] >> 32);
       data[2 * r + 1] = static_cast<NodeId>(keys[r]);
     }
-    sorted_ = true;
+    MarkSorted();
     return;
   }
   std::vector<size_t> order(n);
@@ -71,7 +72,7 @@ void Table::SortDistinct() {
   auto eq = [base, k](size_t a, size_t b) {
     return std::equal(base + a * k, base + (a + 1) * k, base + b * k);
   };
-  if (!sorted_) std::sort(order.begin(), order.end(), cmp);
+  if (!was_sorted) std::sort(order.begin(), order.end(), cmp);
   order.erase(std::unique(order.begin(), order.end(), eq), order.end());
   std::vector<NodeId> out;
   out.reserve(order.size() * k);
@@ -79,13 +80,13 @@ void Table::SortDistinct() {
     out.insert(out.end(), base + row * k, base + (row + 1) * k);
   }
   data = std::move(out);
-  sorted_ = true;
+  MarkSorted();
 }
 
 Table Table::RenamedTo(std::vector<std::string> columns) const {
   Table out(std::move(columns));
   out.block_ = block_;  // shared copy-on-write: no data copy
-  out.sorted_ = sorted_;
+  out.sort_prefix_ = sort_prefix_;  // renaming is positional: order is kept
   return out;
 }
 

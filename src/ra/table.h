@@ -62,14 +62,27 @@ class Table {
   /// Sorts rows lexicographically and drops duplicates.
   void SortDistinct();
 
-  /// True when the rows are known to be lexicographically sorted (hence
-  /// sorted on the first column). Cleared by row mutation; set by
-  /// SortDistinct and MarkSorted.
-  bool sorted() const { return sorted_; }
+  /// Physical ordering property: the number of leading columns the rows
+  /// are known to be (non-strictly) lexicographically sorted on. 0 means
+  /// no known ordering; arity() means fully sorted. Every executor
+  /// operator derives its output prefix from its inputs (filters keep it,
+  /// projections keep the identity-mapped leading run, merge/offset joins
+  /// keep the probe side's), so the planner's ordering-based join
+  /// strategies stay valid at runtime. Cleared by row mutation.
+  size_t sort_prefix() const { return sort_prefix_; }
 
-  /// Declares the rows lexicographically sorted (caller-asserted; used by
-  /// scans and closures that produce sorted output by construction).
-  void MarkSorted() { sorted_ = true; }
+  /// Declares the rows sorted on the first `prefix` columns
+  /// (caller-asserted; clamped to arity()).
+  void MarkSortPrefix(size_t prefix) {
+    sort_prefix_ = prefix < arity() ? prefix : arity();
+  }
+
+  /// True when the rows are known to be fully lexicographically sorted.
+  bool sorted() const { return sort_prefix_ == arity(); }
+
+  /// Declares the rows fully lexicographically sorted (used by scans and
+  /// closures that produce sorted output by construction).
+  void MarkSorted() { sort_prefix_ = arity(); }
 
   /// Raw storage (row-major).
   const std::vector<NodeId>& data() const { return *block_; }
@@ -91,7 +104,7 @@ class Table {
 
   std::vector<std::string> columns_;
   std::shared_ptr<std::vector<NodeId>> block_;
-  bool sorted_ = false;
+  size_t sort_prefix_ = 0;
 };
 
 }  // namespace gqopt

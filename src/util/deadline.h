@@ -34,6 +34,29 @@ class Deadline {
   Clock::time_point expires_;
 };
 
+/// \brief Amortized deadline poll for hot loops: counts iterations and
+/// consults the wall clock only once per 2^16, so the common-case cost is
+/// one increment and branch. One poller per loop nest; every iteration of
+/// every level calls Expired() (or Due(), to hang extra amortized work —
+/// e.g. result-cap checks — off the same stride).
+class DeadlinePoller {
+ public:
+  explicit DeadlinePoller(const Deadline& deadline) : deadline_(&deadline) {}
+
+  /// Counts one unit of work; true once every kStride calls.
+  bool Due() { return (++ops_ & (kStride - 1)) == 0; }
+
+  /// Counts one unit of work; true when the deadline has expired
+  /// (checked only on Due() strides).
+  bool Expired() { return Due() && deadline_->Expired(); }
+
+ private:
+  static constexpr uint64_t kStride = uint64_t{1} << 16;
+
+  const Deadline* deadline_;
+  uint64_t ops_ = 0;
+};
+
 }  // namespace gqopt
 
 #endif  // GQOPT_UTIL_DEADLINE_H_

@@ -138,17 +138,20 @@ class PairDedupSet {
 /// walks are sequential reads.
 class FlatJoinIndex {
  public:
-  /// Builds the index; `keys[r]` is the join key of build row `r`.
-  explicit FlatJoinIndex(const std::vector<uint64_t>& keys) {
+  /// Builds the index over `n` keys; `keys[r]` is the join key of build
+  /// row `r`. The span form lets radix-partitioned joins index one
+  /// partition's contiguous key run in place; Equal() then returns row
+  /// ids relative to the span start.
+  FlatJoinIndex(const uint64_t* keys, size_t n) {
     size_t cap = 16;
-    while (cap < keys.size() * 2) cap <<= 1;
+    while (cap < n * 2) cap <<= 1;
     slots_.assign(cap, Slot{0, 0, 0});
     mask_ = cap - 1;
-    rows_.resize(keys.size());
+    rows_.resize(n);
     // Pass 1: claim a slot per distinct key and count its rows,
     // remembering each row's slot to skip re-probing in pass 2.
-    std::vector<uint32_t> slot_of_row(keys.size());
-    for (size_t r = 0; r < keys.size(); ++r) {
+    std::vector<uint32_t> slot_of_row(n);
+    for (size_t r = 0; r < n; ++r) {
       size_t i = HashKey64(keys[r]) & mask_;
       while (slots_[i].count != 0 && slots_[i].key != keys[r]) {
         i = (i + 1) & mask_;
@@ -166,10 +169,13 @@ class FlatJoinIndex {
     // Pass 2: scatter rows into their contiguous groups. Afterwards each
     // cursor sits at its group's end; Equal() recovers the start from the
     // count.
-    for (size_t r = 0; r < keys.size(); ++r) {
+    for (size_t r = 0; r < n; ++r) {
       rows_[slots_[slot_of_row[r]].cursor++] = static_cast<uint32_t>(r);
     }
   }
+
+  explicit FlatJoinIndex(const std::vector<uint64_t>& keys)
+      : FlatJoinIndex(keys.data(), keys.size()) {}
 
   /// The contiguous [begin, end) run of build rows with `key`.
   std::pair<const uint32_t*, const uint32_t*> Equal(uint64_t key) const {

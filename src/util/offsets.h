@@ -1,0 +1,46 @@
+// Shared histogram / offset-fill helpers for the offset-indexed data
+// structures: CsrView::Build, the executor's dense-offset join, and the
+// radix partitioner all reduce to "turn keys into a prefix-offset array".
+// Keeping the fill loops here stops the three copies from drifting.
+
+#ifndef GQOPT_UTIL_OFFSETS_H_
+#define GQOPT_UTIL_OFFSETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gqopt {
+
+/// Fills `offsets` (resized to `num_values` + 1) over `n` elements whose
+/// keys are non-decreasing, so that `(*offsets)[v]` is the index of the
+/// first element with key >= v and `(*offsets)[num_values]` == n.
+/// `key_at(i)` must return the key of element i, with every key strictly
+/// below `num_values`. O(num_values + n).
+template <typename KeyAt>
+void FillSortedOffsets(size_t n, size_t num_values, KeyAt key_at,
+                       std::vector<uint32_t>* offsets) {
+  offsets->assign(num_values + 1, 0);
+  size_t v = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    while (v <= key_at(i)) (*offsets)[v++] = i;
+  }
+  while (v <= num_values) (*offsets)[v++] = static_cast<uint32_t>(n);
+}
+
+/// Replaces `counts` with its exclusive prefix sum (bucket start offsets)
+/// and returns the total — the histogram-to-cursor step of counting sorts
+/// and radix partitioning.
+inline uint32_t ExclusivePrefixSum(std::vector<uint32_t>* counts) {
+  uint32_t running = 0;
+  for (uint32_t& c : *counts) {
+    uint32_t n = c;
+    c = running;
+    running += n;
+  }
+  return running;
+}
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_OFFSETS_H_

@@ -159,5 +159,65 @@ TEST_F(ExecutorTest, UnionRequiresOnlySameColumnSet) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(ExecutorTest, OrderingPropagatesThroughOperators) {
+  // Scans are sorted by construction.
+  EXPECT_EQ(Run(RaExpr::EdgeScan("livesIn", "x", "y")).sort_prefix(), 2u);
+  EXPECT_EQ(Run(RaExpr::NodeScan({"PERSON"}, "n")).sort_prefix(), 1u);
+  // Dropping a trailing column keeps the leading ordering (the bool
+  // model lost it on every projection).
+  Table proj = Run(RaExpr::Project(RaExpr::EdgeScan("livesIn", "x", "y"),
+                                   {{"x", "x"}}));
+  EXPECT_EQ(proj.sort_prefix(), 1u);
+  // Reordering columns drops it.
+  Table swapped = Run(RaExpr::Project(RaExpr::EdgeScan("livesIn", "x", "y"),
+                                      {{"y", "y"}, {"x", "x"}}));
+  EXPECT_EQ(swapped.sort_prefix(), 0u);
+  // Filters preserve the full prefix.
+  Table sel = Run(RaExpr::SelectEq(RaExpr::EdgeScan("livesIn", "x", "y"),
+                                   "x", "x"));
+  EXPECT_EQ(sel.sort_prefix(), 2u);
+  // Semi-joins filter the left side, so its ordering survives.
+  Table semi = Run(RaExpr::SemiJoin(RaExpr::EdgeScan("livesIn", "x", "y"),
+                                    RaExpr::EdgeScan("owns", "x", "z")));
+  EXPECT_EQ(semi.sort_prefix(), 2u);
+}
+
+TEST_F(ExecutorTest, JoinOutputCarriesProbeSideOrdering) {
+  // Merge join (shared column leading and sorted on both sides): the
+  // output streams in left-row order, so the left prefix survives.
+  Table merged = Run(RaExpr::Join(RaExpr::EdgeScan("livesIn", "x", "y"),
+                                  RaExpr::EdgeScan("isMarriedTo", "x", "z")));
+  EXPECT_EQ(merged.sort_prefix(), 2u);
+  for (size_t r = 1; r < merged.rows(); ++r) {
+    EXPECT_LE(merged.At(r - 1, 0), merged.At(r, 0));
+  }
+  // Offset join probes the left side in order.
+  Table offset = Run(RaExpr::Join(RaExpr::EdgeScan("owns", "x", "z"),
+                                  RaExpr::EdgeScan("isLocatedIn", "z", "y")));
+  EXPECT_EQ(offset.sort_prefix(), 2u);
+  // Cross products iterate left rows in the outer loop.
+  Table cross = Run(RaExpr::Join(RaExpr::EdgeScan("livesIn", "a", "b"),
+                                 RaExpr::EdgeScan("owns", "c", "d")));
+  EXPECT_EQ(cross.sort_prefix(), 2u);
+}
+
+TEST_F(ExecutorTest, ForcedJoinStrategiesAgreeOnSmallInputs) {
+  // Every physical strategy computes the same join; annotations whose
+  // preconditions fail at runtime must degrade, not crash.
+  RaExprPtr left = RaExpr::EdgeScan("livesIn", "x", "y");
+  RaExprPtr right = RaExpr::EdgeScan("isMarriedTo", "x", "z");
+  Table reference = Run(RaExpr::Join(left, right));
+  for (JoinStrategy s :
+       {JoinStrategy::kMergeSorted, JoinStrategy::kOffset,
+        JoinStrategy::kRadixHash, JoinStrategy::kFlatHash}) {
+    Table t = Run(RaExpr::Join(left, right, s));
+    Table a = reference;
+    Table b = t;
+    a.SortDistinct();
+    b.SortDistinct();
+    EXPECT_EQ(a.data(), b.data()) << "strategy " << JoinStrategyName(s);
+  }
+}
+
 }  // namespace
 }  // namespace gqopt

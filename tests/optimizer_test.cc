@@ -12,6 +12,7 @@
 #include "ra/optimizer.h"
 #include "ra/ucqt_to_ra.h"
 #include "test_fixtures.h"
+#include "util/rng.h"
 
 namespace gqopt {
 namespace {
@@ -171,6 +172,88 @@ TEST_F(OptimizerTest, EstimatorOrdersSelectiveScansFirst) {
   const RaExpr* leftmost = optimized.get();
   while (leftmost->left()) leftmost = leftmost->left().get();
   EXPECT_EQ(leftmost->label(), "owns");
+}
+
+// ---- Physical properties and join-strategy annotation ---------------------
+
+TEST_F(OptimizerTest, SortedPrefixPropagatesBottomUp) {
+  RaExprPtr scan = RaExpr::EdgeScan("owns", "x", "y");
+  EXPECT_EQ(scan->sorted_prefix(), 2u);
+  EXPECT_EQ(RaExpr::NodeScan({"PERSON"}, "n")->sorted_prefix(), 1u);
+  // Keeping the leading column (renamed or not) keeps prefix 1.
+  EXPECT_EQ(RaExpr::Project(scan, {{"x", "x"}})->sorted_prefix(), 1u);
+  EXPECT_EQ(RaExpr::Project(scan, {{"x", "u"}, {"y", "v"}})->sorted_prefix(),
+            2u);
+  // Reordering drops it.
+  EXPECT_EQ(RaExpr::Project(scan, {{"y", "y"}, {"x", "x"}})->sorted_prefix(),
+            0u);
+  EXPECT_EQ(RaExpr::SelectEq(scan, "x", "y")->sorted_prefix(), 2u);
+  EXPECT_EQ(RaExpr::Distinct(scan)->sorted_prefix(), 2u);
+  EXPECT_EQ(RaExpr::Union(scan, scan)->sorted_prefix(), 0u);
+  EXPECT_EQ(RaExpr::TransitiveClosure(scan, "x", "y")->sorted_prefix(), 2u);
+}
+
+TEST_F(OptimizerTest, AnnotatesOffsetJoin) {
+  // Chain join: the right side is sorted on the single shared column.
+  RaExprPtr plan = RaExpr::Join(RaExpr::EdgeScan("owns", "x", "z"),
+                                RaExpr::EdgeScan("isLocatedIn", "z", "y"));
+  RaExprPtr optimized = OptimizePlan(plan, catalog_);
+  std::string explain = ExplainPlan(optimized, catalog_);
+  EXPECT_NE(explain.find("[offset]"), std::string::npos) << explain;
+}
+
+TEST_F(OptimizerTest, AnnotatesMergeJoinOnMultiColumnKeys) {
+  // Both sides sorted with the two shared columns leading: a shape the
+  // bool-based detection could only hash (it required one shared column).
+  RaExprPtr plan = RaExpr::Join(RaExpr::EdgeScan("owns", "x", "y"),
+                                RaExpr::EdgeScan("livesIn", "x", "y"));
+  RaExprPtr optimized = OptimizePlan(plan, catalog_);
+  std::string explain = ExplainPlan(optimized, catalog_);
+  EXPECT_NE(explain.find("[merge]"), std::string::npos) << explain;
+}
+
+TEST_F(OptimizerTest, ColumnDroppingProjectionStillJoinsViaOffset) {
+  // Distinct(Project(keep leading column)) stays sorted under the prefix
+  // model, so the join is annotated [offset] — the bool model lost
+  // sortedness on projection and hashed this shape.
+  RaExprPtr proj = RaExpr::Project(RaExpr::EdgeScan("isLocatedIn", "z", "w"),
+                                   {{"z", "z"}});
+  EXPECT_EQ(proj->sorted_prefix(), 1u);
+  RaExprPtr plan = RaExpr::Join(RaExpr::EdgeScan("owns", "x", "z"),
+                                RaExpr::Distinct(proj));
+  RaExprPtr optimized = OptimizePlan(plan, catalog_);
+  std::string explain = ExplainPlan(optimized, catalog_);
+  EXPECT_NE(explain.find("[offset]"), std::string::npos) << explain;
+}
+
+TEST_F(OptimizerTest, HashFallbackPicksRadixBySize) {
+  // Shared column is trailing on both sides: hash join. On the tiny
+  // Fig 2 catalog the estimated build is small => flat; on a bulk graph
+  // it crosses the radix threshold.
+  RaExprPtr plan = RaExpr::Join(RaExpr::EdgeScan("owns", "x", "z"),
+                                RaExpr::EdgeScan("livesIn", "y", "z"));
+  std::string small = ExplainPlan(OptimizePlan(plan, catalog_), catalog_);
+  EXPECT_NE(small.find("[flat-hash]"), std::string::npos) << small;
+
+  Rng rng(23);
+  PropertyGraph big;
+  for (size_t i = 0; i < 1000; ++i) big.AddNode("N");
+  for (size_t i = 0; i < 48000; ++i) {
+    (void)big.AddEdge(static_cast<NodeId>(rng.Uniform(1000)), "owns",
+                      static_cast<NodeId>(rng.Uniform(1000)));
+    (void)big.AddEdge(static_cast<NodeId>(rng.Uniform(1000)), "livesIn",
+                      static_cast<NodeId>(rng.Uniform(1000)));
+  }
+  Catalog big_catalog(big);
+  std::string large = ExplainPlan(OptimizePlan(plan, big_catalog),
+                                  big_catalog);
+  EXPECT_NE(large.find("[radix-hash]"), std::string::npos) << large;
+}
+
+TEST_F(OptimizerTest, ExplainShowsOrderingProperty) {
+  RaExprPtr plan = RaExpr::EdgeScan("owns", "x", "y");
+  std::string explain = ExplainPlan(plan, catalog_);
+  EXPECT_NE(explain.find("sorted = 2"), std::string::npos) << explain;
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
+#include "util/offsets.h"
+#include "util/radix.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -143,6 +147,119 @@ TEST(StatsTest, InterpolatedQuartiles) {
   EXPECT_DOUBLE_EQ(s.q1, 1.75);
   EXPECT_DOUBLE_EQ(s.median, 2.5);
   EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(OffsetsTest, FillSortedOffsetsIsLowerBound) {
+  std::vector<uint32_t> keys{0, 0, 2, 2, 2, 5, 7, 7};
+  std::vector<uint32_t> offsets;
+  FillSortedOffsets(
+      keys.size(), 8, [&keys](uint32_t i) { return keys[i]; }, &offsets);
+  ASSERT_EQ(offsets.size(), 9u);
+  for (uint32_t v = 0; v <= 8; ++v) {
+    size_t expected =
+        std::lower_bound(keys.begin(), keys.end(), v) - keys.begin();
+    EXPECT_EQ(offsets[v], expected) << "value " << v;
+  }
+}
+
+TEST(OffsetsTest, FillSortedOffsetsEmpty) {
+  std::vector<uint32_t> offsets;
+  FillSortedOffsets(
+      0, 4, [](uint32_t) { return 0u; }, &offsets);
+  EXPECT_EQ(offsets, (std::vector<uint32_t>{0, 0, 0, 0, 0}));
+}
+
+TEST(OffsetsTest, ExclusivePrefixSum) {
+  std::vector<uint32_t> counts{3, 0, 2, 5};
+  EXPECT_EQ(ExclusivePrefixSum(&counts), 10u);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{0, 3, 3, 5}));
+}
+
+TEST(RadixTest, BitsScaleWithRows) {
+  EXPECT_EQ(RadixBitsFor(100), 0);
+  EXPECT_GE(RadixBitsFor(size_t{1} << 20), 5);
+  EXPECT_LE(RadixBitsFor(size_t{1} << 40), 10);  // capped
+}
+
+TEST(RadixTest, PartitionsAreContiguousAndComplete) {
+  Rng rng(5);
+  size_t n = 50000;
+  // Tuples of (key, original row id): the id rides along so the scatter
+  // can be checked for exactly-once coverage.
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> data(n * 2);
+  for (size_t r = 0; r < n; ++r) {
+    keys[r] = rng.Uniform(1 << 12);  // plenty of dups
+    data[r * 2] = static_cast<uint32_t>(keys[r]);
+    data[r * 2 + 1] = static_cast<uint32_t>(r);
+  }
+  int bits = RadixBitsFor(n);
+  ASSERT_GE(bits, 1);
+  RadixPartitions parts;
+  ASSERT_TRUE(
+      BuildRadixPartitions(keys, bits, Deadline(), &parts, data.data(), 2));
+  ASSERT_EQ(parts.offsets.size(), parts.partitions() + 1);
+  EXPECT_EQ(parts.offsets.front(), 0u);
+  EXPECT_EQ(parts.offsets.back(), n);
+  // Every input row appears exactly once, in the partition its key
+  // hashes to, with its key carried along.
+  std::vector<bool> seen(n, false);
+  for (size_t p = 0; p < parts.partitions(); ++p) {
+    for (uint32_t i = parts.offsets[p]; i < parts.offsets[p + 1]; ++i) {
+      const uint32_t* row = parts.Row(i);
+      ASSERT_LT(row[1], n);
+      EXPECT_EQ(RadixPartitionOf(keys[row[1]], bits), p);
+      EXPECT_EQ(row[0], static_cast<uint32_t>(keys[row[1]]));
+      EXPECT_FALSE(seen[row[1]]);
+      seen[row[1]] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(RadixTest, TupleModeScattersRowsWithRecomputableKeys) {
+  Rng rng(6);
+  size_t n = 20000;
+  std::vector<uint32_t> data(n * 2);
+  std::vector<uint64_t> keys(n);
+  for (size_t r = 0; r < n; ++r) {
+    data[r * 2] = static_cast<uint32_t>(rng.Uniform(1 << 9));
+    data[r * 2 + 1] = static_cast<uint32_t>(rng.Uniform(1 << 9));
+    keys[r] = (static_cast<uint64_t>(data[r * 2]) << 32) | data[r * 2 + 1];
+  }
+  int bits = 3;
+  RadixPartitions parts;
+  ASSERT_TRUE(
+      BuildRadixPartitions(keys, bits, Deadline(), &parts, data.data(), 2));
+  EXPECT_EQ(parts.row_width, 2u);
+  EXPECT_EQ(parts.data.size(), n * 2);
+  EXPECT_EQ(parts.offsets.back(), n);
+  // Re-packing a scattered tuple's key must land it in its partition,
+  // and the multiset of scattered tuples must equal the input's.
+  std::vector<uint64_t> scattered;
+  for (size_t p = 0; p < parts.partitions(); ++p) {
+    for (uint32_t i = parts.offsets[p]; i < parts.offsets[p + 1]; ++i) {
+      const uint32_t* row = parts.Row(i);
+      uint64_t key = (static_cast<uint64_t>(row[0]) << 32) | row[1];
+      EXPECT_EQ(RadixPartitionOf(key, bits), p);
+      scattered.push_back(key);
+    }
+  }
+  std::vector<uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  std::sort(scattered.begin(), scattered.end());
+  EXPECT_EQ(scattered, expected);
+}
+
+TEST(RadixTest, ExpiredDeadlineAborts) {
+  std::vector<uint64_t> keys(size_t{1} << 17, 42);
+  std::vector<uint32_t> data(keys.size(), 7);
+  Deadline deadline = Deadline::AfterMillis(1);
+  while (!deadline.Expired()) {
+  }
+  RadixPartitions parts;
+  EXPECT_FALSE(
+      BuildRadixPartitions(keys, 2, deadline, &parts, data.data(), 1));
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare counterpart BM_* entries within one BENCH_micro.json snapshot.
+
+Benchmarks on this project's noisy shared-VM boxes are only meaningful as
+same-process ratios (see ROADMAP): each optimized benchmark runs next to a
+retained baseline implementation on identical inputs, so the ratio inside
+one snapshot is machine-drift-free. This script pairs those counterparts
+and prints baseline/optimized speedups.
+
+Usage: tools/bench_diff.py [BENCH_micro.json]
+"""
+
+import json
+import sys
+
+# (optimized prefix, baseline prefix) — matched per argument suffix, so
+# BM_Compose/1000 pairs with BM_NaiveCompose/1000, and
+# BM_JoinRadixMultiKey/N/S with BM_JoinFlatHashMultiKey/N/S.
+PAIRS = [
+    ("BM_Compose", "BM_NaiveCompose"),
+    ("BM_TransitiveClosureRandom", "BM_NaiveTransitiveClosureRandom"),
+    ("BM_SemiJoinSource", "BM_NaiveSemiJoinSource"),
+    ("BM_ExecSeededClosure", "BM_NaiveSeededClosure"),
+    ("BM_FlatHashJoin", "BM_SeedHashJoin"),
+    ("BM_OffsetJoin", "BM_SeedHashJoin"),
+    ("BM_JoinRadixMultiKey", "BM_JoinFlatHashMultiKey"),
+    ("BM_JoinMergeSorted", "BM_JoinHashSorted"),
+]
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        snapshot = json.load(f)
+    # Without --benchmark_repetitions every entry is a lone iteration run.
+    # With repetitions, the per-rep entries share one name and only the
+    # aggregates are trustworthy — use each benchmark's mean and ignore
+    # the individual reps rather than silently keeping the last one.
+    iterations = {}
+    means = {}
+    for entry in snapshot.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "mean":
+                means[entry.get("run_name", entry["name"])] = entry
+            continue
+        iterations[entry["name"]] = entry
+    return {**iterations, **means}
+
+
+def split_name(name):
+    """'BM_Foo/123/0' -> ('BM_Foo', '/123/0')."""
+    head, sep, tail = name.partition("/")
+    return head, sep + tail if sep else ""
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_micro.json"
+    benchmarks = load_benchmarks(path)
+    by_prefix = {}
+    for name in benchmarks:
+        head, suffix = split_name(name)
+        by_prefix.setdefault(head, {})[suffix] = benchmarks[name]
+
+    rows = []
+    for optimized, baseline in PAIRS:
+        for suffix, opt in sorted(by_prefix.get(optimized, {}).items()):
+            base = by_prefix.get(baseline, {}).get(suffix)
+            if base is None:
+                continue
+            opt_time = opt["cpu_time"]
+            base_time = base["cpu_time"]
+            if opt_time <= 0:
+                continue
+            rows.append((optimized + suffix, baseline + suffix,
+                         base_time, opt_time, base_time / opt_time,
+                         opt.get("time_unit", "ns")))
+
+    if not rows:
+        print(f"no counterpart pairs found in {path}", file=sys.stderr)
+        return 1
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'optimized':<{width}}  {'baseline cpu':>14}  "
+          f"{'optimized cpu':>14}  {'speedup':>8}")
+    for name, _, base_time, opt_time, ratio, unit in rows:
+        print(f"{name:<{width}}  {base_time:>12.0f}{unit}  "
+              f"{opt_time:>12.0f}{unit}  {ratio:>7.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,10 @@ if [[ "$run_bench" -eq 1 ]]; then
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     echo "wrote $repo_root/BENCH_micro.json"
+    if command -v python3 >/dev/null; then
+      # Same-snapshot counterpart ratios (the ROADMAP methodology).
+      python3 tools/bench_diff.py BENCH_micro.json || true
+    fi
   else
     echo "bench_micro not built (google-benchmark missing?); skipping" >&2
   fi
