@@ -9,8 +9,10 @@
 
 #include "algebra/path_parser.h"
 #include "eval/naive_reference.h"
+#include "util/exec_context.h"
 #include "util/flat_hash.h"
 #include "util/radix.h"
+#include "util/thread_pool.h"
 #include "core/rewriter.h"
 #include "core/simplifier.h"
 #include "core/type_inference.h"
@@ -437,6 +439,99 @@ BENCHMARK(BM_JoinRadixMultiKey)
     ->Args({1 << 20, 0})
     ->Args({1 << 23, 0})
     ->Args({1 << 23, 1});
+
+// ---- Parallel counterparts ------------------------------------------------
+// The radix join kernel driven through the parallel primitives (chunked
+// scatter + per-partition ParallelFor) and the parallel closure rounds, at
+// dop ∈ {1, 2, 4} on identical inputs. tools/bench_diff.py reports each
+// dop > 1 entry against its dop = 1 sibling in the same snapshot. Note
+// the CI box is a 1-core VM: there the dop > 1 entries measure morsel
+// overhead, not speedup — see ROADMAP.
+
+void BM_JoinRadixParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int dop = static_cast<int>(state.range(1));
+  uint32_t domain = KeyDomainFor(n);
+  KeyedRows build = MakeKeyedRows(n, domain, false, 101);
+  KeyedRows probe = MakeKeyedRows(n, domain, false, 102);
+  ThreadPool pool(3);
+  ExecContext ctx;
+  ctx.dop = dop;
+  ctx.pool = &pool;
+  for (auto _ : state) {
+    int bits = RadixBitsFor(n);
+    RadixPartitions bparts, pparts;
+    BuildRadixPartitionsParallel(build.keys, bits, ctx, &bparts,
+                                 build.data.data(), 3);
+    BuildRadixPartitionsParallel(probe.keys, bits, ctx, &pparts,
+                                 probe.data.data(), 3);
+    size_t parts = bparts.partitions();
+    int par = ctx.EffectiveDop(n);
+    size_t grain = ParallelGrain(parts, par, 1);
+    std::vector<std::vector<NodeId>> outs((parts + grain - 1) / grain);
+    ParallelFor(
+        ctx.TaskPool(), par, parts, grain, Deadline(),
+        [&](size_t part_begin, size_t part_end) {
+          std::vector<NodeId>& out = outs[part_begin / grain];
+          std::vector<uint64_t> part_keys;
+          for (size_t part = part_begin; part < part_end; ++part) {
+            uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
+            uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
+            if (bb == be || pb == pe) continue;
+            part_keys.resize(be - bb);
+            for (uint32_t i = bb; i < be; ++i) {
+              const NodeId* brow = bparts.Row(i);
+              part_keys[i - bb] =
+                  (static_cast<uint64_t>(brow[0]) << 32) | brow[1];
+            }
+            FlatJoinIndex index(part_keys.data(), part_keys.size());
+            for (uint32_t p = pb; p < pe; ++p) {
+              const NodeId* prow = pparts.Row(p);
+              uint64_t key = (static_cast<uint64_t>(prow[0]) << 32) | prow[1];
+              auto [it, end] = index.Equal(key);
+              for (; it != end; ++it) {
+                const NodeId* brow = bparts.Row(bb + *it);
+                out.push_back(brow[0]);
+                out.push_back(brow[1]);
+                out.push_back(brow[2]);
+                out.push_back(prow[2]);
+              }
+            }
+          }
+          return true;
+        });
+    size_t total = 0;
+    for (const std::vector<NodeId>& o : outs) total += o.size();
+    benchmark::DoNotOptimize(outs);
+    state.counters["out_rows"] = static_cast<double>(total / 4);
+  }
+}
+BENCHMARK(BM_JoinRadixParallel)
+    ->Args({1 << 22, 1})
+    ->Args({1 << 22, 2})
+    ->Args({1 << 22, 4})
+    ->Args({1 << 23, 1})
+    ->Args({1 << 23, 4});
+
+void BM_ClosureParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int dop = static_cast<int>(state.range(1));
+  BinaryRelation r = RandomRelation(n, n * 2, 7);
+  ThreadPool pool(3);
+  ExecContext ctx;
+  ctx.dop = dop;
+  ctx.pool = &pool;
+  // Early rounds have small deltas; lower the degrade threshold so the
+  // bulk of the expansion runs parallel.
+  ctx.parallel_min_rows = size_t{1} << 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinaryRelation::TransitiveClosure(r, ctx));
+  }
+}
+BENCHMARK(BM_ClosureParallel)
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4});
 
 void BM_JoinHashSorted(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

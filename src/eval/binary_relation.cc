@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "eval/closure_expand.h"
 #include "util/flat_hash.h"
 
 namespace gqopt {
@@ -129,8 +130,17 @@ BinaryRelation BinaryRelation::Reverse() const {
 
 Result<BinaryRelation> BinaryRelation::TransitiveClosure(
     const BinaryRelation& r, const Deadline& deadline) {
+  return TransitiveClosure(r, ExecContext{deadline});
+}
+
+Result<BinaryRelation> BinaryRelation::TransitiveClosure(
+    const BinaryRelation& r, const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
   if (r.empty()) return r;
   const std::vector<Edge>& base = r.pairs_;
+  // Force the lazy CSR build before any parallel round: EqualRange from
+  // several threads must only ever read an already-built index.
+  r.SourceCsr();
 
   // Semi-naive iteration with a dedup set: each candidate pair costs one
   // bitmap test-and-set (dense id domains) or flat hash insert instead of
@@ -150,18 +160,43 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
       return Status::DeadlineExceeded("transitive closure timed out");
     }
     next.clear();
-    for (const Edge& e : delta) {
-      auto [lo, hi] = r.EqualRange(e.second);
-      for (uint32_t i = lo; i < hi; ++i) {
-        NodeId z = base[i].second;
-        if (seen.Insert(e.first, z)) next.emplace_back(e.first, z);
-        if (poll.Due()) {
-          if (deadline.Expired()) {
-            return Status::DeadlineExceeded("transitive closure timed out");
-          }
-          if (acc.size() + next.size() > kMaxPairs) {
-            return Status::ResourceExhausted(
-                "transitive closure exceeded the result cap");
+    bool round_done = false;
+    if (ctx.EffectiveDop(delta.size()) > 1) {
+      // Parallel frontier expansion: generation + Contains pre-filter fan
+      // out per delta morsel, the dedup Insert stays serial (see
+      // closure_expand.h for why this is bit-identical to the loop
+      // below). A false result means the round's candidate buffers grew
+      // past the memory bound — redo the round serially below.
+      Result<bool> round = ExpandRoundParallel(
+          delta,
+          [&r, &base, &seen](const Edge& e, DeadlinePoller& gen_poll,
+                             std::vector<Edge>* out) {
+            auto [lo, hi] = r.EqualRange(e.second);
+            for (uint32_t i = lo; i < hi; ++i) {
+              NodeId z = base[i].second;
+              if (!seen.Contains(e.first, z)) out->emplace_back(e.first, z);
+              if (gen_poll.Expired()) return false;
+            }
+            return true;
+          },
+          ctx, &seen, &next, acc.size(), kMaxPairs, "transitive closure");
+      if (!round.ok()) return round.status();
+      round_done = *round;
+    }
+    if (!round_done) {
+      for (const Edge& e : delta) {
+        auto [lo, hi] = r.EqualRange(e.second);
+        for (uint32_t i = lo; i < hi; ++i) {
+          NodeId z = base[i].second;
+          if (seen.Insert(e.first, z)) next.emplace_back(e.first, z);
+          if (poll.Due()) {
+            if (deadline.Expired()) {
+              return Status::DeadlineExceeded("transitive closure timed out");
+            }
+            if (acc.size() + next.size() > kMaxPairs) {
+              return Status::ResourceExhausted(
+                  "transitive closure exceeded the result cap");
+            }
           }
         }
       }

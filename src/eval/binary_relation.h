@@ -11,6 +11,7 @@
 #include "eval/csr_view.h"
 #include "graph/property_graph.h"
 #include "util/deadline.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace gqopt {
@@ -65,9 +66,14 @@ class BinaryRelation {
   /// {(y,x) | (x,y) in this}.
   BinaryRelation Reverse() const;
 
-  /// Transitive closure via semi-naive (delta) iteration.
+  /// Transitive closure via semi-naive (delta) iteration. The deadline
+  /// form runs at the ambient GQOPT_DOP; pass an ExecContext to control
+  /// the per-round frontier-expansion parallelism explicitly. Results are
+  /// bit-identical at every dop.
   static Result<BinaryRelation> TransitiveClosure(
       const BinaryRelation& r, const Deadline& deadline = {});
+  static Result<BinaryRelation> TransitiveClosure(const BinaryRelation& r,
+                                                  const ExecContext& ctx);
 
   /// Keeps pairs whose source satisfies `keep`. Templated so the predicate
   /// inlines into the scan loop.

@@ -1,0 +1,114 @@
+// Parallel semi-naive round expansion, shared by the two fixpoint loops
+// (BinaryRelation::TransitiveClosure and the executor's seeded closure).
+//
+// A round expands every delta pair against the (immutable) adjacency and
+// deduplicates candidates against the accumulated `seen` set. The dedup
+// insert is the only mutation, so the round splits into:
+//   phase A (parallel): morsels of delta generate candidates, pre-filtered
+//     by read-only seen.Contains — the expensive part (CSR range walks,
+//     membership probes) fans out;
+//   phase B (serial): candidates are Insert()ed in morsel order; survivors
+//     append to `next`.
+// A pair reachable from several delta morsels passes phase A in each, but
+// phase B keeps only its first occurrence — in delta order, exactly where
+// the serial insert-as-you-go loop would have kept it. The accumulated
+// pair sequence is therefore bit-identical at every dop.
+
+#ifndef GQOPT_EVAL_CLOSURE_EXPAND_H_
+#define GQOPT_EVAL_CLOSURE_EXPAND_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/exec_context.h"
+#include "util/flat_hash.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gqopt {
+
+/// Expands one round in parallel. `gen(d, poll, out)` appends the
+/// candidates of delta pair `d` that are not in the frozen seen set
+/// (callers capture it and filter with Contains), returning false on
+/// deadline expiry; it must not touch shared mutable state. New pairs are
+/// appended to `next` in delta order. `acc_size + next size` is capped at
+/// `max_pairs` (the closure result cap). Call only when
+/// ctx.EffectiveDop(delta.size()) > 1 — serial rounds keep their direct
+/// insert loop.
+///
+/// Returns true when the round completed; returns FALSE — with `seen` and
+/// `next` untouched, phase A is read-only — when the buffered candidates
+/// crossed 2 * max_pairs, which can happen without the deduplicated
+/// result being anywhere near the cap (many delta pairs regenerating the
+/// same few new pairs). The caller must then re-run the round with its
+/// serial insert-as-you-go loop, which never materializes candidates:
+/// success or failure of a query stays independent of dop, only the
+/// speed of such pathological rounds differs.
+template <typename Gen>
+Result<bool> ExpandRoundParallel(const std::vector<Edge>& delta,
+                                 const Gen& gen, const ExecContext& ctx,
+                                 PairDedupSet* seen, std::vector<Edge>* next,
+                                 size_t acc_size, size_t max_pairs,
+                                 const std::string& what) {
+  int par = ctx.EffectiveDop(delta.size());
+  size_t grain = ParallelGrain(delta.size(), par);
+  std::vector<std::vector<Edge>> candidates((delta.size() + grain - 1) /
+                                            grain);
+  std::atomic<size_t> buffered{0};
+  std::atomic<bool> overflow{false};
+  bool ok = ParallelFor(
+      ctx.TaskPool(), par, delta.size(), grain, ctx.deadline,
+      [&](size_t b, size_t e) {
+        std::vector<Edge>& out = candidates[b / grain];
+        DeadlinePoller poll(ctx.deadline);
+        size_t reported = 0;
+        // Publishes the morsel's unreported growth into the shared
+        // total; true when the buffered candidates crossed the bound.
+        auto publish = [&] {
+          size_t grown = out.size() - reported;
+          reported = out.size();
+          if (buffered.fetch_add(grown, std::memory_order_relaxed) + grown >
+              2 * max_pairs) {
+            overflow.store(true, std::memory_order_relaxed);
+            return true;
+          }
+          return false;
+        };
+        for (size_t i = b; i < e; ++i) {
+          if (!gen(delta[i], poll, &out)) return false;
+          // Amortized memory poll; the final publish below catches the
+          // tail generated after the last stride.
+          if (poll.Due() && publish()) return false;
+        }
+        return !publish();
+      });
+  if (!ok) {
+    if (overflow.load(std::memory_order_relaxed)) return false;
+    return Status::DeadlineExceeded(what + " timed out");
+  }
+
+  DeadlinePoller poll(ctx.deadline);
+  for (const std::vector<Edge>& chunk : candidates) {
+    for (const Edge& c : chunk) {
+      if (seen->Insert(c.first, c.second)) next->push_back(c);
+      if (poll.Due()) {
+        if (ctx.deadline.Expired()) {
+          return Status::DeadlineExceeded(what + " timed out");
+        }
+        if (acc_size + next->size() > max_pairs) {
+          return Status::ResourceExhausted(what + " exceeded the result cap");
+        }
+      }
+    }
+  }
+  if (acc_size + next->size() > max_pairs) {
+    return Status::ResourceExhausted(what + " exceeded the result cap");
+  }
+  return true;
+}
+
+}  // namespace gqopt
+
+#endif  // GQOPT_EVAL_CLOSURE_EXPAND_H_

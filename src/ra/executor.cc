@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "eval/closure_expand.h"
 #include "eval/csr_view.h"
 #include "util/flat_hash.h"
 #include "util/offsets.h"
 #include "util/radix.h"
+#include "util/thread_pool.h"
 
 namespace gqopt {
 namespace {
@@ -34,9 +36,13 @@ bool RowsMatch(const NodeId* a, const std::vector<int>& a_cols,
 }  // namespace
 
 Result<Table> Executor::Run(const RaExprPtr& plan, const Deadline& deadline) {
+  return Run(plan, ExecContext{deadline});
+}
+
+Result<Table> Executor::Run(const RaExprPtr& plan, const ExecContext& ctx) {
   memo_.clear();
   key_cache_.clear();
-  return Eval(plan.get(), deadline);
+  return Eval(plan.get(), ctx);
 }
 
 namespace {
@@ -98,7 +104,10 @@ void CanonicalKey(const RaExpr* e,
       if (e->op() == RaOp::kJoin) {
         // The physical annotation is part of join identity: strategies
         // produce differently-ordered rows, so differently-annotated
-        // joins must not share one memoized table.
+        // joins must not share one memoized table. The parallelism hint
+        // is deliberately NOT part of the key — every strategy is
+        // bit-identical at every dop, so hinted and unhinted joins may
+        // share one table.
         *out += "J";
         if (e->join_strategy() != JoinStrategy::kAuto) {
           *out += JoinStrategyName(e->join_strategy());
@@ -145,7 +154,8 @@ const std::string& Executor::KeyOf(const RaExpr* e) {
   return key_cache_.emplace(e, std::move(key)).first->second;
 }
 
-Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
+Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
   const std::string& key = KeyOf(e);
   auto cached = memo_.find(key);
   if (cached != memo_.end()) {
@@ -189,7 +199,7 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         return t;
       }
       case RaOp::kProject: {
-        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), ctx));
         std::vector<int> sources;
         sources.reserve(e->mappings().size());
         for (const auto& [from, to] : e->mappings()) {
@@ -215,13 +225,36 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
           return child.RenamedTo(e->columns());
         }
         std::vector<NodeId> data;
-        data.reserve(child.rows() * sources.size());
-        DeadlinePoller poll(deadline);
-        for (size_t r = 0; r < child.rows(); ++r) {
-          const NodeId* in = child.Row(r);
-          for (int src_idx : sources) data.push_back(in[src_idx]);
-          if (poll.Expired()) {
-            return Status::DeadlineExceeded("projection timed out");
+        int par = ctx.EffectiveDop(child.rows());
+        if (par > 1) {
+          // Row r's output occupies a fixed slot, so morsels write
+          // disjoint ranges of one pre-sized block — parallel with no
+          // reordering. (The value-initializing resize is redundant
+          // write traffic, so the serial path below appends instead.)
+          data.resize(child.rows() * sources.size());
+          bool ok = ParallelFor(
+              ctx.TaskPool(), par, child.rows(),
+              ParallelGrain(child.rows(), par), deadline,
+              [&](size_t b, size_t end) {
+                DeadlinePoller poll(deadline);
+                NodeId* out = data.data() + b * sources.size();
+                for (size_t r = b; r < end; ++r) {
+                  const NodeId* in = child.Row(r);
+                  for (int src_idx : sources) *out++ = in[src_idx];
+                  if (poll.Expired()) return false;
+                }
+                return true;
+              });
+          if (!ok) return Status::DeadlineExceeded("projection timed out");
+        } else {
+          data.reserve(child.rows() * sources.size());
+          DeadlinePoller poll(deadline);
+          for (size_t r = 0; r < child.rows(); ++r) {
+            const NodeId* in = child.Row(r);
+            for (int src_idx : sources) data.push_back(in[src_idx]);
+            if (poll.Expired()) {
+              return Status::DeadlineExceeded("projection timed out");
+            }
           }
         }
         Table t = Table::FromData(e->columns(), std::move(data));
@@ -229,32 +262,48 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         return t;
       }
       case RaOp::kSelectEq: {
-        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), ctx));
         int a = child.ColumnIndex(e->eq_columns().first);
         int b = child.ColumnIndex(e->eq_columns().second);
         if (a < 0 || b < 0) {
           return Status::Internal("selection references unknown column");
         }
         size_t child_prefix = child.sort_prefix();
-        Table t(child.columns());
-        DeadlinePoller poll(deadline);
-        for (size_t r = 0; r < child.rows(); ++r) {
-          const NodeId* row = child.Row(r);
-          if (row[a] == row[b]) t.AddRow(row);
-          if (poll.Expired()) {
-            return Status::DeadlineExceeded("selection timed out");
+        // Variable-length output: at dop > 1, morsels filter into
+        // per-morsel buffers concatenated in morsel order — the child's
+        // row order (and thus its sorted prefix) survives at every dop.
+        // Serial keeps the single-pass direct emit.
+        size_t arity = child.arity();
+        std::vector<NodeId> data;
+        auto filter_range = [&](size_t begin, size_t end,
+                                std::vector<NodeId>* dst) -> bool {
+          DeadlinePoller range_poll(deadline);
+          for (size_t r = begin; r < end; ++r) {
+            const NodeId* row = child.Row(r);
+            if (row[a] == row[b]) {
+              dst->insert(dst->end(), row, row + arity);
+            }
+            if (range_poll.Expired()) return false;
           }
+          return true;
+        };
+        int par = ctx.EffectiveDop(child.rows());
+        if (!ParallelAppend(ctx.TaskPool(), par, child.rows(),
+                            ParallelGrain(child.rows(), par), deadline,
+                            &data, filter_range)) {
+          return Status::DeadlineExceeded("selection timed out");
         }
+        Table t = Table::FromData(child.columns(), std::move(data));
         t.MarkSortPrefix(child_prefix);  // filtering preserves order
         return t;
       }
       case RaOp::kJoin:
-        return EvalJoin(e, deadline);
+        return EvalJoin(e, ctx);
       case RaOp::kSemiJoin:
-        return EvalSemiJoin(e, deadline);
+        return EvalSemiJoin(e, ctx);
       case RaOp::kUnion: {
-        GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
-        GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+        GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
+        GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
         // Align right columns to the left order.
         std::vector<int> align;
         align.reserve(left.arity());
@@ -296,12 +345,12 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
         return t;
       }
       case RaOp::kDistinct: {
-        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), deadline));
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), ctx));
         child.SortDistinct();
         return child;
       }
       case RaOp::kTransitiveClosure:
-        return EvalClosure(e, deadline);
+        return EvalClosure(e, ctx);
     }
     return Status::Internal("unhandled RA op");
   }();
@@ -310,9 +359,10 @@ Result<Table> Executor::Eval(const RaExpr* e, const Deadline& deadline) {
   return result;
 }
 
-Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
-  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
-  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
 
   std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
   std::vector<int> left_keys, right_keys;
@@ -339,9 +389,15 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
   out_data.reserve(std::min(left.rows(), right.rows()) *
                    e->columns().size());
   size_t left_arity = left.arity();
+  // The parallel paths emit into per-morsel buffers; serial paths emit
+  // straight into out_data through the no-argument wrapper.
+  auto emit_to = [&](const NodeId* lrow, const NodeId* rrow,
+                     std::vector<NodeId>* dst) {
+    dst->insert(dst->end(), lrow, lrow + left_arity);
+    for (int idx : right_extra) dst->push_back(rrow[idx]);
+  };
   auto emit = [&](const NodeId* lrow, const NodeId* rrow) {
-    out_data.insert(out_data.end(), lrow, lrow + left_arity);
-    for (int idx : right_extra) out_data.push_back(rrow[idx]);
+    emit_to(lrow, rrow, &out_data);
   };
   auto finish = [&](size_t sorted_prefix) {
     Table t = Table::FromData(e->columns(), std::move(out_data));
@@ -508,10 +564,27 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
   const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
   bool verify = shared.size() > 2;
 
-  std::vector<uint64_t> build_key_vec(build.rows());
-  for (size_t r = 0; r < build.rows(); ++r) {
-    if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-    build_key_vec[r] = PackKey(build.Row(r), build_keys);
+  ThreadPool* pool = ctx.TaskPool();
+  // Packed keys fill fixed slots, so morsels write disjoint ranges of a
+  // pre-sized vector — parallel with no reordering.
+  auto pack_keys = [&](const Table& t, const std::vector<int>& cols,
+                       std::vector<uint64_t>* keys) {
+    keys->resize(t.rows());
+    int key_par = ctx.EffectiveDop(t.rows());
+    return ParallelFor(
+        pool, key_par, t.rows(), ParallelGrain(t.rows(), key_par), deadline,
+        [&](size_t begin, size_t end) {
+          DeadlinePoller key_poll(deadline);
+          for (size_t r = begin; r < end; ++r) {
+            (*keys)[r] = PackKey(t.Row(r), cols);
+            if (key_poll.Expired()) return false;
+          }
+          return true;
+        });
+  };
+  std::vector<uint64_t> build_key_vec;
+  if (!pack_keys(build, build_keys, &build_key_vec)) {
+    return Status::DeadlineExceeded("join timed out");
   }
 
   int radix_bits = strategy == JoinStrategy::kRadixHash
@@ -521,69 +594,102 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
     // Radix-partitioned hash join: scatter both sides by the high bits of
     // the key hash, then build and probe one cache-sized FlatJoinIndex
     // per partition. Matching keys land in the same partition on both
-    // sides by construction.
-    std::vector<uint64_t> probe_key_vec(probe.rows());
-    for (size_t p = 0; p < probe.rows(); ++p) {
-      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-      probe_key_vec[p] = PackKey(probe.Row(p), probe_keys);
+    // sides by construction, so partitions are independent — at dop > 1
+    // the scatter runs chunk-parallel and the partitions build/probe
+    // concurrently, each emitting into its own buffer; buffers
+    // concatenate in partition order, reproducing the serial output.
+    std::vector<uint64_t> probe_key_vec;
+    if (!pack_keys(probe, probe_keys, &probe_key_vec)) {
+      return Status::DeadlineExceeded("join timed out");
     }
     // Tuple-mode scatter: only the rows themselves move; each
     // partition's keys are re-packed from its cache-resident tuple run,
     // so the build, probe and emit loops all touch partition-local
     // memory and the bandwidth-bound scatter moves half the bytes.
     RadixPartitions bparts, pparts;
-    if (!BuildRadixPartitions(build_key_vec, radix_bits, deadline, &bparts,
-                              build.data().data(), build.arity()) ||
-        !BuildRadixPartitions(probe_key_vec, radix_bits, deadline, &pparts,
-                              probe.data().data(), probe.arity())) {
+    if (!BuildRadixPartitionsParallel(build_key_vec, radix_bits, ctx,
+                                      &bparts, build.data().data(),
+                                      build.arity()) ||
+        !BuildRadixPartitionsParallel(probe_key_vec, radix_bits, ctx,
+                                      &pparts, probe.data().data(),
+                                      probe.arity())) {
       return Status::DeadlineExceeded("join timed out");
     }
-    std::vector<uint64_t> part_keys;
-    for (size_t part = 0; part < bparts.partitions(); ++part) {
-      uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
-      uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
-      if (bb == be || pb == pe) continue;
-      part_keys.resize(be - bb);
-      for (uint32_t i = bb; i < be; ++i) {
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-        part_keys[i - bb] = PackKey(bparts.Row(i), build_keys);
-      }
-      FlatJoinIndex index(part_keys.data(), part_keys.size());
-      for (uint32_t p = pb; p < pe; ++p) {
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-        const NodeId* prow = pparts.Row(p);
-        auto [it, end] = index.Equal(PackKey(prow, probe_keys));
-        for (; it != end; ++it) {
-          if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-          const NodeId* brow = bparts.Row(bb + *it);
-          const NodeId* lrow = build_left ? brow : prow;
-          const NodeId* rrow = build_left ? prow : brow;
-          if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
-            continue;
+    auto join_partitions = [&](size_t part_begin, size_t part_end,
+                               std::vector<NodeId>* dst) -> bool {
+      std::vector<uint64_t> part_keys;
+      DeadlinePoller part_poll(deadline);
+      for (size_t part = part_begin; part < part_end; ++part) {
+        uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
+        uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
+        if (bb == be || pb == pe) continue;
+        part_keys.resize(be - bb);
+        for (uint32_t i = bb; i < be; ++i) {
+          if (part_poll.Expired()) return false;
+          part_keys[i - bb] = PackKey(bparts.Row(i), build_keys);
+        }
+        FlatJoinIndex index(part_keys.data(), part_keys.size());
+        for (uint32_t p = pb; p < pe; ++p) {
+          if (part_poll.Expired()) return false;
+          const NodeId* prow = pparts.Row(p);
+          auto [it, end] = index.Equal(PackKey(prow, probe_keys));
+          for (; it != end; ++it) {
+            if (part_poll.Expired()) return false;
+            const NodeId* brow = bparts.Row(bb + *it);
+            const NodeId* lrow = build_left ? brow : prow;
+            const NodeId* rrow = build_left ? prow : brow;
+            if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
+              continue;
+            }
+            emit_to(lrow, rrow, dst);
           }
-          emit(lrow, rrow);
         }
       }
+      return true;
+    };
+    size_t parts = bparts.partitions();
+    // Same rule as the optimizer's p= hint (max of the input estimates):
+    // probe is the larger side by construction, so it must cross the
+    // threshold for the partition loop to fan out.
+    int par = ctx.EffectiveDop(probe.rows());
+    if (!ParallelAppend(pool, par, parts,
+                        ParallelGrain(parts, par, /*min_grain=*/1), deadline,
+                        &out_data, join_partitions)) {
+      return Status::DeadlineExceeded("join timed out");
     }
     return finish(0);
   }
 
   // Flat hash join: contiguous (key, row) entries with linear-probing
-  // buckets, no per-bucket allocations.
+  // buckets, no per-bucket allocations. The index is built once and read
+  // only — at dop > 1 the probe side splits into morsels sharing it, each
+  // emitting into its own buffer; buffers concatenate in morsel order, so
+  // the probe-order output (and any sort-prefix claim on it) survives.
   FlatJoinIndex index(build_key_vec);
-  for (size_t p = 0; p < probe.rows(); ++p) {
-    const NodeId* prow = probe.Row(p);
-    auto [it, end] = index.Equal(PackKey(prow, probe_keys));
-    for (; it != end; ++it) {
-      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
-      const NodeId* brow = build.Row(*it);
-      const NodeId* lrow = build_left ? brow : prow;
-      const NodeId* rrow = build_left ? prow : brow;
-      if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
-        continue;
+  auto probe_range = [&](size_t range_begin, size_t range_end,
+                         std::vector<NodeId>* dst) -> bool {
+    DeadlinePoller probe_poll(deadline);
+    for (size_t p = range_begin; p < range_end; ++p) {
+      const NodeId* prow = probe.Row(p);
+      auto [it, end] = index.Equal(PackKey(prow, probe_keys));
+      for (; it != end; ++it) {
+        if (probe_poll.Expired()) return false;
+        const NodeId* brow = build.Row(*it);
+        const NodeId* lrow = build_left ? brow : prow;
+        const NodeId* rrow = build_left ? prow : brow;
+        if (verify && !RowsMatch(lrow, left_keys, rrow, right_keys)) {
+          continue;
+        }
+        emit_to(lrow, rrow, dst);
       }
-      emit(lrow, rrow);
     }
+    return true;
+  };
+  int par = ctx.EffectiveDop(probe.rows());
+  if (!ParallelAppend(pool, par, probe.rows(),
+                      ParallelGrain(probe.rows(), par), deadline, &out_data,
+                      probe_range)) {
+    return Status::DeadlineExceeded("join timed out");
   }
   // When the left side drove the probe loop, the output streams in
   // left-row order with the left columns leading, so its prefix survives
@@ -592,9 +698,10 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const Deadline& deadline) {
 }
 
 Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
-                                     const Deadline& deadline) {
-  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), deadline));
-  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), deadline));
+                                     const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
   std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
   if (shared.empty()) {
     // Degenerate: keep left iff right non-empty.
@@ -674,8 +781,9 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
 }
 
 Result<Table> Executor::EvalClosure(const RaExpr* e,
-                                    const Deadline& deadline) {
-  GQOPT_ASSIGN_OR_RETURN(Table body, Eval(e->left().get(), deadline));
+                                    const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
+  GQOPT_ASSIGN_OR_RETURN(Table body, Eval(e->left().get(), ctx));
   int src = body.ColumnIndex(e->src_col());
   int tgt = body.ColumnIndex(e->tgt_col());
   if (src < 0 || tgt < 0) {
@@ -694,11 +802,10 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
 
   BinaryRelation acc;
   if (e->seed_side() == SeedSide::kNone) {
-    GQOPT_ASSIGN_OR_RETURN(acc,
-                           BinaryRelation::TransitiveClosure(base, deadline));
+    GQOPT_ASSIGN_OR_RETURN(acc, BinaryRelation::TransitiveClosure(base, ctx));
   } else {
     GQOPT_ASSIGN_OR_RETURN(Table seed_table,
-                           Eval(e->seed().get(), deadline));
+                           Eval(e->seed().get(), ctx));
     std::vector<NodeId> seeds;
     seeds.reserve(seed_table.rows());
     for (size_t r = 0; r < seed_table.rows(); ++r) {
@@ -708,7 +815,7 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
     seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
     GQOPT_ASSIGN_OR_RETURN(
         acc, SeededClosure(base, seeds,
-                           e->seed_side() == SeedSide::kSource, deadline));
+                           e->seed_side() == SeedSide::kSource, ctx));
   }
 
   std::vector<NodeId> data;
@@ -725,7 +832,8 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
 Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
                                                const std::vector<NodeId>& seeds,
                                                bool seed_source,
-                                               const Deadline& deadline) {
+                                               const ExecContext& ctx) {
+  const Deadline& deadline = ctx.deadline;
   // Semi-naive expansion from the seeds over a CSR of the (reversed, for
   // target seeds) base relation, deduplicating each candidate pair with a
   // flat hash insert instead of re-merging the accumulator every round.
@@ -736,6 +844,9 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
   if (!seed_source) reversed = base.Reverse();
   const BinaryRelation& adj = seed_source ? base : reversed;
   const std::vector<Edge>& adj_pairs = adj.pairs();
+  // Force the lazy CSR build before any parallel round: EqualRange from
+  // several threads must only ever read an already-built index.
+  adj.SourceCsr();
 
   std::vector<Edge> acc = start.pairs();
   // Dedup domain: sources stay within the start set's sources (source
@@ -759,24 +870,53 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
       return Status::DeadlineExceeded("seeded closure timed out");
     }
     next.clear();
-    for (const Edge& d : delta) {
-      // Source seeds: extend (x,y) by successors z of y to (x,z).
-      // Target seeds: extend (x,y) by predecessors w of x to (w,y).
-      auto [lo, hi] = adj.EqualRange(seed_source ? d.second : d.first);
-      for (uint32_t i = lo; i < hi; ++i) {
-        Edge candidate = seed_source
-                             ? Edge{d.first, adj_pairs[i].second}
-                             : Edge{adj_pairs[i].second, d.second};
-        if (seen.Insert(candidate.first, candidate.second)) {
-          next.push_back(candidate);
-        }
-        if (poll.Due()) {
-          if (deadline.Expired()) {
-            return Status::DeadlineExceeded("seeded closure timed out");
+    // Source seeds: extend (x,y) by successors z of y to (x,z).
+    // Target seeds: extend (x,y) by predecessors w of x to (w,y).
+    bool round_done = false;
+    if (ctx.EffectiveDop(delta.size()) > 1) {
+      // Parallel frontier expansion: the per-source CSR walks and
+      // Contains pre-filter fan out per delta morsel, the dedup Insert
+      // stays serial (see closure_expand.h for the bit-identity
+      // argument). A false result means the round's candidate buffers
+      // grew past the memory bound — redo the round serially below.
+      Result<bool> round = ExpandRoundParallel(
+          delta,
+          [&](const Edge& d, DeadlinePoller& gen_poll,
+              std::vector<Edge>* out) {
+            auto [lo, hi] = adj.EqualRange(seed_source ? d.second : d.first);
+            for (uint32_t i = lo; i < hi; ++i) {
+              Edge candidate = seed_source
+                                   ? Edge{d.first, adj_pairs[i].second}
+                                   : Edge{adj_pairs[i].second, d.second};
+              if (!seen.Contains(candidate.first, candidate.second)) {
+                out->push_back(candidate);
+              }
+              if (gen_poll.Expired()) return false;
+            }
+            return true;
+          },
+          ctx, &seen, &next, acc.size(), kMaxClosurePairs, "seeded closure");
+      if (!round.ok()) return round.status();
+      round_done = *round;
+    }
+    if (!round_done) {
+      for (const Edge& d : delta) {
+        auto [lo, hi] = adj.EqualRange(seed_source ? d.second : d.first);
+        for (uint32_t i = lo; i < hi; ++i) {
+          Edge candidate = seed_source
+                               ? Edge{d.first, adj_pairs[i].second}
+                               : Edge{adj_pairs[i].second, d.second};
+          if (seen.Insert(candidate.first, candidate.second)) {
+            next.push_back(candidate);
           }
-          if (acc.size() + next.size() > kMaxClosurePairs) {
-            return Status::ResourceExhausted(
-                "seeded closure exceeded the result cap");
+          if (poll.Due()) {
+            if (deadline.Expired()) {
+              return Status::DeadlineExceeded("seeded closure timed out");
+            }
+            if (acc.size() + next.size() > kMaxClosurePairs) {
+              return Status::ResourceExhausted(
+                  "seeded closure exceeded the result cap");
+            }
           }
         }
       }

@@ -13,6 +13,7 @@
 #include "ra/ra_expr.h"
 #include "ra/table.h"
 #include "util/deadline.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace gqopt {
@@ -20,22 +21,34 @@ namespace gqopt {
 /// \brief Evaluates RRA plans. Plans may be DAGs; equal subplans — whether
 /// pointer-shared or structurally identical across UCQT disjuncts — are
 /// evaluated once per Run() call (memoized by a structural plan key).
+///
+/// Execution is partition-parallel when the ExecContext carries dop > 1:
+/// radix-hash joins scatter, build, and probe their partitions across the
+/// pool, flat-hash probes / selections / projections split into morsels,
+/// and seeded closures expand their frontier per delta range. Every
+/// operator remains bit-identical to its serial form at every dop
+/// (differential tests enforce it), so memoized tables are dop-agnostic.
 class Executor {
  public:
   explicit Executor(const Catalog& catalog) : catalog_(catalog) {}
 
-  /// Evaluates `plan`, honoring `deadline` inside joins and fixpoints.
+  /// Evaluates `plan`, honoring `deadline` inside joins and fixpoints,
+  /// at the ambient GQOPT_DOP degree of parallelism.
   Result<Table> Run(const RaExprPtr& plan, const Deadline& deadline = {});
 
+  /// Evaluates `plan` under explicit execution settings (deadline, dop,
+  /// pool, parallel row threshold).
+  Result<Table> Run(const RaExprPtr& plan, const ExecContext& ctx);
+
  private:
-  Result<Table> Eval(const RaExpr* e, const Deadline& deadline);
-  Result<Table> EvalJoin(const RaExpr* e, const Deadline& deadline);
-  Result<Table> EvalSemiJoin(const RaExpr* e, const Deadline& deadline);
-  Result<Table> EvalClosure(const RaExpr* e, const Deadline& deadline);
+  Result<Table> Eval(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalJoin(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalSemiJoin(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalClosure(const RaExpr* e, const ExecContext& ctx);
   Result<BinaryRelation> SeededClosure(const BinaryRelation& base,
                                        const std::vector<NodeId>& seeds,
                                        bool seed_source,
-                                       const Deadline& deadline);
+                                       const ExecContext& ctx);
   const std::string& KeyOf(const RaExpr* e);
 
   const Catalog& catalog_;

@@ -1,5 +1,9 @@
 // Cardinality/cost estimation and EXPLAIN rendering for RRA plans
 // (the machinery behind the paper's Fig 17 plan comparison).
+// docs/EXPLAIN.md documents the full annotation vocabulary — node names,
+// cost/rows estimates, "sorted = k", the join-strategy brackets and the
+// "p=N" parallelism hint — with one worked example per strategy; keep it
+// in sync when changing RenderExplain or RaExpr::NodeString.
 
 #ifndef GQOPT_RA_EXPLAIN_H_
 #define GQOPT_RA_EXPLAIN_H_

@@ -188,7 +188,21 @@ class Optimizer {
             static_cast<double>(kRadixMinBuildRows)) {
       phys.strategy = JoinStrategy::kRadixHash;
     }
-    return RaExpr::Join(std::move(acc), std::move(next), phys.strategy);
+    // Parallelism hint: hash joins partition their work (radix scatter,
+    // probe ranges), so when planning for dop > 1 and the estimated
+    // probe side crosses the runtime degrade threshold, predict the
+    // join runs at the full dop. Merge/offset joins stream in order and
+    // stay serial. The executor re-validates against actual table sizes.
+    int hint = 0;
+    if (phys.strategy == JoinStrategy::kRadixHash ||
+        phys.strategy == JoinStrategy::kFlatHash) {
+      hint = options_.dop > 1 &&
+                     std::max(Rows(acc), Rows(next)) >=
+                         static_cast<double>(kParallelMinRows)
+                 ? options_.dop
+                 : 1;
+    }
+    return RaExpr::Join(std::move(acc), std::move(next), phys.strategy, hint);
   }
 
   Estimator estimator_;

@@ -16,6 +16,7 @@
 
 #include "ra/catalog.h"
 #include "ra/ra_expr.h"
+#include "util/exec_context.h"
 
 namespace gqopt {
 
@@ -23,6 +24,11 @@ namespace gqopt {
 struct OptimizerOptions {
   bool enable_join_reorder = true;
   bool enable_fixpoint_seeding = true;
+  /// Degree of parallelism the plan is optimized for: hash joins whose
+  /// estimated inputs cross the parallel row threshold are annotated
+  /// with a "p=dop" hint (shown by EXPLAIN, validated by the executor).
+  /// Defaults to the ambient GQOPT_DOP; 1 plans serially.
+  int dop = EnvDop();
 };
 
 /// Returns an optimized equivalent of `plan`.

@@ -95,10 +95,12 @@ RaExprPtr RaExpr::SelectEq(RaExprPtr child, std::string col_a,
   return e;
 }
 
-RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r, JoinStrategy strategy) {
+RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r, JoinStrategy strategy,
+                       int parallel_hint) {
   assert(l && r);
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kJoin;
+  e->parallel_hint_ = parallel_hint;
   e->columns_ = l->columns();
   for (const std::string& col : r->columns()) {
     if (std::find(e->columns_.begin(), e->columns_.end(), col) ==
@@ -198,7 +200,11 @@ std::string RaExpr::NodeString() const {
     case RaOp::kJoin: {
       std::string out = "Join " + cols();
       if (join_strategy_ != JoinStrategy::kAuto) {
-        out += std::string(" [") + JoinStrategyName(join_strategy_) + "]";
+        out += std::string(" [") + JoinStrategyName(join_strategy_);
+        if (parallel_hint_ > 1) {
+          out += " p=" + std::to_string(parallel_hint_);
+        }
+        out += "]";
       }
       return out;
     }

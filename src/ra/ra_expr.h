@@ -39,15 +39,21 @@ enum class RaOp : uint8_t {
 enum class SeedSide : uint8_t { kNone, kSource, kTarget };
 
 /// Physical join strategy, chosen by the optimizer at plan time from the
-/// propagated ordering properties and cardinality estimates.
+/// propagated ordering properties and cardinality estimates. EXPLAIN
+/// prints the annotation in brackets after the join ("[offset]",
+/// "[radix-hash p=4]", ...) — see docs/EXPLAIN.md for the full annotation
+/// vocabulary with worked examples.
 ///  - kAuto:        not annotated; the executor detects at runtime.
 ///  - kOffset:      dense offset array over one side sorted on the single
 ///                  shared column (no hashing).
 ///  - kMergeSorted: both sides sorted on the shared columns as their
 ///                  leading prefix, in the same order — streaming merge.
 ///  - kRadixHash:   hash join with both sides radix-partitioned into
-///                  cache-sized buckets (large unsorted inputs).
-///  - kFlatHash:    single flat hash index (small unsorted inputs).
+///                  cache-sized buckets (large unsorted inputs); the
+///                  partitions scatter, build, and probe in parallel when
+///                  the query runs at dop > 1.
+///  - kFlatHash:    single flat hash index (small unsorted inputs); the
+///                  probe side partitions across workers at dop > 1.
 enum class JoinStrategy : uint8_t {
   kAuto,
   kOffset,
@@ -102,6 +108,18 @@ class RaExpr {
   /// a subtree another plan shares.
   JoinStrategy join_strategy() const { return join_strategy_; }
 
+  /// Plan-time parallelism hint (kJoin only): the degree of parallelism
+  /// the optimizer predicts this join will run at, shown by EXPLAIN as
+  /// "p=N" inside the strategy bracket. 0 means unannotated, 1 means the
+  /// optimizer expects serial execution (small estimated inputs). Like
+  /// sorted_prefix(), this is a prediction the executor validates: the
+  /// runtime parallelism is re-derived from the query's ExecContext and
+  /// the concrete table sizes, degrading to serial below the row
+  /// threshold or at dop = 1. Parallel and serial execution produce
+  /// bit-identical tables, so the hint never affects results (and is
+  /// deliberately excluded from the executor's memo key).
+  int parallel_hint() const { return parallel_hint_; }
+
   // ---- Factories ----------------------------------------------------------
   static RaExprPtr EdgeScan(std::string label, std::string src_col,
                             std::string tgt_col);
@@ -112,10 +130,13 @@ class RaExpr {
   static RaExprPtr SelectEq(RaExprPtr child, std::string col_a,
                             std::string col_b);
   /// `strategy` annotates the physical join choice (optimizer, tests);
-  /// kAuto leaves it to runtime detection. Every strategy computes the
-  /// same join — the executor validates preconditions and degrades.
+  /// kAuto leaves it to runtime detection. `parallel_hint` is the
+  /// optimizer's predicted degree of parallelism (0 = unannotated).
+  /// Every strategy computes the same join at every dop — the executor
+  /// validates preconditions and degrades.
   static RaExprPtr Join(RaExprPtr l, RaExprPtr r,
-                        JoinStrategy strategy = JoinStrategy::kAuto);
+                        JoinStrategy strategy = JoinStrategy::kAuto,
+                        int parallel_hint = 0);
   static RaExprPtr SemiJoin(RaExprPtr l, RaExprPtr r);
   static RaExprPtr Union(RaExprPtr l, RaExprPtr r);
   static RaExprPtr Distinct(RaExprPtr child);
@@ -147,6 +168,7 @@ class RaExpr {
   std::vector<std::string> columns_;
   size_t sorted_prefix_ = 0;
   JoinStrategy join_strategy_ = JoinStrategy::kAuto;
+  int parallel_hint_ = 0;
 };
 
 /// Sorted vector of the column names shared by `l` and `r`.

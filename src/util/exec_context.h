@@ -1,0 +1,78 @@
+// Per-query execution context: the deadline plus the degree-of-parallelism
+// knob that drives the partitioned executor paths. Parallel execution is a
+// physical choice only — every operator produces bit-identical output at
+// every dop (differential tests enforce it), so plans, memo keys, and
+// results never depend on these settings.
+
+#ifndef GQOPT_UTIL_EXEC_CONTEXT_H_
+#define GQOPT_UTIL_EXEC_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/deadline.h"
+#include "util/thread_pool.h"
+
+namespace gqopt {
+
+/// Input rows below which an operator stays serial: morsel handoff and
+/// per-morsel output buffers cost a few microseconds, so tables that fit
+/// one cache-resident pass are not worth fanning out. Shared by the
+/// optimizer's plan-time parallelism hint and the executor's runtime
+/// degrade, mirroring kRadixMinBuildRows for the radix-vs-flat choice.
+constexpr size_t kParallelMinRows = size_t{1} << 15;
+
+/// Degree of parallelism from the GQOPT_DOP environment variable
+/// (clamped to [1, 256]; unset or unparsable means 1 — serial). Read
+/// once: the knob selects a run-wide mode, not a per-query one.
+inline int EnvDop() {
+  static const int dop = [] {
+    const char* env = std::getenv("GQOPT_DOP");
+    if (env == nullptr) return 1;
+    int value = std::atoi(env);
+    return std::clamp(value, 1, 256);
+  }();
+  return dop;
+}
+
+/// \brief Per-query execution settings threaded through the executor and
+/// the evaluation core. Aggregate: `ExecContext{deadline, 4}` runs at
+/// dop 4 on the shared pool.
+struct ExecContext {
+  Deadline deadline;
+  /// Maximum concurrent workers per operator (1 = serial). Defaults to
+  /// GQOPT_DOP so existing deadline-only call sites inherit the knob.
+  int dop = EnvDop();
+  /// Runtime degrade threshold; tests lower it to exercise the parallel
+  /// paths on small inputs.
+  size_t parallel_min_rows = kParallelMinRows;
+  /// Pool to run on; null means ThreadPool::Shared() when dop > 1.
+  ThreadPool* pool = nullptr;
+
+  /// The pool parallel operators should submit to, or null when serial.
+  ThreadPool* TaskPool() const {
+    if (dop <= 1) return nullptr;
+    return pool != nullptr ? pool : &ThreadPool::Shared();
+  }
+
+  /// Runtime-validated parallelism for an operator touching `rows` input
+  /// rows: the dop knob, degraded to serial below the row threshold.
+  /// Plan-time hints predict this value; the executor re-derives it from
+  /// the concrete tables, exactly like the sorted-prefix property.
+  int EffectiveDop(size_t rows) const {
+    if (dop <= 1 || rows < parallel_min_rows) return 1;
+    return dop;
+  }
+};
+
+/// Morsel size for n items across `dop` workers: a few morsels per worker
+/// for stealing balance, floored so tiny morsels never dominate. Depends
+/// only on the arguments, keeping per-morsel output layouts deterministic.
+inline size_t ParallelGrain(size_t n, int dop, size_t min_grain = 1024) {
+  size_t target = static_cast<size_t>(dop > 0 ? dop : 1) * 4;
+  return std::max((n + target - 1) / target, min_grain);
+}
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_EXEC_CONTEXT_H_

@@ -118,6 +118,18 @@ class PairDedupSet {
     return hash_.Insert((static_cast<uint64_t>(x) << 32) | z);
   }
 
+  /// Read-only membership test. Safe to call concurrently from many
+  /// threads as long as no Insert runs at the same time — the parallel
+  /// fixpoint rounds pre-filter candidates against a frozen set, then
+  /// insert serially.
+  bool Contains(uint32_t x, uint32_t z) const {
+    if (dense_) {
+      uint64_t bit = static_cast<uint64_t>(x) * stride_ + z;
+      return (bits_[bit >> 6] >> (bit & 63)) & 1;
+    }
+    return hash_.Contains((static_cast<uint64_t>(x) << 32) | z);
+  }
+
  private:
   // 2^26 bits = 8 MB: roughly the footprint the hash set would reach on
   // closures large enough to overflow it.

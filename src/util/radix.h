@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "util/deadline.h"
+#include "util/exec_context.h"
 #include "util/flat_hash.h"
 #include "util/offsets.h"
+#include "util/thread_pool.h"
 
 namespace gqopt {
 
@@ -103,6 +105,79 @@ inline bool BuildRadixPartitions(const std::vector<uint64_t>& keys, int bits,
     if (poll.Expired()) return false;
   }
   return true;
+}
+
+/// Parallel two-pass scatter: the key range is cut into one contiguous
+/// chunk per worker; each worker histograms its chunk, a serial prefix
+/// walk turns the per-(chunk, partition) counts into disjoint write
+/// cursors, and each worker scatters its own chunk with no atomics.
+/// Chunks are ascending row ranges and partition space is laid out
+/// chunk-after-chunk, so every partition's rows land in ascending input
+/// order — the byte-identical layout the serial scatter produces,
+/// at every dop. Degrades to the serial scatter when `ctx` is serial or
+/// the input is below the parallel threshold.
+inline bool BuildRadixPartitionsParallel(const std::vector<uint64_t>& keys,
+                                         int bits, const ExecContext& ctx,
+                                         RadixPartitions* out,
+                                         const uint32_t* row_data,
+                                         size_t row_width) {
+  int dop = ctx.EffectiveDop(keys.size());
+  ThreadPool* pool = ctx.TaskPool();
+  if (dop <= 1 || pool == nullptr || keys.empty()) {
+    return BuildRadixPartitions(keys, bits, ctx.deadline, out, row_data,
+                                row_width);
+  }
+  size_t n = keys.size();
+  size_t num_parts = size_t{1} << bits;
+  size_t chunk = (n + dop - 1) / dop;
+  size_t chunks = (n + chunk - 1) / chunk;
+  out->bits = bits;
+  out->row_width = row_width;
+
+  std::vector<std::vector<uint32_t>> counts(
+      chunks, std::vector<uint32_t>(num_parts, 0));
+  bool ok = ParallelFor(
+      pool, dop, n, chunk, ctx.deadline, [&](size_t b, size_t e) {
+        std::vector<uint32_t>& c = counts[b / chunk];
+        DeadlinePoller poll(ctx.deadline);
+        for (size_t r = b; r < e; ++r) {
+          ++c[RadixPartitionOf(keys[r], bits)];
+          if (poll.Expired()) return false;
+        }
+        return true;
+      });
+  if (!ok) return false;
+
+  // Serial prefix walk: partition-major, chunk-minor, so partition p owns
+  // one contiguous run holding chunk 0's rows, then chunk 1's, ...
+  // `counts[c][p]` becomes chunk c's write cursor into partition p.
+  out->offsets.assign(num_parts + 1, 0);
+  uint32_t running = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    out->offsets[p] = running;
+    for (size_t c = 0; c < chunks; ++c) {
+      uint32_t count = counts[c][p];
+      counts[c][p] = running;
+      running += count;
+    }
+  }
+  out->offsets[num_parts] = running;
+
+  out->data.resize(n * row_width);
+  uint32_t* dst = out->data.data();
+  return ParallelFor(
+      pool, dop, n, chunk, ctx.deadline, [&](size_t b, size_t e) {
+        std::vector<uint32_t>& cursors = counts[b / chunk];
+        DeadlinePoller poll(ctx.deadline);
+        for (size_t r = b; r < e; ++r) {
+          uint32_t at = cursors[RadixPartitionOf(keys[r], bits)]++;
+          const uint32_t* src = row_data + r * row_width;
+          uint32_t* to = dst + static_cast<size_t>(at) * row_width;
+          for (size_t w = 0; w < row_width; ++w) to[w] = src[w];
+          if (poll.Expired()) return false;
+        }
+        return true;
+      });
 }
 
 }  // namespace gqopt

@@ -27,6 +27,15 @@ PAIRS = [
     ("BM_JoinMergeSorted", "BM_JoinHashSorted"),
 ]
 
+# Parallel benchmarks are their own counterparts: BM_Foo/N/dop runs the
+# identical kernel as BM_Foo/N/1 in the same process, so the dop=1 entry
+# is the drift-free serial baseline for every dop>1 entry of the same
+# size. (On a 1-core box the ratio measures morsel overhead, not speedup.)
+SELF_PARALLEL = [
+    "BM_JoinRadixParallel",
+    "BM_ClosureParallel",
+]
+
 
 def load_benchmarks(path):
     with open(path) as f:
@@ -71,6 +80,26 @@ def main():
             if opt_time <= 0:
                 continue
             rows.append((optimized + suffix, baseline + suffix,
+                         base_time, opt_time, base_time / opt_time,
+                         opt.get("time_unit", "ns")))
+
+    # Serial-vs-parallel: wall time ratios, so pool workers actually help
+    # (cpu_time sums across threads and would hide the speedup).
+    for prefix in SELF_PARALLEL:
+        entries = by_prefix.get(prefix, {})
+        for suffix, opt in sorted(entries.items()):
+            parts = suffix.split("/")  # "/N/dop" -> ["", "N", "dop"]
+            if len(parts) < 3 or parts[-1] == "1":
+                continue
+            serial_suffix = "/".join(parts[:-1]) + "/1"
+            base = entries.get(serial_suffix)
+            if base is None:
+                continue
+            opt_time = opt.get("real_time", opt["cpu_time"])
+            base_time = base.get("real_time", base["cpu_time"])
+            if opt_time <= 0:
+                continue
+            rows.append((prefix + suffix, prefix + serial_suffix,
                          base_time, opt_time, base_time / opt_time,
                          opt.get("time_unit", "ns")))
 

@@ -3,6 +3,12 @@
 # the micro-benchmark JSON snapshot (BENCH_micro.json at the repo root).
 #
 # Usage: tools/run_tier1.sh [--no-bench]
+#
+# GQOPT_DOP (degree of parallelism, default 1) passes through to every
+# test and benchmark binary: executors and closures run their partitioned
+# parallel paths at that dop. Independent of the ambient value, the
+# differential suites run once more at GQOPT_DOP=4 below, so parallel
+# execution is checked for bit-identical results on every tier-1 run.
 
 set -euo pipefail
 
@@ -17,6 +23,11 @@ fi
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Parallel correctness: the differential + threading suites at dop=4
+# (serial and parallel execution must produce identical tables).
+GQOPT_DOP=4 ctest --test-dir build --output-on-failure \
+  -R '(parallel_differential|csr_differential|thread_pool)_test'
 
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
