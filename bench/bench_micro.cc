@@ -685,5 +685,94 @@ void BM_LdbcGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_LdbcGeneration)->Arg(100)->Arg(500);
 
+// ---- Cost-based DP planner (src/ra/planner) -------------------------------
+
+// Planning wall time of the DP join enumerator on an N-relation chain
+// cluster (the acceptance budget: a 10-relation cluster under 50 ms).
+// The catalog statistics are warmed outside the loop so the measurement
+// isolates enumeration, not stat collection.
+void BM_PlanEnumeration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  PropertyGraph graph;
+  for (size_t i = 0; i < 2000; ++i) graph.AddNode("N");
+  for (int rel = 0; rel < n; ++rel) {
+    std::string label = "e" + std::to_string(rel);
+    for (size_t i = 0; i < 4000; ++i) {
+      (void)graph.AddEdge(static_cast<NodeId>(rng.Uniform(2000)), label,
+                          static_cast<NodeId>(rng.Uniform(2000)));
+    }
+  }
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::EdgeScan("e0", "c0", "c1");
+  for (int rel = 1; rel < n; ++rel) {
+    plan = RaExpr::Join(plan,
+                        RaExpr::EdgeScan("e" + std::to_string(rel),
+                                         "c" + std::to_string(rel),
+                                         "c" + std::to_string(rel + 1)));
+  }
+  OptimizerOptions options;
+  options.planner = PlannerKind::kDp;
+  benchmark::DoNotOptimize(OptimizePlan(plan, catalog, options));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimizePlan(plan, catalog, options));
+  }
+}
+BENCHMARK(BM_PlanEnumeration)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+// End-to-end join-order quality, DP vs greedy, on the interesting-order
+// cluster (two merge-joinable "big" relations plus a small connector):
+// greedy starts from the small relation, buries the sorted prefix and
+// hashes; DP keeps big1 |><| big2 sorted and merges. Same process, same
+// inputs — the pair is a drift-free counterpart in bench_diff.py.
+PropertyGraph OrderQualityGraph() {
+  Rng rng(7);
+  PropertyGraph graph;
+  constexpr size_t kNodes = 50000;
+  for (size_t i = 0; i < kNodes; ++i) graph.AddNode("N");
+  for (size_t i = 0; i < 300000; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(kNodes));
+    NodeId b = static_cast<NodeId>(rng.Uniform(kNodes));
+    (void)graph.AddEdge(a, "big1", b);
+    (void)graph.AddEdge(a, "big2", b);
+  }
+  for (size_t i = 0; i < 60000; ++i) {
+    (void)graph.AddEdge(static_cast<NodeId>(rng.Uniform(kNodes)), "small",
+                        static_cast<NodeId>(rng.Uniform(kNodes)));
+  }
+  graph.Finalize();
+  return graph;
+}
+
+void RunOrderQuality(benchmark::State& state, PlannerKind planner) {
+  PropertyGraph graph = OrderQualityGraph();
+  Catalog catalog(graph);
+  RaExprPtr cluster = RaExpr::Join(
+      RaExpr::Join(RaExpr::EdgeScan("small", "b", "c"),
+                   RaExpr::EdgeScan("big1", "a", "b")),
+      RaExpr::EdgeScan("big2", "a", "b"));
+  OptimizerOptions options;
+  options.planner = planner;
+  RaExprPtr plan = OptimizePlan(cluster, catalog, options);
+  Executor executor(catalog);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    if (result.ok()) rows = result->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void BM_JoinOrderQualityDP(benchmark::State& state) {
+  RunOrderQuality(state, PlannerKind::kDp);
+}
+BENCHMARK(BM_JoinOrderQualityDP);
+
+void BM_JoinOrderQualityGreedy(benchmark::State& state) {
+  RunOrderQuality(state, PlannerKind::kGreedy);
+}
+BENCHMARK(BM_JoinOrderQualityGreedy);
+
 }  // namespace
 }  // namespace gqopt

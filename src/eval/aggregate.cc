@@ -22,21 +22,29 @@ Result<std::vector<int>> ResolveColumns(
   return indexes;
 }
 
-AggregateResult GroupRows(const std::vector<std::vector<NodeId>>& rows,
-                          const std::vector<int>& key_columns,
-                          std::vector<std::string> group_vars) {
+Result<AggregateResult> GroupRows(
+    const std::vector<std::vector<NodeId>>& rows,
+    const std::vector<int>& key_columns, std::vector<std::string> group_vars,
+    const Deadline& deadline) {
   std::map<std::vector<NodeId>, size_t> counts;
+  DeadlinePoller poll(deadline);
   for (const auto& row : rows) {
     std::vector<NodeId> key;
     key.reserve(key_columns.size());
     for (int c : key_columns) key.push_back(row[c]);
     ++counts[std::move(key)];
+    if (poll.Expired()) {
+      return Status::DeadlineExceeded("aggregation timed out");
+    }
   }
   AggregateResult out;
   out.group_vars = std::move(group_vars);
   out.groups.reserve(counts.size());
   for (auto& [key, count] : counts) {
     out.groups.push_back(GroupCount{key, count});
+    if (poll.Expired()) {
+      return Status::DeadlineExceeded("aggregation timed out");
+    }
   }
   return out;
 }
@@ -58,25 +66,31 @@ const GroupCount* AggregateResult::MaxGroup() const {
 }
 
 Result<AggregateResult> CountByGroup(
-    const ResultSet& result, const std::vector<std::string>& group_vars) {
+    const ResultSet& result, const std::vector<std::string>& group_vars,
+    const Deadline& deadline) {
   GQOPT_ASSIGN_OR_RETURN(std::vector<int> columns,
                          ResolveColumns(result.vars, group_vars));
   // ResultSet rows are already distinct (Normalize); group directly.
-  return GroupRows(result.rows, columns, group_vars);
+  return GroupRows(result.rows, columns, group_vars, deadline);
 }
 
 Result<AggregateResult> CountByGroup(
-    const Table& table, const std::vector<std::string>& group_vars) {
+    const Table& table, const std::vector<std::string>& group_vars,
+    const Deadline& deadline) {
   GQOPT_ASSIGN_OR_RETURN(std::vector<int> columns,
                          ResolveColumns(table.columns(), group_vars));
   Table distinct = table;
   distinct.SortDistinct();
   std::vector<std::vector<NodeId>> rows;
   rows.reserve(distinct.rows());
+  DeadlinePoller poll(deadline);
   for (size_t r = 0; r < distinct.rows(); ++r) {
     rows.emplace_back(distinct.Row(r), distinct.Row(r) + distinct.arity());
+    if (poll.Expired()) {
+      return Status::DeadlineExceeded("aggregation timed out");
+    }
   }
-  return GroupRows(rows, columns, group_vars);
+  return GroupRows(rows, columns, group_vars, deadline);
 }
 
 }  // namespace gqopt

@@ -15,6 +15,7 @@
 
 #include "eval/graph_engine.h"
 #include "ra/table.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace gqopt {
@@ -42,14 +43,17 @@ struct AggregateResult {
 
 /// Counts distinct result rows per binding of `group_vars`, which must be
 /// a subset of the result columns. An empty `group_vars` produces a single
-/// group with the total count.
+/// group with the total count. The grouping loops poll `deadline` and
+/// abort with Status::DeadlineExceeded on expiry.
 Result<AggregateResult> CountByGroup(
-    const ResultSet& result, const std::vector<std::string>& group_vars);
+    const ResultSet& result, const std::vector<std::string>& group_vars,
+    const Deadline& deadline = {});
 
 /// Table overload (RRA executor output). Rows are deduplicated first, so
 /// counts follow UCQT's set semantics regardless of the plan's bag stages.
 Result<AggregateResult> CountByGroup(
-    const Table& table, const std::vector<std::string>& group_vars);
+    const Table& table, const std::vector<std::string>& group_vars,
+    const Deadline& deadline = {});
 
 }  // namespace gqopt
 

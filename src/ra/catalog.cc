@@ -34,16 +34,4 @@ std::vector<NodeId> Catalog::NodeExtentUnion(
   return out;
 }
 
-EdgeStats Catalog::edge_stats(const std::string& label) const {
-  auto it = stats_cache_.find(label);
-  if (it != stats_cache_.end()) return it->second;
-  const BinaryRelation& table = EdgeTable(label);
-  EdgeStats stats;
-  stats.rows = table.size();
-  stats.distinct_sources = table.Sources().size();
-  stats.distinct_targets = table.Targets().size();
-  stats_cache_.emplace(label, stats);
-  return stats;
-}
-
 }  // namespace gqopt

@@ -11,15 +11,9 @@
 
 #include "eval/binary_relation.h"
 #include "graph/property_graph.h"
+#include "stats/graph_stats.h"
 
 namespace gqopt {
-
-/// Cardinality statistics of one edge table.
-struct EdgeStats {
-  size_t rows = 0;
-  size_t distinct_sources = 0;
-  size_t distinct_targets = 0;
-};
 
 /// \brief Read-only relational view of a PropertyGraph.
 class Catalog {
@@ -40,16 +34,21 @@ class Catalog {
   std::vector<NodeId> NodeExtentUnion(
       const std::vector<std::string>& labels) const;
 
-  EdgeStats edge_stats(const std::string& label) const;
   size_t node_count(const std::string& label) const {
     return NodeExtent(label).size();
   }
   size_t total_nodes() const { return graph_.num_nodes(); }
 
+  /// The statistics catalog (src/stats): per-label cardinality and
+  /// degree statistics plus schema-derived bounds, collected lazily and
+  /// cached for the lifetime of this Catalog. The Estimator and the DP
+  /// join planner read these.
+  const GraphStatistics& stats() const { return stats_; }
+
  private:
   const PropertyGraph& graph_;
+  GraphStatistics stats_{graph_};
   mutable std::unordered_map<std::string, BinaryRelation> edge_cache_;
-  mutable std::unordered_map<std::string, EdgeStats> stats_cache_;
 };
 
 }  // namespace gqopt

@@ -42,6 +42,7 @@ Result<Table> Executor::Run(const RaExprPtr& plan, const Deadline& deadline) {
 Result<Table> Executor::Run(const RaExprPtr& plan, const ExecContext& ctx) {
   memo_.clear();
   key_cache_.clear();
+  actual_rows_.clear();
   return Eval(plan.get(), ctx);
 }
 
@@ -161,6 +162,7 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
   if (cached != memo_.end()) {
     // Same plan modulo column renaming: share the row storage (copy on
     // write) and relabel the columns positionally for this node's schema.
+    actual_rows_[e] = cached->second.rows();
     return cached->second.RenamedTo(e->columns());
   }
   if (deadline.Expired()) {
@@ -355,7 +357,13 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
     return Status::Internal("unhandled RA op");
   }();
 
-  if (result.ok()) memo_.emplace(key, result.value());
+  if (result.ok()) {
+    // Record the actual cardinality for EXPLAIN's analyze mode before
+    // memoizing (the memo shares the same table, so hits record the same
+    // count under their own node pointer).
+    actual_rows_[e] = result.value().rows();
+    memo_.emplace(key, result.value());
+  }
   return result;
 }
 

@@ -40,6 +40,14 @@ class Executor {
   /// pool, parallel row threshold).
   Result<Table> Run(const RaExprPtr& plan, const ExecContext& ctx);
 
+  /// Actual output cardinality per plan node of the most recent Run()
+  /// (cleared at the start of each run; memo hits record the shared
+  /// table's row count). EXPLAIN's analyze mode prints these next to the
+  /// estimates ("rows = est/actual") so estimator error is visible.
+  const std::unordered_map<const RaExpr*, size_t>& actual_rows() const {
+    return actual_rows_;
+  }
+
  private:
   Result<Table> Eval(const RaExpr* e, const ExecContext& ctx);
   Result<Table> EvalJoin(const RaExpr* e, const ExecContext& ctx);
@@ -54,6 +62,7 @@ class Executor {
   const Catalog& catalog_;
   std::unordered_map<const RaExpr*, std::string> key_cache_;
   std::unordered_map<std::string, Table> memo_;
+  std::unordered_map<const RaExpr*, size_t> actual_rows_;
 };
 
 }  // namespace gqopt

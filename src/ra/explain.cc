@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "ra/planner/cost_model.h"
+#include "util/exec_context.h"
+#include "util/radix.h"
+
 namespace gqopt {
 namespace {
 
@@ -16,6 +20,21 @@ double NdvOf(const PlanEstimate& est, const std::string& col) {
   return it == est.ndv.end() ? std::max(1.0, est.rows) : it->second;
 }
 
+// True when `b` is a union tree of plain forward edge scans over the
+// (src, tgt) columns — a relation that is a subset of the graph's
+// forward edges, so label-graph reachability bounds its closure.
+bool IsForwardEdgeUnion(const RaExpr* b, const std::string& src,
+                        const std::string& tgt) {
+  if (b->op() == RaOp::kEdgeScan) {
+    return b->columns()[0] == src && b->columns()[1] == tgt;
+  }
+  if (b->op() == RaOp::kUnion) {
+    return IsForwardEdgeUnion(b->left().get(), src, tgt) &&
+           IsForwardEdgeUnion(b->right().get(), src, tgt);
+  }
+  return false;
+}
+
 }  // namespace
 
 const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
@@ -25,7 +44,8 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
   PlanEstimate est;
   switch (e->op()) {
     case RaOp::kEdgeScan: {
-      EdgeStats stats = catalog_.edge_stats(e->label());
+      const EdgeLabelStats& stats =
+          catalog_.stats().EdgeFor(e->label(), deadline_);
       est.rows = static_cast<double>(stats.rows);
       est.cost = est.rows;
       est.ndv[e->columns()[0]] =
@@ -65,12 +85,29 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
     case RaOp::kJoin: {
       const PlanEstimate& l = Estimate(e->left().get());
       const PlanEstimate& r = Estimate(e->right().get());
+      std::vector<std::string> shared =
+          SharedColumns(*e->left(), *e->right());
       double selectivity = 1.0;
-      for (const std::string& col : SharedColumns(*e->left(), *e->right())) {
+      for (const std::string& col : shared) {
         selectivity /= std::max({NdvOf(l, col), NdvOf(r, col), 1.0});
       }
       est.rows = l.rows * r.rows * selectivity;
-      est.cost = l.cost + r.cost + l.rows + r.rows + est.rows;
+      // Strategy-aware cost (the planner's cost model): annotated joins
+      // are costed as annotated; unannotated ones as the strategy the
+      // input shapes admit, with the same flat->radix size refinement
+      // the optimizer and the executor apply.
+      JoinStrategy strategy = e->join_strategy();
+      if (strategy == JoinStrategy::kAuto && !shared.empty()) {
+        strategy = AnalyzeJoinShape(*e->left(), *e->right()).strategy;
+      }
+      if (strategy == JoinStrategy::kFlatHash &&
+          std::min(l.rows, r.rows) >=
+              static_cast<double>(kRadixMinBuildRows)) {
+        strategy = JoinStrategy::kRadixHash;
+      }
+      est.cost = l.cost + r.cost +
+                 JoinWorkCost(strategy, l.rows, r.rows, est.rows,
+                              e->parallel_hint());
       for (const std::string& col : e->columns()) {
         double ndv = est.rows;
         auto lit = l.ndv.find(col);
@@ -122,6 +159,22 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
       double src_ndv = NdvOf(body, e->src_col());
       double tgt_ndv = NdvOf(body, e->tgt_col());
       est.rows = std::min(body.rows * kClosureDepthFactor, src_ndv * tgt_ndv);
+      // Schema-derived cap: a closure over forward edges can never grow
+      // past the reachable-label-pair bound of the statistics catalog,
+      // regardless of fixpoint depth — the per-label bound for a single
+      // scan, the whole-graph bound for a union of scans. (Bodies with
+      // reversed or recomposed columns get no cap: reachability in the
+      // forward label graph does not bound them.)
+      const RaExpr* b = e->left().get();
+      if (b->op() == RaOp::kEdgeScan && b->columns()[0] == e->src_col() &&
+          b->columns()[1] == e->tgt_col()) {
+        double bound =
+            catalog_.stats().EdgeFor(b->label(), deadline_).closure_bound;
+        if (bound > 0) est.rows = std::min(est.rows, bound);
+      } else if (IsForwardEdgeUnion(b, e->src_col(), e->tgt_col())) {
+        double bound = catalog_.stats().GlobalClosureBound(deadline_);
+        if (bound > 0) est.rows = std::min(est.rows, bound);
+      }
       est.cost = body.cost + est.rows * kClosureDepthFactor;
       if (e->seed_side() != SeedSide::kNone) {
         const PlanEstimate& seed = Estimate(e->seed().get());
@@ -143,24 +196,39 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
 
 namespace {
 
-void RenderExplain(const RaExpr& e, Estimator* estimator, int depth,
-                   std::string* out) {
+void RenderExplain(
+    const RaExpr& e, Estimator* estimator,
+    const std::unordered_map<const RaExpr*, size_t>* actual_rows, int depth,
+    std::string* out) {
   const PlanEstimate& est = estimator->Estimate(&e);
   out->append(static_cast<size_t>(depth) * 2, ' ');
-  char buf[96];
+  // Analyze mode appends "/<actual>" to the rows figure.
+  char rows_buf[48];
+  std::snprintf(rows_buf, sizeof(rows_buf), "%.0f", est.rows);
+  std::string rows = rows_buf;
+  if (actual_rows != nullptr) {
+    auto it = actual_rows->find(&e);
+    rows += it != actual_rows->end() ? "/" + std::to_string(it->second)
+                                     : "/?";
+  }
+  char buf[128];
   if (e.sorted_prefix() > 0) {
     std::snprintf(buf, sizeof(buf),
-                  " (cost = %.2f, rows = %.0f, sorted = %zu)", est.cost,
-                  est.rows, e.sorted_prefix());
+                  " (cost = %.2f, rows = %s, sorted = %zu)", est.cost,
+                  rows.c_str(), e.sorted_prefix());
   } else {
-    std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %.0f)", est.cost,
-                  est.rows);
+    std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %s)", est.cost,
+                  rows.c_str());
   }
   *out += e.NodeString();
   *out += buf;
   *out += "\n";
-  if (e.left()) RenderExplain(*e.left(), estimator, depth + 1, out);
-  if (e.right()) RenderExplain(*e.right(), estimator, depth + 1, out);
+  if (e.left()) {
+    RenderExplain(*e.left(), estimator, actual_rows, depth + 1, out);
+  }
+  if (e.right()) {
+    RenderExplain(*e.right(), estimator, actual_rows, depth + 1, out);
+  }
 }
 
 }  // namespace
@@ -168,7 +236,16 @@ void RenderExplain(const RaExpr& e, Estimator* estimator, int depth,
 std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog) {
   Estimator estimator(catalog);
   std::string out;
-  RenderExplain(*plan, &estimator, 0, &out);
+  RenderExplain(*plan, &estimator, nullptr, 0, &out);
+  return out;
+}
+
+std::string ExplainPlanAnalyze(
+    const RaExprPtr& plan, const Catalog& catalog,
+    const std::unordered_map<const RaExpr*, size_t>& actual_rows) {
+  Estimator estimator(catalog);
+  std::string out;
+  RenderExplain(*plan, &estimator, &actual_rows, 0, &out);
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "ra/catalog.h"
 #include "ra/ra_expr.h"
+#include "util/deadline.h"
 
 namespace gqopt {
 
@@ -25,21 +26,41 @@ struct PlanEstimate {
 
 /// \brief Memoizing cardinality estimator using textbook independence
 /// assumptions over the catalog statistics.
+///
+/// The memo is keyed by node address: an Estimator must never outlive
+/// the plan nodes it estimated (a freed node's address can be reused by
+/// a later allocation and alias its cached estimate). `deadline` bounds
+/// first-touch statistics collection (the O(edges) pass in src/stats) —
+/// the optimizer passes its planning deadline so a cold label cannot
+/// blow the planning budget; on expiry the stats degrade to zero and
+/// estimates get worse, never wrong.
 class Estimator {
  public:
-  explicit Estimator(const Catalog& catalog) : catalog_(catalog) {}
+  explicit Estimator(const Catalog& catalog, const Deadline& deadline = {})
+      : catalog_(catalog), deadline_(deadline) {}
 
   /// Estimate for `e` (computed once per node identity).
   const PlanEstimate& Estimate(const RaExpr* e);
 
  private:
   const Catalog& catalog_;
+  Deadline deadline_;
   std::unordered_map<const RaExpr*, PlanEstimate> memo_;
 };
 
 /// Renders the plan with per-node estimated cost and cardinality in the
 /// style of Fig 17 ("<op> (cost = ..., rows = ...)").
 std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog);
+
+/// EXPLAIN ANALYZE: like ExplainPlan, but each node additionally shows
+/// the actual output cardinality recorded by an Executor run of the same
+/// plan ("rows = <est>/<actual>"), making estimator error visible per
+/// node. `actual_rows` is Executor::actual_rows() after Run; nodes the
+/// run never produced (memo-shared duplicates, unexecuted plans) print
+/// "rows = <est>/?".
+std::string ExplainPlanAnalyze(
+    const RaExprPtr& plan, const Catalog& catalog,
+    const std::unordered_map<const RaExpr*, size_t>& actual_rows);
 
 }  // namespace gqopt
 

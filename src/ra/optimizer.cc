@@ -12,7 +12,7 @@ namespace {
 class Optimizer {
  public:
   Optimizer(const Catalog& catalog, const OptimizerOptions& options)
-      : estimator_(catalog), options_(options) {}
+      : estimator_(catalog, options.planning_deadline), options_(options) {}
 
   RaExprPtr Rewrite(const RaExprPtr& e) {
     switch (e->op()) {
@@ -100,6 +100,15 @@ class Optimizer {
 
   double Rows(const RaExprPtr& e) { return estimator_.Estimate(e.get()).rows; }
 
+  // Estimated cardinality of Join(a, b), built only to be estimated.
+  // The probe node must stay alive as long as the estimator: its memo
+  // is keyed by node address, so a freed probe's address could be
+  // reused by a later node and alias the cached estimate.
+  double JoinedRows(const RaExprPtr& a, const RaExprPtr& b) {
+    estimate_probes_.push_back(RaExpr::Join(a, b));
+    return Rows(estimate_probes_.back());
+  }
+
   RaExprPtr RewriteJoinCluster(const RaExprPtr& e) {
     std::vector<RaExprPtr> conjuncts;
     Flatten(e, &conjuncts);
@@ -110,6 +119,13 @@ class Optimizer {
         acc = JoinWithSeeding(std::move(acc), conjuncts[i]);
       }
       return acc;
+    }
+
+    if (options_.planner == PlannerKind::kDp) {
+      RaExprPtr planned = DpRewriteJoinCluster(conjuncts);
+      if (planned != nullptr) return planned;
+      // DP not applicable (cluster too large, too many columns, or the
+      // planning deadline expired): the greedy pass below runs instead.
     }
 
     // Pick the cheapest non-closure conjunct as the start (closures are
@@ -141,8 +157,7 @@ class Optimizer {
       for (size_t i = 0; i < conjuncts.size(); ++i) {
         if (used[i]) continue;
         bool connected = SharesColumn(acc, conjuncts[i]);
-        double joined_rows =
-            Rows(RaExpr::Join(acc, conjuncts[i]));  // estimate only
+        double joined_rows = JoinedRows(acc, conjuncts[i]);
         if (best == conjuncts.size() || (connected && !best_connected) ||
             (connected == best_connected && joined_rows < best_rows)) {
           best = i;
@@ -151,6 +166,51 @@ class Optimizer {
         }
       }
       acc = JoinWithSeeding(std::move(acc), conjuncts[best]);
+      used[best] = true;
+    }
+    return acc;
+  }
+
+  // Cost-based join ordering for one flattened cluster: the DP enumerator
+  // orders the non-closure core (interesting-order aware, so orders that
+  // keep merge/offset applicable downstream survive pruning), then the
+  // closures attach greedily on top — late, once the core provides the
+  // richest binding set for fixpoint seeding (the same "closures last"
+  // preference the greedy start-selection encodes). Returns nullptr when
+  // DP is not applicable and the greedy pass should run.
+  RaExprPtr DpRewriteJoinCluster(const std::vector<RaExprPtr>& conjuncts) {
+    std::vector<RaExprPtr> core, closures;
+    for (const RaExprPtr& c : conjuncts) {
+      (c->op() == RaOp::kTransitiveClosure ? closures : core).push_back(c);
+    }
+    if (core.size() < 2) return nullptr;
+
+    DpPlannerOptions dp_options;
+    dp_options.dop = options_.dop;
+    dp_options.max_relations = options_.dp_max_relations;
+    dp_options.deadline = options_.planning_deadline;
+    RaExprPtr acc = DpPlanJoinOrder(core, &estimator_, dp_options);
+    if (acc == nullptr) return nullptr;
+
+    // Attach closures with the greedy criterion: connected-first,
+    // smallest estimated joined cardinality next.
+    std::vector<bool> used(closures.size(), false);
+    for (size_t round = 0; round < closures.size(); ++round) {
+      size_t best = closures.size();
+      bool best_connected = false;
+      double best_rows = 0;
+      for (size_t i = 0; i < closures.size(); ++i) {
+        if (used[i]) continue;
+        bool connected = SharesColumn(acc, closures[i]);
+        double joined_rows = JoinedRows(acc, closures[i]);
+        if (best == closures.size() || (connected && !best_connected) ||
+            (connected == best_connected && joined_rows < best_rows)) {
+          best = i;
+          best_connected = connected;
+          best_rows = joined_rows;
+        }
+      }
+      acc = JoinWithSeeding(std::move(acc), closures[best]);
       used[best] = true;
     }
     return acc;
@@ -207,6 +267,9 @@ class Optimizer {
 
   Estimator estimator_;
   const OptimizerOptions& options_;
+  // Keeps estimate-only join probes alive for the estimator's lifetime
+  // (see JoinedRows).
+  std::vector<RaExprPtr> estimate_probes_;
 };
 
 }  // namespace

@@ -1,8 +1,10 @@
-// Rule-based RRA plan optimizer (the µ-RA-style optimisation step of the
-// paper's Translator, §4):
-//  - flattens join clusters and orders them greedily by estimated
-//    cardinality (cheapest-first, connected-next), which places selective
-//    node-label tables early — the semi-join shape of Fig 17;
+// RRA plan optimizer (the µ-RA-style optimisation step of the paper's
+// Translator, §4):
+//  - flattens join clusters and orders them with the cost-based DP
+//    enumerator (src/ra/planner/) — interesting-order aware, so orders
+//    that keep merge/offset joins applicable downstream survive — with
+//    the PR-1 greedy pass (cheapest-first, connected-next) retained as
+//    the fallback above the DP size cutoff and behind GQOPT_PLANNER=greedy;
 //  - pushes joins into fixpoints: an unseeded transitive closure joined on
 //    its source (or target) column is rewritten into a seeded closure whose
 //    semi-naive iteration only explores the relevant frontier (the µ-RA
@@ -15,7 +17,9 @@
 #define GQOPT_RA_OPTIMIZER_H_
 
 #include "ra/catalog.h"
+#include "ra/planner/dp_enumerator.h"
 #include "ra/ra_expr.h"
+#include "util/deadline.h"
 #include "util/exec_context.h"
 
 namespace gqopt {
@@ -29,6 +33,16 @@ struct OptimizerOptions {
   /// with a "p=dop" hint (shown by EXPLAIN, validated by the executor).
   /// Defaults to the ambient GQOPT_DOP; 1 plans serially.
   int dop = EnvDop();
+  /// Join-order planner: the cost-based DP enumerator (default) or the
+  /// greedy pass. Defaults to the ambient GQOPT_PLANNER knob. The DP
+  /// planner itself falls back to greedy for clusters above
+  /// `dp_max_relations`, for clusters with more than 64 distinct
+  /// columns, and when `planning_deadline` expires mid-enumeration.
+  PlannerKind planner = EnvPlanner();
+  size_t dp_max_relations = kDpMaxJoinRelations;
+  /// Deadline polled by the DP enumeration loops (planning-time budget,
+  /// distinct from the execution deadline). Default: never expires.
+  Deadline planning_deadline;
 };
 
 /// Returns an optimized equivalent of `plan`.

@@ -1,0 +1,309 @@
+#include "ra/planner/dp_enumerator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "ra/planner/cost_model.h"
+#include "util/exec_context.h"
+#include "util/radix.h"
+
+namespace gqopt {
+namespace {
+
+// A subplan candidate: everything the enumerator needs to combine and
+// prune without materializing RaExpr nodes. Columns are interned ids; the
+// estimate fields mirror the Estimator's PlanEstimate for the same tree.
+struct Candidate {
+  std::vector<uint16_t> cols;  // output columns, in output order
+  uint64_t col_mask = 0;
+  std::vector<double> ndv;     // per cols[i]
+  double rows = 0;
+  double cost = 0;
+  size_t sorted_prefix = 0;
+
+  // Tree structure: leaf index into the relations vector, or an internal
+  // join of two earlier candidates (stable deque storage).
+  int leaf = -1;
+  const Candidate* left = nullptr;
+  const Candidate* right = nullptr;
+  JoinStrategy strategy = JoinStrategy::kAuto;
+  int parallel_hint = 0;
+};
+
+size_t PositionOf(const Candidate& c, uint16_t col) {
+  return static_cast<size_t>(
+      std::find(c.cols.begin(), c.cols.end(), col) - c.cols.begin());
+}
+
+double NdvOf(const Candidate& c, uint16_t col) {
+  size_t p = PositionOf(c, col);
+  return p < c.ndv.size() ? c.ndv[p] : std::max(1.0, c.rows);
+}
+
+// Mirrors AnalyzeJoinShape (ra_expr.cc) on candidates, including the
+// optimizer's flat->radix size refinement, the p=N hint rule, and the
+// Join factory's sorted-prefix derivation — so the materialized tree
+// re-derives exactly the properties the enumerator costed.
+Candidate Combine(const Candidate& l, const Candidate& r,
+                  const std::vector<uint16_t>& shared, int dop) {
+  Candidate out;
+  out.left = &l;
+  out.right = &r;
+  size_t m = shared.size();
+
+  // ---- Physical strategy and output ordering (AnalyzeJoinShape) ----
+  if (m == 0) {
+    out.strategy = JoinStrategy::kAuto;  // cross product
+    out.sorted_prefix = l.sorted_prefix;
+  } else {
+    bool merge_ok = l.sorted_prefix >= m && r.sorted_prefix >= m;
+    if (merge_ok) {
+      for (uint16_t col : shared) {
+        size_t lp = PositionOf(l, col);
+        if (lp >= m || PositionOf(r, col) != lp) {
+          merge_ok = false;
+          break;
+        }
+      }
+    }
+    if (merge_ok) {
+      out.strategy = JoinStrategy::kMergeSorted;
+      out.sorted_prefix = l.sorted_prefix;
+    } else if (m == 1 && PositionOf(r, shared[0]) == 0 &&
+               r.sorted_prefix >= 1) {
+      out.strategy = JoinStrategy::kOffset;
+      out.sorted_prefix = l.sorted_prefix;  // probe = left, in order
+    } else if (m == 1 && PositionOf(l, shared[0]) == 0 &&
+               l.sorted_prefix >= 1) {
+      out.strategy = JoinStrategy::kOffset;  // probe = right: order lost
+      out.sorted_prefix = 0;
+    } else {
+      out.strategy =
+          std::min(l.rows, r.rows) >= static_cast<double>(kRadixMinBuildRows)
+              ? JoinStrategy::kRadixHash
+              : JoinStrategy::kFlatHash;
+      out.sorted_prefix = 0;
+    }
+  }
+  if (out.strategy == JoinStrategy::kRadixHash ||
+      out.strategy == JoinStrategy::kFlatHash) {
+    out.parallel_hint =
+        dop > 1 &&
+                std::max(l.rows, r.rows) >=
+                    static_cast<double>(kParallelMinRows)
+            ? dop
+            : 1;
+  }
+
+  // ---- Cardinality and NDV (Estimator::Estimate, kJoin) ----
+  double selectivity = 1.0;
+  for (uint16_t col : shared) {
+    selectivity /= std::max({NdvOf(l, col), NdvOf(r, col), 1.0});
+  }
+  out.rows = l.rows * r.rows * selectivity;
+  out.cost = l.cost + r.cost +
+             JoinWorkCost(out.strategy, l.rows, r.rows, out.rows,
+                          out.parallel_hint);
+
+  out.cols = l.cols;
+  out.col_mask = l.col_mask | r.col_mask;
+  for (uint16_t col : r.cols) {
+    if ((l.col_mask >> col) & 1) continue;
+    out.cols.push_back(col);
+  }
+  out.ndv.reserve(out.cols.size());
+  for (uint16_t col : out.cols) {
+    double ndv = out.rows;
+    if ((l.col_mask >> col) & 1) ndv = std::min(ndv, NdvOf(l, col));
+    if ((r.col_mask >> col) & 1) ndv = std::min(ndv, NdvOf(r, col));
+    out.ndv.push_back(std::max(1.0, ndv));
+  }
+  return out;
+}
+
+// Interesting-order dominance: `a` makes `b` redundant when it is no more
+// expensive, its estimated cardinality is no larger (row estimates are
+// join-order dependent and feed every upstream cost, so a same-cost plan
+// with a larger estimate must not prune a smaller one), and its sorted
+// prefix extends (or equals) b's — every merge or offset join b's order
+// could enable, a's order enables too.
+bool Dominates(const Candidate& a, const Candidate& b) {
+  if (a.cost > b.cost) return false;
+  if (a.rows > b.rows) return false;
+  if (a.sorted_prefix < b.sorted_prefix) return false;
+  for (size_t i = 0; i < b.sorted_prefix; ++i) {
+    if (a.cols[i] != b.cols[i]) return false;
+  }
+  return true;
+}
+
+// Per-subset plan table: the pruning rule keeps the cheapest plan per
+// distinct interesting order (bounded, cheapest-first).
+constexpr size_t kMaxPlansPerSubset = 12;
+
+void Insert(std::vector<const Candidate*>* plans,
+            std::deque<Candidate>* storage, Candidate cand) {
+  for (const Candidate* kept : *plans) {
+    if (Dominates(*kept, cand)) return;
+  }
+  plans->erase(std::remove_if(plans->begin(), plans->end(),
+                              [&](const Candidate* kept) {
+                                return Dominates(cand, *kept);
+                              }),
+               plans->end());
+  storage->push_back(std::move(cand));
+  plans->push_back(&storage->back());
+  if (plans->size() > kMaxPlansPerSubset) {
+    // Evict the most expensive (ties: the shorter order).
+    auto worst = std::max_element(
+        plans->begin(), plans->end(),
+        [](const Candidate* a, const Candidate* b) {
+          if (a->cost != b->cost) return a->cost < b->cost;
+          return a->sorted_prefix > b->sorted_prefix;
+        });
+    plans->erase(worst);
+  }
+}
+
+const Candidate* Best(const std::vector<const Candidate*>& plans) {
+  const Candidate* best = nullptr;
+  for (const Candidate* c : plans) {
+    if (best == nullptr || c->cost < best->cost ||
+        (c->cost == best->cost && c->sorted_prefix > best->sorted_prefix)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+RaExprPtr Materialize(const Candidate& c,
+                      const std::vector<RaExprPtr>& relations) {
+  if (c.leaf >= 0) return relations[static_cast<size_t>(c.leaf)];
+  return RaExpr::Join(Materialize(*c.left, relations),
+                      Materialize(*c.right, relations), c.strategy,
+                      c.parallel_hint);
+}
+
+}  // namespace
+
+RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
+                          Estimator* estimator,
+                          const DpPlannerOptions& options) {
+  size_t n = relations.size();
+  if (n < 2 || n > options.max_relations || n > 16) return nullptr;
+  // The enumeration loops poll amortized (DeadlinePoller's stride is too
+  // coarse for small clusters), so an already-exhausted planning budget
+  // is checked once up front: greedy runs instead.
+  if (options.deadline.Expired()) return nullptr;
+
+  // Intern column names; the candidate machinery packs them in a 64-bit
+  // mask, so clusters with more distinct columns fall back to greedy.
+  std::unordered_map<std::string, uint16_t> col_ids;
+  std::deque<Candidate> storage;
+  std::vector<const Candidate*> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    const PlanEstimate& est = estimator->Estimate(relations[i].get());
+    Candidate leaf;
+    leaf.leaf = static_cast<int>(i);
+    leaf.rows = est.rows;
+    leaf.cost = est.cost;
+    leaf.sorted_prefix = relations[i]->sorted_prefix();
+    for (const std::string& col : relations[i]->columns()) {
+      auto [it, inserted] = col_ids.emplace(
+          col, static_cast<uint16_t>(col_ids.size()));
+      (void)inserted;
+      if (it->second >= 64) return nullptr;
+      leaf.cols.push_back(it->second);
+      leaf.col_mask |= uint64_t{1} << it->second;
+      auto ndv_it = est.ndv.find(col);
+      leaf.ndv.push_back(ndv_it != est.ndv.end() ? ndv_it->second
+                                                 : std::max(1.0, est.rows));
+    }
+    storage.push_back(std::move(leaf));
+    leaves.push_back(&storage.back());
+  }
+
+  // Connected components of the join graph (relations sharing a column).
+  std::vector<size_t> component(n);
+  for (size_t i = 0; i < n; ++i) component[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (component[x] != x) x = component[x] = component[component[x]];
+    return x;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (leaves[i]->col_mask & leaves[j]->col_mask) {
+        component[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> members_of(n);
+  for (size_t i = 0; i < n; ++i) members_of[find(i)].push_back(i);
+
+  DeadlinePoller poll(options.deadline);
+  std::vector<const Candidate*> component_plans;
+  for (const std::vector<size_t>& members : members_of) {
+    if (members.empty()) continue;
+    if (members.size() == 1) {
+      component_plans.push_back(leaves[members[0]]);
+      continue;
+    }
+    // DP over subsets of this component, in increasing mask order (every
+    // proper submask precedes its superset). Only connected subsets ever
+    // receive plans: combines require a shared column, and every
+    // connected subset has a split into two connected, column-sharing
+    // halves (remove one spanning-tree edge), which the full submask
+    // enumeration visits.
+    size_t k = members.size();
+    uint32_t full = (uint32_t{1} << k) - 1;
+    std::vector<std::vector<const Candidate*>> best(full + 1);
+    for (size_t i = 0; i < k; ++i) {
+      best[uint32_t{1} << i].push_back(leaves[members[i]]);
+    }
+    std::vector<uint16_t> shared;
+    for (uint32_t set = 3; set <= full; ++set) {
+      if ((set & (set - 1)) == 0) continue;  // singleton
+      std::vector<const Candidate*>& plans = best[set];
+      for (uint32_t s1 = (set - 1) & set; s1 != 0; s1 = (s1 - 1) & set) {
+        uint32_t s2 = set ^ s1;
+        if (best[s1].empty() || best[s2].empty()) continue;
+        if (poll.Expired()) return nullptr;  // planning budget exhausted
+        for (const Candidate* l : best[s1]) {
+          for (const Candidate* r : best[s2]) {
+            uint64_t shared_mask = l->col_mask & r->col_mask;
+            if (shared_mask == 0) continue;
+            shared.clear();
+            // Shared columns in l's output order; only their positions
+            // matter to the shape analysis and their set to selectivity.
+            for (uint16_t col : l->cols) {
+              if ((shared_mask >> col) & 1) shared.push_back(col);
+            }
+            Insert(&plans, &storage,
+                   Combine(*l, *r, shared, options.dop));
+          }
+        }
+      }
+    }
+    if (best[full].empty()) return nullptr;  // cannot happen: connected
+    component_plans.push_back(Best(best[full]));
+  }
+
+  // Cross-join disconnected components smallest-first (the cheapest
+  // nested-loop order); single-component clusters skip this entirely.
+  std::sort(component_plans.begin(), component_plans.end(),
+            [](const Candidate* a, const Candidate* b) {
+              return a->rows < b->rows;
+            });
+  const Candidate* acc = component_plans[0];
+  for (size_t i = 1; i < component_plans.size(); ++i) {
+    storage.push_back(
+        Combine(*acc, *component_plans[i], {}, options.dop));
+    acc = &storage.back();
+  }
+  return Materialize(*acc, relations);
+}
+
+}  // namespace gqopt

@@ -1,0 +1,78 @@
+// Cost-based dynamic-programming join-order enumeration (System-R DPsize
+// over connected subsets) with interesting-order awareness: per subset the
+// table keeps the cheapest plan *for each distinct sorted-column-prefix*,
+// not one global winner, so an ordering that keeps a merge or offset join
+// applicable downstream survives pruning even when it is locally more
+// expensive than hashing. This is the planning-side counterpart of the
+// executor's ordering-property machinery (PR 2) — and the "interesting-
+// order-aware join ordering" step the ROADMAP names.
+//
+// The enumerator works on lightweight candidates (column-id vectors,
+// cardinality/NDV estimates, the strategy cost model of cost_model.h) and
+// only materializes RaExpr nodes for the winning tree. Cardinality and
+// cost formulas deliberately mirror the Estimator's (ra/explain.h), so
+// the cost EXPLAIN prints for the chosen plan is the cost the enumerator
+// minimized.
+
+#ifndef GQOPT_RA_PLANNER_DP_ENUMERATOR_H_
+#define GQOPT_RA_PLANNER_DP_ENUMERATOR_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ra/explain.h"
+#include "ra/ra_expr.h"
+#include "util/deadline.h"
+
+namespace gqopt {
+
+/// Which join-order planner OptimizePlan uses for join clusters.
+enum class PlannerKind : uint8_t {
+  kGreedy,  // the PR-1 greedy pass (cheapest-first, connected-next)
+  kDp,      // cost-based DP enumeration with interesting orders
+};
+
+/// Join clusters above this size fall back to the greedy pass (DPsize is
+/// exponential in the cluster size; 10 relations stay well under the
+/// 50 ms planning budget, see BM_PlanEnumeration).
+constexpr size_t kDpMaxJoinRelations = 10;
+
+/// The GQOPT_PLANNER environment knob: "greedy" selects the legacy pass,
+/// anything else (including unset) selects "dp". Read once per process.
+inline PlannerKind EnvPlanner() {
+  static const PlannerKind kind = [] {
+    const char* env = std::getenv("GQOPT_PLANNER");
+    return env != nullptr && std::string(env) == "greedy"
+               ? PlannerKind::kGreedy
+               : PlannerKind::kDp;
+  }();
+  return kind;
+}
+
+/// Enumeration settings (a subset of OptimizerOptions, to keep the
+/// planner layer free of an optimizer.h dependency).
+struct DpPlannerOptions {
+  /// Degree of parallelism plans are costed for (the p=N hint discount).
+  int dop = 1;
+  /// Cluster-size cutoff; larger clusters return nullptr (greedy runs).
+  size_t max_relations = kDpMaxJoinRelations;
+  /// Enumeration polls this deadline and bails to nullptr on expiry.
+  Deadline deadline;
+};
+
+/// Enumerates join orders over `relations` (the flattened, already
+/// rewritten conjuncts of one join cluster, none of them closures) and
+/// returns the cheapest strategy-annotated join tree, or nullptr when DP
+/// is not applicable (fewer than 2 relations, cluster above the cutoff,
+/// more than 64 distinct columns, or deadline expiry) — the caller then
+/// falls back to the greedy pass. `estimator` supplies the leaf
+/// cardinalities; disconnected clusters are planned per connected
+/// component and cross-joined smallest-first.
+RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
+                          Estimator* estimator,
+                          const DpPlannerOptions& options);
+
+}  // namespace gqopt
+
+#endif  // GQOPT_RA_PLANNER_DP_ENUMERATOR_H_

@@ -1,0 +1,137 @@
+#include "stats/graph_stats.h"
+
+#include <algorithm>
+
+#include "core/label_graph.h"
+
+namespace gqopt {
+namespace {
+
+/// Sum of count(a) * count(b) over the reachable label pairs of `lg`,
+/// where `extent` maps a label-graph vertex to its node-extent size.
+double ReachablePairBound(const LabelGraph& lg,
+                          const std::vector<size_t>& extent) {
+  double bound = 0;
+  for (const auto& [from, to] : lg.ReachablePairs()) {
+    bound += static_cast<double>(extent[from]) *
+             static_cast<double>(extent[to]);
+  }
+  return bound;
+}
+
+}  // namespace
+
+const EdgeLabelStats GraphStatistics::kEmpty{};
+
+const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
+                                            const Deadline& deadline) const {
+  auto it = edge_cache_.find(label);
+  if (it != edge_cache_.end()) return it->second;
+
+  const std::vector<Edge>& pairs = graph_.EdgesByLabel(label);
+  EdgeLabelStats stats;
+  stats.rows = pairs.size();
+
+  // One deadline-polled pass: sources arrive sorted (run counting); the
+  // target set, the endpoint label sets and the label-pair set use
+  // membership bitmaps — O(1) per edge, no allocations in the loop (the
+  // label-pair matrix is num_node_labels^2 bits, tiny for real schemas).
+  size_t num_labels = graph_.num_node_labels();
+  std::vector<bool> target_seen(graph_.num_nodes(), false);
+  std::vector<bool> src_label_seen(num_labels, false);
+  std::vector<bool> tgt_label_seen(num_labels, false);
+  std::vector<bool> pair_seen(num_labels * num_labels, false);
+  NodeId prev_source = 0;
+  bool first = true;
+  DeadlinePoller poll(deadline);
+  for (const Edge& e : pairs) {
+    if (first || e.first != prev_source) {
+      ++stats.distinct_sources;
+      prev_source = e.first;
+      first = false;
+    }
+    if (!target_seen[e.second]) {
+      target_seen[e.second] = true;
+      ++stats.distinct_targets;
+    }
+    SymbolId sl = graph_.NodeLabelId(e.first);
+    SymbolId tl = graph_.NodeLabelId(e.second);
+    src_label_seen[sl] = true;
+    tgt_label_seen[tl] = true;
+    pair_seen[static_cast<size_t>(sl) * num_labels + tl] = true;
+    if (poll.Expired()) return kEmpty;  // degrade, do not cache partials
+  }
+  if (stats.distinct_sources > 0) {
+    stats.avg_out_degree = static_cast<double>(stats.rows) /
+                           static_cast<double>(stats.distinct_sources);
+  }
+  if (stats.distinct_targets > 0) {
+    stats.avg_in_degree = static_cast<double>(stats.rows) /
+                          static_cast<double>(stats.distinct_targets);
+  }
+
+  // Schema-derived bounds: the extents of the labels this relation was
+  // observed to connect, and the reachable-pair closure bound over the
+  // label graph restricted to this edge label.
+  const std::vector<std::string>& names = graph_.node_label_names();
+  LabelGraph lg;
+  std::vector<size_t> extent;
+  std::vector<size_t> vertex_of(names.size(), SIZE_MAX);
+  auto vertex = [&](SymbolId id) {
+    if (vertex_of[id] == SIZE_MAX) {
+      vertex_of[id] = lg.AddVertex(names[id]);
+      extent.push_back(graph_.NodesWithLabel(names[id]).size());
+    }
+    return vertex_of[id];
+  };
+  for (size_t id = 0; id < names.size(); ++id) {
+    size_t count = graph_.NodesWithLabel(names[id]).size();
+    if (src_label_seen[id]) stats.source_label_bound += count;
+    if (tgt_label_seen[id]) stats.target_label_bound += count;
+  }
+  size_t payload = 0;
+  for (size_t sl = 0; sl < num_labels; ++sl) {
+    for (size_t tl = 0; tl < num_labels; ++tl) {
+      if (!pair_seen[sl * num_labels + tl]) continue;
+      lg.AddEdge(vertex(static_cast<SymbolId>(sl)),
+                 vertex(static_cast<SymbolId>(tl)), payload++);
+    }
+  }
+  stats.closure_bound = ReachablePairBound(lg, extent);
+
+  return edge_cache_.emplace(label, stats).first->second;
+}
+
+double GraphStatistics::GlobalClosureBound(const Deadline& deadline) const {
+  if (global_closure_bound_ >= 0) return global_closure_bound_;
+  const std::vector<std::string>& names = graph_.node_label_names();
+  LabelGraph lg;
+  std::vector<size_t> extent;
+  extent.reserve(names.size());
+  for (const std::string& name : names) {
+    lg.AddVertex(name);
+    extent.push_back(graph_.NodesWithLabel(name).size());
+  }
+  size_t num_labels = names.size();
+  std::vector<bool> pair_seen(num_labels * num_labels, false);
+  DeadlinePoller poll(deadline);
+  for (const std::string& edge_label : graph_.edge_label_names()) {
+    for (const Edge& e : graph_.EdgesByLabel(edge_label)) {
+      pair_seen[static_cast<size_t>(graph_.NodeLabelId(e.first)) *
+                    num_labels +
+                graph_.NodeLabelId(e.second)] = true;
+      if (poll.Expired()) return 0;  // degrade: no bound, do not cache
+    }
+  }
+  // Vertices were added in node-label id order, so ids index directly.
+  size_t payload = 0;
+  for (size_t sl = 0; sl < num_labels; ++sl) {
+    for (size_t tl = 0; tl < num_labels; ++tl) {
+      if (pair_seen[sl * num_labels + tl]) lg.AddEdge(sl, tl, payload++);
+    }
+  }
+  global_closure_bound_ = ReachablePairBound(lg, extent);
+  return global_closure_bound_;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,87 @@
+// Statistics catalog over a PropertyGraph: the numbers the cost-based
+// planner (src/ra/planner/) and the Estimator consume. Everything here is
+// derived from the data plus the *observed* schema — the label multigraph
+// induced by the edges (core/label_graph), which upper-bounds quantities a
+// per-table count cannot see, e.g. how far a transitive closure can grow.
+//
+// Collection is lazy and cached per edge label: the first query touching a
+// label pays one deadline-polled pass over its edge table; every later
+// plan reads the cache. The catalog (ra/catalog.h) owns one instance per
+// graph, so statistics are shared by all planners and estimators.
+
+#ifndef GQOPT_STATS_GRAPH_STATS_H_
+#define GQOPT_STATS_GRAPH_STATS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/deadline.h"
+
+namespace gqopt {
+
+/// Per-edge-label statistics. Exact counts come from one pass over the
+/// sorted edge table; the *_bound fields are schema-derived upper bounds
+/// from the observed label graph.
+struct EdgeLabelStats {
+  size_t rows = 0;
+  size_t distinct_sources = 0;
+  size_t distinct_targets = 0;
+  /// rows / distinct_sources (0 for empty tables): the average fan-out a
+  /// join through this label's source column multiplies by.
+  double avg_out_degree = 0;
+  /// rows / distinct_targets (0 for empty tables).
+  double avg_in_degree = 0;
+  /// Sum of node-extent sizes over the node labels observed as sources —
+  /// an upper bound on distinct_sources under any predicate.
+  size_t source_label_bound = 0;
+  /// Same for targets.
+  size_t target_label_bound = 0;
+  /// Upper bound on |TC(edges)|: sum of count(a) * count(b) over ordered
+  /// node-label pairs (a, b) reachable in the label graph restricted to
+  /// this edge label (paper Def 8 applied to cardinalities). 0 means "no
+  /// bound available" (empty label, or collection cut short by the
+  /// deadline) — consumers must treat 0 as unbounded, not as empty.
+  double closure_bound = 0;
+};
+
+/// \brief Lazily-collected, cached statistics for one PropertyGraph.
+///
+/// Thread-compatible like the Catalog that owns it: collection mutates the
+/// cache, so share a const Catalog across threads only after warming the
+/// labels in use (or guard externally).
+class GraphStatistics {
+ public:
+  explicit GraphStatistics(const PropertyGraph& graph) : graph_(graph) {}
+
+  /// Statistics of `label`'s edge table, collecting them on first use.
+  /// Collection polls `deadline`; on expiry a partial result is NOT
+  /// cached and zeroed stats are returned (estimates degrade, plans stay
+  /// correct).
+  const EdgeLabelStats& EdgeFor(const std::string& label,
+                             const Deadline& deadline = {}) const;
+
+  /// Extent size of one node label.
+  size_t NodeCount(const std::string& label) const {
+    return graph_.NodesWithLabel(label).size();
+  }
+
+  size_t total_nodes() const { return graph_.num_nodes(); }
+  size_t total_edges() const { return graph_.num_edges(); }
+
+  /// Upper bound on the closure of *any* composition of edge labels: the
+  /// reachable-label-pair bound over the full observed label graph.
+  /// Collected once, deadline-polled.
+  double GlobalClosureBound(const Deadline& deadline = {}) const;
+
+ private:
+  const PropertyGraph& graph_;
+  mutable std::unordered_map<std::string, EdgeLabelStats> edge_cache_;
+  mutable double global_closure_bound_ = -1;  // -1 = not yet collected
+  static const EdgeLabelStats kEmpty;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_STATS_GRAPH_STATS_H_

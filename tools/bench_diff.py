@@ -25,6 +25,9 @@ PAIRS = [
     ("BM_OffsetJoin", "BM_SeedHashJoin"),
     ("BM_JoinRadixMultiKey", "BM_JoinFlatHashMultiKey"),
     ("BM_JoinMergeSorted", "BM_JoinHashSorted"),
+    # DP planner vs the retained greedy pass, end to end on the
+    # interesting-order cluster (same process, same inputs).
+    ("BM_JoinOrderQualityDP", "BM_JoinOrderQualityGreedy"),
 ]
 
 # Parallel benchmarks are their own counterparts: BM_Foo/N/dop runs the
@@ -73,11 +76,15 @@ def main():
     for optimized, baseline in PAIRS:
         for suffix, opt in sorted(by_prefix.get(optimized, {}).items()):
             base = by_prefix.get(baseline, {}).get(suffix)
-            if base is None:
-                continue
-            opt_time = opt["cpu_time"]
-            base_time = base["cpu_time"]
-            if opt_time <= 0:
+            opt_time = opt.get("cpu_time")
+            base_time = base.get("cpu_time") if base is not None else None
+            # A missing counterpart (filtered run, renamed benchmark, or a
+            # partial snapshot) is reported as "n/a", never a crash: the
+            # other ratios in the snapshot are still meaningful.
+            if base_time is None or opt_time is None or opt_time <= 0:
+                rows.append((optimized + suffix, baseline + suffix,
+                             base_time, opt_time, None,
+                             opt.get("time_unit", "ns")))
                 continue
             rows.append((optimized + suffix, baseline + suffix,
                          base_time, opt_time, base_time / opt_time,
@@ -111,8 +118,12 @@ def main():
     print(f"{'optimized':<{width}}  {'baseline cpu':>14}  "
           f"{'optimized cpu':>14}  {'speedup':>8}")
     for name, _, base_time, opt_time, ratio, unit in rows:
-        print(f"{name:<{width}}  {base_time:>12.0f}{unit}  "
-              f"{opt_time:>12.0f}{unit}  {ratio:>7.2f}x")
+        base_str = (f"{base_time:>12.0f}{unit}" if base_time is not None
+                    else f"{'n/a':>14}")
+        opt_str = (f"{opt_time:>12.0f}{unit}" if opt_time is not None
+                   else f"{'n/a':>14}")
+        ratio_str = f"{ratio:>7.2f}x" if ratio is not None else f"{'n/a':>8}"
+        print(f"{name:<{width}}  {base_str}  {opt_str}  {ratio_str}")
     return 0
 
 

@@ -65,6 +65,7 @@ void PrintHelp() {
       "  rewrite <query>            show the schema-enriched query\n"
       "  run <query>                rewrite + run on both engines\n"
       "  explain <query>            optimized relational plan (EXPLAIN)\n"
+      "  analyze <query>            EXPLAIN + run, rows = est/actual\n"
       "  sql <query>                recursive SQL translation\n"
       "  cypher <query>             Cypher translation\n"
       "  help | quit");
@@ -114,7 +115,7 @@ void DoRewrite(Session& session, const std::string& text, bool print_only) {
   std::printf("graph engine:        %s\n", render(base_graph).c_str());
 }
 
-void DoExplain(Session& session, const std::string& text) {
+void DoExplain(Session& session, const std::string& text, bool analyze) {
   auto query = ParseUcqt(text);
   if (!query.ok()) {
     std::printf("parse error: %s\n", query.status().ToString().c_str());
@@ -128,10 +129,24 @@ void DoExplain(Session& session, const std::string& text) {
     std::printf("plan error: %s\n", plan.status().ToString().c_str());
     return;
   }
-  std::fputs(
-      ExplainPlan(OptimizePlan(*plan, *session.catalog), *session.catalog)
-          .c_str(),
-      stdout);
+  RaExprPtr optimized = OptimizePlan(*plan, *session.catalog);
+  if (!analyze) {
+    std::fputs(ExplainPlan(optimized, *session.catalog).c_str(), stdout);
+    return;
+  }
+  // EXPLAIN ANALYZE: run the plan, then print estimates next to the
+  // recorded actual cardinalities ("rows = est/actual").
+  Executor executor(*session.catalog);
+  auto table = executor.Run(optimized);
+  if (!table.ok()) {
+    std::printf("execution error: %s\n", table.status().ToString().c_str());
+    return;
+  }
+  std::fputs(ExplainPlanAnalyze(optimized, *session.catalog,
+                                executor.actual_rows())
+                 .c_str(),
+             stdout);
+  std::printf("(%zu result rows)\n", table->rows());
 }
 
 void DoTranslate(Session& session, const std::string& text, bool to_sql) {
@@ -222,7 +237,9 @@ int main() {
     } else if (command == "run") {
       DoRewrite(session, rest, /*print_only=*/false);
     } else if (command == "explain") {
-      DoExplain(session, rest);
+      DoExplain(session, rest, /*analyze=*/false);
+    } else if (command == "analyze") {
+      DoExplain(session, rest, /*analyze=*/true);
     } else if (command == "sql") {
       DoTranslate(session, rest, /*to_sql=*/true);
     } else if (command == "cypher") {

@@ -29,12 +29,21 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 GQOPT_DOP=4 ctest --test-dir build --output-on-failure \
   -R '(parallel_differential|csr_differential|thread_pool)_test'
 
+# Planner correctness: the differential suites once more with the DP
+# join enumerator pinned on (the ambient default, but the knob may be
+# overridden in the environment), and once with the retained greedy pass
+# so both planners stay covered by every tier-1 run.
+GQOPT_PLANNER=dp ctest --test-dir build --output-on-failure \
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end)_test'
+GQOPT_PLANNER=greedy ctest --test-dir build --output-on-failure \
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end)_test'
+
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
     # The interesting subset: evaluation-core primitives with their
     # retained naive counterparts for drift-free before/after ratios.
     ./build/bench_micro \
-      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion' \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     echo "wrote $repo_root/BENCH_micro.json"
