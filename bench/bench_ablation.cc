@@ -9,17 +9,17 @@
 namespace {
 
 using gqopt::GraphSchema;
-using gqopt::HarnessOptions;
 using gqopt::PropertyGraph;
 using gqopt::RewriteOptions;
+using gqopt::api::ExecOptions;
 using gqopt::bench::PreparedQuery;
 using gqopt::bench::PrepareWorkload;
 
 void RunAblation(const char* title,
                  const std::vector<gqopt::WorkloadQuery>& workload,
-                 const GraphSchema& schema, const PropertyGraph& graph,
-                 const HarnessOptions& options) {
-  gqopt::Catalog catalog(graph);
+                 const GraphSchema& schema, PropertyGraph graph,
+                 const ExecOptions& options) {
+  gqopt::api::Database db(schema, std::move(graph));
 
   RewriteOptions full;
   RewriteOptions no_tc;
@@ -36,8 +36,8 @@ void RunAblation(const char* title,
 
   // Engine-side ablation: the µ-RA profile pushes joins into fixpoints
   // (seeded semi-naive recursion), which a SQL backend cannot do.
-  HarnessOptions mu_ra = options;
-  mu_ra.optimizer.enable_fixpoint_seeding = true;
+  ExecOptions mu_ra = options;
+  mu_ra.enable_fixpoint_seeding = true;
 
   std::printf("== Ablation: %s (seconds; timeout = '-') ==\n", title);
   std::vector<std::string> header = {
@@ -46,9 +46,9 @@ void RunAblation(const char* title,
   std::vector<std::vector<std::string>> rows;
   for (size_t i = 0; i < with_full.size(); ++i) {
     if (!with_full[i].recursive) continue;  // the interesting lever is TC
-    auto run = [&](const gqopt::Ucqt& query, const HarnessOptions& opts) {
+    auto run = [&](const gqopt::Ucqt& query, const ExecOptions& opts) {
       gqopt::RunMeasurement m =
-          gqopt::MeasureRelational(catalog, query, opts);
+          gqopt::MeasureRelational(db, query, opts);
       return m.feasible ? gqopt::FormatSeconds(m.seconds)
                         : std::string("-");
     };
@@ -70,21 +70,19 @@ int main() {
   using namespace gqopt;
   using namespace gqopt::bench;
 
-  HarnessOptions options = MatrixOptions();
+  api::ExecOptions options = MatrixOptions();
 
   {
     YagoConfig config;
     config.persons = 1200;
-    PropertyGraph graph = GenerateYago(config);
     RunAblation("YAGO recursive queries", YagoWorkload(), YagoSchema(),
-                graph, options);
+                GenerateYago(config), options);
   }
   {
     LdbcConfig config;
     config.persons = LdbcScaleFactors()[2].persons;  // SF "1"
-    PropertyGraph graph = GenerateLdbc(config);
     RunAblation("LDBC recursive queries", LdbcWorkload(), LdbcSchema(),
-                graph, options);
+                GenerateLdbc(config), options);
   }
   return 0;
 }

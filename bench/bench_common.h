@@ -1,6 +1,7 @@
 // Shared plumbing for the experiment binaries: workload preparation
 // (parse + schema rewrite) and the LDBC measurement matrix reused by the
-// Tab 5 / Tab 7 / Tab 8 / Fig 13 reproductions.
+// Tab 5 / Tab 7 / Tab 8 / Fig 13 reproductions. Measurements go through
+// the api::Database facade; options live in api::ExecOptions.
 
 #ifndef GQOPT_BENCH_BENCH_COMMON_H_
 #define GQOPT_BENCH_BENCH_COMMON_H_
@@ -10,13 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "api/database.h"
 #include "benchsup/harness.h"
-#include "core/rewriter.h"
 #include "datasets/ldbc.h"
 #include "datasets/workloads.h"
 #include "datasets/yago.h"
 #include "query/query_parser.h"
-#include "ra/catalog.h"
 
 namespace gqopt {
 namespace bench {
@@ -44,7 +44,7 @@ inline std::vector<PreparedQuery> PrepareWorkload(
                    wq.id.c_str(), parsed.status().ToString().c_str());
       std::exit(1);
     }
-    auto rewritten = RewriteQuery(*parsed, schema, options);
+    auto rewritten = PrepareSchemaQuery(*parsed, schema, options);
     if (!rewritten.ok()) {
       std::fprintf(stderr, "workload %s does not rewrite: %s\n",
                    wq.id.c_str(), rewritten.status().ToString().c_str());
@@ -83,7 +83,8 @@ inline size_t ScaleFactorCount() {
 
 /// Runs the full LDBC matrix (queries x scale factors x {baseline,
 /// schema}) on the relational engine; prints progress to stderr.
-inline std::vector<MatrixCell> RunLdbcMatrix(const HarnessOptions& options) {
+inline std::vector<MatrixCell> RunLdbcMatrix(
+    const api::ExecOptions& options) {
   std::vector<MatrixCell> cells;
   GraphSchema schema = LdbcSchema();
   std::vector<PreparedQuery> queries = PrepareWorkload(LdbcWorkload(),
@@ -93,19 +94,18 @@ inline std::vector<MatrixCell> RunLdbcMatrix(const HarnessOptions& options) {
     const ScaleFactor& sf = LdbcScaleFactors()[s];
     LdbcConfig config;
     config.persons = sf.persons;
-    PropertyGraph graph = GenerateLdbc(config);
-    Catalog catalog(graph);
+    api::Database db(schema, GenerateLdbc(config));
     std::fprintf(stderr, "# SF %s: %zu nodes, %zu edges\n", sf.name,
-                 graph.num_nodes(), graph.num_edges());
+                 db.graph().num_nodes(), db.graph().num_edges());
     for (const PreparedQuery& q : queries) {
       MatrixCell cell;
       cell.sf = sf.name;
       cell.query = q.id;
       cell.recursive = q.recursive;
-      cell.baseline = MeasureRelational(catalog, q.baseline, options);
+      cell.baseline = MeasureRelational(db, q.baseline, options);
       cell.schema = q.reverted
                         ? cell.baseline  // identical plan, one measurement
-                        : MeasureRelational(catalog, q.schema, options);
+                        : MeasureRelational(db, q.schema, options);
       cells.push_back(std::move(cell));
     }
   }
@@ -136,14 +136,14 @@ inline bool MaybeWriteMatrixJson(const std::vector<MatrixCell>& cells) {
 }
 
 /// Env-tuned harness defaults for the heavyweight matrix benches.
-inline HarnessOptions MatrixOptions() {
-  HarnessOptions options = HarnessOptions::FromEnv();
+inline api::ExecOptions MatrixOptions() {
+  api::ExecOptions options = api::ExecOptions::FromEnv();
   if (std::getenv("GQOPT_REPS") == nullptr) options.repetitions = 1;
   if (std::getenv("GQOPT_TIMEOUT_MS") == nullptr) options.timeout_ms = 1500;
   // Paper profile: the PostgreSQL backend evaluates recursive CTEs without
   // pushing outer bindings into the recursion. The µ-RA-seeded profile is
   // measured separately by bench_ablation.
-  options.optimizer.enable_fixpoint_seeding = false;
+  options.enable_fixpoint_seeding = false;
   return options;
 }
 

@@ -16,17 +16,16 @@ int main() {
   }
   YagoConfig config;
   config.persons = persons;
-  PropertyGraph graph = GenerateYago(config);
-  Catalog catalog(graph);
-  std::fprintf(stderr, "# YAGO: %zu nodes, %zu edges\n", graph.num_nodes(),
-               graph.num_edges());
-
   GraphSchema schema = YagoSchema();
+  api::Database db(schema, GenerateYago(config));
+  std::fprintf(stderr, "# YAGO: %zu nodes, %zu edges\n",
+               db.graph().num_nodes(), db.graph().num_edges());
+
   std::vector<PreparedQuery> queries =
       PrepareWorkload(YagoWorkload(), schema);
-  HarnessOptions options = HarnessOptions::FromEnv();
+  api::ExecOptions options = api::ExecOptions::FromEnv();
   // PostgreSQL backend profile (see MatrixOptions in bench_common.h).
-  options.optimizer.enable_fixpoint_seeding = false;
+  options.enable_fixpoint_seeding = false;
 
   std::printf("== Fig 12: YAGO query runtimes, baseline vs schema "
               "(relational engine, seconds) ==\n");
@@ -36,11 +35,10 @@ int main() {
   double speedup_sum = 0;
   size_t speedup_count = 0;
   for (const PreparedQuery& q : queries) {
-    RunMeasurement baseline = MeasureRelational(catalog, q.baseline,
-                                                options);
+    RunMeasurement baseline = MeasureRelational(db, q.baseline, options);
     RunMeasurement schema_run =
         q.reverted ? baseline
-                   : MeasureRelational(catalog, q.schema, options);
+                   : MeasureRelational(db, q.schema, options);
     std::vector<std::string> row(6);
     row[0] = q.id;
     row[1] = baseline.feasible ? FormatSeconds(baseline.seconds)

@@ -14,7 +14,7 @@ int main() {
   using namespace gqopt;
   using namespace gqopt::bench;
 
-  HarnessOptions options = MatrixOptions();
+  api::ExecOptions options = MatrixOptions();
   GraphSchema schema = LdbcSchema();
   std::vector<PreparedQuery> all = PrepareWorkload(LdbcWorkload(), schema);
 
@@ -36,19 +36,18 @@ int main() {
     const ScaleFactor& sf = LdbcScaleFactors()[s];
     LdbcConfig config;
     config.persons = sf.persons;
-    PropertyGraph graph = GenerateLdbc(config);
-    Catalog catalog(graph);
+    api::Database db(schema, GenerateLdbc(config));
     std::fprintf(stderr, "# SF %s: %zu nodes, %zu edges\n", sf.name,
-                 graph.num_nodes(), graph.num_edges());
+                 db.graph().num_nodes(), db.graph().num_edges());
 
     std::vector<double> series[4];  // N-B, N-S, P-B, P-S
     for (const PreparedQuery& q : queries) {
-      RunMeasurement nb = MeasureGraph(graph, q.baseline, options);
+      RunMeasurement nb = MeasureGraph(db, q.baseline, options);
       RunMeasurement ns =
-          q.reverted ? nb : MeasureGraph(graph, q.schema, options);
-      RunMeasurement pb = MeasureRelational(catalog, q.baseline, options);
+          q.reverted ? nb : MeasureGraph(db, q.schema, options);
+      RunMeasurement pb = MeasureRelational(db, q.baseline, options);
       RunMeasurement ps =
-          q.reverted ? pb : MeasureRelational(catalog, q.schema, options);
+          q.reverted ? pb : MeasureRelational(db, q.schema, options);
       if (nb.feasible) series[0].push_back(nb.seconds);
       if (ns.feasible) series[1].push_back(ns.seconds);
       if (pb.feasible) series[2].push_back(pb.seconds);

@@ -13,7 +13,8 @@
 #include "util/flat_hash.h"
 #include "util/radix.h"
 #include "util/thread_pool.h"
-#include "core/rewriter.h"
+#include "api/database.h"
+#include "api/stages.h"  // white-box: stage-isolating micro-benchmarks
 #include "core/simplifier.h"
 #include "core/type_inference.h"
 #include "datasets/ldbc.h"
@@ -23,9 +24,6 @@
 #include "eval/graph_engine.h"
 #include "query/query_parser.h"
 #include "ra/catalog.h"
-#include "ra/executor.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 #include "util/rng.h"
 
 namespace gqopt {
@@ -773,6 +771,82 @@ void BM_JoinOrderQualityGreedy(benchmark::State& state) {
   RunOrderQuality(state, PlannerKind::kGreedy);
 }
 BENCHMARK(BM_JoinOrderQualityGreedy);
+
+// ---- Plan-cache payoff (api::Database facade) ------------------------------
+//
+// BM_PreparedVsCold serves a query through the facade's plan cache (one
+// cache lookup + execution); BM_ColdPrepare runs the full cold pipeline
+// (parse + schema rewrite + UCQT2RRA + optimize + execute) on the same
+// query in the same process. Small-result workload queries keep execution
+// cheap so the prepare overhead is visible; the bench_diff.py pair prints
+// the drift-free speedup ratio.
+
+struct PreparedBenchCase {
+  const char* name;
+  bool ldbc;  // which of the two databases below the query runs on
+  const char* query;
+};
+
+constexpr PreparedBenchCase kPreparedBenchCases[] = {
+    {"yago-owns-located", false, "x1, x2 <- (x1, owns/isLocatedIn, x2)"},
+    {"yago-lives-closure", false,
+     "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)"},
+    {"ldbc-work-located", true, "x1, x2 <- (x1, workAt/isLocatedIn, x2)"},
+    {"ldbc-reply-closure", true, "x1, x2 <- (x1, replyOf+, x2)"},
+};
+
+api::Database& PreparedBenchDatabase(bool ldbc) {
+  // Leaked singletons: google-benchmark runs each benchmark many times
+  // and the graphs must not be regenerated per run.
+  static api::Database* yago =
+      new api::Database(YagoSchema(), GenerateYago({.persons = 300}));
+  static api::Database* ldbc_db =
+      new api::Database(LdbcSchema(), GenerateLdbc({.persons = 150}));
+  return ldbc ? *ldbc_db : *yago;
+}
+
+void BM_PreparedVsCold(benchmark::State& state) {
+  const PreparedBenchCase& bench_case =
+      kPreparedBenchCases[state.range(0)];
+  api::Database& db = PreparedBenchDatabase(bench_case.ldbc);
+  api::ExecOptions options;  // explicit defaults; cache on
+  db.set_plan_cache_enabled(true);
+  api::Session session(db, options);
+  // Warm the cache once; every iteration below is the serving fast path
+  // (normalized-text lookup hit + execute).
+  auto warm = db.Prepare(bench_case.query, options);
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = session.Query(bench_case.query);
+    if (result.ok()) rows = result->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+  state.SetLabel(bench_case.name);
+}
+BENCHMARK(BM_PreparedVsCold)->DenseRange(0, 3);
+
+void BM_ColdPrepare(benchmark::State& state) {
+  const PreparedBenchCase& bench_case =
+      kPreparedBenchCases[state.range(0)];
+  api::Database& db = PreparedBenchDatabase(bench_case.ldbc);
+  api::ExecOptions options;
+  options.use_plan_cache = false;  // cold: parse/rewrite/plan every time
+  api::Session session(db, options);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = session.Query(bench_case.query);
+    if (result.ok()) rows = result->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+  state.SetLabel(bench_case.name);
+}
+BENCHMARK(BM_ColdPrepare)->DenseRange(0, 3);
 
 }  // namespace
 }  // namespace gqopt

@@ -14,7 +14,7 @@ int main() {
   GraphSchema schema = YagoSchema();
   std::vector<PreparedQuery> queries =
       PrepareWorkload(YagoWorkload(), schema);
-  HarnessOptions options = MatrixOptions();
+  api::ExecOptions options = MatrixOptions();
 
   std::printf("== Scaling sweep: average YAGO speedup vs dataset size "
               "(relational engine, SQL-backend profile) ==\n");
@@ -24,16 +24,14 @@ int main() {
   for (size_t persons : {250, 1000, 4000, 12000}) {
     YagoConfig config;
     config.persons = persons;
-    PropertyGraph graph = GenerateYago(config);
-    Catalog catalog(graph);
+    api::Database db(schema, GenerateYago(config));
     double speedup_sum = 0;
     size_t feasible = 0;
     for (const PreparedQuery& q : queries) {
-      RunMeasurement baseline =
-          MeasureRelational(catalog, q.baseline, options);
+      RunMeasurement baseline = MeasureRelational(db, q.baseline, options);
       RunMeasurement enriched =
           q.reverted ? baseline
-                     : MeasureRelational(catalog, q.schema, options);
+                     : MeasureRelational(db, q.schema, options);
       if (baseline.feasible && enriched.feasible &&
           enriched.seconds > 0) {
         speedup_sum += baseline.seconds / enriched.seconds;
@@ -44,8 +42,8 @@ int main() {
     std::snprintf(avg, sizeof(avg), "%.2fx",
                   feasible > 0 ? speedup_sum / feasible : 0.0);
     rows.push_back({std::to_string(persons),
-                    std::to_string(graph.num_nodes()),
-                    std::to_string(graph.num_edges()),
+                    std::to_string(db.graph().num_nodes()),
+                    std::to_string(db.graph().num_edges()),
                     std::to_string(feasible) + "/" +
                         std::to_string(queries.size()),
                     avg});

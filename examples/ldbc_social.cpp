@@ -1,29 +1,26 @@
 // Social-network analysis on the synthetic LDBC-SNB dataset: friend
 // recommendation, thread reachability and tag hierarchies — the workloads
-// the paper's introduction motivates — on both execution engines.
+// the paper's introduction motivates — on both execution engines, driven
+// through the api::Database facade.
 //
-//   $ ./build/examples/ldbc_social [persons]
+//   $ ./build/examples/example_ldbc_social [persons]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/database.h"
 #include "benchsup/harness.h"
-#include "core/rewriter.h"
 #include "datasets/ldbc.h"
-#include "eval/graph_engine.h"
-#include "query/query_parser.h"
-#include "ra/catalog.h"
 
 using namespace gqopt;
 
 int main(int argc, char** argv) {
   LdbcConfig config;
   config.persons = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
-  PropertyGraph graph = GenerateLdbc(config);
-  Catalog catalog(graph);
-  GraphSchema schema = LdbcSchema();
-  std::printf("LDBC-SNB: %zu nodes, %zu edges\n\n", graph.num_nodes(),
-              graph.num_edges());
+  api::Database db(LdbcSchema(), GenerateLdbc(config));
+  api::Session session(db, api::ExecOptions::FromEnv());
+  std::printf("LDBC-SNB: %zu nodes, %zu edges\n\n", db.graph().num_nodes(),
+              db.graph().num_edges());
 
   struct Scenario {
     const char* question;
@@ -41,28 +38,28 @@ int main(int argc, char** argv) {
        "x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)"},
   };
 
-  HarnessOptions options = HarnessOptions::FromEnv();
-  GraphEngine engine(graph);
   for (const Scenario& scenario : scenarios) {
     std::printf("Q: %s\n", scenario.question);
-    auto query = ParseUcqt(scenario.query);
-    if (!query.ok()) return 1;
-    auto rewritten = RewriteQuery(*query, schema);
-    if (!rewritten.ok()) return 1;
-    const Ucqt& to_run =
-        rewritten->reverted ? *query : rewritten->query;
+    auto prepared = session.Prepare(scenario.query);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare: %s\n",
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const api::PreparedQuery& query = **prepared;
 
     RunMeasurement relational =
-        MeasureRelational(catalog, to_run, options);
-    RunMeasurement graph_run = MeasureGraph(graph, to_run, options);
+        MeasureRelational(db, query.executable(), session.options());
+    RunMeasurement graph_run =
+        MeasureGraph(db, query.executable(), session.options());
     auto render = [](const RunMeasurement& m) {
       return m.feasible ? FormatSeconds(m.seconds) + " s ("
                               + std::to_string(m.result_rows) + " rows)"
                         : "timeout";
     };
     std::printf("   rewrite: %s\n",
-                rewritten->reverted ? "reverted (no schema gain)"
-                                    : "enriched");
+                query.rewrite().reverted ? "reverted (no schema gain)"
+                                         : "enriched");
     std::printf("   relational engine: %s\n", render(relational).c_str());
     std::printf("   graph engine:      %s\n\n",
                 render(graph_run).c_str());

@@ -1,14 +1,14 @@
-// Quickstart: build a schema and a graph, write a recursive query, let the
-// schema-based rewriter optimize it, and run both versions.
+// Quickstart, through the public facade (src/api, docs/API.md): build a
+// schema and a graph inside a Database, prepare a recursive query once
+// (the schema-based rewriter optimizes it during Prepare), execute it,
+// and show the plan cache serving the repeat.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/example_quickstart
 
 #include <cstdio>
 
-#include "core/rewriter.h"
-#include "eval/graph_engine.h"
+#include "api/database.h"
 #include "graph/consistency.h"
-#include "query/query_parser.h"
 #include "schema/schema_parser.h"
 
 using namespace gqopt;
@@ -34,66 +34,87 @@ edge COUNTRY -dealsWith-> COUNTRY
     return 1;
   }
 
-  // 2. A tiny database conforming to it (the paper's Fig 2).
-  PropertyGraph graph;
-  NodeId property = graph.AddNode(
+  // 2. A tiny database conforming to it (the paper's Fig 2). The Database
+  //    facade owns the graph; mutations go through it so cached plans and
+  //    statistics can never go stale silently.
+  api::Database db(std::move(*schema), PropertyGraph());
+  NodeId property = db.AddNode(
       "PROPERTY", {{"address", Value::String("7 Queen Street")}});
-  NodeId john = graph.AddNode(
+  NodeId john = db.AddNode(
       "PERSON", {{"name", Value::String("John")}, {"age", Value::Int(28)}});
-  NodeId shradha = graph.AddNode(
+  NodeId shradha = db.AddNode(
       "PERSON",
       {{"name", Value::String("Shradha")}, {"age", Value::Int(25)}});
-  NodeId elerslie =
-      graph.AddNode("CITY", {{"name", Value::String("Elerslie")}});
+  NodeId elerslie = db.AddNode("CITY", {{"name", Value::String("Elerslie")}});
   NodeId grenoble =
-      graph.AddNode("REGION", {{"name", Value::String("Grenoble")}});
+      db.AddNode("REGION", {{"name", Value::String("Grenoble")}});
   NodeId montbonnot =
-      graph.AddNode("CITY", {{"name", Value::String("Montbonnot")}});
-  NodeId france =
-      graph.AddNode("COUNTRY", {{"name", Value::String("France")}});
-  (void)graph.AddEdge(john, "isMarriedTo", shradha);
-  (void)graph.AddEdge(shradha, "isMarriedTo", john);
-  (void)graph.AddEdge(john, "livesIn", elerslie);
-  (void)graph.AddEdge(shradha, "livesIn", montbonnot);
-  (void)graph.AddEdge(john, "owns", property);
-  (void)graph.AddEdge(property, "isLocatedIn", montbonnot);
-  (void)graph.AddEdge(montbonnot, "isLocatedIn", grenoble);
-  (void)graph.AddEdge(elerslie, "isLocatedIn", grenoble);
-  (void)graph.AddEdge(grenoble, "isLocatedIn", france);
+      db.AddNode("CITY", {{"name", Value::String("Montbonnot")}});
+  NodeId france = db.AddNode("COUNTRY", {{"name", Value::String("France")}});
+  (void)db.AddEdge(john, "isMarriedTo", shradha);
+  (void)db.AddEdge(shradha, "isMarriedTo", john);
+  (void)db.AddEdge(john, "livesIn", elerslie);
+  (void)db.AddEdge(shradha, "livesIn", montbonnot);
+  (void)db.AddEdge(john, "owns", property);
+  (void)db.AddEdge(property, "isLocatedIn", montbonnot);
+  (void)db.AddEdge(montbonnot, "isLocatedIn", grenoble);
+  (void)db.AddEdge(elerslie, "isLocatedIn", grenoble);
+  (void)db.AddEdge(grenoble, "isLocatedIn", france);
 
-  ConsistencyReport report = CheckConsistency(graph, *schema);
+  ConsistencyReport report = CheckConsistency(db.graph(), db.schema());
   std::printf("graph is %s with the schema\n",
               report.consistent() ? "consistent" : "INCONSISTENT");
 
-  // 3. A recursive query: which persons can reach which places/countries
-  //    through livesIn followed by any number of isLocatedIn hops?
-  auto query = ParseUcqt("x1, x2 <- (x1, livesIn/isLocatedIn+, x2)");
-  if (!query.ok()) return 1;
+  // 3. A session fixes the execution options once (defaults here; use
+  //    api::ExecOptions::FromEnv() to opt into the GQOPT_* env knobs).
+  api::Session session(db);
 
-  // 4. Schema-based rewriting (the paper's contribution).
-  auto rewritten = RewriteQuery(*query, *schema);
-  if (!rewritten.ok()) {
-    std::fprintf(stderr, "rewrite: %s\n",
-                 rewritten.status().ToString().c_str());
+  // 4. Prepare runs the whole pipeline once: parse, schema-based
+  //    rewriting (the paper's contribution), translation to recursive
+  //    relational algebra, and cost-based optimization.
+  const char* text = "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)";
+  auto prepared = session.Prepare(text);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("original:  %s\n", query->ToString().c_str());
-  std::printf("rewritten: %s\n", rewritten->query.ToString().c_str());
+  const api::PreparedQuery& query = **prepared;
+  std::printf("original:  %s\n", query.query().ToString().c_str());
+  std::printf("rewritten: %s\n", query.executable().ToString().c_str());
   std::printf("recursive before: %s, after: %s\n",
-              query->IsRecursive() ? "yes" : "no",
-              rewritten->query.IsRecursive() ? "yes" : "no");
+              query.query().IsRecursive() ? "yes" : "no",
+              query.executable().IsRecursive() ? "yes" : "no");
 
-  // 5. Both versions return the same result set.
-  GraphEngine engine(graph);
-  auto baseline_result = engine.Run(*query);
-  auto schema_result = engine.Run(rewritten->query);
-  if (!baseline_result.ok() || !schema_result.ok()) return 1;
+  // 5. Execute the prepared plan, and the baseline (rewrite disabled) for
+  //    comparison: both return the same result set.
+  auto schema_result = query.Execute(session);
+  api::ExecOptions baseline_options = session.options();
+  baseline_options.apply_schema_rewrite = false;
+  auto baseline = db.Prepare(text, baseline_options);
+  if (!schema_result.ok() || !baseline.ok()) return 1;
+  api::Session baseline_session(db, baseline_options);
+  auto baseline_result = (*baseline)->Execute(baseline_session);
+  if (!baseline_result.ok()) return 1;
   std::printf("results agree: %s\n",
-              baseline_result->rows == schema_result->rows ? "yes" : "NO");
-  for (const auto& row : schema_result->rows) {
+              baseline_result->SortedRows() == schema_result->SortedRows()
+                  ? "yes"
+                  : "NO");
+  for (const auto& row : schema_result->SortedRows()) {
     std::printf("  %s -> %s\n",
-                graph.GetProperty(row[0], "name")->AsString().c_str(),
-                graph.GetProperty(row[1], "name")->AsString().c_str());
+                db.graph().GetProperty(row[0], "name")->AsString().c_str(),
+                db.graph().GetProperty(row[1], "name")->AsString().c_str());
   }
+
+  // 6. Repeated traffic skips parse/rewrite/plan: the same query text
+  //    (even reformatted) hits the plan cache.
+  bool cache_hit = false;
+  auto again = db.Prepare("x1,  x2   <-  (x1, livesIn/isLocatedIn+, x2)",
+                          session.options(), &cache_hit);
+  api::PlanCacheStats stats = db.plan_cache_stats();
+  std::printf("re-prepare was a cache %s (hits %llu, misses %llu)\n",
+              again.ok() && cache_hit ? "hit" : "miss",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
   return 0;
 }

@@ -1,12 +1,12 @@
 // Translator tour: the paper's Fig 10 pipeline end to end — a UCQT query
-// is schema-enriched, then compiled to recursive SQL (three dialects) and
-// to a Cypher graph pattern.
+// is schema-enriched by Database::Prepare, then compiled to recursive SQL
+// (three dialects) and to a Cypher graph pattern.
 //
-//   $ ./build/examples/translator_tour
+//   $ ./build/examples/example_translator_tour
 
 #include <cstdio>
 
-#include "core/rewriter.h"
+#include "api/database.h"
 #include "datasets/ldbc.h"
 #include "query/query_parser.h"
 #include "translate/cypher_emitter.h"
@@ -15,33 +15,36 @@
 using namespace gqopt;
 
 int main() {
-  GraphSchema schema = LdbcSchema();
-  auto query = ParseUcqt(
+  // The tour needs only the schema; an empty graph is fine — Prepare
+  // still runs the full parse/rewrite/plan pipeline.
+  api::Database db(LdbcSchema(), PropertyGraph());
+  auto prepared = db.Prepare(
       "x1, x2 <- (x1, likes/hasCreator/knows+/isLocatedIn+, x2)");
-  if (!query.ok()) return 1;
-
-  auto rewritten = RewriteQuery(*query, schema);
-  if (!rewritten.ok()) return 1;
-  std::printf("UCQT (input):     %s\n", query->ToString().c_str());
-  std::printf("UCQT (rewritten): %s\n\n",
-              rewritten->query.ToString().c_str());
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+  const Ucqt& rewritten = (*prepared)->executable();
+  std::printf("UCQT (input):     %s\n", (*prepared)->query().ToString().c_str());
+  std::printf("UCQT (rewritten): %s\n\n", rewritten.ToString().c_str());
 
   std::printf("---- RRA2SQL, PostgreSQL dialect ----\n");
-  std::printf("%s\n\n", EmitSql(rewritten->query)->c_str());
+  std::printf("%s\n\n", EmitSql(rewritten)->c_str());
 
   SqlOptions view;
   view.as_view = true;
   view.view_name = "reachable_places";
   view.dialect = SqlDialect::kMySql;
   std::printf("---- RRA2SQL, MySQL recursive view ----\n");
-  std::printf("%s\n\n", EmitSql(rewritten->query, view)->c_str());
+  std::printf("%s\n\n", EmitSql(rewritten, view)->c_str());
 
   view.dialect = SqlDialect::kSqlite;
   std::printf("---- RRA2SQL, SQLite view ----\n");
-  std::printf("%s\n\n", EmitSql(rewritten->query, view)->c_str());
+  std::printf("%s\n\n", EmitSql(rewritten, view)->c_str());
 
   std::printf("---- GP2Cypher ----\n");
-  auto cypher = EmitCypher(rewritten->query);
+  auto cypher = EmitCypher(rewritten);
   if (cypher.ok()) {
     std::printf("%s\n\n", cypher->c_str());
   } else {
@@ -50,7 +53,8 @@ int main() {
   }
 
   // A query outside Cypher's UC2RPQ fragment is rejected with a clear
-  // status (paper §5.5: only a restricted fragment is supported).
+  // status (paper §5.5: only a restricted fragment is supported). The
+  // emitter sees the raw parse — no schema enrichment here.
   auto branching = ParseUcqt(
       "x1, x2 <- (x1, (knows & (studyAt/-studyAt))+, x2)");
   auto rejected = EmitCypher(*branching);

@@ -1,32 +1,27 @@
 // Knowledge-graph analytics on the synthetic YAGO dataset: runs a few
-// recursive reachability queries from the paper's workload, showing the
-// rewriting's effect on the relational engine (plans and runtimes).
+// recursive reachability queries from the paper's workload through the
+// api::Database facade, showing the rewriting's effect on the relational
+// engine (plans and runtimes).
 //
-//   $ ./build/examples/yago_analytics [persons]
+//   $ ./build/examples/example_yago_analytics [persons]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/database.h"
 #include "benchsup/harness.h"
-#include "core/rewriter.h"
 #include "datasets/yago.h"
-#include "query/query_parser.h"
-#include "ra/catalog.h"
-#include "ra/explain.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 
 using namespace gqopt;
 
 int main(int argc, char** argv) {
   YagoConfig config;
   config.persons = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1500;
-  PropertyGraph graph = GenerateYago(config);
-  Catalog catalog(graph);
-  GraphSchema schema = YagoSchema();
+  api::Database db(YagoSchema(), GenerateYago(config));
+  api::Session session(db, api::ExecOptions::FromEnv());
   std::printf("YAGO: %zu nodes, %zu edges, %zu edge relations\n\n",
-              graph.num_nodes(), graph.num_edges(),
-              graph.num_edge_labels());
+              db.graph().num_nodes(), db.graph().num_edges(),
+              db.graph().num_edge_labels());
 
   struct Scenario {
     const char* question;
@@ -41,27 +36,30 @@ int main(int argc, char** argv) {
        "x1, x2 <- (x1, hasChild+/wasBornIn, x2)"},
   };
 
-  HarnessOptions options = HarnessOptions::FromEnv();
   for (const Scenario& scenario : scenarios) {
     std::printf("Q: %s\n", scenario.question);
-    auto query = ParseUcqt(scenario.query);
-    if (!query.ok()) return 1;
-    auto rewritten = RewriteQuery(*query, schema);
-    if (!rewritten.ok()) return 1;
+    auto prepared = session.Prepare(scenario.query);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare: %s\n",
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const api::PreparedQuery& query = **prepared;
 
-    std::printf("   baseline:  %s\n", query->ToString().c_str());
-    if (rewritten->reverted) {
+    std::printf("   baseline:  %s\n", query.query().ToString().c_str());
+    if (query.rewrite().reverted) {
       std::printf("   rewritten: (reverted — schema adds nothing)\n");
     } else {
       std::printf("   rewritten: %s\n",
-                  rewritten->query.ToString().c_str());
+                  query.executable().ToString().c_str());
     }
 
-    RunMeasurement baseline = MeasureRelational(catalog, *query, options);
+    RunMeasurement baseline =
+        MeasureRelational(db, query.query(), session.options());
     RunMeasurement enriched =
-        rewritten->reverted
+        query.rewrite().reverted
             ? baseline
-            : MeasureRelational(catalog, rewritten->query, options);
+            : MeasureRelational(db, query.executable(), session.options());
     auto render = [](const RunMeasurement& m) {
       return m.feasible ? FormatSeconds(m.seconds) + " s ("
                               + std::to_string(m.result_rows) + " rows)"
@@ -71,11 +69,11 @@ int main(int argc, char** argv) {
     std::printf("   schema run:    %s\n\n", render(enriched).c_str());
   }
 
-  // Show one optimized plan in EXPLAIN form.
-  auto query = ParseUcqt("x1, x2 <- (x1, owns/isLocatedIn+, x2)");
-  auto rewritten = RewriteQuery(*query, schema);
-  auto plan = UcqtToRa(rewritten->query);
+  // Show one optimized plan in EXPLAIN form — the facade exposes it
+  // without re-running parse/rewrite/plan (this Prepare is a cache hit).
+  auto prepared = session.Prepare("x1, x2 <- (x1, owns/isLocatedIn+, x2)");
+  if (!prepared.ok()) return 1;
   std::printf("Optimized plan for the rewritten owns/isLocatedIn+:\n%s",
-              ExplainPlan(OptimizePlan(*plan, catalog), catalog).c_str());
+              (*prepared)->Explain().c_str());
   return 0;
 }

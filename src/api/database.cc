@@ -1,0 +1,291 @@
+#include "api/database.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "graph/graph_io.h"
+#include "query/query_parser.h"
+#include "ra/executor.h"
+#include "ra/explain.h"
+#include "ra/optimizer.h"
+#include "ra/ucqt_to_ra.h"
+#include "schema/schema_parser.h"
+
+namespace gqopt {
+namespace api {
+namespace {
+
+double Now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+Status StageError(QueryStage stage, const Status& status) {
+  return Status(status.code(), std::string(QueryStageName(stage)) + ": " +
+                                   status.message());
+}
+
+// Builds "<prefix>(database generation <now>, prepared at generation
+// <then>)<suffix>" via append (operator+ chains trip a GCC 12 -Wrestrict
+// false positive here).
+std::string StaleMessage(const char* prefix, uint64_t now, uint64_t then,
+                         const char* suffix) {
+  std::string out(prefix);
+  out.append("(database generation ");
+  out.append(std::to_string(now));
+  out.append(", prepared at generation ");
+  out.append(std::to_string(then));
+  out.append(")");
+  out.append(suffix);
+  return out;
+}
+
+/// The plan-affecting option fields, folded into the cache key so two
+/// sessions with different planning knobs never share a plan.
+std::string PlanFingerprint(const ExecOptions& options) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "r%d p%d jr%d fs%d dop%d pb%lld|",
+                options.apply_schema_rewrite ? 1 : 0,
+                static_cast<int>(options.planner),
+                options.enable_join_reorder ? 1 : 0,
+                options.enable_fixpoint_seeding ? 1 : 0, options.dop,
+                static_cast<long long>(options.planning_budget_ms));
+  return buf;
+}
+
+}  // namespace
+
+QueryStage ClassifyError(const Status& status) {
+  const std::string& message = status.message();
+  if (message.starts_with("parse: ")) return QueryStage::kParse;
+  if (message.starts_with("rewrite: ")) return QueryStage::kRewrite;
+  if (message.starts_with("plan: ")) return QueryStage::kPlan;
+  return QueryStage::kExecute;
+}
+
+std::string_view QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kParse:
+      return "parse";
+    case QueryStage::kRewrite:
+      return "rewrite";
+    case QueryStage::kPlan:
+      return "plan";
+    case QueryStage::kExecute:
+      return "execute";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<NodeId>> QueryResult::SortedRows() const {
+  Table sorted = table;
+  sorted.SortDistinct();
+  std::vector<std::vector<NodeId>> rows;
+  rows.reserve(sorted.rows());
+  for (size_t r = 0; r < sorted.rows(); ++r) {
+    std::vector<NodeId> row;
+    row.reserve(sorted.arity());
+    for (size_t c = 0; c < sorted.arity(); ++c) row.push_back(sorted.At(r, c));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---- PreparedQuery ---------------------------------------------------------
+
+std::string PreparedQuery::Explain() const {
+  if (generation_ != db_->generation()) {
+    // Estimating the old plan against the changed catalog would print
+    // confidently wrong numbers; report the staleness instead.
+    return StaleMessage("stale prepared query ", db_->generation(),
+                        generation_, "; re-prepare\n");
+  }
+  return ExplainPlan(plan_, db_->catalog());
+}
+
+Result<std::string> PreparedQuery::ExplainAnalyze(
+    const Session& session) const {
+  if (&session.database() != db_) {
+    return Status::InvalidArgument(
+        "execute: session belongs to a different Database");
+  }
+  if (generation_ != db_->generation()) {
+    return Status::InvalidArgument(StaleMessage(
+        "execute: stale prepared query ", db_->generation(), generation_,
+        ""));
+  }
+  Executor executor(db_->catalog());
+  auto table = executor.Run(plan_, session.options().MakeExecContext());
+  if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
+  std::string out =
+      ExplainPlanAnalyze(plan_, db_->catalog(), executor.actual_rows());
+  out.append("(");
+  out.append(std::to_string(table->rows()));
+  out.append(" result rows)\n");
+  return out;
+}
+
+Result<QueryResult> PreparedQuery::Execute(const Session& session) const {
+  if (&session.database() != db_) {
+    return Status::InvalidArgument(
+        "execute: session belongs to a different Database");
+  }
+  if (generation_ != db_->generation()) {
+    return Status::InvalidArgument(StaleMessage(
+        "execute: stale prepared query ", db_->generation(), generation_,
+        ""));
+  }
+  Executor executor(db_->catalog());
+  double start = Now();
+  auto table = executor.Run(plan_, session.options().MakeExecContext());
+  double elapsed = Now() - start;
+  if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
+  QueryResult result;
+  result.table = std::move(table).value();
+  result.exec_seconds = elapsed;
+  result.plan_operators = executor.actual_rows().size();
+  for (const auto& [node, rows] : executor.actual_rows()) {
+    result.rows_processed += rows;
+  }
+  return result;
+}
+
+// ---- Database --------------------------------------------------------------
+
+Database::Database() : Database(GraphSchema(), PropertyGraph()) {}
+
+Database::Database(GraphSchema schema, PropertyGraph graph)
+    : schema_(std::move(schema)), graph_(std::move(graph)) {}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& schema_path, const std::string& graph_path) {
+  GQOPT_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
+  GQOPT_ASSIGN_OR_RETURN(std::string graph_text, ReadFile(graph_path));
+  GQOPT_ASSIGN_OR_RETURN(GraphSchema schema, ParseSchema(schema_text));
+  GQOPT_ASSIGN_OR_RETURN(PropertyGraph graph, ReadGraphText(graph_text));
+  return std::make_unique<Database>(std::move(schema), std::move(graph));
+}
+
+void Database::Use(GraphSchema schema, PropertyGraph graph) {
+  schema_ = std::move(schema);
+  graph_ = std::move(graph);
+  Mutated();
+}
+
+NodeId Database::AddNode(std::string_view label,
+                         std::vector<Property> properties) {
+  NodeId id = graph_.AddNode(label, std::move(properties));
+  Mutated();
+  return id;
+}
+
+Status Database::AddEdge(NodeId source, std::string_view label,
+                         NodeId target) {
+  GQOPT_RETURN_NOT_OK(graph_.AddEdge(source, label, target));
+  Mutated();
+  return Status::OK();
+}
+
+void Database::RefreshStatistics() {
+  // Plans were costed under the old statistics; outstanding handles stay
+  // executable (the generation is unchanged) but the cache must re-plan.
+  catalog_stale_ = true;
+  cache_.Invalidate();
+}
+
+void Database::Mutated() {
+  // The catalog rebuild is deferred to the next catalog() access, so a
+  // bulk load pays one rebuild at its first query instead of one per
+  // AddNode/AddEdge (Catalog's constructor finalizes — re-sorts — the
+  // graph's adjacency indexes).
+  catalog_stale_ = true;
+  ++generation_;
+  cache_.Invalidate();
+}
+
+Result<PreparedQueryPtr> Database::Prepare(std::string_view text,
+                                           const ExecOptions& options,
+                                           bool* cache_hit) const {
+  std::string key =
+      "t|" + PlanFingerprint(options) + NormalizeQueryText(text);
+  return PrepareInternal(key, nullptr, text, options, cache_hit);
+}
+
+Result<PreparedQueryPtr> Database::Prepare(const Ucqt& query,
+                                           const ExecOptions& options,
+                                           bool* cache_hit) const {
+  // Keyed by the canonical rendering in a namespace of its own: the
+  // rendering is a stable identity but not guaranteed to re-parse, so it
+  // must never collide with text-keyed entries.
+  std::string key = "q|" + PlanFingerprint(options) + query.ToString();
+  return PrepareInternal(key, &query, {}, options, cache_hit);
+}
+
+Result<PreparedQueryPtr> Database::PrepareInternal(
+    const std::string& key, const Ucqt* parsed, std::string_view text,
+    const ExecOptions& options, bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (options.use_plan_cache) {
+    if (PreparedQueryPtr cached = cache_.Lookup(key)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return cached;
+    }
+  }
+
+  auto prepared = std::make_shared<PreparedQuery>(PreparedQuery());
+  prepared->db_ = this;
+  prepared->generation_ = generation_;
+
+  if (parsed != nullptr) {
+    prepared->query_ = *parsed;
+    prepared->text_ = parsed->ToString();
+  } else {
+    auto query = ParseUcqt(text);
+    if (!query.ok()) return StageError(QueryStage::kParse, query.status());
+    prepared->query_ = std::move(query).value();
+    prepared->text_ = NormalizeQueryText(text);
+  }
+
+  if (options.apply_schema_rewrite) {
+    auto rewritten = RewriteQuery(prepared->query_, schema_);
+    if (!rewritten.ok()) {
+      return StageError(QueryStage::kRewrite, rewritten.status());
+    }
+    prepared->rewrite_ = std::move(rewritten).value();
+  } else {
+    prepared->rewrite_.query = prepared->query_;
+    prepared->rewrite_.reverted = true;
+  }
+
+  auto plan = UcqtToRa(prepared->executable());
+  if (!plan.ok()) return StageError(QueryStage::kPlan, plan.status());
+  prepared->plan_ =
+      OptimizePlan(plan.value(), catalog(), options.ToOptimizerOptions());
+
+  PreparedQueryPtr shared = std::move(prepared);
+  if (options.use_plan_cache) cache_.Insert(key, shared);
+  return shared;
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(const Database& db, ExecOptions options)
+    : db_(&db), options_(std::move(options)) {}
+
+Result<PreparedQueryPtr> Session::Prepare(std::string_view text,
+                                          bool* cache_hit) const {
+  return db_->Prepare(text, options_, cache_hit);
+}
+
+Result<QueryResult> Session::Query(std::string_view text) const {
+  bool cache_hit = false;
+  GQOPT_ASSIGN_OR_RETURN(PreparedQueryPtr prepared,
+                         db_->Prepare(text, options_, &cache_hit));
+  GQOPT_ASSIGN_OR_RETURN(QueryResult result, prepared->Execute(*this));
+  result.plan_cache_hit = cache_hit;
+  return result;
+}
+
+}  // namespace api
+}  // namespace gqopt

@@ -1,0 +1,268 @@
+// The library front door (docs/API.md): one stable facade owning the whole
+// query lifecycle of the paper's pipeline,
+//
+//   text --parse--> Ucqt --schema rewrite--> Ucqt --UCQT2RRA--> RRA plan
+//        --optimize--> annotated plan --execute--> QueryResult
+//
+// split across three handle types:
+//   Database       schema + PropertyGraph + Catalog/statistics + the
+//                  shape-keyed plan cache; the only mutation point.
+//   Session        a caller's ExecOptions bundle (env knobs are read once,
+//                  at session creation, never per command).
+//   PreparedQuery  immutable product of Prepare(): parse + rewrite + plan
+//                  ran exactly once; Execute() any number of times.
+//
+// Everything below src/api (core/rewriter.h, ra/ucqt_to_ra.h,
+// ra/optimizer.h) is an implementation layer: code outside src/ goes
+// through this facade (or api/stages.h for white-box tests and benches).
+
+#ifndef GQOPT_API_DATABASE_H_
+#define GQOPT_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/options.h"
+#include "api/plan_cache.h"
+#include "core/rewriter.h"
+#include "graph/property_graph.h"
+#include "query/ucqt.h"
+#include "ra/catalog.h"
+#include "ra/ra_expr.h"
+#include "ra/table.h"
+#include "schema/graph_schema.h"
+#include "util/status.h"
+
+namespace gqopt {
+namespace api {
+
+class Database;
+class Session;
+
+/// Which pipeline stage a failed Status came from. Stages are encoded as
+/// stable message prefixes ("parse: ", "rewrite: ", "plan: ",
+/// "execute: ") so callers can branch on the failure class without
+/// string-matching ad hoc.
+enum class QueryStage : uint8_t { kParse, kRewrite, kPlan, kExecute };
+
+/// Classifies a non-OK Status returned by Prepare/Execute. Statuses
+/// without a stage prefix (e.g. raised by lower layers directly) classify
+/// as kExecute, the only stage that can surface them.
+QueryStage ClassifyError(const Status& status);
+
+/// Human-readable stage name ("parse", "rewrite", "plan", "execute").
+std::string_view QueryStageName(QueryStage stage);
+
+/// One execution's output: rows plus the counters and timing a serving
+/// layer wants to log per request.
+struct QueryResult {
+  /// Result rows; columns are the query's head variables in order.
+  Table table;
+  /// Wall-clock seconds spent executing (planning excluded — it happened
+  /// at Prepare time, possibly in another request entirely).
+  double exec_seconds = 0;
+  /// True when the plan came from the Database plan cache (set on results
+  /// produced via Session::Query; Execute on an explicit handle leaves it
+  /// false because the prepare step happened elsewhere).
+  bool plan_cache_hit = false;
+  /// Distinct plan operators evaluated (memoized duplicates count once).
+  size_t plan_operators = 0;
+  /// Total rows produced across all operators — a work proxy.
+  uint64_t rows_processed = 0;
+
+  size_t rows() const { return table.rows(); }
+  /// Rows sorted lexicographically with duplicates dropped; the canonical
+  /// form for result-identity comparisons.
+  std::vector<std::vector<NodeId>> SortedRows() const;
+};
+
+/// \brief Immutable, shareable product of Database::Prepare.
+///
+/// Parse, typecheck, schema rewrite, UCQT→RA translation and optimization
+/// ran exactly once; the handle can be executed any number of times
+/// (Execute creates per-call executor state — see the threading note on
+/// Database). Handles are snapshots of a Database generation: after the
+/// graph mutates or the dataset is swapped, Execute refuses with an
+/// "execute: stale" status (and Explain reports the staleness instead of
+/// rendering against the changed catalog) and the caller re-prepares.
+class PreparedQuery {
+ public:
+  /// The cache-key text this query was prepared from (normalized input
+  /// text, or the canonical rendering when prepared from a Ucqt).
+  const std::string& text() const { return text_; }
+  /// The parsed query before schema enrichment.
+  const Ucqt& query() const { return query_; }
+  /// The schema rewrite outcome (reverted/unsatisfiable flags, closure
+  /// stats). Trivially "reverted" when the rewrite was disabled.
+  const RewriteResult& rewrite() const { return rewrite_; }
+  /// The query the plan was built from: the enriched query, or the input
+  /// when the rewrite reverted.
+  const Ucqt& executable() const {
+    return rewrite_.reverted ? query_ : rewrite_.query;
+  }
+  /// The optimized, strategy-annotated RRA plan.
+  const RaExprPtr& plan() const { return plan_; }
+  /// Output column names (the head variables, in order).
+  const std::vector<std::string>& columns() const {
+    return query_.head_vars;
+  }
+  /// Database generation this plan was prepared against.
+  uint64_t generation() const { return generation_; }
+
+  /// Renders the plan with estimated cost/rows (docs/EXPLAIN.md), or a
+  /// one-line staleness notice when the database has changed since
+  /// Prepare (the old plan must never be costed against the new data).
+  std::string Explain() const;
+
+  /// Runs the plan under the session's ExecOptions (fresh deadline per
+  /// call) and renders it with "rows = est/actual" annotations, followed
+  /// by a "(N result rows)" line.
+  Result<std::string> ExplainAnalyze(const Session& session) const;
+
+  /// Executes the plan under the session's ExecOptions. A fresh deadline
+  /// starts at this call; `timeout_ms <= 0` runs without one.
+  Result<QueryResult> Execute(const Session& session) const;
+
+ private:
+  friend class Database;
+  PreparedQuery() = default;
+
+  const Database* db_ = nullptr;
+  uint64_t generation_ = 0;
+  std::string text_;
+  Ucqt query_;
+  RewriteResult rewrite_;
+  RaExprPtr plan_;
+};
+
+using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
+
+/// \brief Schema + graph + catalog/statistics + plan cache: the stable
+/// entry point for every consumer (CLI, examples, benches, tests).
+///
+/// A Database is pinned in memory (not copyable or movable) because
+/// Sessions and PreparedQuery handles point back into it.
+///
+/// Threading: the plan cache is mutex-guarded, but the layers below keep
+/// lazy, unsynchronized caches (the catalog rebuild, per-label edge
+/// tables, CSR indexes) populated on first touch — so today a Database
+/// must be driven from one thread at a time. A synchronized serving loop
+/// is ROADMAP work; the facade's shared immutable PreparedQuery state is
+/// designed for it.
+class Database {
+ public:
+  /// An empty database (no schema, no nodes) — populate with Use() or the
+  /// mutators.
+  Database();
+  /// Adopts a schema and a graph (e.g. from the YAGO/LDBC generators).
+  Database(GraphSchema schema, PropertyGraph graph);
+
+  /// Loads the text formats of schema_parser.h and graph_io.h from disk.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& schema_path, const std::string& graph_path);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const GraphSchema& schema() const { return schema_; }
+  const PropertyGraph& graph() const { return graph_; }
+  /// The relational catalog over the current graph. Rebuilt lazily after
+  /// mutations, so bulk loading through AddNode/AddEdge costs one
+  /// rebuild at the next query, not one per call.
+  const Catalog& catalog() const {
+    if (catalog_ == nullptr || catalog_stale_) {
+      catalog_ = std::make_unique<Catalog>(graph_);
+      catalog_stale_ = false;
+    }
+    return *catalog_;
+  }
+  /// Bumped by every mutation; PreparedQuery handles from older
+  /// generations refuse to execute.
+  uint64_t generation() const { return generation_; }
+
+  /// Swaps in a new dataset (schema + graph). Invalidates the plan cache
+  /// and all outstanding PreparedQuery handles.
+  void Use(GraphSchema schema, PropertyGraph graph);
+
+  /// Graph mutations; each marks the catalog stale (it rebuilds lazily,
+  /// statistics re-collect on first use), invalidates the plan cache and
+  /// bumps the generation.
+  NodeId AddNode(std::string_view label, std::vector<Property> properties = {});
+  Status AddEdge(NodeId source, std::string_view label, NodeId target);
+
+  /// Drops the cached statistics so they re-collect from the current
+  /// graph, and invalidates the plan cache (cached plans were costed
+  /// under the old statistics). Outstanding handles stay executable.
+  void RefreshStatistics();
+
+  /// Parse + typecheck + schema rewrite + translate + optimize, or a plan
+  /// cache hit skipping all of it. Errors carry a stage prefix (see
+  /// ClassifyError). `cache_hit`, when non-null, reports whether the
+  /// returned handle came from the cache.
+  Result<PreparedQueryPtr> Prepare(std::string_view text,
+                                   const ExecOptions& options = {},
+                                   bool* cache_hit = nullptr) const;
+
+  /// Same, from an already-parsed query (keyed by its canonical
+  /// rendering). Used by the measurement harness.
+  Result<PreparedQueryPtr> Prepare(const Ucqt& query,
+                                   const ExecOptions& options = {},
+                                   bool* cache_hit = nullptr) const;
+
+  PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
+  /// Explicit enable/disable; overrides the GQOPT_PLAN_CACHE default.
+  void set_plan_cache_enabled(bool enabled) { cache_.set_enabled(enabled); }
+  void ClearPlanCache() { cache_.Invalidate(); }
+
+ private:
+  Result<PreparedQueryPtr> PrepareInternal(const std::string& key,
+                                           const Ucqt* parsed,
+                                           std::string_view text,
+                                           const ExecOptions& options,
+                                           bool* cache_hit) const;
+  /// Marks the catalog stale, bumps the generation and invalidates the
+  /// plan cache.
+  void Mutated();
+
+  GraphSchema schema_;
+  PropertyGraph graph_;
+  // Lazily (re)built by catalog(); stale after mutations.
+  mutable std::unique_ptr<Catalog> catalog_;
+  mutable bool catalog_stale_ = false;
+  uint64_t generation_ = 0;
+  mutable PlanCache cache_;
+};
+
+/// \brief A caller's options bundle over a Database.
+///
+/// The ExecOptions are fixed at session creation: environment knobs are
+/// read exactly once (via ExecOptions::FromEnv(), if the caller opts in),
+/// never re-read per command. See api/options.h for the precedence rule.
+class Session {
+ public:
+  explicit Session(const Database& db, ExecOptions options = ExecOptions());
+
+  const Database& database() const { return *db_; }
+  const ExecOptions& options() const { return options_; }
+  /// Adjust options mid-session (explicit assignment — highest
+  /// precedence). Affects subsequent Prepare/Execute calls only.
+  ExecOptions& options() { return options_; }
+
+  /// Database::Prepare under this session's options.
+  Result<PreparedQueryPtr> Prepare(std::string_view text,
+                                   bool* cache_hit = nullptr) const;
+
+  /// Prepare (cached) + Execute in one call; the serving fast path.
+  Result<QueryResult> Query(std::string_view text) const;
+
+ private:
+  const Database* db_;
+  ExecOptions options_;
+};
+
+}  // namespace api
+}  // namespace gqopt
+
+#endif  // GQOPT_API_DATABASE_H_

@@ -1,0 +1,80 @@
+// The one knob home for the public query API (docs/API.md): every
+// execution- and planning-time setting the layers below read from
+// scattered structs or environment variables is an explicit field here.
+//
+// Precedence (documented once, enforced everywhere):
+//   1. explicit field assignment on an ExecOptions value   (highest)
+//   2. the environment, applied only by ExecOptions::FromEnv()
+//   3. the defaults below                                  (lowest)
+//
+// A default-constructed ExecOptions never reads the environment; callers
+// that want the ambient GQOPT_* knobs opt in with FromEnv() and can then
+// still override individual fields (explicit beats env beats default).
+
+#ifndef GQOPT_API_OPTIONS_H_
+#define GQOPT_API_OPTIONS_H_
+
+#include <cstdint>
+
+#include "ra/optimizer.h"
+#include "util/exec_context.h"
+
+namespace gqopt {
+namespace api {
+
+/// \brief Per-session options covering the whole query lifecycle.
+///
+/// Environment variables read by FromEnv() (and only by FromEnv):
+///   GQOPT_TIMEOUT_MS   per-execution deadline in ms   (field timeout_ms)
+///   GQOPT_REPS         measurement repetitions        (field repetitions)
+///   GQOPT_DOP          degree of parallelism          (field dop)
+///   GQOPT_PLANNER      "greedy" or "dp"               (field planner)
+///   GQOPT_PLAN_CACHE   "0" disables plan-cache use    (field use_plan_cache)
+struct ExecOptions {
+  // ---- execution-time knobs ------------------------------------------
+  /// Per-execution deadline in milliseconds; <= 0 means no deadline.
+  /// Every Execute()/ExplainAnalyze() call starts a fresh deadline.
+  int64_t timeout_ms = 2000;
+  /// Degree of parallelism for the partitioned executor paths (1 =
+  /// serial). Also the "p=N" hint plans are costed for.
+  int dop = 1;
+  /// Input rows below which parallel operators degrade to serial.
+  size_t parallel_min_rows = kParallelMinRows;
+  /// Repetitions averaged by the measurement helpers (benchsup/harness);
+  /// PreparedQuery::Execute always runs exactly once.
+  int repetitions = 3;
+
+  // ---- planning-time knobs (part of the plan-cache key) --------------
+  /// Join-order planner for join clusters.
+  PlannerKind planner = PlannerKind::kDp;
+  /// Optimizer ablations (see OptimizerOptions).
+  bool enable_join_reorder = true;
+  bool enable_fixpoint_seeding = true;
+  /// Planning-time budget in milliseconds; 0 = unbounded. On expiry the
+  /// DP enumerator falls back to the greedy pass mid-plan.
+  int64_t planning_budget_ms = 0;
+  /// Apply the schema-based rewrite during Prepare. The measurement
+  /// helpers disable this to run a caller-supplied query verbatim.
+  bool apply_schema_rewrite = true;
+  /// Consult/populate the Database plan cache in Prepare. Independent of
+  /// the cache's Database-level enable switch; both must be on for a hit.
+  bool use_plan_cache = true;
+
+  /// Defaults overlaid with the GQOPT_* environment knobs above. The
+  /// environment is read fresh on every call (no cached statics), so
+  /// explicit setters applied afterwards always win.
+  static ExecOptions FromEnv();
+
+  /// The optimizer view of these options. `planning_deadline` starts
+  /// counting from this call, so convert immediately before planning.
+  OptimizerOptions ToOptimizerOptions() const;
+
+  /// The executor view of these options with a fresh execution deadline
+  /// (started at this call).
+  ExecContext MakeExecContext() const;
+};
+
+}  // namespace api
+}  // namespace gqopt
+
+#endif  // GQOPT_API_OPTIONS_H_

@@ -1,0 +1,78 @@
+#include "api/plan_cache.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gqopt {
+namespace api {
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+PlanCache::PlanCache() {
+  const char* env = std::getenv("GQOPT_PLAN_CACHE");
+  stats_.enabled = env == nullptr || std::string_view(env) != "0";
+}
+
+void PlanCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.enabled = enabled;
+  if (!enabled) entries_.clear();
+}
+
+bool PlanCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.enabled;
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.enabled) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const PreparedQuery> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stats_.enabled) return;
+  entries_[key] = std::move(entry);
+}
+
+void PlanCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  ++stats_.invalidations;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats snapshot = stats_;
+  snapshot.entries = entries_.size();
+  return snapshot;
+}
+
+}  // namespace api
+}  // namespace gqopt

@@ -1,0 +1,73 @@
+// Shape-keyed plan cache for the Database facade: normalized query text
+// (plus a fingerprint of the plan-affecting options) maps to the shared
+// immutable PreparedQuery state, so repeated traffic skips parse, rewrite
+// and planning entirely. Hit/miss/invalidation counters make the cache's
+// behavior observable (CLI `cache` command, tests/api_test.cc).
+
+#ifndef GQOPT_API_PLAN_CACHE_H_
+#define GQOPT_API_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gqopt {
+namespace api {
+
+class PreparedQuery;
+
+/// Observable cache state; a consistent snapshot under the cache mutex.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          // counted even while disabled
+  uint64_t invalidations = 0;   // full clears (mutation, swap, refresh)
+  size_t entries = 0;
+  bool enabled = true;
+};
+
+/// Canonical cache-key text: whitespace runs collapse to one space and
+/// leading/trailing whitespace is dropped, so formatting variants of the
+/// same query share one plan. (Conservative: spacing differences around
+/// punctuation still produce distinct keys — a miss, never a wrong hit.)
+std::string NormalizeQueryText(std::string_view text);
+
+/// \brief Thread-safe map from cache key to shared PreparedQuery state.
+///
+/// Enabled by default; GQOPT_PLAN_CACHE=0 in the environment disables it
+/// at construction, and set_enabled() (the explicit setter) overrides the
+/// environment either way. Lookups while disabled always miss and Insert
+/// is a no-op, so the counters stay meaningful in both modes.
+class PlanCache {
+ public:
+  PlanCache();
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Returns the cached entry (counting a hit) or nullptr (counting a
+  /// miss — also when disabled).
+  std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
+
+  /// Stores `entry` under `key` (no-op while disabled).
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedQuery> entry);
+
+  /// Drops every entry and counts one invalidation.
+  void Invalidate();
+
+  PlanCacheStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  PlanCacheStats stats_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
+      entries_;
+};
+
+}  // namespace api
+}  // namespace gqopt
+
+#endif  // GQOPT_API_PLAN_CACHE_H_

@@ -1,0 +1,24 @@
+// White-box access to the individual pipeline stages behind the facade:
+// parse (query/query_parser.h), schema rewrite (core/rewriter.h), UCQT→RA
+// translation (ra/ucqt_to_ra.h), plan optimization (ra/optimizer.h) and
+// execution (ra/executor.h, ra/explain.h).
+//
+// Application code uses api/database.h — the Database/Session/
+// PreparedQuery facade — and never touches these layers directly. Unit
+// tests, micro-benchmarks and ablation studies that deliberately exercise
+// one stage in isolation include this header instead of reaching into the
+// internal layers themselves, keeping src/api the single front door: no
+// file outside src/ includes core/rewriter.h, ra/ucqt_to_ra.h or
+// ra/optimizer.h directly.
+
+#ifndef GQOPT_API_STAGES_H_
+#define GQOPT_API_STAGES_H_
+
+#include "core/rewriter.h"     // IWYU pragma: export
+#include "query/query_parser.h"  // IWYU pragma: export
+#include "ra/executor.h"       // IWYU pragma: export
+#include "ra/explain.h"        // IWYU pragma: export
+#include "ra/optimizer.h"      // IWYU pragma: export
+#include "ra/ucqt_to_ra.h"     // IWYU pragma: export
+
+#endif  // GQOPT_API_STAGES_H_

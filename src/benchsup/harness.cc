@@ -1,11 +1,10 @@
 #include "benchsup/harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 
-#include "ra/executor.h"
-#include "ra/ucqt_to_ra.h"
+#include "eval/graph_engine.h"
 #include "util/deadline.h"
 
 namespace gqopt {
@@ -19,55 +18,43 @@ double Now() {
 
 }  // namespace
 
-HarnessOptions HarnessOptions::FromEnv() {
-  HarnessOptions options;
-  if (const char* timeout = std::getenv("GQOPT_TIMEOUT_MS")) {
-    options.timeout_ms = std::strtoll(timeout, nullptr, 10);
-  }
-  if (const char* reps = std::getenv("GQOPT_REPS")) {
-    options.repetitions = static_cast<int>(std::strtol(reps, nullptr, 10));
-    if (options.repetitions < 1) options.repetitions = 1;
-  }
-  return options;
-}
-
-RunMeasurement MeasureRelational(const Catalog& catalog, const Ucqt& query,
-                                 const HarnessOptions& options) {
+RunMeasurement MeasureRelational(const api::Database& db, const Ucqt& query,
+                                 const api::ExecOptions& options) {
   RunMeasurement out;
-  auto plan_result = UcqtToRa(query);
-  if (!plan_result.ok()) {
-    out.error = plan_result.status().ToString();
+  // The caller hands over the exact query to measure (baseline or already
+  // schema-enriched), so the facade must not enrich it again.
+  api::ExecOptions prepare_options = options;
+  prepare_options.apply_schema_rewrite = false;
+  auto prepared = db.Prepare(query, prepare_options);
+  if (!prepared.ok()) {
+    out.error = prepared.status().ToString();
     return out;
   }
-  RaExprPtr plan =
-      OptimizePlan(plan_result.value(), catalog, options.optimizer);
-
+  api::Session session(db, prepare_options);
+  int repetitions = std::max(1, options.repetitions);
   double total = 0;
-  Executor executor(catalog);
-  for (int rep = 0; rep < options.repetitions; ++rep) {
-    Deadline deadline = Deadline::AfterMillis(options.timeout_ms);
-    double start = Now();
-    auto table = executor.Run(plan, deadline);
-    double elapsed = Now() - start;
-    if (!table.ok()) {
-      out.error = table.status().ToString();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    auto result = (*prepared)->Execute(session);
+    if (!result.ok()) {
+      out.error = result.status().ToString();
       out.feasible = false;
       return out;
     }
-    out.result_rows = table->rows();
-    total += elapsed;
+    out.result_rows = result->rows();
+    total += result->exec_seconds;
   }
   out.feasible = true;
-  out.seconds = total / options.repetitions;
+  out.seconds = total / repetitions;
   return out;
 }
 
-RunMeasurement MeasureGraph(const PropertyGraph& graph, const Ucqt& query,
-                            const HarnessOptions& options) {
+RunMeasurement MeasureGraph(const api::Database& db, const Ucqt& query,
+                            const api::ExecOptions& options) {
   RunMeasurement out;
-  GraphEngine engine(graph);
+  GraphEngine engine(db.graph());
+  int repetitions = std::max(1, options.repetitions);
   double total = 0;
-  for (int rep = 0; rep < options.repetitions; ++rep) {
+  for (int rep = 0; rep < repetitions; ++rep) {
     Deadline deadline = Deadline::AfterMillis(options.timeout_ms);
     double start = Now();
     auto result = engine.Run(query, deadline);
@@ -81,7 +68,7 @@ RunMeasurement MeasureGraph(const PropertyGraph& graph, const Ucqt& query,
     total += elapsed;
   }
   out.feasible = true;
-  out.seconds = total / options.repetitions;
+  out.seconds = total / repetitions;
   return out;
 }
 

@@ -1,6 +1,12 @@
 // Benchmark harness (paper §5.1.5): timed query runs with a per-query
 // timeout, repetition averaging, and the feasibility bookkeeping behind
 // Tab 5 / Tab 7 / Tab 8 / Fig 12-14.
+//
+// Measurements run through the api::Database facade: the plan is prepared
+// once (outside the timed region, exactly like the old hand-wired
+// UcqtToRa + OptimizePlan preamble) and executed `repetitions` times.
+// Options live in api::ExecOptions — the single knob home — with
+// ExecOptions::FromEnv() standing in for the old HarnessOptions::FromEnv.
 
 #ifndef GQOPT_BENCHSUP_HARNESS_H_
 #define GQOPT_BENCHSUP_HARNESS_H_
@@ -9,11 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "api/database.h"
 #include "core/rewriter.h"
-#include "eval/graph_engine.h"
 #include "query/ucqt.h"
-#include "ra/catalog.h"
-#include "ra/optimizer.h"
 #include "util/stats.h"
 
 namespace gqopt {
@@ -32,31 +36,16 @@ struct RunMeasurement {
   std::string error;       // timeout/exhaustion detail when infeasible
 };
 
-/// Harness configuration; defaults read the environment:
-///   GQOPT_TIMEOUT_MS  per-query timeout (default 2000; paper: 30 min)
-///   GQOPT_REPS        repetitions averaged per measurement (default 3;
-///                     paper: 5)
-struct HarnessOptions {
-  int64_t timeout_ms = 2000;
-  int repetitions = 3;
-  /// Plan optimizer profile. The experiment benches disable fixpoint
-  /// seeding to model the paper's PostgreSQL backend (recursive CTEs are
-  /// evaluated without pushing outer bindings into the recursion); keeping
-  /// it enabled models a µ-RA-class engine and is covered by the ablation
-  /// bench.
-  OptimizerOptions optimizer;
+/// Runs `query` on the relational engine via the facade: prepared once
+/// (schema rewriting disabled — callers pass the exact query to measure,
+/// baseline or pre-enriched), executed `options.repetitions` times with a
+/// fresh `options.timeout_ms` deadline per repetition.
+RunMeasurement MeasureRelational(const api::Database& db, const Ucqt& query,
+                                 const api::ExecOptions& options);
 
-  /// Reads the environment overrides.
-  static HarnessOptions FromEnv();
-};
-
-/// Runs `query` on the relational engine: UCQT2RRA + optimizer + executor.
-RunMeasurement MeasureRelational(const Catalog& catalog, const Ucqt& query,
-                                 const HarnessOptions& options);
-
-/// Runs `query` on the graph engine.
-RunMeasurement MeasureGraph(const PropertyGraph& graph, const Ucqt& query,
-                            const HarnessOptions& options);
+/// Runs `query` on the graph engine over the database's graph.
+RunMeasurement MeasureGraph(const api::Database& db, const Ucqt& query,
+                            const api::ExecOptions& options);
 
 /// Rewrites `query` against `schema` and returns the query to execute for
 /// the schema-based approach (the input itself when the rewrite reverts),

@@ -4,14 +4,12 @@
 
 #include <gtest/gtest.h>
 
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "datasets/yago.h"
 #include "eval/aggregate.h"
 #include "query/query_parser.h"
 #include "ra/catalog.h"
 #include "ra/executor.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 #include "test_fixtures.h"
 
 namespace gqopt {

@@ -6,7 +6,7 @@
 
 #include <set>
 
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "datasets/ldbc.h"
 #include "datasets/workloads.h"
 #include "datasets/yago.h"

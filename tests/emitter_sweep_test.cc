@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "datasets/ldbc.h"
 #include "datasets/workloads.h"
 #include "datasets/yago.h"

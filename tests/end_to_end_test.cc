@@ -1,55 +1,52 @@
-// Integration: the full experiment pipeline at miniature scale — every
-// workload query runs on both engines, baseline vs schema-enriched, and
-// must produce identical result sets (the soundness/completeness claim on
-// the real workloads rather than random ones).
+// Integration: the full experiment pipeline at miniature scale, driven
+// through the api::Database facade — every workload query runs on both
+// engines, baseline vs schema-enriched, and must produce identical result
+// sets (the soundness/completeness claim on the real workloads rather
+// than random ones).
 
 #include <gtest/gtest.h>
 
+#include "api/database.h"
 #include "benchsup/harness.h"
-#include "core/rewriter.h"
 #include "datasets/ldbc.h"
 #include "datasets/workloads.h"
 #include "datasets/yago.h"
 #include "eval/graph_engine.h"
 #include "query/query_parser.h"
-#include "ra/catalog.h"
-#include "ra/executor.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 
 namespace gqopt {
 namespace {
 
-std::vector<std::vector<NodeId>> RelationalRows(const Catalog& catalog,
+// The facade-driven relational run. Base options come from the
+// environment so the tier-1 GQOPT_PLANNER=dp/greedy re-runs cover both
+// planners through this suite too.
+std::vector<std::vector<NodeId>> RelationalRows(const api::Database& db,
                                                 const Ucqt& query) {
-  auto plan = UcqtToRa(query);
-  EXPECT_TRUE(plan.ok()) << query.ToString();
-  Executor executor(catalog);
-  auto table = executor.Run(OptimizePlan(*plan, catalog));
-  EXPECT_TRUE(table.ok()) << query.ToString() << ": "
-                          << table.status().ToString();
-  std::vector<std::vector<NodeId>> rows;
-  if (!table.ok()) return rows;
-  Table sorted = *table;
-  sorted.SortDistinct();
-  for (size_t r = 0; r < sorted.rows(); ++r) {
-    std::vector<NodeId> row;
-    for (size_t c = 0; c < sorted.arity(); ++c) row.push_back(sorted.At(r, c));
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  api::ExecOptions options = api::ExecOptions::FromEnv();
+  options.apply_schema_rewrite = false;  // run the query verbatim
+  options.timeout_ms = 0;                // no deadline in correctness tests
+  auto prepared = db.Prepare(query, options);
+  EXPECT_TRUE(prepared.ok()) << query.ToString() << ": "
+                             << prepared.status().ToString();
+  if (!prepared.ok()) return {};
+  api::Session session(db, options);
+  auto result = (*prepared)->Execute(session);
+  EXPECT_TRUE(result.ok()) << query.ToString() << ": "
+                           << result.status().ToString();
+  if (!result.ok()) return {};
+  return result->SortedRows();
 }
 
 class WorkloadEquivalenceTest : public ::testing::Test {
  protected:
   void CheckWorkload(const std::vector<WorkloadQuery>& workload,
-                     const GraphSchema& schema, const PropertyGraph& graph) {
-    Catalog catalog(graph);
-    GraphEngine engine(graph);
+                     const GraphSchema& schema, PropertyGraph graph) {
+    api::Database db(schema, std::move(graph));
+    GraphEngine engine(db.graph());
     for (const WorkloadQuery& wq : workload) {
       auto query = ParseWorkloadQuery(wq);
       ASSERT_TRUE(query.ok()) << wq.id;
-      auto rewritten = RewriteQuery(*query, schema);
+      auto rewritten = PrepareSchemaQuery(*query, schema);
       ASSERT_TRUE(rewritten.ok()) << wq.id << ": "
                                   << rewritten.status().ToString();
 
@@ -60,10 +57,10 @@ class WorkloadEquivalenceTest : public ::testing::Test {
       EXPECT_EQ(baseline_graph->rows, schema_graph->rows)
           << wq.id << " (graph engine): baseline vs schema";
 
-      auto baseline_rel = RelationalRows(catalog, *query);
+      auto baseline_rel = RelationalRows(db, *query);
       EXPECT_EQ(baseline_rel, baseline_graph->rows)
           << wq.id << ": relational vs graph engine (baseline)";
-      auto schema_rel = RelationalRows(catalog, rewritten->query);
+      auto schema_rel = RelationalRows(db, rewritten->query);
       EXPECT_EQ(schema_rel, baseline_graph->rows)
           << wq.id << ": relational vs graph engine (schema)";
     }
@@ -74,32 +71,29 @@ TEST_F(WorkloadEquivalenceTest, YagoWorkloadAllEnginesAgree) {
   YagoConfig config;
   config.persons = 120;
   config.seed = 3;
-  PropertyGraph graph = GenerateYago(config);
-  CheckWorkload(YagoWorkload(), YagoSchema(), graph);
+  CheckWorkload(YagoWorkload(), YagoSchema(), GenerateYago(config));
 }
 
 TEST_F(WorkloadEquivalenceTest, LdbcWorkloadAllEnginesAgree) {
   LdbcConfig config;
   config.persons = 40;
   config.seed = 9;
-  PropertyGraph graph = GenerateLdbc(config);
-  CheckWorkload(LdbcWorkload(), LdbcSchema(), graph);
+  CheckWorkload(LdbcWorkload(), LdbcSchema(), GenerateLdbc(config));
 }
 
 TEST(HarnessTest, MeasuresRelationalAndGraphRuns) {
   YagoConfig config;
   config.persons = 60;
-  PropertyGraph graph = GenerateYago(config);
-  Catalog catalog(graph);
+  api::Database db(YagoSchema(), GenerateYago(config));
   auto query = ParseUcqt("x1, x2 <- (x1, owns/isLocatedIn, x2)");
   ASSERT_TRUE(query.ok());
-  HarnessOptions options;
+  api::ExecOptions options;
   options.timeout_ms = 5000;
   options.repetitions = 2;
-  RunMeasurement relational = MeasureRelational(catalog, *query, options);
+  RunMeasurement relational = MeasureRelational(db, *query, options);
   EXPECT_TRUE(relational.feasible) << relational.error;
   EXPECT_GT(relational.seconds, 0);
-  RunMeasurement graph_run = MeasureGraph(graph, *query, options);
+  RunMeasurement graph_run = MeasureGraph(db, *query, options);
   EXPECT_TRUE(graph_run.feasible) << graph_run.error;
   EXPECT_EQ(relational.result_rows, graph_run.result_rows);
 }
@@ -109,14 +103,13 @@ TEST(HarnessTest, TimeoutMarksInfeasible) {
   // infeasible, not crash — this is the Tab 5 bookkeeping.
   YagoConfig config;
   config.persons = 800;
-  PropertyGraph graph = GenerateYago(config);
-  Catalog catalog(graph);
+  api::Database db(YagoSchema(), GenerateYago(config));
   auto query = ParseUcqt("x1, x2 <- (x1, (isMarriedTo | hasChild)+, x2)");
   ASSERT_TRUE(query.ok());
-  HarnessOptions options;
+  api::ExecOptions options;
   options.timeout_ms = 1;
   options.repetitions = 1;
-  RunMeasurement m = MeasureRelational(catalog, *query, options);
+  RunMeasurement m = MeasureRelational(db, *query, options);
   EXPECT_FALSE(m.feasible);
   EXPECT_FALSE(m.error.empty());
 }
@@ -131,7 +124,7 @@ TEST(HarnessTest, SchemaPreparationRoundTrip) {
 }
 
 TEST(HarnessTest, FromEnvDefaults) {
-  HarnessOptions options = HarnessOptions::FromEnv();
+  api::ExecOptions options = api::ExecOptions::FromEnv();
   EXPECT_GT(options.timeout_ms, 0);
   EXPECT_GE(options.repetitions, 1);
 }

@@ -13,7 +13,7 @@
 #include "graph/property_graph.h"
 #include "ra/catalog.h"
 #include "ra/executor.h"
-#include "ra/optimizer.h"
+#include "api/stages.h"  // white-box stage access
 #include "ra/ra_expr.h"
 #include "util/exec_context.h"
 #include "util/radix.h"

@@ -28,9 +28,8 @@
 #include "ra/catalog.h"
 #include "ra/executor.h"
 #include "ra/explain.h"
-#include "ra/optimizer.h"
+#include "api/stages.h"  // white-box stage access
 #include "ra/planner/dp_enumerator.h"
-#include "ra/ucqt_to_ra.h"
 #include "test_fixtures.h"
 #include "util/rng.h"
 

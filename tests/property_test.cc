@@ -11,15 +11,13 @@
 #include <vector>
 
 #include "algebra/path_parser.h"
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "core/simplifier.h"
 #include "eval/graph_engine.h"
 #include "eval/path_eval.h"
 #include "graph/consistency.h"
 #include "ra/catalog.h"
 #include "ra/executor.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 #include "util/rng.h"
 
 namespace gqopt {

@@ -7,8 +7,7 @@
 #include "ra/catalog.h"
 #include "ra/executor.h"
 #include "ra/explain.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
+#include "api/stages.h"  // white-box stage access
 #include "test_fixtures.h"
 
 namespace gqopt {

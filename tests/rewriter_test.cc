@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "algebra/path_parser.h"
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "datasets/ldbc.h"
 #include "datasets/yago.h"
 #include "query/query_parser.h"

@@ -11,7 +11,7 @@
 
 #include <map>
 
-#include "core/rewriter.h"
+#include "api/stages.h"  // white-box stage access
 #include "datasets/ldbc.h"
 #include "datasets/workloads.h"
 #include "datasets/yago.h"

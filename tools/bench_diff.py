@@ -28,6 +28,9 @@ PAIRS = [
     # DP planner vs the retained greedy pass, end to end on the
     # interesting-order cluster (same process, same inputs).
     ("BM_JoinOrderQualityDP", "BM_JoinOrderQualityGreedy"),
+    # Serving through the facade's plan cache (lookup hit + execute) vs
+    # the cold parse -> rewrite -> plan -> execute pipeline per call.
+    ("BM_PreparedVsCold", "BM_ColdPrepare"),
 ]
 
 # Parallel benchmarks are their own counterparts: BM_Foo/N/dop runs the

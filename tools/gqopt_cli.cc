@@ -1,5 +1,8 @@
-// gqopt_cli — interactive shell around the library: load or generate a
-// schema + graph, then rewrite, explain, translate and run UCQT queries.
+// gqopt_cli — interactive shell around the api::Database facade: load or
+// generate a schema + graph, then rewrite, explain, translate and run UCQT
+// queries. Environment knobs (GQOPT_DOP, GQOPT_PLANNER, GQOPT_TIMEOUT_MS,
+// GQOPT_REPS, GQOPT_PLAN_CACHE) are read exactly once, into the session's
+// ExecOptions at startup; see src/api/options.h for the precedence rule.
 //
 //   $ gqopt_cli                 # starts with the YAGO demo dataset
 //   gqopt> dataset ldbc 300
@@ -8,28 +11,21 @@
 //   gqopt> explain x1, x2 <- (x1, owns/isLocatedIn+, x2)
 //   gqopt> sql     x1, x2 <- (x1, knows+, x2)
 //   gqopt> cypher  x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)
+//   gqopt> cache             # plan-cache hit/miss counters
 //   gqopt> schema            # print the active schema
 //   gqopt> help
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <string>
 
+#include "api/database.h"
 #include "benchsup/harness.h"
-#include "core/rewriter.h"
 #include "datasets/ldbc.h"
 #include "datasets/yago.h"
-#include "eval/graph_engine.h"
 #include "graph/consistency.h"
 #include "graph/graph_io.h"
-#include "query/query_parser.h"
-#include "ra/catalog.h"
-#include "ra/executor.h"
-#include "ra/explain.h"
-#include "ra/optimizer.h"
-#include "ra/ucqt_to_ra.h"
 #include "schema/schema_parser.h"
 #include "translate/cypher_emitter.h"
 #include "translate/sql_emitter.h"
@@ -38,21 +34,12 @@
 namespace gqopt {
 namespace {
 
-struct Session {
-  GraphSchema schema;
-  PropertyGraph graph;
-  std::unique_ptr<Catalog> catalog;
-
-  void Use(GraphSchema s, PropertyGraph g) {
-    schema = std::move(s);
-    graph = std::move(g);
-    catalog = std::make_unique<Catalog>(graph);
-    std::printf("dataset: %zu nodes, %zu edges, %zu node labels, %zu edge "
-                "relations\n",
-                graph.num_nodes(), graph.num_edges(),
-                graph.num_node_labels(), graph.num_edge_labels());
-  }
-};
+void PrintDataset(const api::Database& db) {
+  std::printf("dataset: %zu nodes, %zu edges, %zu node labels, %zu edge "
+              "relations\n",
+              db.graph().num_nodes(), db.graph().num_edges(),
+              db.graph().num_node_labels(), db.graph().num_edge_labels());
+}
 
 void PrintHelp() {
   std::puts(
@@ -68,43 +55,59 @@ void PrintHelp() {
       "  analyze <query>            EXPLAIN + run, rows = est/actual\n"
       "  sql <query>                recursive SQL translation\n"
       "  cypher <query>             Cypher translation\n"
+      "  cache                      plan-cache hit/miss counters\n"
       "  help | quit");
 }
 
-void DoRewrite(Session& session, const std::string& text, bool print_only) {
-  auto query = ParseUcqt(text);
-  if (!query.ok()) {
-    std::printf("parse error: %s\n", query.status().ToString().c_str());
+/// Prepares through the session. When the schema cannot rewrite the query
+/// (e.g. it references undeclared edge labels), falls back to the
+/// baseline plan so explain/translate keep working — the old hand-wired
+/// behavior of each command, now in one place.
+api::PreparedQueryPtr PrepareOrFallback(const api::Session& session,
+                                        const std::string& text) {
+  auto prepared = session.Prepare(text);
+  if (prepared.ok()) return *prepared;
+  if (api::ClassifyError(prepared.status()) == api::QueryStage::kRewrite) {
+    api::ExecOptions baseline = session.options();
+    baseline.apply_schema_rewrite = false;
+    auto unrewritten = session.database().Prepare(text, baseline);
+    if (unrewritten.ok()) return *unrewritten;
+    std::printf("%s\n", unrewritten.status().ToString().c_str());
+    return nullptr;
+  }
+  std::printf("%s\n", prepared.status().ToString().c_str());
+  return nullptr;
+}
+
+void DoRewrite(const api::Session& session, const std::string& text,
+               bool print_only) {
+  auto prepared = session.Prepare(text);
+  if (!prepared.ok()) {
+    std::printf("%s\n", prepared.status().ToString().c_str());
     return;
   }
-  auto rewritten = RewriteQuery(*query, session.schema);
-  if (!rewritten.ok()) {
-    std::printf("rewrite error: %s\n",
-                rewritten.status().ToString().c_str());
-    return;
-  }
-  std::printf("baseline:  %s\n", query->ToString().c_str());
-  if (rewritten->reverted) {
+  const api::PreparedQuery& query = **prepared;
+  const RewriteResult& rewritten = query.rewrite();
+  std::printf("baseline:  %s\n", query.query().ToString().c_str());
+  if (rewritten.reverted) {
     std::printf("rewritten: (reverted — schema adds nothing)\n");
-  } else if (rewritten->unsatisfiable) {
+  } else if (rewritten.unsatisfiable) {
     std::printf("rewritten: (unsatisfiable under the schema)\n");
   } else {
-    std::printf("rewritten: %s\n", rewritten->query.ToString().c_str());
+    std::printf("rewritten: %s\n", rewritten.query.ToString().c_str());
   }
-  for (const ClosureStats& c : rewritten->stats.closures) {
+  for (const ClosureStats& c : rewritten.stats.closures) {
     std::printf("  closure %-24s %s\n", c.closure.c_str(),
                 c.eliminated ? "eliminated" : "kept");
   }
   if (print_only) return;
 
-  HarnessOptions options = HarnessOptions::FromEnv();
-  const Ucqt& to_run =
-      rewritten->reverted ? *query : rewritten->query;
-  RunMeasurement base_rel =
-      MeasureRelational(*session.catalog, *query, options);
+  const api::Database& db = session.database();
+  const api::ExecOptions& options = session.options();
+  RunMeasurement base_rel = MeasureRelational(db, query.query(), options);
   RunMeasurement schema_rel =
-      MeasureRelational(*session.catalog, to_run, options);
-  RunMeasurement base_graph = MeasureGraph(session.graph, *query, options);
+      MeasureRelational(db, query.executable(), options);
+  RunMeasurement base_graph = MeasureGraph(db, query.query(), options);
   auto render = [](const RunMeasurement& m) {
     return m.feasible ? FormatSeconds(m.seconds) + "s, " +
                             std::to_string(m.result_rows) + " rows"
@@ -115,49 +118,29 @@ void DoRewrite(Session& session, const std::string& text, bool print_only) {
   std::printf("graph engine:        %s\n", render(base_graph).c_str());
 }
 
-void DoExplain(Session& session, const std::string& text, bool analyze) {
-  auto query = ParseUcqt(text);
-  if (!query.ok()) {
-    std::printf("parse error: %s\n", query.status().ToString().c_str());
-    return;
-  }
-  auto rewritten = RewriteQuery(*query, session.schema);
-  const Ucqt& to_plan =
-      rewritten.ok() && !rewritten->reverted ? rewritten->query : *query;
-  auto plan = UcqtToRa(to_plan);
-  if (!plan.ok()) {
-    std::printf("plan error: %s\n", plan.status().ToString().c_str());
-    return;
-  }
-  RaExprPtr optimized = OptimizePlan(*plan, *session.catalog);
+void DoExplain(const api::Session& session, const std::string& text,
+               bool analyze) {
+  api::PreparedQueryPtr prepared = PrepareOrFallback(session, text);
+  if (prepared == nullptr) return;
   if (!analyze) {
-    std::fputs(ExplainPlan(optimized, *session.catalog).c_str(), stdout);
+    std::fputs(prepared->Explain().c_str(), stdout);
     return;
   }
   // EXPLAIN ANALYZE: run the plan, then print estimates next to the
   // recorded actual cardinalities ("rows = est/actual").
-  Executor executor(*session.catalog);
-  auto table = executor.Run(optimized);
-  if (!table.ok()) {
-    std::printf("execution error: %s\n", table.status().ToString().c_str());
+  auto rendered = prepared->ExplainAnalyze(session);
+  if (!rendered.ok()) {
+    std::printf("%s\n", rendered.status().ToString().c_str());
     return;
   }
-  std::fputs(ExplainPlanAnalyze(optimized, *session.catalog,
-                                executor.actual_rows())
-                 .c_str(),
-             stdout);
-  std::printf("(%zu result rows)\n", table->rows());
+  std::fputs(rendered->c_str(), stdout);
 }
 
-void DoTranslate(Session& session, const std::string& text, bool to_sql) {
-  auto query = ParseUcqt(text);
-  if (!query.ok()) {
-    std::printf("parse error: %s\n", query.status().ToString().c_str());
-    return;
-  }
-  auto rewritten = RewriteQuery(*query, session.schema);
-  const Ucqt& to_emit =
-      rewritten.ok() && !rewritten->reverted ? rewritten->query : *query;
+void DoTranslate(const api::Session& session, const std::string& text,
+                 bool to_sql) {
+  api::PreparedQueryPtr prepared = PrepareOrFallback(session, text);
+  if (prepared == nullptr) return;
+  const Ucqt& to_emit = prepared->executable();
   auto emitted = to_sql ? EmitSql(to_emit) : EmitCypher(to_emit);
   if (!emitted.ok()) {
     std::printf("%s\n", emitted.status().ToString().c_str());
@@ -166,13 +149,27 @@ void DoTranslate(Session& session, const std::string& text, bool to_sql) {
   std::printf("%s\n", emitted->c_str());
 }
 
+void DoCacheStats(const api::Database& db) {
+  api::PlanCacheStats stats = db.plan_cache_stats();
+  std::printf("plan cache: %s, %zu entries\n",
+              stats.enabled ? "enabled" : "disabled", stats.entries);
+  std::printf("  hits          %llu\n",
+              static_cast<unsigned long long>(stats.hits));
+  std::printf("  misses        %llu\n",
+              static_cast<unsigned long long>(stats.misses));
+  std::printf("  invalidations %llu\n",
+              static_cast<unsigned long long>(stats.invalidations));
+}
+
 }  // namespace
 }  // namespace gqopt
 
 int main() {
   using namespace gqopt;
-  Session session;
-  session.Use(YagoSchema(), GenerateYago({.persons = 500, .seed = 42}));
+  api::Database db(YagoSchema(), GenerateYago({.persons = 500, .seed = 42}));
+  // Env knobs are read here, once; every command reuses these options.
+  api::Session session(db, api::ExecOptions::FromEnv());
+  PrintDataset(db);
   PrintHelp();
 
   std::string line;
@@ -195,10 +192,11 @@ int main() {
                            ? std::strtoul(parts[1].c_str(), nullptr, 10)
                            : 500;
       if (!parts.empty() && parts[0] == "ldbc") {
-        session.Use(LdbcSchema(), GenerateLdbc({.persons = persons}));
+        db.Use(LdbcSchema(), GenerateLdbc({.persons = persons}));
       } else {
-        session.Use(YagoSchema(), GenerateYago({.persons = persons}));
+        db.Use(YagoSchema(), GenerateYago({.persons = persons}));
       }
+      PrintDataset(db);
     } else if (command == "load") {
       auto parts = Split(rest, ' ');
       if (parts.size() != 2) {
@@ -219,12 +217,12 @@ int main() {
                     graph.ok() ? "" : graph.status().ToString().c_str());
         continue;
       }
-      session.Use(std::move(*schema), std::move(*graph));
+      db.Use(std::move(*schema), std::move(*graph));
+      PrintDataset(db);
     } else if (command == "schema") {
-      std::fputs(session.schema.ToString().c_str(), stdout);
+      std::fputs(db.schema().ToString().c_str(), stdout);
     } else if (command == "check") {
-      ConsistencyReport report =
-          CheckConsistency(session.graph, session.schema, 5);
+      ConsistencyReport report = CheckConsistency(db.graph(), db.schema(), 5);
       if (report.consistent()) {
         std::puts("consistent with the schema");
       } else {
@@ -244,6 +242,8 @@ int main() {
       DoTranslate(session, rest, /*to_sql=*/true);
     } else if (command == "cypher") {
       DoTranslate(session, rest, /*to_sql=*/false);
+    } else if (command == "cache") {
+      DoCacheStats(db);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
     }

@@ -20,7 +20,9 @@ if [[ "${1:-}" == "--no-bench" ]]; then
   run_bench=0
 fi
 
-cmake -B build -S .
+# Examples are part of tier-1 (ctest runs each one); force them on in
+# case a stale CMake cache still has GQOPT_BUILD_EXAMPLES=OFF.
+cmake -B build -S . -DGQOPT_BUILD_EXAMPLES=ON
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
@@ -34,16 +36,25 @@ GQOPT_DOP=4 ctest --test-dir build --output-on-failure \
 # overridden in the environment), and once with the retained greedy pass
 # so both planners stay covered by every tier-1 run.
 GQOPT_PLANNER=dp ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end)_test'
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api)_test'
 GQOPT_PLANNER=greedy ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end)_test'
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api)_test'
+
+# Facade correctness with the plan cache forced off and on: the API and
+# end-to-end suites must behave identically in both modes (tests that
+# assert cache hits pin the enabled state with the explicit setter, which
+# takes precedence over GQOPT_PLAN_CACHE — see src/api/options.h).
+GQOPT_PLAN_CACHE=0 ctest --test-dir build --output-on-failure \
+  -R '(api|end_to_end)_test'
+GQOPT_PLAN_CACHE=1 ctest --test-dir build --output-on-failure \
+  -R '(api|end_to_end)_test'
 
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
     # The interesting subset: evaluation-core primitives with their
     # retained naive counterparts for drift-free before/after ratios.
     ./build/bench_micro \
-      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration' \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     echo "wrote $repo_root/BENCH_micro.json"
