@@ -14,6 +14,7 @@
 #include "util/radix.h"
 #include "util/thread_pool.h"
 #include "api/database.h"
+#include "api/server.h"
 #include "api/stages.h"  // white-box: stage-isolating micro-benchmarks
 #include "core/simplifier.h"
 #include "core/type_inference.h"
@@ -847,6 +848,70 @@ void BM_ColdPrepare(benchmark::State& state) {
   state.SetLabel(bench_case.name);
 }
 BENCHMARK(BM_ColdPrepare)->DenseRange(0, 3);
+
+// ---- Serving-layer throughput (api::Server) --------------------------------
+//
+// End-to-end requests through the concurrent serving layer: admission,
+// deadline bookkeeping, worker hand-off, prepare (cache hit or full cold
+// pipeline) and execution. google-benchmark's own thread fan-out supplies
+// the concurrent clients, so the Cached/Cold pair at {1,2,4} client
+// threads shows both the serving overhead over a bare Session::Query and
+// how the snapshot-swapped caches behave under contention. UseRealTime:
+// clients block on the server's worker pool, so wall clock — not the
+// client thread's own CPU — is the meaningful axis.
+
+api::Server& ServingBenchServer() {
+  // Leaked singleton (see PreparedBenchDatabase): one server, its worker
+  // pool and its database survive across all benchmark runs and threads.
+  static api::Server* server = [] {
+    api::ServerOptions options;
+    options.workers = 4;
+    options.queue_capacity = 64;  // never shed: this measures throughput
+    return new api::Server(PreparedBenchDatabase(false), options);
+  }();
+  return *server;
+}
+
+void RunServingThroughput(benchmark::State& state, bool use_cache) {
+  api::Server& server = ServingBenchServer();
+  api::ExecOptions options;
+  options.use_plan_cache = use_cache;
+  if (state.thread_index() == 0 && use_cache) {
+    // Warm once so every timed iteration is the cached serving path.
+    auto warm = server.database().Prepare(kPreparedBenchCases[0].query,
+                                          options);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().ToString().c_str());
+      return;
+    }
+  }
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    auto response = server.Query(kPreparedBenchCases[0].query, options);
+    if (!response.result.ok()) ++failures;
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["failures"] = static_cast<double>(failures);
+  state.SetLabel(kPreparedBenchCases[0].name);
+}
+
+void BM_ServingThroughputCached(benchmark::State& state) {
+  RunServingThroughput(state, /*use_cache=*/true);
+}
+BENCHMARK(BM_ServingThroughputCached)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+void BM_ServingThroughputCold(benchmark::State& state) {
+  RunServingThroughput(state, /*use_cache=*/false);
+}
+BENCHMARK(BM_ServingThroughputCold)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace gqopt

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <new>
 
 #include "graph/graph_io.h"
 #include "query/query_parser.h"
@@ -10,6 +11,7 @@
 #include "ra/optimizer.h"
 #include "ra/ucqt_to_ra.h"
 #include "schema/schema_parser.h"
+#include "util/fault_injection.h"
 
 namespace gqopt {
 namespace api {
@@ -45,13 +47,18 @@ std::string StaleMessage(const char* prefix, uint64_t now, uint64_t then,
 /// sessions with different planning knobs never share a plan.
 std::string PlanFingerprint(const ExecOptions& options) {
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "r%d p%d jr%d fs%d dop%d pb%lld|",
+  std::snprintf(buf, sizeof(buf), "r%d p%d jr%d fs%d dop%d pb%lld ss%d|",
                 options.apply_schema_rewrite ? 1 : 0,
                 static_cast<int>(options.planner),
                 options.enable_join_reorder ? 1 : 0,
                 options.enable_fixpoint_seeding ? 1 : 0, options.dop,
-                static_cast<long long>(options.planning_budget_ms));
+                static_cast<long long>(options.planning_budget_ms),
+                options.allow_stale_statistics ? 1 : 0);
   return buf;
+}
+
+bool IsStale(const Status& status) {
+  return status.message().find("stale prepared query") != std::string::npos;
 }
 
 }  // namespace
@@ -61,6 +68,7 @@ QueryStage ClassifyError(const Status& status) {
   if (message.starts_with("parse: ")) return QueryStage::kParse;
   if (message.starts_with("rewrite: ")) return QueryStage::kRewrite;
   if (message.starts_with("plan: ")) return QueryStage::kPlan;
+  if (message.starts_with("overloaded: ")) return QueryStage::kOverloaded;
   return QueryStage::kExecute;
 }
 
@@ -74,6 +82,8 @@ std::string_view QueryStageName(QueryStage stage) {
       return "plan";
     case QueryStage::kExecute:
       return "execute";
+    case QueryStage::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }
@@ -92,16 +102,26 @@ std::vector<std::vector<NodeId>> QueryResult::SortedRows() const {
   return rows;
 }
 
+// ---- Snapshot --------------------------------------------------------------
+
+Snapshot::Snapshot(uint64_t generation, GraphSchema schema,
+                   PropertyGraph graph)
+    : generation_(generation),
+      schema_(std::move(schema)),
+      graph_(std::move(graph)),
+      catalog_(graph_) {}
+
 // ---- PreparedQuery ---------------------------------------------------------
 
 std::string PreparedQuery::Explain() const {
-  if (generation_ != db_->generation()) {
+  uint64_t now = db_->generation();
+  if (generation_ != now) {
     // Estimating the old plan against the changed catalog would print
     // confidently wrong numbers; report the staleness instead.
-    return StaleMessage("stale prepared query ", db_->generation(),
-                        generation_, "; re-prepare\n");
+    return StaleMessage("stale prepared query ", now, generation_,
+                        "; re-prepare\n");
   }
-  return ExplainPlan(plan_, db_->catalog());
+  return ExplainPlan(plan_, snapshot_->catalog());
 }
 
 Result<std::string> PreparedQuery::ExplainAnalyze(
@@ -110,45 +130,71 @@ Result<std::string> PreparedQuery::ExplainAnalyze(
     return Status::InvalidArgument(
         "execute: session belongs to a different Database");
   }
-  if (generation_ != db_->generation()) {
+  uint64_t now = db_->generation();
+  if (generation_ != now) {
     return Status::InvalidArgument(StaleMessage(
-        "execute: stale prepared query ", db_->generation(), generation_,
-        ""));
+        "execute: stale prepared query ", now, generation_, ""));
   }
-  Executor executor(db_->catalog());
-  auto table = executor.Run(plan_, session.options().MakeExecContext());
-  if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
-  std::string out =
-      ExplainPlanAnalyze(plan_, db_->catalog(), executor.actual_rows());
-  out.append("(");
-  out.append(std::to_string(table->rows()));
-  out.append(" result rows)\n");
-  return out;
+  GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
+  try {
+    Executor executor(snapshot_->catalog());
+    auto table = executor.Run(plan_, session.options().MakeExecContext());
+    if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
+    std::string out = ExplainPlanAnalyze(plan_, snapshot_->catalog(),
+                                         executor.actual_rows());
+    out.append("(");
+    out.append(std::to_string(table->rows()));
+    out.append(" result rows)\n");
+    return out;
+  } catch (const std::bad_alloc&) {
+    return StageError(QueryStage::kExecute,
+                      Status::ResourceExhausted(
+                          "allocation failed (out of memory or injected)"));
+  }
 }
 
 Result<QueryResult> PreparedQuery::Execute(const Session& session) const {
+  return Execute(session,
+                 Deadline::AfterMillis(session.options().timeout_ms));
+}
+
+Result<QueryResult> PreparedQuery::Execute(const Session& session,
+                                           const Deadline& deadline) const {
   if (&session.database() != db_) {
     return Status::InvalidArgument(
         "execute: session belongs to a different Database");
   }
-  if (generation_ != db_->generation()) {
+  // One atomic generation read, then everything runs on the Snapshot
+  // captured at Prepare: a mutation landing after this check cannot swap
+  // the catalog out from under the executor (the old TOCTOU window), it
+  // only makes the *next* Execute refuse.
+  uint64_t now = db_->generation();
+  if (generation_ != now) {
     return Status::InvalidArgument(StaleMessage(
-        "execute: stale prepared query ", db_->generation(), generation_,
-        ""));
+        "execute: stale prepared query ", now, generation_, ""));
   }
-  Executor executor(db_->catalog());
-  double start = Now();
-  auto table = executor.Run(plan_, session.options().MakeExecContext());
-  double elapsed = Now() - start;
-  if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
-  QueryResult result;
-  result.table = std::move(table).value();
-  result.exec_seconds = elapsed;
-  result.plan_operators = executor.actual_rows().size();
-  for (const auto& [node, rows] : executor.actual_rows()) {
-    result.rows_processed += rows;
+  GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
+  try {
+    Executor executor(snapshot_->catalog());
+    ExecContext ctx = session.options().MakeExecContext();
+    ctx.deadline = deadline;
+    double start = Now();
+    auto table = executor.Run(plan_, ctx);
+    double elapsed = Now() - start;
+    if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
+    QueryResult result;
+    result.table = std::move(table).value();
+    result.exec_seconds = elapsed;
+    result.plan_operators = executor.actual_rows().size();
+    for (const auto& [node, rows] : executor.actual_rows()) {
+      result.rows_processed += rows;
+    }
+    return result;
+  } catch (const std::bad_alloc&) {
+    return StageError(QueryStage::kExecute,
+                      Status::ResourceExhausted(
+                          "allocation failed (out of memory or injected)"));
   }
-  return result;
 }
 
 // ---- Database --------------------------------------------------------------
@@ -167,41 +213,137 @@ Result<std::unique_ptr<Database>> Database::Open(
   return std::make_unique<Database>(std::move(schema), std::move(graph));
 }
 
+const Catalog& Database::catalog() const { return snapshot()->catalog(); }
+
+SnapshotPtr Database::snapshot() const {
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (snapshot_) return snapshot_;
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return BuildSnapshotLocked();
+}
+
+SnapshotPtr Database::StaleOkSnapshot(bool* served_stale) const {
+  if (served_stale != nullptr) *served_stale = false;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (snapshot_) return snapshot_;
+    // Same generation means same data: only the statistics are behind a
+    // refresh. An older generation must never be served.
+    if (last_snapshot_ && last_snapshot_->generation() == generation()) {
+      if (served_stale != nullptr) *served_stale = true;
+      return last_snapshot_;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return BuildSnapshotLocked();
+}
+
+SnapshotPtr Database::BuildSnapshotLocked() const {
+  // Double-checked: a racing reader may have published while this thread
+  // waited on state_mu_.
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (snapshot_) return snapshot_;
+  }
+  if (FaultHit(FaultPoint::kSnapshotBuild) == FaultKind::kAlloc) {
+    throw std::bad_alloc();
+  }
+  // Copy the master into the immutable publication — once per generation
+  // (or statistics refresh), never per query. The master stays in place
+  // so graph() references survive every snapshot swap. The build runs
+  // outside publish_mu_ (readers of the old publication never wait on
+  // it) and the result is published with two pointer stores.
+  auto built =
+      std::make_shared<const Snapshot>(generation(), schema_, graph_);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  last_snapshot_ = built;
+  snapshot_ = built;
+  return built;
+}
+
+void Database::MutatedLocked() {
+  // The catalog/statistics rebuild is deferred to the next snapshot()
+  // access, so a bulk load pays one rebuild at its first query instead
+  // of one per AddNode/AddEdge.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    snapshot_.reset();
+    last_snapshot_.reset();  // dead generation; free it eagerly
+  }
+  cache_.Invalidate();
+}
+
 void Database::Use(GraphSchema schema, PropertyGraph graph) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   schema_ = std::move(schema);
   graph_ = std::move(graph);
-  Mutated();
+  MutatedLocked();
 }
 
 NodeId Database::AddNode(std::string_view label,
                          std::vector<Property> properties) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   NodeId id = graph_.AddNode(label, std::move(properties));
-  Mutated();
+  MutatedLocked();
   return id;
 }
 
 Status Database::AddEdge(NodeId source, std::string_view label,
                          NodeId target) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   GQOPT_RETURN_NOT_OK(graph_.AddEdge(source, label, target));
-  Mutated();
+  MutatedLocked();
   return Status::OK();
 }
 
 void Database::RefreshStatistics() {
+  std::lock_guard<std::mutex> lock(state_mu_);
   // Plans were costed under the old statistics; outstanding handles stay
   // executable (the generation is unchanged) but the cache must re-plan.
-  catalog_stale_ = true;
+  // last_snapshot_ is kept: it is the same-generation source for
+  // degraded stale-statistics serving until the rebuild lands.
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    snapshot_.reset();
+  }
   cache_.Invalidate();
 }
 
-void Database::Mutated() {
-  // The catalog rebuild is deferred to the next catalog() access, so a
-  // bulk load pays one rebuild at its first query instead of one per
-  // AddNode/AddEdge (Catalog's constructor finalizes — re-sorts — the
-  // graph's adjacency indexes).
-  catalog_stale_ = true;
-  ++generation_;
-  cache_.Invalidate();
+Status Database::StageFault(QueryStage stage) const {
+  FaultPoint point = FaultPoint::kExecute;
+  switch (stage) {
+    case QueryStage::kParse:
+      point = FaultPoint::kParse;
+      break;
+    case QueryStage::kRewrite:
+      point = FaultPoint::kRewrite;
+      break;
+    case QueryStage::kPlan:
+      point = FaultPoint::kPlan;
+      break;
+    default:
+      break;
+  }
+  switch (FaultHit(point)) {
+    case FaultKind::kDeadline:
+      return StageError(stage,
+                        Status::DeadlineExceeded("injected deadline expiry"));
+    case FaultKind::kAlloc:
+      return StageError(
+          stage, Status::ResourceExhausted("injected allocation failure"));
+    case FaultKind::kInvalidate:
+      // Forced mid-request cache invalidation: retire the publication and
+      // the plan cache without a generation bump. The request continues
+      // on the state it already captured.
+      const_cast<Database*>(this)->RefreshStatistics();
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
 }
 
 Result<PreparedQueryPtr> Database::Prepare(std::string_view text,
@@ -225,18 +367,51 @@ Result<PreparedQueryPtr> Database::Prepare(const Ucqt& query,
 Result<PreparedQueryPtr> Database::PrepareInternal(
     const std::string& key, const Ucqt* parsed, std::string_view text,
     const ExecOptions& options, bool* cache_hit) const {
+  // Allocation failure — a real out-of-memory or the injected kAlloc
+  // fault inside any lazy cache build — is a plan-stage resource error,
+  // not a crash: the facade is the exception boundary.
+  try {
+    return PrepareImpl(key, parsed, text, options, cache_hit);
+  } catch (const std::bad_alloc&) {
+    return StageError(QueryStage::kPlan,
+                      Status::ResourceExhausted(
+                          "allocation failed (out of memory or injected)"));
+  }
+}
+
+Result<PreparedQueryPtr> Database::PrepareImpl(const std::string& key,
+                                               const Ucqt* parsed,
+                                               std::string_view text,
+                                               const ExecOptions& options,
+                                               bool* cache_hit) const {
   if (cache_hit != nullptr) *cache_hit = false;
   if (options.use_plan_cache) {
     if (PreparedQueryPtr cached = cache_.Lookup(key)) {
-      if (cache_hit != nullptr) *cache_hit = true;
-      return cached;
+      // An Insert can race a concurrent mutation's Invalidate and land a
+      // dead-generation plan after the clear; validating here turns that
+      // window into a plain miss instead of serving a stale plan.
+      if (cached->generation_ == generation()) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return cached;
+      }
+      cache_.Remove(key);
     }
   }
 
+  // The whole prepare pipeline observes this one snapshot; the handle
+  // pins it so Execute later runs against exactly what was planned.
+  bool stale_stats = false;
+  SnapshotPtr snap = options.allow_stale_statistics
+                         ? StaleOkSnapshot(&stale_stats)
+                         : snapshot();
+
   auto prepared = std::make_shared<PreparedQuery>(PreparedQuery());
   prepared->db_ = this;
-  prepared->generation_ = generation_;
+  prepared->snapshot_ = snap;
+  prepared->generation_ = snap->generation();
+  prepared->stale_statistics_ = stale_stats;
 
+  GQOPT_RETURN_NOT_OK(StageFault(QueryStage::kParse));
   if (parsed != nullptr) {
     prepared->query_ = *parsed;
     prepared->text_ = parsed->ToString();
@@ -247,8 +422,9 @@ Result<PreparedQueryPtr> Database::PrepareInternal(
     prepared->text_ = NormalizeQueryText(text);
   }
 
+  GQOPT_RETURN_NOT_OK(StageFault(QueryStage::kRewrite));
   if (options.apply_schema_rewrite) {
-    auto rewritten = RewriteQuery(prepared->query_, schema_);
+    auto rewritten = RewriteQuery(prepared->query_, snap->schema());
     if (!rewritten.ok()) {
       return StageError(QueryStage::kRewrite, rewritten.status());
     }
@@ -258,13 +434,18 @@ Result<PreparedQueryPtr> Database::PrepareInternal(
     prepared->rewrite_.reverted = true;
   }
 
+  GQOPT_RETURN_NOT_OK(StageFault(QueryStage::kPlan));
   auto plan = UcqtToRa(prepared->executable());
   if (!plan.ok()) return StageError(QueryStage::kPlan, plan.status());
   prepared->plan_ =
-      OptimizePlan(plan.value(), catalog(), options.ToOptimizerOptions());
+      OptimizePlan(plan.value(), snap->catalog(), options.ToOptimizerOptions());
 
   PreparedQueryPtr shared = std::move(prepared);
-  if (options.use_plan_cache) cache_.Insert(key, shared);
+  // Skip the insert when a mutation already outdated this plan — the
+  // lookup-side validation would only have to throw it away again.
+  if (options.use_plan_cache && shared->generation_ == generation()) {
+    cache_.Insert(key, shared);
+  }
   return shared;
 }
 
@@ -279,12 +460,21 @@ Result<PreparedQueryPtr> Session::Prepare(std::string_view text,
 }
 
 Result<QueryResult> Session::Query(std::string_view text) const {
-  bool cache_hit = false;
-  GQOPT_ASSIGN_OR_RETURN(PreparedQueryPtr prepared,
-                         db_->Prepare(text, options_, &cache_hit));
-  GQOPT_ASSIGN_OR_RETURN(QueryResult result, prepared->Execute(*this));
-  result.plan_cache_hit = cache_hit;
-  return result;
+  // A mutation can land between Prepare and Execute; that transient
+  // staleness is resolved by re-preparing against the new generation.
+  // Bounded retries: under a continuous mutation storm the final stale
+  // error surfaces (typed, in the execute stage) rather than looping.
+  for (int attempt = 0;; ++attempt) {
+    bool cache_hit = false;
+    GQOPT_ASSIGN_OR_RETURN(PreparedQueryPtr prepared,
+                           db_->Prepare(text, options_, &cache_hit));
+    auto result = prepared->Execute(*this);
+    if (result.ok()) {
+      result->plan_cache_hit = cache_hit;
+      return result;
+    }
+    if (attempt >= 2 || !IsStale(result.status())) return result;
+  }
 }
 
 }  // namespace api

@@ -5,8 +5,9 @@
 //        --optimize--> annotated plan --execute--> QueryResult
 //
 // split across three handle types:
-//   Database       schema + PropertyGraph + Catalog/statistics + the
-//                  shape-keyed plan cache; the only mutation point.
+//   Database       schema + PropertyGraph + snapshot-swapped
+//                  Catalog/statistics + the shape-keyed plan cache; the
+//                  only mutation point.
 //   Session        a caller's ExecOptions bundle (env knobs are read once,
 //                  at session creation, never per command).
 //   PreparedQuery  immutable product of Prepare(): parse + rewrite + plan
@@ -19,7 +20,9 @@
 #ifndef GQOPT_API_DATABASE_H_
 #define GQOPT_API_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +36,7 @@
 #include "ra/ra_expr.h"
 #include "ra/table.h"
 #include "schema/graph_schema.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace gqopt {
@@ -43,17 +47,56 @@ class Session;
 
 /// Which pipeline stage a failed Status came from. Stages are encoded as
 /// stable message prefixes ("parse: ", "rewrite: ", "plan: ",
-/// "execute: ") so callers can branch on the failure class without
-/// string-matching ad hoc.
-enum class QueryStage : uint8_t { kParse, kRewrite, kPlan, kExecute };
+/// "execute: ", "overloaded: ") so callers can branch on the failure
+/// class without string-matching ad hoc. kOverloaded is raised only by
+/// the serving layer's admission control (src/api/server.h) — shed load,
+/// not a pipeline failure — and is the retryable class.
+enum class QueryStage : uint8_t {
+  kParse,
+  kRewrite,
+  kPlan,
+  kExecute,
+  kOverloaded,
+};
 
-/// Classifies a non-OK Status returned by Prepare/Execute. Statuses
-/// without a stage prefix (e.g. raised by lower layers directly) classify
-/// as kExecute, the only stage that can surface them.
+/// Classifies a non-OK Status returned by Prepare/Execute/Server::Query.
+/// Statuses without a stage prefix (e.g. raised by lower layers directly)
+/// classify as kExecute, the only stage that can surface them.
 QueryStage ClassifyError(const Status& status);
 
-/// Human-readable stage name ("parse", "rewrite", "plan", "execute").
+/// Human-readable stage name ("parse", ..., "execute", "overloaded").
 std::string_view QueryStageName(QueryStage stage);
+
+/// \brief One immutable, generation-stamped publication of the database
+/// state: the schema, the finalized graph, and the catalog (edge tables +
+/// statistics) built over it.
+///
+/// Snapshots are what reader threads actually query: the Database
+/// publishes one through a guarded shared_ptr slot, mutations retire it and
+/// the next reader builds a fresh one (copy-on-swap). Everything inside a
+/// published Snapshot is either deeply immutable or synchronized lazy
+/// cache state (see Catalog/GraphStatistics/PropertyGraph), so any number
+/// of threads can execute against one concurrently.
+class Snapshot {
+ public:
+  Snapshot(uint64_t generation, GraphSchema schema, PropertyGraph graph);
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Database generation this snapshot was built from.
+  uint64_t generation() const { return generation_; }
+  const GraphSchema& schema() const { return schema_; }
+  const PropertyGraph& graph() const { return graph_; }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  uint64_t generation_;
+  GraphSchema schema_;
+  PropertyGraph graph_;
+  Catalog catalog_;  // references graph_; finalizes it at construction
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
 /// One execution's output: rows plus the counters and timing a serving
 /// layer wants to log per request.
@@ -81,12 +124,14 @@ struct QueryResult {
 /// \brief Immutable, shareable product of Database::Prepare.
 ///
 /// Parse, typecheck, schema rewrite, UCQT→RA translation and optimization
-/// ran exactly once; the handle can be executed any number of times
-/// (Execute creates per-call executor state — see the threading note on
-/// Database). Handles are snapshots of a Database generation: after the
-/// graph mutates or the dataset is swapped, Execute refuses with an
-/// "execute: stale" status (and Explain reports the staleness instead of
-/// rendering against the changed catalog) and the caller re-prepares.
+/// ran exactly once; the handle can be executed any number of times and
+/// from any number of threads (Execute creates per-call executor state
+/// over the captured Snapshot). Handles pin the Snapshot they were
+/// prepared against: after the graph mutates or the dataset is swapped,
+/// Execute refuses with an "execute: stale" status (and Explain reports
+/// the staleness instead of rendering against changed state) and the
+/// caller re-prepares — but an execution already in flight when the
+/// mutation lands finishes correctly on its captured snapshot.
 class PreparedQuery {
  public:
   /// The cache-key text this query was prepared from (normalized input
@@ -110,6 +155,10 @@ class PreparedQuery {
   }
   /// Database generation this plan was prepared against.
   uint64_t generation() const { return generation_; }
+  /// True when the plan was built against the previous same-generation
+  /// snapshot (degraded statistics serving; see
+  /// ExecOptions::allow_stale_statistics).
+  bool stale_statistics() const { return stale_statistics_; }
 
   /// Renders the plan with estimated cost/rows (docs/EXPLAIN.md), or a
   /// one-line staleness notice when the database has changed since
@@ -125,12 +174,22 @@ class PreparedQuery {
   /// starts at this call; `timeout_ms <= 0` runs without one.
   Result<QueryResult> Execute(const Session& session) const;
 
+  /// Same, under an externally supplied deadline (the serving layer's
+  /// admission-time deadline, which keeps counting across queueing and
+  /// planning). The generation check and the execution both observe the
+  /// one Snapshot captured at Prepare: a concurrent mutation can make
+  /// this call refuse as stale, but never corrupt a run in flight.
+  Result<QueryResult> Execute(const Session& session,
+                              const Deadline& deadline) const;
+
  private:
   friend class Database;
   PreparedQuery() = default;
 
   const Database* db_ = nullptr;
+  SnapshotPtr snapshot_;
   uint64_t generation_ = 0;
+  bool stale_statistics_ = false;
   std::string text_;
   Ucqt query_;
   RewriteResult rewrite_;
@@ -139,18 +198,25 @@ class PreparedQuery {
 
 using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
 
-/// \brief Schema + graph + catalog/statistics + plan cache: the stable
-/// entry point for every consumer (CLI, examples, benches, tests).
+/// \brief Schema + graph + snapshot-swapped catalog/statistics + plan
+/// cache: the stable entry point for every consumer (CLI, examples,
+/// benches, tests).
 ///
 /// A Database is pinned in memory (not copyable or movable) because
 /// Sessions and PreparedQuery handles point back into it.
 ///
-/// Threading: the plan cache is mutex-guarded, but the layers below keep
-/// lazy, unsynchronized caches (the catalog rebuild, per-label edge
-/// tables, CSR indexes) populated on first touch — so today a Database
-/// must be driven from one thread at a time. A synchronized serving loop
-/// is ROADMAP work; the facade's shared immutable PreparedQuery state is
-/// designed for it.
+/// Threading: N threads may call Prepare/Execute/Session::Query
+/// concurrently with each other AND with the mutators. Readers work
+/// against an immutable Snapshot published through a swapped shared_ptr slot
+/// (double-checked build: the first reader after a mutation rebuilds it
+/// once, under a writer mutex); mutators bump the generation and retire
+/// the publication (copy-on-swap), so in-flight executions finish on the
+/// state they captured and later executions refuse as stale. The
+/// single-object accessors graph()/schema() return the master state
+/// (stable references for the Database lifetime, contents change under
+/// mutation); catalog() references the current publication and is only
+/// stable until the next mutation/Use/RefreshStatistics — concurrent
+/// pipelines should hold a snapshot() or a PreparedQuery instead.
 class Database {
  public:
   /// An empty database (no schema, no nodes) — populate with Use() or the
@@ -167,40 +233,58 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   const GraphSchema& schema() const { return schema_; }
+  /// The master graph. The reference is stable for the lifetime of the
+  /// Database (snapshots copy it; mutations change it in place), but
+  /// reading it concurrently with the mutators is the caller's problem —
+  /// concurrent pipelines should hold a snapshot() instead.
   const PropertyGraph& graph() const { return graph_; }
-  /// The relational catalog over the current graph. Rebuilt lazily after
-  /// mutations, so bulk loading through AddNode/AddEdge costs one
-  /// rebuild at the next query, not one per call.
-  const Catalog& catalog() const {
-    if (catalog_ == nullptr || catalog_stale_) {
-      catalog_ = std::make_unique<Catalog>(graph_);
-      catalog_stale_ = false;
-    }
-    return *catalog_;
-  }
+  /// The relational catalog of the current snapshot (built on first use
+  /// after a mutation, so bulk loading through AddNode/AddEdge costs one
+  /// rebuild at the next query, not one per call). The reference is
+  /// stable until the next mutation/Use/RefreshStatistics.
+  const Catalog& catalog() const;
   /// Bumped by every mutation; PreparedQuery handles from older
   /// generations refuse to execute.
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// The current publication, building it if a mutation retired it.
+  /// Everything reachable from the returned Snapshot is safe for
+  /// concurrent use and stays alive while the pointer is held.
+  SnapshotPtr snapshot() const;
+
+  /// Like snapshot(), but if the current publication is retired while a
+  /// previous one of the SAME generation exists (a statistics refresh in
+  /// progress), returns the previous one instead of rebuilding — the
+  /// degradation ladder's "serve slightly-stale statistics" rung. Never
+  /// returns data from an older generation. `served_stale`, when
+  /// non-null, reports whether the stale path was taken.
+  SnapshotPtr StaleOkSnapshot(bool* served_stale = nullptr) const;
 
   /// Swaps in a new dataset (schema + graph). Invalidates the plan cache
   /// and all outstanding PreparedQuery handles.
   void Use(GraphSchema schema, PropertyGraph graph);
 
-  /// Graph mutations; each marks the catalog stale (it rebuilds lazily,
-  /// statistics re-collect on first use), invalidates the plan cache and
-  /// bumps the generation.
+  /// Graph mutations; each retires the published snapshot (the catalog
+  /// and statistics rebuild lazily on next use), invalidates the plan
+  /// cache and bumps the generation.
   NodeId AddNode(std::string_view label, std::vector<Property> properties = {});
   Status AddEdge(NodeId source, std::string_view label, NodeId target);
 
-  /// Drops the cached statistics so they re-collect from the current
-  /// graph, and invalidates the plan cache (cached plans were costed
-  /// under the old statistics). Outstanding handles stay executable.
+  /// Retires the published snapshot so statistics re-collect from the
+  /// current graph, and invalidates the plan cache (cached plans were
+  /// costed under the old statistics). The generation is unchanged:
+  /// outstanding handles stay executable, and StaleOkSnapshot may keep
+  /// serving the previous publication until the rebuild lands.
   void RefreshStatistics();
 
   /// Parse + typecheck + schema rewrite + translate + optimize, or a plan
   /// cache hit skipping all of it. Errors carry a stage prefix (see
-  /// ClassifyError). `cache_hit`, when non-null, reports whether the
-  /// returned handle came from the cache.
+  /// ClassifyError); allocation failures (real or injected) surface as
+  /// "plan: " ResourceExhausted, never as an exception. `cache_hit`,
+  /// when non-null, reports whether the returned handle came from the
+  /// cache.
   Result<PreparedQueryPtr> Prepare(std::string_view text,
                                    const ExecOptions& options = {},
                                    bool* cache_hit = nullptr) const;
@@ -214,24 +298,57 @@ class Database {
   PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
   /// Explicit enable/disable; overrides the GQOPT_PLAN_CACHE default.
   void set_plan_cache_enabled(bool enabled) { cache_.set_enabled(enabled); }
+  /// Explicit LRU capacity (0 = unbounded); overrides
+  /// GQOPT_PLAN_CACHE_CAP.
+  void set_plan_cache_capacity(size_t capacity) {
+    cache_.set_capacity(capacity);
+  }
   void ClearPlanCache() { cache_.Invalidate(); }
 
  private:
+  friend class PreparedQuery;
+
   Result<PreparedQueryPtr> PrepareInternal(const std::string& key,
                                            const Ucqt* parsed,
                                            std::string_view text,
                                            const ExecOptions& options,
                                            bool* cache_hit) const;
-  /// Marks the catalog stale, bumps the generation and invalidates the
-  /// plan cache.
-  void Mutated();
+  Result<PreparedQueryPtr> PrepareImpl(const std::string& key,
+                                       const Ucqt* parsed,
+                                       std::string_view text,
+                                       const ExecOptions& options,
+                                       bool* cache_hit) const;
+  /// Double-checked snapshot build; caller holds state_mu_.
+  SnapshotPtr BuildSnapshotLocked() const;
+  /// Generation bump + publication retire + plan-cache invalidation;
+  /// caller holds state_mu_.
+  void MutatedLocked();
+  /// Probes the fault injector at a stage boundary: returns the injected
+  /// stage-prefixed failure, or OK (kInvalidate drops the published
+  /// caches — same effect as RefreshStatistics — and continues).
+  Status StageFault(QueryStage stage) const;
 
+  // Guards the master state (schema_, graph_) and serializes snapshot
+  // builds. Readers never take it on the fast path — they load the
+  // atomic publication.
+  mutable std::mutex state_mu_;
   GraphSchema schema_;
+  // The master graph: mutated in place under state_mu_, copied into each
+  // Snapshot publication (once per generation, not per query). It never
+  // moves, so the graph() reference is stable for the Database lifetime.
   PropertyGraph graph_;
-  // Lazily (re)built by catalog(); stale after mutations.
-  mutable std::unique_ptr<Catalog> catalog_;
-  mutable bool catalog_stale_ = false;
-  uint64_t generation_ = 0;
+  std::atomic<uint64_t> generation_{0};
+  // Leaf mutex guarding only the two publication slots below — taken for
+  // pointer copies, never across a build. (Not std::atomic<shared_ptr>:
+  // libstdc++'s _Sp_atomic trips ThreadSanitizer, and the robustness
+  // suite requires a TSan-clean facade.) May be taken while state_mu_ is
+  // held; never the other way around.
+  mutable std::mutex publish_mu_;
+  // The published snapshot (null while retired) and the most recent
+  // publication (kept across RefreshStatistics as the stale-statistics
+  // serving source; cleared by mutations). Guarded by publish_mu_.
+  mutable SnapshotPtr snapshot_;
+  mutable SnapshotPtr last_snapshot_;
   mutable PlanCache cache_;
 };
 
@@ -239,7 +356,10 @@ class Database {
 ///
 /// The ExecOptions are fixed at session creation: environment knobs are
 /// read exactly once (via ExecOptions::FromEnv(), if the caller opts in),
-/// never re-read per command. See api/options.h for the precedence rule.
+/// never re-read per command. Sessions are cheap value objects — a
+/// serving layer creates one per request thread (concurrent use of one
+/// const Session is safe; the non-const options() setter is not
+/// synchronized).
 class Session {
  public:
   explicit Session(const Database& db, ExecOptions options = ExecOptions());
@@ -254,7 +374,10 @@ class Session {
   Result<PreparedQueryPtr> Prepare(std::string_view text,
                                    bool* cache_hit = nullptr) const;
 
-  /// Prepare (cached) + Execute in one call; the serving fast path.
+  /// Prepare (cached) + Execute in one call; the serving fast path. When
+  /// a concurrent mutation invalidates the handle between the two steps,
+  /// re-prepares against the new generation (bounded retries) instead of
+  /// surfacing the transient staleness to the caller.
   Result<QueryResult> Query(std::string_view text) const;
 
  private:

@@ -56,6 +56,12 @@ struct ExecOptions {
   /// Apply the schema-based rewrite during Prepare. The measurement
   /// helpers disable this to run a caller-supplied query verbatim.
   bool apply_schema_rewrite = true;
+  /// Allow Prepare to plan against the previous same-generation snapshot
+  /// while a fresh one (statistics refresh) is still being built, instead
+  /// of waiting for the rebuild. Slightly-stale statistics, never stale
+  /// data: a generation bump always invalidates. Set by the serving
+  /// layer's degradation ladder under pressure (src/api/server.h).
+  bool allow_stale_statistics = false;
   /// Consult/populate the Database plan cache in Prepare. Independent of
   /// the cache's Database-level enable switch; both must be on for a hit.
   bool use_plan_cache = true;

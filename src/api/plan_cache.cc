@@ -27,17 +27,34 @@ std::string NormalizeQueryText(std::string_view text) {
 PlanCache::PlanCache() {
   const char* env = std::getenv("GQOPT_PLAN_CACHE");
   stats_.enabled = env == nullptr || std::string_view(env) != "0";
+  if (const char* cap = std::getenv("GQOPT_PLAN_CACHE_CAP")) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(cap, &end, 10);
+    // Malformed values keep the default; "0" is a valid "unbounded".
+    if (end != cap) capacity_ = static_cast<size_t>(value);
+  }
+  stats_.capacity = capacity_;
 }
 
 void PlanCache::set_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.enabled = enabled;
-  if (!enabled) entries_.clear();
+  if (!enabled) {
+    entries_.clear();
+    lru_.clear();
+  }
 }
 
 bool PlanCache::enabled() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_.enabled;
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  stats_.capacity = capacity;
+  EvictToCapacityLocked();
 }
 
 std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
@@ -47,7 +64,8 @@ std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.entry;
     }
   }
   ++stats_.misses;
@@ -58,12 +76,29 @@ void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const PreparedQuery> entry) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!stats_.enabled) return;
-  entries_[key] = std::move(entry);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  EvictToCapacityLocked();
+}
+
+void PlanCache::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
 }
 
 void PlanCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
   ++stats_.invalidations;
 }
 
@@ -71,7 +106,17 @@ PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats snapshot = stats_;
   snapshot.entries = entries_.size();
+  snapshot.capacity = capacity_;
   return snapshot;
+}
+
+void PlanCache::EvictToCapacityLocked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 }  // namespace api

@@ -1,13 +1,15 @@
 // Shape-keyed plan cache for the Database facade: normalized query text
 // (plus a fingerprint of the plan-affecting options) maps to the shared
 // immutable PreparedQuery state, so repeated traffic skips parse, rewrite
-// and planning entirely. Hit/miss/invalidation counters make the cache's
-// behavior observable (CLI `cache` command, tests/api_test.cc).
+// and planning entirely. Bounded by an LRU policy (GQOPT_PLAN_CACHE_CAP);
+// hit/miss/invalidation/eviction counters make the cache's behavior
+// observable (CLI `cache` command, tests/api_test.cc, serving_test.cc).
 
 #ifndef GQOPT_API_PLAN_CACHE_H_
 #define GQOPT_API_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,12 +21,18 @@ namespace api {
 
 class PreparedQuery;
 
+/// Default LRU capacity when GQOPT_PLAN_CACHE_CAP is unset. Sized for a
+/// serving mix of a few hundred distinct query shapes; 0 means unbounded.
+inline constexpr size_t kDefaultPlanCacheCapacity = 256;
+
 /// Observable cache state; a consistent snapshot under the cache mutex.
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;          // counted even while disabled
   uint64_t invalidations = 0;   // full clears (mutation, swap, refresh)
+  uint64_t evictions = 0;       // LRU capacity evictions
   size_t entries = 0;
+  size_t capacity = kDefaultPlanCacheCapacity;  // 0 = unbounded
   bool enabled = true;
 };
 
@@ -34,12 +42,16 @@ struct PlanCacheStats {
 /// punctuation still produce distinct keys — a miss, never a wrong hit.)
 std::string NormalizeQueryText(std::string_view text);
 
-/// \brief Thread-safe map from cache key to shared PreparedQuery state.
+/// \brief Thread-safe LRU map from cache key to shared PreparedQuery state.
 ///
 /// Enabled by default; GQOPT_PLAN_CACHE=0 in the environment disables it
 /// at construction, and set_enabled() (the explicit setter) overrides the
 /// environment either way. Lookups while disabled always miss and Insert
 /// is a no-op, so the counters stay meaningful in both modes.
+///
+/// Capacity comes from GQOPT_PLAN_CACHE_CAP at construction (0 =
+/// unbounded) with set_capacity() as the explicit override; when full,
+/// Insert evicts the least-recently-used entry (lookups refresh recency).
 class PlanCache {
  public:
   PlanCache();
@@ -47,13 +59,23 @@ class PlanCache {
   void set_enabled(bool enabled);
   bool enabled() const;
 
-  /// Returns the cached entry (counting a hit) or nullptr (counting a
-  /// miss — also when disabled).
+  /// Overrides the capacity (explicit beats env beats default); shrinking
+  /// below the current size evicts LRU entries immediately. 0 = unbounded.
+  void set_capacity(size_t capacity);
+
+  /// Returns the cached entry (counting a hit and refreshing its recency)
+  /// or nullptr (counting a miss — also when disabled).
   std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
 
-  /// Stores `entry` under `key` (no-op while disabled).
+  /// Stores `entry` under `key` (no-op while disabled), evicting the LRU
+  /// entry when the cache is at capacity.
   void Insert(const std::string& key,
               std::shared_ptr<const PreparedQuery> entry);
+
+  /// Drops one entry without counting an invalidation or an eviction.
+  /// Used when a lookup returns a plan from a dead generation: the entry
+  /// raced a concurrent invalidation and is dropped as a plain miss.
+  void Remove(const std::string& key);
 
   /// Drops every entry and counts one invalidation.
   void Invalidate();
@@ -61,10 +83,20 @@ class PlanCache {
   PlanCacheStats stats() const;
 
  private:
+  struct Slot {
+    std::shared_ptr<const PreparedQuery> entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Evicts LRU entries down to capacity. Caller holds mu_.
+  void EvictToCapacityLocked();
+
   mutable std::mutex mu_;
   PlanCacheStats stats_;
-  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
-      entries_;
+  size_t capacity_ = kDefaultPlanCacheCapacity;  // 0 = unbounded
+  // Most-recently-used at the front; map slots point at their list node.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Slot> entries_;
 };
 
 }  // namespace api

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <new>
 
 #include "eval/closure_expand.h"
+#include "util/fault_injection.h"
 #include "util/flat_hash.h"
 
 namespace gqopt {
@@ -21,6 +24,54 @@ constexpr NodeId kMaxBitmapNode = NodeId{1} << 26;
 
 }  // namespace
 
+// Copies share the already-built index when the source has published one;
+// a source mid-build simply yields a copy without an index (it rebuilds
+// lazily). Reading csr_ is safe exactly when the acquire-load of csr_raw_
+// returns non-null: the raw pointer is release-stored after csr_ is set
+// and neither changes afterwards.
+
+BinaryRelation::BinaryRelation(const BinaryRelation& other)
+    : pairs_(other.pairs_) {
+  if (const CsrView* raw = other.csr_raw_.load(std::memory_order_acquire)) {
+    csr_ = other.csr_;
+    csr_raw_.store(raw, std::memory_order_relaxed);
+  }
+}
+
+BinaryRelation& BinaryRelation::operator=(const BinaryRelation& other) {
+  if (this != &other) {
+    pairs_ = other.pairs_;
+    if (const CsrView* raw =
+            other.csr_raw_.load(std::memory_order_acquire)) {
+      csr_ = other.csr_;
+      csr_raw_.store(raw, std::memory_order_relaxed);
+    } else {
+      csr_.reset();
+      csr_raw_.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  return *this;
+}
+
+BinaryRelation::BinaryRelation(BinaryRelation&& other) noexcept
+    : pairs_(std::move(other.pairs_)), csr_(std::move(other.csr_)) {
+  // Moving requires exclusive ownership of `other`, so relaxed is enough.
+  csr_raw_.store(other.csr_raw_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  other.csr_raw_.store(nullptr, std::memory_order_relaxed);
+}
+
+BinaryRelation& BinaryRelation::operator=(BinaryRelation&& other) noexcept {
+  if (this != &other) {
+    pairs_ = std::move(other.pairs_);
+    csr_ = std::move(other.csr_);
+    csr_raw_.store(other.csr_raw_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    other.csr_raw_.store(nullptr, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 BinaryRelation BinaryRelation::FromPairs(std::vector<Edge> pairs) {
   SortUniquePairs(&pairs);
   BinaryRelation r;
@@ -33,6 +84,7 @@ BinaryRelation BinaryRelation::FromSortedUnique(
   BinaryRelation r;
   r.pairs_ = std::move(pairs);
   r.csr_ = std::move(csr);
+  if (r.csr_) r.csr_raw_.store(r.csr_.get(), std::memory_order_relaxed);
   return r;
 }
 
@@ -41,7 +93,26 @@ bool BinaryRelation::Contains(Edge pair) const {
 }
 
 const CsrView& BinaryRelation::SourceCsr() const {
+  // Hot path (EqualRange calls this per lookup): one acquire load.
+  if (const CsrView* csr = csr_raw_.load(std::memory_order_acquire)) {
+    return *csr;
+  }
+  return BuildSourceCsr();
+}
+
+const CsrView& BinaryRelation::BuildSourceCsr() const {
+  // One process-wide build mutex: builds are rare (once per relation) and
+  // short, so contention is irrelevant next to per-relation mutex bloat.
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lock(build_mu);
+  if (const CsrView* csr = csr_raw_.load(std::memory_order_relaxed)) {
+    return *csr;
+  }
+  if (FaultHit(FaultPoint::kCsrBuild) == FaultKind::kAlloc) {
+    throw std::bad_alloc();
+  }
   if (!csr_) csr_ = std::make_shared<const CsrView>(CsrView::Build(pairs_));
+  csr_raw_.store(csr_.get(), std::memory_order_release);
   return *csr_;
 }
 

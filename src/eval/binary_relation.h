@@ -5,6 +5,7 @@
 #ifndef GQOPT_EVAL_BINARY_RELATION_H_
 #define GQOPT_EVAL_BINARY_RELATION_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -23,9 +24,21 @@ namespace gqopt {
 /// on first use and shared across copies (the pair set is immutable), so
 /// repeated compositions against the same relation — the fixpoint inner
 /// loop — pay for the index once.
+///
+/// Threading: const access (including the lazy SourceCsr build) is safe
+/// from any number of threads — the index is published through an atomic
+/// pointer with the build serialized behind a mutex, so concurrent
+/// first-touch scans of a shared relation (e.g. the snapshot catalog's
+/// edge tables) race-freely build it once. Copying FROM a shared relation
+/// is likewise safe; the copy/move *target* must be exclusively owned, as
+/// usual for assignment.
 class BinaryRelation {
  public:
   BinaryRelation() = default;
+  BinaryRelation(const BinaryRelation& other);
+  BinaryRelation& operator=(const BinaryRelation& other);
+  BinaryRelation(BinaryRelation&& other) noexcept;
+  BinaryRelation& operator=(BinaryRelation&& other) noexcept;
 
   /// Takes ownership of `pairs`; sorts and deduplicates.
   static BinaryRelation FromPairs(std::vector<Edge> pairs);
@@ -111,11 +124,18 @@ class BinaryRelation {
   }
 
  private:
+  /// Slow path of SourceCsr(): builds (or adopts) the index under a
+  /// global build mutex and publishes it through csr_raw_.
+  const CsrView& BuildSourceCsr() const;
+
   std::vector<Edge> pairs_;
   // Lazy CSR over pairs_ by source. Offsets are positional, so a copied
   // relation shares the index with its original. Never reassigned once
-  // set (pairs_ is immutable after construction).
+  // published (pairs_ is immutable after construction). csr_ owns the
+  // index; csr_raw_ is the atomic publication readers load — non-null
+  // means csr_ is set and safe to read without synchronization.
   mutable std::shared_ptr<const CsrView> csr_;
+  mutable std::atomic<const CsrView*> csr_raw_{nullptr};
 };
 
 }  // namespace gqopt

@@ -1,12 +1,65 @@
 #include "graph/property_graph.h"
 
 #include <algorithm>
+#include <mutex>
+#include <new>
+
+#include "util/fault_injection.h"
 
 namespace gqopt {
+namespace {
+
+// Serializes the lazy per-label CSR cache builds across all graphs: a
+// finalized graph shared by N reader threads (the snapshot layer in
+// src/api) must populate forward_csr_/reverse_csr_ race-free. One global
+// mutex, not per-graph state, so the graph stays freely copyable; builds
+// happen once per label and the indexes are tiny to look up.
+std::mutex& CsrCacheMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
 
 const std::vector<Edge> PropertyGraph::kNoEdges;
 const std::vector<NodeId> PropertyGraph::kNoNodes;
 const std::vector<Property> PropertyGraph::kNoProps;
+
+// The lock makes copying a published (finalized) graph safe against
+// concurrent lazy CSR builds on the source; the built CsrViews are
+// immutable, so sharing them keeps the copy's cache warm for free.
+PropertyGraph::PropertyGraph(const PropertyGraph& other)
+    : node_label_names_(other.node_label_names_),
+      edge_label_names_(other.edge_label_names_),
+      node_labels_(other.node_labels_),
+      node_properties_(other.node_properties_),
+      num_edges_(other.num_edges_) {
+  std::lock_guard<std::mutex> lock(CsrCacheMutex());
+  forward_ = other.forward_;
+  reverse_ = other.reverse_;
+  forward_csr_ = other.forward_csr_;
+  reverse_csr_ = other.reverse_csr_;
+  label_index_ = other.label_index_;
+  finalized_ = other.finalized_;
+}
+
+PropertyGraph& PropertyGraph::operator=(const PropertyGraph& other) {
+  if (this != &other) {
+    node_label_names_ = other.node_label_names_;
+    edge_label_names_ = other.edge_label_names_;
+    node_labels_ = other.node_labels_;
+    node_properties_ = other.node_properties_;
+    num_edges_ = other.num_edges_;
+    std::lock_guard<std::mutex> lock(CsrCacheMutex());
+    forward_ = other.forward_;
+    reverse_ = other.reverse_;
+    forward_csr_ = other.forward_csr_;
+    reverse_csr_ = other.reverse_csr_;
+    label_index_ = other.label_index_;
+    finalized_ = other.finalized_;
+  }
+  return *this;
+}
 
 NodeId PropertyGraph::AddNode(std::string_view label) {
   return AddNode(label, {});
@@ -78,10 +131,14 @@ std::shared_ptr<const CsrView> PropertyGraph::ForwardCsr(
   Finalize();
   auto id = edge_label_names_.Find(label);
   if (!id.has_value() || *id >= forward_.size()) return nullptr;
+  std::lock_guard<std::mutex> lock(CsrCacheMutex());
   if (forward_csr_.size() < forward_.size()) {
     forward_csr_.resize(forward_.size());
   }
   if (!forward_csr_[*id]) {
+    if (FaultHit(FaultPoint::kCsrBuild) == FaultKind::kAlloc) {
+      throw std::bad_alloc();
+    }
     forward_csr_[*id] =
         std::make_shared<const CsrView>(CsrView::Build(forward_[*id]));
   }
@@ -93,10 +150,14 @@ std::shared_ptr<const CsrView> PropertyGraph::ReverseCsr(
   Finalize();
   auto id = edge_label_names_.Find(label);
   if (!id.has_value() || *id >= reverse_.size()) return nullptr;
+  std::lock_guard<std::mutex> lock(CsrCacheMutex());
   if (reverse_csr_.size() < reverse_.size()) {
     reverse_csr_.resize(reverse_.size());
   }
   if (!reverse_csr_[*id]) {
+    if (FaultHit(FaultPoint::kCsrBuild) == FaultKind::kAlloc) {
+      throw std::bad_alloc();
+    }
     reverse_csr_[*id] =
         std::make_shared<const CsrView>(CsrView::Build(reverse_[*id]));
   }

@@ -32,8 +32,23 @@ using Edge = std::pair<NodeId, NodeId>;
 /// Nodes carry exactly one label. Edges are grouped per edge label and kept
 /// sorted by (source, target) with a parallel reverse index sorted by
 /// (target, source); both are built on demand and cached.
+///
+/// Threading: a *finalized* graph is safe for concurrent const access —
+/// the lazy per-label CSR caches build behind a process-global mutex, and
+/// every other accessor only reads. Finalize() itself and the mutators
+/// (AddNode/AddEdge) require exclusive access; the snapshot layer in
+/// src/api finalizes before publishing a graph to reader threads.
 class PropertyGraph {
  public:
+  PropertyGraph() = default;
+  // Copying locks the CSR-cache mutex so a finalized graph can be copied
+  // (e.g. into an api::Snapshot) while other threads build its lazy CSR
+  // indexes; the copy shares the immutable CsrViews already built.
+  PropertyGraph(const PropertyGraph& other);
+  PropertyGraph& operator=(const PropertyGraph& other);
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+
   /// Adds a node with `label` (interned) and returns its id.
   NodeId AddNode(std::string_view label);
   NodeId AddNode(std::string_view label, std::vector<Property> properties);

@@ -1,6 +1,10 @@
 #include "ra/catalog.h"
 
 #include <algorithm>
+#include <mutex>
+#include <new>
+
+#include "util/fault_injection.h"
 
 namespace gqopt {
 
@@ -9,8 +13,20 @@ Catalog::Catalog(const PropertyGraph& graph) : graph_(graph) {
 }
 
 const BinaryRelation& Catalog::EdgeTable(const std::string& label) const {
+  // Double-checked under a reader/writer lock: warmed labels (the steady
+  // state) take the shared side only. unordered_map references survive
+  // rehashes, so a returned table stays valid while writers insert.
+  {
+    std::shared_lock<std::shared_mutex> lock(edge_mu_);
+    auto it = edge_cache_.find(label);
+    if (it != edge_cache_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(edge_mu_);
   auto it = edge_cache_.find(label);
   if (it == edge_cache_.end()) {
+    if (FaultHit(FaultPoint::kCatalogBuild) == FaultKind::kAlloc) {
+      throw std::bad_alloc();
+    }
     // Adopt the graph's cached CSR alongside the pair copy so downstream
     // compositions never rebuild the per-label index.
     it = edge_cache_

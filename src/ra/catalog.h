@@ -5,6 +5,7 @@
 #ifndef GQOPT_RA_CATALOG_H_
 #define GQOPT_RA_CATALOG_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,12 @@
 namespace gqopt {
 
 /// \brief Read-only relational view of a PropertyGraph.
+///
+/// Safe for concurrent const access over a finalized graph: the lazy
+/// per-label edge-table cache builds behind a reader/writer lock (cache
+/// hits take the shared side), and the embedded GraphStatistics guards its
+/// own caches the same way. References returned by EdgeTable/stats stay
+/// valid for the Catalog's lifetime (node-based map, never erased).
 class Catalog {
  public:
   explicit Catalog(const PropertyGraph& graph);
@@ -48,6 +55,7 @@ class Catalog {
  private:
   const PropertyGraph& graph_;
   GraphStatistics stats_{graph_};
+  mutable std::shared_mutex edge_mu_;
   mutable std::unordered_map<std::string, BinaryRelation> edge_cache_;
 };
 

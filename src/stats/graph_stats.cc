@@ -1,8 +1,11 @@
 #include "stats/graph_stats.h"
 
 #include <algorithm>
+#include <mutex>
+#include <new>
 
 #include "core/label_graph.h"
+#include "util/fault_injection.h"
 
 namespace gqopt {
 namespace {
@@ -25,8 +28,26 @@ const EdgeLabelStats GraphStatistics::kEmpty{};
 
 const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
                                             const Deadline& deadline) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = edge_cache_.find(label);
+    if (it != edge_cache_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = edge_cache_.find(label);
   if (it != edge_cache_.end()) return it->second;
+
+  // Injected faults reuse the existing degrade paths: a forced deadline
+  // behaves exactly like collection cut short (zeroed stats, nothing
+  // cached); a forced allocation failure surfaces at the facade boundary.
+  switch (FaultHit(FaultPoint::kStatsBuild)) {
+    case FaultKind::kDeadline:
+      return kEmpty;
+    case FaultKind::kAlloc:
+      throw std::bad_alloc();
+    default:
+      break;
+  }
 
   const std::vector<Edge>& pairs = graph_.EdgesByLabel(label);
   EdgeLabelStats stats;
@@ -103,6 +124,11 @@ const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
 }
 
 double GraphStatistics::GlobalClosureBound(const Deadline& deadline) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (global_closure_bound_ >= 0) return global_closure_bound_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (global_closure_bound_ >= 0) return global_closure_bound_;
   const std::vector<std::string>& names = graph_.node_label_names();
   LabelGraph lg;

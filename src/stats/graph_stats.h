@@ -12,6 +12,7 @@
 #ifndef GQOPT_STATS_GRAPH_STATS_H_
 #define GQOPT_STATS_GRAPH_STATS_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,9 +49,10 @@ struct EdgeLabelStats {
 
 /// \brief Lazily-collected, cached statistics for one PropertyGraph.
 ///
-/// Thread-compatible like the Catalog that owns it: collection mutates the
-/// cache, so share a const Catalog across threads only after warming the
-/// labels in use (or guard externally).
+/// Safe for concurrent const access over a finalized graph: collection is
+/// double-checked behind a reader/writer lock (warmed labels — the steady
+/// state — take the shared side only), and cached references survive for
+/// the catalog's lifetime (node-based map, never erased).
 class GraphStatistics {
  public:
   explicit GraphStatistics(const PropertyGraph& graph) : graph_(graph) {}
@@ -77,6 +79,7 @@ class GraphStatistics {
 
  private:
   const PropertyGraph& graph_;
+  mutable std::shared_mutex mu_;
   mutable std::unordered_map<std::string, EdgeLabelStats> edge_cache_;
   mutable double global_closure_bound_ = -1;  // -1 = not yet collected
   static const EdgeLabelStats kEmpty;

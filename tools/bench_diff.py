@@ -31,7 +31,15 @@ PAIRS = [
     # Serving through the facade's plan cache (lookup hit + execute) vs
     # the cold parse -> rewrite -> plan -> execute pipeline per call.
     ("BM_PreparedVsCold", "BM_ColdPrepare"),
+    # The same cached-vs-cold payoff end to end through the concurrent
+    # serving layer, at {1,2,4} client threads (suffix-matched).
+    ("BM_ServingThroughputCached", "BM_ServingThroughputCold"),
 ]
+
+# Pairs whose clients block on the server's worker pool (UseRealTime):
+# cpu_time measures only the client thread's bookkeeping, so the
+# meaningful ratio is wall clock.
+REAL_TIME_PAIRS = {"BM_ServingThroughputCached"}
 
 # Parallel benchmarks are their own counterparts: BM_Foo/N/dop runs the
 # identical kernel as BM_Foo/N/1 in the same process, so the dop=1 entry
@@ -77,10 +85,12 @@ def main():
 
     rows = []
     for optimized, baseline in PAIRS:
+        time_key = ("real_time" if optimized in REAL_TIME_PAIRS
+                    else "cpu_time")
         for suffix, opt in sorted(by_prefix.get(optimized, {}).items()):
             base = by_prefix.get(baseline, {}).get(suffix)
-            opt_time = opt.get("cpu_time")
-            base_time = base.get("cpu_time") if base is not None else None
+            opt_time = opt.get(time_key)
+            base_time = base.get(time_key) if base is not None else None
             # A missing counterpart (filtered run, renamed benchmark, or a
             # partial snapshot) is reported as "n/a", never a crash: the
             # other ratios in the snapshot are still meaningful.

@@ -11,16 +11,25 @@
 //   gqopt> explain x1, x2 <- (x1, owns/isLocatedIn+, x2)
 //   gqopt> sql     x1, x2 <- (x1, knows+, x2)
 //   gqopt> cypher  x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)
-//   gqopt> cache             # plan-cache hit/miss counters
+//   gqopt> cache             # plan-cache counters (incl. LRU evictions)
+//   gqopt> stress 4 200 x1, x2 <- (x1, knows+, x2)
+//   gqopt> faults plan=deadline:5
 //   gqopt> schema            # print the active schema
 //   gqopt> help
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/database.h"
+#include "api/server.h"
 #include "benchsup/harness.h"
 #include "datasets/ldbc.h"
 #include "datasets/yago.h"
@@ -29,6 +38,7 @@
 #include "schema/schema_parser.h"
 #include "translate/cypher_emitter.h"
 #include "translate/sql_emitter.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace gqopt {
@@ -55,7 +65,13 @@ void PrintHelp() {
       "  analyze <query>            EXPLAIN + run, rows = est/actual\n"
       "  sql <query>                recursive SQL translation\n"
       "  cypher <query>             Cypher translation\n"
-      "  cache                      plan-cache hit/miss counters\n"
+      "  cache                      plan-cache counters (hits/evictions)\n"
+      "  stress <clients> <reqs> [query]\n"
+      "                             concurrent storm through the serving\n"
+      "                             layer; reports throughput + shed/\n"
+      "                             degraded/retry counts\n"
+      "  faults [spec|off]          show, arm (GQOPT_FAULTS syntax) or\n"
+      "                             disarm the fault injector\n"
       "  help | quit");
 }
 
@@ -151,14 +167,118 @@ void DoTranslate(const api::Session& session, const std::string& text,
 
 void DoCacheStats(const api::Database& db) {
   api::PlanCacheStats stats = db.plan_cache_stats();
-  std::printf("plan cache: %s, %zu entries\n",
-              stats.enabled ? "enabled" : "disabled", stats.entries);
+  if (stats.capacity > 0) {
+    std::printf("plan cache: %s, %zu entries (LRU capacity %zu)\n",
+                stats.enabled ? "enabled" : "disabled", stats.entries,
+                stats.capacity);
+  } else {
+    std::printf("plan cache: %s, %zu entries (unbounded)\n",
+                stats.enabled ? "enabled" : "disabled", stats.entries);
+  }
   std::printf("  hits          %llu\n",
               static_cast<unsigned long long>(stats.hits));
   std::printf("  misses        %llu\n",
               static_cast<unsigned long long>(stats.misses));
   std::printf("  invalidations %llu\n",
               static_cast<unsigned long long>(stats.invalidations));
+  std::printf("  evictions     %llu\n",
+              static_cast<unsigned long long>(stats.evictions));
+}
+
+// stress <clients> <requests> [query] — a concurrent storm through the
+// serving layer: `clients` threads share `requests` QueryWithRetry calls
+// against a Server over the live database, then the serving counters are
+// reported. A cheap way to watch shedding and the degradation ladder
+// engage interactively (combine with `faults`).
+void DoStress(const api::Database& db, const api::ExecOptions& options,
+              const std::string& rest) {
+  auto parts = Split(rest, ' ');
+  if (parts.size() < 2) {
+    std::puts("usage: stress <clients> <requests> [query]");
+    return;
+  }
+  size_t clients = std::strtoul(parts[0].c_str(), nullptr, 10);
+  size_t requests = std::strtoul(parts[1].c_str(), nullptr, 10);
+  if (clients == 0 || requests == 0) {
+    std::puts("stress: clients and requests must be positive");
+    return;
+  }
+  size_t space = rest.find(' ');
+  space = rest.find(' ', space + 1);
+  std::string query =
+      space == std::string::npos
+          ? std::string("x1, x2 <- (x1, owns/isLocatedIn+, x2)")
+          : std::string(StripWhitespace(rest.substr(space)));
+
+  api::ServerOptions server_options;
+  server_options.workers = static_cast<int>(std::min<size_t>(clients, 4));
+  api::Server server(db, server_options);
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> ok{0};
+  std::mutex error_mu;
+  std::string first_error;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      api::RetryPolicy policy;
+      while (next.fetch_add(1) < requests) {
+        auto response = server.QueryWithRetry(query, options, policy);
+        if (response.result.ok()) {
+          ok.fetch_add(1);
+        } else {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.empty()) {
+            first_error = response.result.status().ToString();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  api::ServerStats stats = server.stats();
+  std::printf("%zu requests, %zu clients: %.2f queries/sec\n", requests,
+              clients, seconds > 0 ? requests / seconds : 0.0);
+  std::printf("  ok            %llu\n", static_cast<unsigned long long>(
+                                            ok.load()));
+  std::printf("  shed          %llu (queue full %llu, deadline %llu)\n",
+              static_cast<unsigned long long>(stats.shed_queue_full +
+                                              stats.shed_deadline),
+              static_cast<unsigned long long>(stats.shed_queue_full),
+              static_cast<unsigned long long>(stats.shed_deadline));
+  std::printf("  degraded      %llu\n",
+              static_cast<unsigned long long>(stats.degraded));
+  std::printf("  retries       %llu\n",
+              static_cast<unsigned long long>(stats.retries));
+  std::printf("  failed        %llu\n",
+              static_cast<unsigned long long>(stats.failed));
+  if (!first_error.empty()) {
+    std::printf("  first error   %s\n", first_error.c_str());
+  }
+}
+
+void DoFaults(const std::string& rest) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (rest.empty()) {
+    std::printf("%s\n", injector.Describe().c_str());
+    return;
+  }
+  if (rest == "off") {
+    injector.DisarmAll();
+    std::puts("faults disarmed");
+    return;
+  }
+  if (!injector.ArmFromSpec(rest)) {
+    std::puts(
+        "malformed spec; expected point=kind[:every_n],... with points\n"
+        "parse|rewrite|plan|execute|snapshot-build|catalog-build|\n"
+        "stats-build|csr-build and kinds deadline|alloc|invalidate");
+    return;
+  }
+  std::printf("%s\n", injector.Describe().c_str());
 }
 
 }  // namespace
@@ -244,6 +364,10 @@ int main() {
       DoTranslate(session, rest, /*to_sql=*/false);
     } else if (command == "cache") {
       DoCacheStats(db);
+    } else if (command == "stress") {
+      DoStress(db, session.options(), rest);
+    } else if (command == "faults") {
+      DoFaults(rest);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
     }

@@ -2,13 +2,18 @@
 # Tier-1 verification: configure, build, run the test suite, and refresh
 # the micro-benchmark JSON snapshot (BENCH_micro.json at the repo root).
 #
-# Usage: tools/run_tier1.sh [--no-bench]
+# Usage: tools/run_tier1.sh [--no-bench] [--tsan]
 #
 # GQOPT_DOP (degree of parallelism, default 1) passes through to every
 # test and benchmark binary: executors and closures run their partitioned
 # parallel paths at that dop. Independent of the ambient value, the
 # differential suites run once more at GQOPT_DOP=4 below, so parallel
 # execution is checked for bit-identical results on every tier-1 run.
+#
+# --tsan builds the concurrency suites under ThreadSanitizer (its own
+# build-tsan/ tree, benches off) and runs them serial and at dop=4: the
+# serving layer's stress/storm tests must come back with zero reported
+# races. It replaces the normal run — do both for a full verification.
 
 set -euo pipefail
 
@@ -16,8 +21,27 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
 run_bench=1
-if [[ "${1:-}" == "--no-bench" ]]; then
-  run_bench=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$run_tsan" -eq 1 ]]; then
+  # The concurrency surface: the serving layer, the differential suites
+  # that re-run executors at dop=4, and the pool itself.
+  cmake -B build-tsan -S . -DGQOPT_SANITIZE=thread \
+    -DGQOPT_BUILD_BENCHES=OFF -DGQOPT_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '(serving|api|parallel_differential|csr_differential|thread_pool)_test'
+  GQOPT_DOP=4 ctest --test-dir build-tsan --output-on-failure \
+    -R '(serving|parallel_differential|csr_differential|thread_pool)_test'
+  echo "TSan tier-1 subset passed (build-tsan/)"
+  exit 0
 fi
 
 # Examples are part of tier-1 (ctest runs each one); force them on in
@@ -36,25 +60,25 @@ GQOPT_DOP=4 ctest --test-dir build --output-on-failure \
 # overridden in the environment), and once with the retained greedy pass
 # so both planners stay covered by every tier-1 run.
 GQOPT_PLANNER=dp ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api)_test'
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api|serving)_test'
 GQOPT_PLANNER=greedy ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api)_test'
+  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api|serving)_test'
 
 # Facade correctness with the plan cache forced off and on: the API and
 # end-to-end suites must behave identically in both modes (tests that
 # assert cache hits pin the enabled state with the explicit setter, which
 # takes precedence over GQOPT_PLAN_CACHE — see src/api/options.h).
 GQOPT_PLAN_CACHE=0 ctest --test-dir build --output-on-failure \
-  -R '(api|end_to_end)_test'
+  -R '(api|end_to_end|serving)_test'
 GQOPT_PLAN_CACHE=1 ctest --test-dir build --output-on-failure \
-  -R '(api|end_to_end)_test'
+  -R '(api|end_to_end|serving)_test'
 
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
     # The interesting subset: evaluation-core primitives with their
     # retained naive counterparts for drift-free before/after ratios.
     ./build/bench_micro \
-      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare' \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     echo "wrote $repo_root/BENCH_micro.json"
