@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_differential_test.dir/tests/csr_differential_test.cc.o"
+  "CMakeFiles/csr_differential_test.dir/tests/csr_differential_test.cc.o.d"
+  "csr_differential_test"
+  "csr_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_sweep_test.dir/tests/emitter_sweep_test.cc.o"
+  "CMakeFiles/emitter_sweep_test.dir/tests/emitter_sweep_test.cc.o.d"
+  "emitter_sweep_test"
+  "emitter_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_test.dir/tests/emitter_test.cc.o"
+  "CMakeFiles/emitter_test.dir/tests/emitter_test.cc.o.d"
+  "emitter_test"
+  "emitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/path_expr.cc" "CMakeFiles/gqopt.dir/src/algebra/path_expr.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/algebra/path_expr.cc.o.d"
+  "/root/repo/src/algebra/path_parser.cc" "CMakeFiles/gqopt.dir/src/algebra/path_parser.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/algebra/path_parser.cc.o.d"
+  "/root/repo/src/api/database.cc" "CMakeFiles/gqopt.dir/src/api/database.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/api/database.cc.o.d"
+  "/root/repo/src/api/options.cc" "CMakeFiles/gqopt.dir/src/api/options.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/api/options.cc.o.d"
+  "/root/repo/src/api/plan_cache.cc" "CMakeFiles/gqopt.dir/src/api/plan_cache.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/api/plan_cache.cc.o.d"
+  "/root/repo/src/api/server.cc" "CMakeFiles/gqopt.dir/src/api/server.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/api/server.cc.o.d"
+  "/root/repo/src/benchsup/harness.cc" "CMakeFiles/gqopt.dir/src/benchsup/harness.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/benchsup/harness.cc.o.d"
+  "/root/repo/src/core/cqt_translation.cc" "CMakeFiles/gqopt.dir/src/core/cqt_translation.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/cqt_translation.cc.o.d"
+  "/root/repo/src/core/label_graph.cc" "CMakeFiles/gqopt.dir/src/core/label_graph.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/label_graph.cc.o.d"
+  "/root/repo/src/core/merge.cc" "CMakeFiles/gqopt.dir/src/core/merge.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/merge.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "CMakeFiles/gqopt.dir/src/core/rewriter.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/rewriter.cc.o.d"
+  "/root/repo/src/core/simplifier.cc" "CMakeFiles/gqopt.dir/src/core/simplifier.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/simplifier.cc.o.d"
+  "/root/repo/src/core/type_inference.cc" "CMakeFiles/gqopt.dir/src/core/type_inference.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/core/type_inference.cc.o.d"
+  "/root/repo/src/datasets/ldbc.cc" "CMakeFiles/gqopt.dir/src/datasets/ldbc.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/datasets/ldbc.cc.o.d"
+  "/root/repo/src/datasets/workloads.cc" "CMakeFiles/gqopt.dir/src/datasets/workloads.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/datasets/workloads.cc.o.d"
+  "/root/repo/src/datasets/yago.cc" "CMakeFiles/gqopt.dir/src/datasets/yago.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/datasets/yago.cc.o.d"
+  "/root/repo/src/eval/aggregate.cc" "CMakeFiles/gqopt.dir/src/eval/aggregate.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/aggregate.cc.o.d"
+  "/root/repo/src/eval/binary_relation.cc" "CMakeFiles/gqopt.dir/src/eval/binary_relation.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/binary_relation.cc.o.d"
+  "/root/repo/src/eval/csr_view.cc" "CMakeFiles/gqopt.dir/src/eval/csr_view.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/csr_view.cc.o.d"
+  "/root/repo/src/eval/graph_engine.cc" "CMakeFiles/gqopt.dir/src/eval/graph_engine.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/graph_engine.cc.o.d"
+  "/root/repo/src/eval/naive_reference.cc" "CMakeFiles/gqopt.dir/src/eval/naive_reference.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/naive_reference.cc.o.d"
+  "/root/repo/src/eval/path_eval.cc" "CMakeFiles/gqopt.dir/src/eval/path_eval.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/eval/path_eval.cc.o.d"
+  "/root/repo/src/graph/consistency.cc" "CMakeFiles/gqopt.dir/src/graph/consistency.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/graph/consistency.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/gqopt.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "CMakeFiles/gqopt.dir/src/graph/property_graph.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/schema_guard.cc" "CMakeFiles/gqopt.dir/src/graph/schema_guard.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/graph/schema_guard.cc.o.d"
+  "/root/repo/src/graph/value.cc" "CMakeFiles/gqopt.dir/src/graph/value.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/graph/value.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "CMakeFiles/gqopt.dir/src/query/query_parser.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/query/query_parser.cc.o.d"
+  "/root/repo/src/query/ucqt.cc" "CMakeFiles/gqopt.dir/src/query/ucqt.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/query/ucqt.cc.o.d"
+  "/root/repo/src/ra/catalog.cc" "CMakeFiles/gqopt.dir/src/ra/catalog.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/catalog.cc.o.d"
+  "/root/repo/src/ra/executor.cc" "CMakeFiles/gqopt.dir/src/ra/executor.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/executor.cc.o.d"
+  "/root/repo/src/ra/explain.cc" "CMakeFiles/gqopt.dir/src/ra/explain.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/explain.cc.o.d"
+  "/root/repo/src/ra/optimizer.cc" "CMakeFiles/gqopt.dir/src/ra/optimizer.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/optimizer.cc.o.d"
+  "/root/repo/src/ra/planner/cost_model.cc" "CMakeFiles/gqopt.dir/src/ra/planner/cost_model.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/planner/cost_model.cc.o.d"
+  "/root/repo/src/ra/planner/dp_enumerator.cc" "CMakeFiles/gqopt.dir/src/ra/planner/dp_enumerator.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/planner/dp_enumerator.cc.o.d"
+  "/root/repo/src/ra/ra_expr.cc" "CMakeFiles/gqopt.dir/src/ra/ra_expr.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/ra_expr.cc.o.d"
+  "/root/repo/src/ra/table.cc" "CMakeFiles/gqopt.dir/src/ra/table.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/table.cc.o.d"
+  "/root/repo/src/ra/ucqt_to_ra.cc" "CMakeFiles/gqopt.dir/src/ra/ucqt_to_ra.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/ra/ucqt_to_ra.cc.o.d"
+  "/root/repo/src/schema/graph_schema.cc" "CMakeFiles/gqopt.dir/src/schema/graph_schema.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/schema/graph_schema.cc.o.d"
+  "/root/repo/src/schema/schema_parser.cc" "CMakeFiles/gqopt.dir/src/schema/schema_parser.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/schema/schema_parser.cc.o.d"
+  "/root/repo/src/schema/symbol_table.cc" "CMakeFiles/gqopt.dir/src/schema/symbol_table.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/schema/symbol_table.cc.o.d"
+  "/root/repo/src/stats/graph_stats.cc" "CMakeFiles/gqopt.dir/src/stats/graph_stats.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/stats/graph_stats.cc.o.d"
+  "/root/repo/src/translate/cypher_emitter.cc" "CMakeFiles/gqopt.dir/src/translate/cypher_emitter.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/translate/cypher_emitter.cc.o.d"
+  "/root/repo/src/translate/sql_emitter.cc" "CMakeFiles/gqopt.dir/src/translate/sql_emitter.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/translate/sql_emitter.cc.o.d"
+  "/root/repo/src/util/fault_injection.cc" "CMakeFiles/gqopt.dir/src/util/fault_injection.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/util/fault_injection.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/gqopt.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/gqopt.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/gqopt.dir/src/util/status.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "CMakeFiles/gqopt.dir/src/util/strings.cc.o" "gcc" "CMakeFiles/gqopt.dir/src/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

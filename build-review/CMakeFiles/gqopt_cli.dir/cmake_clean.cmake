@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqopt_cli.dir/tools/gqopt_cli.cc.o"
+  "CMakeFiles/gqopt_cli.dir/tools/gqopt_cli.cc.o.d"
+  "gqopt_cli"
+  "gqopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_differential_test.dir/tests/parallel_differential_test.cc.o"
+  "CMakeFiles/parallel_differential_test.dir/tests/parallel_differential_test.cc.o.d"
+  "parallel_differential_test"
+  "parallel_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_expr_test.dir/tests/path_expr_test.cc.o"
+  "CMakeFiles/path_expr_test.dir/tests/path_expr_test.cc.o.d"
+  "path_expr_test"
+  "path_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucqt_test.dir/tests/ucqt_test.cc.o"
+  "CMakeFiles/ucqt_test.dir/tests/ucqt_test.cc.o.d"
+  "ucqt_test"
+  "ucqt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucqt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

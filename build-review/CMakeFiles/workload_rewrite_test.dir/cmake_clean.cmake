@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_rewrite_test.dir/tests/workload_rewrite_test.cc.o"
+  "CMakeFiles/workload_rewrite_test.dir/tests/workload_rewrite_test.cc.o.d"
+  "workload_rewrite_test"
+  "workload_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
