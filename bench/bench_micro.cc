@@ -913,5 +913,28 @@ BENCHMARK(BM_ServingThroughputCold)
     ->Threads(4)
     ->UseRealTime();
 
+// ---- memory governance ----------------------------------------------------
+// Charge/Release through a child tracker with a bounded root: the hot-path
+// cost every tracked container doubling pays. Multi-threaded runs measure
+// contention on the shared root through the chunked refill.
+
+void BM_MemTrackerCharge(benchmark::State& state) {
+  static MemoryTracker root(int64_t{4} << 30, "bench-root");
+  MemoryTracker query(0, "bench-query", &root);
+  const int64_t bytes = state.range(0);
+  for (auto _ : state) {
+    bool ok = query.Charge(bytes);
+    benchmark::DoNotOptimize(ok);
+    query.Release(bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTrackerCharge)
+    ->Arg(1024)
+    ->Arg(1 << 20)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace gqopt

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <new>
 
 #include "graph/graph_io.h"
@@ -47,15 +48,22 @@ std::string StaleMessage(const char* prefix, uint64_t now, uint64_t then,
 /// sessions with different planning knobs never share a plan.
 std::string PlanFingerprint(const ExecOptions& options) {
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "r%d p%d jr%d fs%d dop%d pb%lld ss%d|",
+  std::snprintf(buf, sizeof(buf),
+                "r%d p%d jr%d fs%d dop%d pb%lld ss%d lm%d|",
                 options.apply_schema_rewrite ? 1 : 0,
                 static_cast<int>(options.planner),
                 options.enable_join_reorder ? 1 : 0,
                 options.enable_fixpoint_seeding ? 1 : 0, options.dop,
                 static_cast<long long>(options.planning_budget_ms),
-                options.allow_stale_statistics ? 1 : 0);
+                options.allow_stale_statistics ? 1 : 0,
+                options.low_memory ? 1 : 0);
   return buf;
 }
+
+/// Fixed slack per cached plan entry covering the Slot, the LRU node and
+/// the expression tree — plans are a handful of small nodes, so a flat
+/// allowance beats walking the tree on the Insert path.
+constexpr size_t kPlanCacheEntryOverhead = 1024;
 
 bool IsStale(const Status& status) {
   return status.message().find("stale prepared query") != std::string::npos;
@@ -69,6 +77,13 @@ QueryStage ClassifyError(const Status& status) {
   if (message.starts_with("rewrite: ")) return QueryStage::kRewrite;
   if (message.starts_with("plan: ")) return QueryStage::kPlan;
   if (message.starts_with("overloaded: ")) return QueryStage::kOverloaded;
+  // Budget breaches surface either bare ("resource: ...") from the
+  // tracker or wrapped by the execute stage ("execute: resource: ...");
+  // both classify as the non-retryable resource class.
+  if (message.starts_with("resource: ") ||
+      message.find(": resource: ") != std::string::npos) {
+    return QueryStage::kResource;
+  }
   return QueryStage::kExecute;
 }
 
@@ -84,6 +99,8 @@ std::string_view QueryStageName(QueryStage stage) {
       return "execute";
     case QueryStage::kOverloaded:
       return "overloaded";
+    case QueryStage::kResource:
+      return "resource";
   }
   return "unknown";
 }
@@ -138,13 +155,20 @@ Result<std::string> PreparedQuery::ExplainAnalyze(
   GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
   try {
     Executor executor(snapshot_->catalog());
-    auto table = executor.Run(plan_, session.options().MakeExecContext());
+    MemoryTracker query_mem(session.options().mem_limit_bytes, "query",
+                            &db_->mem_, /*probe_faults=*/true);
+    ExecContext ctx = session.options().MakeExecContext();
+    ctx.mem = &query_mem;
+    auto table = executor.Run(plan_, ctx);
     if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
-    std::string out = ExplainPlanAnalyze(plan_, snapshot_->catalog(),
-                                         executor.actual_rows());
+    std::string out =
+        ExplainPlanAnalyze(plan_, snapshot_->catalog(),
+                           executor.actual_rows(), &executor.actual_bytes());
     out.append("(");
     out.append(std::to_string(table->rows()));
-    out.append(" result rows)\n");
+    out.append(" result rows, peak memory ");
+    out.append(std::to_string(query_mem.peak()));
+    out.append(" bytes)\n");
     return out;
   } catch (const std::bad_alloc&) {
     return StageError(QueryStage::kExecute,
@@ -176,8 +200,14 @@ Result<QueryResult> PreparedQuery::Execute(const Session& session,
   GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
   try {
     Executor executor(snapshot_->catalog());
+    // Per-query budget, child of the Database-wide root: the run charges
+    // against both its own limit and the shared server ceiling, and the
+    // reservation flows back to the root when the tracker dies.
+    MemoryTracker query_mem(session.options().mem_limit_bytes, "query",
+                            &db_->mem_, /*probe_faults=*/true);
     ExecContext ctx = session.options().MakeExecContext();
     ctx.deadline = deadline;
+    ctx.mem = &query_mem;
     double start = Now();
     auto table = executor.Run(plan_, ctx);
     double elapsed = Now() - start;
@@ -189,6 +219,7 @@ Result<QueryResult> PreparedQuery::Execute(const Session& session,
     for (const auto& [node, rows] : executor.actual_rows()) {
       result.rows_processed += rows;
     }
+    result.mem_peak_bytes = query_mem.peak();
     return result;
   } catch (const std::bad_alloc&) {
     return StageError(QueryStage::kExecute,
@@ -202,7 +233,9 @@ Result<QueryResult> PreparedQuery::Execute(const Session& session,
 Database::Database() : Database(GraphSchema(), PropertyGraph()) {}
 
 Database::Database(GraphSchema schema, PropertyGraph graph)
-    : schema_(std::move(schema)), graph_(std::move(graph)) {}
+    : schema_(std::move(schema)),
+      graph_(std::move(graph)),
+      mem_(ParseByteSize(std::getenv("GQOPT_SERVER_MEM_LIMIT")), "server") {}
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& schema_path, const std::string& graph_path) {
@@ -439,12 +472,15 @@ Result<PreparedQueryPtr> Database::PrepareImpl(const std::string& key,
   if (!plan.ok()) return StageError(QueryStage::kPlan, plan.status());
   prepared->plan_ =
       OptimizePlan(plan.value(), snap->catalog(), options.ToOptimizerOptions());
+  prepared->estimated_memory_bytes_ =
+      EstimatePlanMemory(prepared->plan_, snap->catalog());
 
   PreparedQueryPtr shared = std::move(prepared);
   // Skip the insert when a mutation already outdated this plan — the
   // lookup-side validation would only have to throw it away again.
   if (options.use_plan_cache && shared->generation_ == generation()) {
-    cache_.Insert(key, shared);
+    cache_.Insert(key, shared,
+                  key.size() + shared->text_.size() + kPlanCacheEntryOverhead);
   }
   return shared;
 }

@@ -37,6 +37,7 @@
 #include "ra/table.h"
 #include "schema/graph_schema.h"
 #include "util/deadline.h"
+#include "util/mem_tracker.h"
 #include "util/status.h"
 
 namespace gqopt {
@@ -47,16 +48,20 @@ class Session;
 
 /// Which pipeline stage a failed Status came from. Stages are encoded as
 /// stable message prefixes ("parse: ", "rewrite: ", "plan: ",
-/// "execute: ", "overloaded: ") so callers can branch on the failure
-/// class without string-matching ad hoc. kOverloaded is raised only by
-/// the serving layer's admission control (src/api/server.h) — shed load,
-/// not a pipeline failure — and is the retryable class.
+/// "execute: ", "overloaded: ", "resource: ") so callers can branch on
+/// the failure class without string-matching ad hoc. kOverloaded is
+/// raised only by the serving layer's admission control
+/// (src/api/server.h) — shed load, not a pipeline failure — and is the
+/// retryable class. kResource is a memory-budget breach
+/// (util/mem_tracker.h): the query as written does not fit its limit, so
+/// retrying unchanged will fail again — not retryable.
 enum class QueryStage : uint8_t {
   kParse,
   kRewrite,
   kPlan,
   kExecute,
   kOverloaded,
+  kResource,
 };
 
 /// Classifies a non-OK Status returned by Prepare/Execute/Server::Query.
@@ -114,6 +119,9 @@ struct QueryResult {
   size_t plan_operators = 0;
   /// Total rows produced across all operators — a work proxy.
   uint64_t rows_processed = 0;
+  /// Peak bytes charged against this execution's memory tracker (0 when
+  /// the run was completely untracked).
+  int64_t mem_peak_bytes = 0;
 
   size_t rows() const { return table.rows(); }
   /// Rows sorted lexicographically with duplicates dropped; the canonical
@@ -159,6 +167,11 @@ class PreparedQuery {
   /// snapshot (degraded statistics serving; see
   /// ExecOptions::allow_stale_statistics).
   bool stale_statistics() const { return stale_statistics_; }
+  /// Estimated execution footprint in bytes (EstimatePlanMemory over the
+  /// plan at Prepare time). The serving layer's admission control
+  /// compares this against the remaining server budget; it is an
+  /// estimate, so enforcement still happens at execution time.
+  int64_t estimated_memory_bytes() const { return estimated_memory_bytes_; }
 
   /// Renders the plan with estimated cost/rows (docs/EXPLAIN.md), or a
   /// one-line staleness notice when the database has changed since
@@ -190,6 +203,7 @@ class PreparedQuery {
   SnapshotPtr snapshot_;
   uint64_t generation_ = 0;
   bool stale_statistics_ = false;
+  int64_t estimated_memory_bytes_ = 0;
   std::string text_;
   Ucqt query_;
   RewriteResult rewrite_;
@@ -303,7 +317,23 @@ class Database {
   void set_plan_cache_capacity(size_t capacity) {
     cache_.set_capacity(capacity);
   }
+  /// Explicit plan-cache byte budget (0 = unbounded); overrides
+  /// GQOPT_PLAN_CACHE_MEM.
+  void set_plan_cache_memory_capacity(size_t bytes) {
+    cache_.set_memory_capacity(bytes);
+  }
   void ClearPlanCache() { cache_.Invalidate(); }
+
+  /// The server-wide memory budget (GQOPT_SERVER_MEM_LIMIT at
+  /// construction; 0 = unbounded). Every execution's per-query tracker is
+  /// a child of this root, so consumed()/available() reflect all queries
+  /// in flight and the serving layer's admission control can refuse work
+  /// that cannot fit.
+  const MemoryTracker& memory() const { return mem_; }
+  /// Overrides the server budget (explicit beats env beats default).
+  /// Takes effect for charges from this point on; in-flight executions
+  /// keep their already-acquired reservations.
+  void set_memory_limit(int64_t bytes) { mem_.set_limit(bytes); }
 
  private:
   friend class PreparedQuery;
@@ -350,6 +380,11 @@ class Database {
   mutable SnapshotPtr snapshot_;
   mutable SnapshotPtr last_snapshot_;
   mutable PlanCache cache_;
+  // Root of the memory-tracker hierarchy: per-query trackers created in
+  // PreparedQuery::Execute parent here, so the sum of all in-flight
+  // executions observes one server-wide ceiling. Mutable because charging
+  // is logically const (executions run on const handles).
+  mutable MemoryTracker mem_;
 };
 
 /// \brief A caller's options bundle over a Database.

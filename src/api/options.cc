@@ -28,6 +28,7 @@ ExecOptions ExecOptions::FromEnv() {
   if (const char* cache = std::getenv("GQOPT_PLAN_CACHE")) {
     options.use_plan_cache = std::string(cache) != "0";
   }
+  options.mem_limit_bytes = ParseByteSize(std::getenv("GQOPT_MEM_LIMIT"));
   return options;
 }
 
@@ -38,6 +39,7 @@ OptimizerOptions ExecOptions::ToOptimizerOptions() const {
   options.dop = dop;
   options.planner = planner;
   options.planning_deadline = Deadline::AfterMillis(planning_budget_ms);
+  options.low_memory = low_memory;
   return options;
 }
 
@@ -46,6 +48,7 @@ ExecContext ExecOptions::MakeExecContext() const {
   ctx.deadline = Deadline::AfterMillis(timeout_ms);
   ctx.dop = dop;
   ctx.parallel_min_rows = parallel_min_rows;
+  ctx.low_memory = low_memory;
   return ctx;
 }
 

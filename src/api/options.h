@@ -30,6 +30,7 @@ namespace api {
 ///   GQOPT_DOP          degree of parallelism          (field dop)
 ///   GQOPT_PLANNER      "greedy" or "dp"               (field planner)
 ///   GQOPT_PLAN_CACHE   "0" disables plan-cache use    (field use_plan_cache)
+///   GQOPT_MEM_LIMIT    per-query memory budget        (field mem_limit_bytes)
 struct ExecOptions {
   // ---- execution-time knobs ------------------------------------------
   /// Per-execution deadline in milliseconds; <= 0 means no deadline.
@@ -43,6 +44,13 @@ struct ExecOptions {
   /// Repetitions averaged by the measurement helpers (benchsup/harness);
   /// PreparedQuery::Execute always runs exactly once.
   int repetitions = 3;
+  /// Per-query memory budget in bytes; 0 = unbounded. A breach aborts
+  /// the execution with a typed "resource: " status instead of letting
+  /// the allocation land (see util/mem_tracker.h). FromEnv() parses
+  /// GQOPT_MEM_LIMIT with k/m/g suffixes ("256m"). The query's tracker
+  /// is also a child of the Database-wide budget (GQOPT_SERVER_MEM_LIMIT),
+  /// so an unbounded query still stops at the server ceiling.
+  int64_t mem_limit_bytes = 0;
 
   // ---- planning-time knobs (part of the plan-cache key) --------------
   /// Join-order planner for join clusters.
@@ -65,6 +73,11 @@ struct ExecOptions {
   /// Consult/populate the Database plan cache in Prepare. Independent of
   /// the cache's Database-level enable switch; both must be on for a hit.
   bool use_plan_cache = true;
+  /// Memory rung of the degradation ladder: plan and execute with the
+  /// low-footprint join paths (merge/offset over radix/flat-hash,
+  /// reduced radix fan-out). Plan-affecting — part of the plan-cache
+  /// fingerprint. Set by the serving layer under memory pressure.
+  bool low_memory = false;
 
   /// Defaults overlaid with the GQOPT_* environment knobs above. The
   /// environment is read fresh on every call (no cached statics), so

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "util/mem_tracker.h"
+
 namespace gqopt {
 namespace api {
 
@@ -33,7 +35,13 @@ PlanCache::PlanCache() {
     // Malformed values keep the default; "0" is a valid "unbounded".
     if (end != cap) capacity_ = static_cast<size_t>(value);
   }
+  if (const char* mem = std::getenv("GQOPT_PLAN_CACHE_MEM")) {
+    // "0" (ParseByteSize's malformed sentinel too) means unbounded, so a
+    // malformed value degrades to no byte cap rather than a surprise one.
+    mem_capacity_ = static_cast<size_t>(ParseByteSize(mem));
+  }
   stats_.capacity = capacity_;
+  stats_.mem_capacity = mem_capacity_;
 }
 
 void PlanCache::set_enabled(bool enabled) {
@@ -42,6 +50,7 @@ void PlanCache::set_enabled(bool enabled) {
   if (!enabled) {
     entries_.clear();
     lru_.clear();
+    bytes_ = 0;
   }
 }
 
@@ -54,6 +63,13 @@ void PlanCache::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   stats_.capacity = capacity;
+  EvictToCapacityLocked();
+}
+
+void PlanCache::set_memory_capacity(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_capacity_ = bytes;
+  stats_.mem_capacity = bytes;
   EvictToCapacityLocked();
 }
 
@@ -73,17 +89,23 @@ std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
 }
 
 void PlanCache::Insert(const std::string& key,
-                       std::shared_ptr<const PreparedQuery> entry) {
+                       std::shared_ptr<const PreparedQuery> entry,
+                       size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!stats_.enabled) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    bytes_ += bytes;
     it->second.entry = std::move(entry);
+    it->second.bytes = bytes;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    EvictToCapacityLocked();
     return;
   }
   lru_.push_front(key);
-  entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  entries_.emplace(key, Slot{std::move(entry), lru_.begin(), bytes});
+  bytes_ += bytes;
   EvictToCapacityLocked();
 }
 
@@ -91,6 +113,7 @@ void PlanCache::Remove(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
 }
@@ -99,6 +122,7 @@ void PlanCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
+  bytes_ = 0;
   ++stats_.invalidations;
 }
 
@@ -107,13 +131,23 @@ PlanCacheStats PlanCache::stats() const {
   PlanCacheStats snapshot = stats_;
   snapshot.entries = entries_.size();
   snapshot.capacity = capacity_;
+  snapshot.bytes = bytes_;
+  snapshot.mem_capacity = mem_capacity_;
   return snapshot;
 }
 
 void PlanCache::EvictToCapacityLocked() {
-  if (capacity_ == 0) return;
-  while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
+  auto over = [&] {
+    if (capacity_ != 0 && entries_.size() > capacity_) return true;
+    // The byte budget keeps at least the newest entry: a single oversized
+    // plan degrades the cache to capacity 1 instead of thrashing it.
+    return mem_capacity_ != 0 && bytes_ > mem_capacity_ &&
+           entries_.size() > 1;
+  };
+  while (over()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
     lru_.pop_back();
     ++stats_.evictions;
   }

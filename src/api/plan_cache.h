@@ -25,14 +25,22 @@ class PreparedQuery;
 /// serving mix of a few hundred distinct query shapes; 0 means unbounded.
 inline constexpr size_t kDefaultPlanCacheCapacity = 256;
 
+/// Default byte budget when GQOPT_PLAN_CACHE_MEM is unset: plans are
+/// small (an expression tree plus the query text), so 64 MB only bites
+/// when entries pin pathological state; 0 means unbounded.
+inline constexpr size_t kDefaultPlanCacheMemCapacity = size_t{64} << 20;
+
 /// Observable cache state; a consistent snapshot under the cache mutex.
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;          // counted even while disabled
   uint64_t invalidations = 0;   // full clears (mutation, swap, refresh)
-  uint64_t evictions = 0;       // LRU capacity evictions
+  uint64_t evictions = 0;       // LRU capacity evictions (count or bytes)
   size_t entries = 0;
   size_t capacity = kDefaultPlanCacheCapacity;  // 0 = unbounded
+  /// Accounted bytes across entries and the byte budget (0 = unbounded).
+  size_t bytes = 0;
+  size_t mem_capacity = kDefaultPlanCacheMemCapacity;
   bool enabled = true;
 };
 
@@ -63,14 +71,22 @@ class PlanCache {
   /// below the current size evicts LRU entries immediately. 0 = unbounded.
   void set_capacity(size_t capacity);
 
+  /// Overrides the byte budget (GQOPT_PLAN_CACHE_MEM); shrinking evicts
+  /// LRU entries immediately. 0 = unbounded.
+  void set_memory_capacity(size_t bytes);
+
   /// Returns the cached entry (counting a hit and refreshing its recency)
   /// or nullptr (counting a miss — also when disabled).
   std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
 
-  /// Stores `entry` under `key` (no-op while disabled), evicting the LRU
-  /// entry when the cache is at capacity.
+  /// Stores `entry` under `key` (no-op while disabled), evicting LRU
+  /// entries while the cache is over its entry count or byte budget.
+  /// `bytes` is the entry's accounted footprint (key + plan + pinned
+  /// state estimate); the newest entry survives even when it alone
+  /// exceeds the byte budget — the cache degrades to capacity 1, it
+  /// never refuses.
   void Insert(const std::string& key,
-              std::shared_ptr<const PreparedQuery> entry);
+              std::shared_ptr<const PreparedQuery> entry, size_t bytes = 0);
 
   /// Drops one entry without counting an invalidation or an eviction.
   /// Used when a lookup returns a plan from a dead generation: the entry
@@ -86,14 +102,18 @@ class PlanCache {
   struct Slot {
     std::shared_ptr<const PreparedQuery> entry;
     std::list<std::string>::iterator lru_pos;
+    size_t bytes = 0;
   };
 
-  /// Evicts LRU entries down to capacity. Caller holds mu_.
+  /// Evicts LRU entries down to the count and byte budgets (keeping at
+  /// least the newest entry). Caller holds mu_.
   void EvictToCapacityLocked();
 
   mutable std::mutex mu_;
   PlanCacheStats stats_;
   size_t capacity_ = kDefaultPlanCacheCapacity;  // 0 = unbounded
+  size_t mem_capacity_ = kDefaultPlanCacheMemCapacity;  // 0 = unbounded
+  size_t bytes_ = 0;  // accounted bytes across entries
   // Most-recently-used at the front; map slots point at their list node.
   std::list<std::string> lru_;
   std::unordered_map<std::string, Slot> entries_;

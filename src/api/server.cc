@@ -24,10 +24,16 @@ std::string DegradationReport::Summary() const {
   if (greedy_planner) add("greedy-planner");
   if (skipped_rewrite) add("skipped-rewrite");
   if (stale_statistics) add("stale-statistics");
+  if (low_memory) add("low-memory");
   if (out.empty()) out = "none";
   if (pressure > 0) {
     out += " (pressure ";
     out += std::to_string(pressure);
+    out += ")";
+  }
+  if (memory_pressure > 0) {
+    out += " (memory pressure ";
+    out += std::to_string(memory_pressure);
     out += ")";
   }
   return out;
@@ -99,7 +105,12 @@ Server::Response Server::Process(const std::string& text,
                   ? PressureLevel(depth_.load(std::memory_order_acquire),
                                   options_.queue_capacity)
                   : 0;
-  response.degradation = ApplyDegradation(level, &options);
+  int memory_level =
+      options_.enable_degradation
+          ? MemoryPressureLevel(db_->memory().consumed(),
+                                db_->memory().limit())
+          : 0;
+  response.degradation = ApplyDegradation(level, memory_level, &options);
 
   Session session(*db_, options);
   // A concurrent mutation between Prepare and Execute surfaces as a
@@ -113,6 +124,23 @@ Server::Response Server::Process(const std::string& text,
       return response;
     }
     response.degradation.stale_statistics = (*prepared)->stale_statistics();
+
+    // Memory admission: refuse work the remaining server budget cannot
+    // plausibly hold, instead of admitting it and breaching mid-run.
+    // This is shed load ("overloaded: ", retryable — the budget frees up
+    // as in-flight queries drain), unlike an execution-time breach
+    // ("resource: ", the query itself is too big).
+    const MemoryTracker& mem = db_->memory();
+    int64_t estimated = (*prepared)->estimated_memory_bytes();
+    if (mem.limit() > 0 && estimated > mem.available()) {
+      shed_memory_.fetch_add(1, std::memory_order_relaxed);
+      response.result = Status::ResourceExhausted(
+          "overloaded: insufficient memory budget (estimated " +
+          std::to_string(estimated) + " bytes, available " +
+          std::to_string(mem.available()) + " of " +
+          std::to_string(mem.limit()) + "); retry with backoff");
+      return response;
+    }
 
     if (deadline.IsFinite() && deadline.Expired()) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
@@ -157,7 +185,12 @@ Result<std::string> Server::Explain(std::string_view text,
                   ? PressureLevel(depth_.load(std::memory_order_acquire),
                                   options_.queue_capacity)
                   : 0;
-  DegradationReport report = ApplyDegradation(level, &options);
+  int memory_level =
+      options_.enable_degradation
+          ? MemoryPressureLevel(db_->memory().consumed(),
+                                db_->memory().limit())
+          : 0;
+  DegradationReport report = ApplyDegradation(level, memory_level, &options);
   GQOPT_ASSIGN_OR_RETURN(PreparedQueryPtr prepared,
                          db_->Prepare(text, options));
   report.stale_statistics = prepared->stale_statistics();
@@ -175,6 +208,7 @@ ServerStats Server::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_memory = shed_memory_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   return s;
@@ -187,9 +221,29 @@ int Server::PressureLevel(size_t depth, size_t capacity) {
   return 0;
 }
 
+int Server::MemoryPressureLevel(int64_t consumed, int64_t limit) {
+  if (limit <= 0) return 0;  // unbounded budget: never under pressure
+  if (consumed < 0) consumed = 0;
+  if (consumed * 4 >= limit * 3) return 2;  // >= 3/4 consumed
+  if (consumed * 2 >= limit) return 1;      // >= 1/2 consumed
+  return 0;
+}
+
 DegradationReport Server::ApplyDegradation(int level, ExecOptions* options) {
+  return ApplyDegradation(level, /*memory_level=*/0, options);
+}
+
+DegradationReport Server::ApplyDegradation(int level, int memory_level,
+                                           ExecOptions* options) {
   DegradationReport report;
   report.pressure = level;
+  report.memory_pressure = memory_level;
+  if (memory_level >= 1 && !options->low_memory) {
+    // The memory rung: plan and execute on the low-footprint paths
+    // (merge/offset joins over radix/flat-hash, reduced radix fan-out).
+    options->low_memory = true;
+    report.low_memory = true;
+  }
   if (level >= 1 && options->planner == PlannerKind::kDp) {
     options->planner = PlannerKind::kGreedy;
     report.greedy_planner = true;

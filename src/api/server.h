@@ -16,9 +16,15 @@
 //   pressure 1 (queue >= 1/2 full)  DP join planner -> greedy
 //   pressure 2 (queue >= 3/4 full)  + skip the schema rewrite
 //                                   + serve slightly-stale statistics
-// Shedding (queue full, or deadline already expired when a worker picks
-// the request up) fails fast with "overloaded: " — the one retryable
-// error class, see Server::IsRetryable.
+//   memory pressure >= 1 (server    plan and execute low-footprint
+//     budget >= 1/2 consumed)       (ExecOptions::low_memory)
+// Shedding (queue full, deadline already expired when a worker picks
+// the request up, or — when GQOPT_SERVER_MEM_LIMIT is set — the plan's
+// estimated footprint exceeding the remaining server budget) fails fast
+// with "overloaded: " — the one retryable error class, see
+// Server::IsRetryable. A budget breach *during* execution is different:
+// it is the query's own footprint, surfaces as "resource: " and is not
+// retryable.
 
 #ifndef GQOPT_API_SERVER_H_
 #define GQOPT_API_SERVER_H_
@@ -62,9 +68,16 @@ struct DegradationReport {
   /// The plan was built against the previous same-generation snapshot
   /// (statistics refresh in progress).
   bool stale_statistics = false;
+  /// Server memory pressure at planning time: 0 = none (or no budget),
+  /// 1 = >= 1/2 of the budget consumed, 2 = >= 3/4.
+  int memory_pressure = 0;
+  /// The request was planned and executed on the low-footprint paths
+  /// (ExecOptions::low_memory) because of memory pressure.
+  bool low_memory = false;
 
   bool any() const {
-    return greedy_planner || skipped_rewrite || stale_statistics;
+    return greedy_planner || skipped_rewrite || stale_statistics ||
+           low_memory;
   }
   /// "none" or a comma list like "greedy-planner, skipped-rewrite
   /// (pressure 2)" — what EXPLAIN and the CLI print.
@@ -89,6 +102,7 @@ struct ServerStats {
   uint64_t failed = 0;           ///< admitted requests that returned non-OK
   uint64_t shed_queue_full = 0;  ///< rejected at admission (queue full)
   uint64_t shed_deadline = 0;    ///< shed after queueing (deadline gone)
+  uint64_t shed_memory = 0;      ///< shed post-plan (budget cannot fit it)
   uint64_t degraded = 0;         ///< requests the ladder touched
   uint64_t retries = 0;          ///< extra attempts made by QueryWithRetry
 };
@@ -142,9 +156,18 @@ class Server {
   /// `capacity`: 0 below 1/2, 1 from 1/2, 2 from 3/4.
   static int PressureLevel(size_t depth, size_t capacity);
 
+  /// The memory analogue: pressure for `consumed` bytes of a `limit`-byte
+  /// server budget (0 when unbounded: limit <= 0).
+  static int MemoryPressureLevel(int64_t consumed, int64_t limit);
+
   /// Applies the pressure-`level` rungs to `options` in place and
   /// reports what changed. Pure — unit-testable without a server.
   static DegradationReport ApplyDegradation(int level, ExecOptions* options);
+
+  /// Same, with the memory rung: `memory_level` >= 1 additionally turns
+  /// on the low-footprint execution paths (ExecOptions::low_memory).
+  static DegradationReport ApplyDegradation(int level, int memory_level,
+                                            ExecOptions* options);
 
   /// True for the failures QueryWithRetry may retry: shed load
   /// ("overloaded: ") and transient execute-stage deadline expiry (a
@@ -171,6 +194,7 @@ class Server {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> shed_queue_full_{0};
   std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> shed_memory_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> retries_{0};
   // Declared last: destroyed first, so in-flight tasks finish (the pool

@@ -220,15 +220,19 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
   NodeId max_target = 0;
   for (const Edge& e : base) max_target = std::max(max_target, e.second);
   PairDedupSet seen(static_cast<uint64_t>(base.back().first) + 1,
-                    static_cast<uint64_t>(max_target) + 1, r.size() * 4);
+                    static_cast<uint64_t>(max_target) + 1, r.size() * 4,
+                    ctx.mem);
   std::vector<Edge> acc = base;
   for (const Edge& e : acc) seen.Insert(e.first, e.second);
   std::vector<Edge> delta = base;
   std::vector<Edge> next;
+  // Charges the accumulator/frontier buffers against the query budget,
+  // re-measured once per round (they only grow).
+  GrowthCharge mem_charge(ctx.mem);
   DeadlinePoller poll(deadline);
   while (!delta.empty()) {
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded("transitive closure timed out");
+    if (deadline.Expired() || ctx.MemBreached()) {
+      return AbortStatus(ctx, "transitive closure");
     }
     next.clear();
     bool round_done = false;
@@ -261,8 +265,8 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
           NodeId z = base[i].second;
           if (seen.Insert(e.first, z)) next.emplace_back(e.first, z);
           if (poll.Due()) {
-            if (deadline.Expired()) {
-              return Status::DeadlineExceeded("transitive closure timed out");
+            if (deadline.Expired() || ctx.MemBreached()) {
+              return AbortStatus(ctx, "transitive closure");
             }
             if (acc.size() + next.size() > kMaxPairs) {
               return Status::ResourceExhausted(
@@ -276,6 +280,11 @@ Result<BinaryRelation> BinaryRelation::TransitiveClosure(
     if (acc.size() > kMaxPairs) {
       return Status::ResourceExhausted(
           "transitive closure exceeded the result cap");
+    }
+    if (!mem_charge.Update(static_cast<size_t>(
+            (acc.capacity() + delta.capacity() + next.capacity()) *
+            sizeof(Edge)))) {
+      return AbortStatus(ctx, "transitive closure");
     }
     delta.swap(next);
   }

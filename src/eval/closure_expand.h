@@ -63,12 +63,15 @@ Result<bool> ExpandRoundParallel(const std::vector<Edge>& delta,
       [&](size_t b, size_t e) {
         std::vector<Edge>& out = candidates[b / grain];
         DeadlinePoller poll(ctx.deadline);
+        GrowthCharge mem_charge(ctx.mem);
         size_t reported = 0;
-        // Publishes the morsel's unreported growth into the shared
-        // total; true when the buffered candidates crossed the bound.
+        // Publishes the morsel's unreported growth into the shared total
+        // (and the morsel buffer's capacity into the memory budget);
+        // true when the buffered candidates crossed a bound.
         auto publish = [&] {
           size_t grown = out.size() - reported;
           reported = out.size();
+          if (!mem_charge.Update(out.capacity() * sizeof(Edge))) return true;
           if (buffered.fetch_add(grown, std::memory_order_relaxed) + grown >
               2 * max_pairs) {
             overflow.store(true, std::memory_order_relaxed);
@@ -85,6 +88,7 @@ Result<bool> ExpandRoundParallel(const std::vector<Edge>& delta,
         return !publish();
       });
   if (!ok) {
+    if (ctx.MemBreached()) return AbortStatus(ctx, what);
     if (overflow.load(std::memory_order_relaxed)) return false;
     return Status::DeadlineExceeded(what + " timed out");
   }

@@ -43,6 +43,10 @@ Result<Table> Executor::Run(const RaExprPtr& plan, const ExecContext& ctx) {
   memo_.clear();
   key_cache_.clear();
   actual_rows_.clear();
+  actual_bytes_.clear();
+  // Rebind the memo charge to this run's budget: releases the previous
+  // run's table bytes, then accrues this run's materialized results.
+  table_bytes_ = TrackedBytes(ctx.mem);
   return Eval(plan.get(), ctx);
 }
 
@@ -163,10 +167,11 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
     // Same plan modulo column renaming: share the row storage (copy on
     // write) and relabel the columns positionally for this node's schema.
     actual_rows_[e] = cached->second.rows();
+    actual_bytes_[e] = cached->second.data().size() * sizeof(NodeId);
     return cached->second.RenamedTo(e->columns());
   }
-  if (deadline.Expired()) {
-    return Status::DeadlineExceeded("plan execution timed out");
+  if (deadline.Expired() || ctx.MemBreached()) {
+    return AbortStatus(ctx, "plan execution");
   }
 
   Result<Table> result = [&]() -> Result<Table> {
@@ -362,6 +367,16 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
     // memoizing (the memo shares the same table, so hits record the same
     // count under their own node pointer).
     actual_rows_[e] = result.value().rows();
+    size_t bytes = result.value().data().size() * sizeof(NodeId);
+    actual_bytes_[e] = bytes;
+    // The memoized table lives until the next Run(): charge it against
+    // the query budget. This is also the enforcement backstop — every
+    // materialized result passes through here, so a query over its
+    // budget gets a typed "resource:" failure even if the operator's
+    // internal polls never fired.
+    if (!table_bytes_.Add(static_cast<int64_t>(bytes))) {
+      return AbortStatus(ctx, "plan execution");
+    }
     memo_.emplace(key, result.value());
   }
   return result;
@@ -396,6 +411,17 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   // selective joins.
   out_data.reserve(std::min(left.rows(), right.rows()) *
                    e->columns().size());
+  // Charges the output buffer against the query budget, re-measured at
+  // poll cadence via abort_now() below.
+  GrowthCharge out_charge(ctx.mem);
+  // Amortized abort check for the serial emit loops: deadline expiry or
+  // a memory-budget breach (the charge update returns false once the
+  // tracker latched). Callers gate it on poll.Due().
+  auto abort_now = [&] {
+    return deadline.Expired() ||
+           !out_charge.Update(out_data.capacity() * sizeof(NodeId));
+  };
+  if (abort_now()) return AbortStatus(ctx, "join");
   size_t left_arity = left.arity();
   // The parallel paths emit into per-morsel buffers; serial paths emit
   // straight into out_data through the no-argument wrapper.
@@ -418,7 +444,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     // ordering survives.
     for (size_t l = 0; l < left.rows(); ++l) {
       for (size_t r = 0; r < right.rows(); ++r) {
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
         emit(left.Row(l), right.Row(r));
       }
     }
@@ -462,13 +488,14 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
       !(right_indexable || left_indexable)) {
     strategy = JoinStrategy::kAuto;
   }
-  if (strategy == JoinStrategy::kFlatHash &&
+  if (strategy == JoinStrategy::kFlatHash && !ctx.low_memory &&
       std::min(left.rows(), right.rows()) >= kRadixMinBuildRows) {
     // kFlatHash's precondition is a build side small enough for one
     // cache-resident index; when the optimizer's estimate undershot the
     // actual size, partitioning pays for itself — the mirror image of an
     // annotated radix join degrading to one flat index (radix_bits = 0)
-    // on a small actual build.
+    // on a small actual build. Skipped under memory pressure: the radix
+    // scatter copies BOTH inputs, the flat index copies neither.
     strategy = JoinStrategy::kRadixHash;
   }
   if (strategy == JoinStrategy::kAuto) {
@@ -477,7 +504,9 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     } else if (right_indexable || left_indexable) {
       strategy = JoinStrategy::kOffset;
     } else {
-      strategy = std::min(left.rows(), right.rows()) >= kRadixMinBuildRows
+      strategy = !ctx.low_memory &&
+                         std::min(left.rows(), right.rows()) >=
+                             kRadixMinBuildRows
                      ? JoinStrategy::kRadixHash
                      : JoinStrategy::kFlatHash;
     }
@@ -496,7 +525,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     size_t l = 0, r = 0;
     size_t ln = left.rows(), rn = right.rows();
     while (l < ln && r < rn) {
-      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       int c = cmp_keys(left.Row(l), right.Row(r));
       if (c < 0) {
         ++l;
@@ -509,16 +538,16 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
       size_t le = l + 1;
       while (le < ln && cmp_keys(left.Row(le), left.Row(l)) == 0) {
         ++le;
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       }
       size_t re = r + 1;
       while (re < rn && cmp_keys(right.Row(re), right.Row(r)) == 0) {
         ++re;
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       }
       for (size_t li = l; li < le; ++li) {
         for (size_t ri = r; ri < re; ++ri) {
-          if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+          if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
           emit(left.Row(li), right.Row(ri));
         }
       }
@@ -547,16 +576,14 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
         bld.rows(), static_cast<size_t>(max_key) + 1,
         [&bld_data, bld_arity](uint32_t r) { return bld_data[r * bld_arity]; },
         &offsets);
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded("join timed out");
-    }
+    if (abort_now()) return AbortStatus(ctx, "join");
     for (size_t p = 0; p < prb.rows(); ++p) {
       const NodeId* prow = prb.Row(p);
-      if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+      if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       NodeId key = prow[prb_key];
       if (key > max_key) continue;
       for (uint32_t r = offsets[key]; r < offsets[key + 1]; ++r) {
-        if (poll.Expired()) return Status::DeadlineExceeded("join timed out");
+        if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
         const NodeId* brow = bld.Row(r);
         emit(right_indexable ? prow : brow, right_indexable ? brow : prow);
       }
@@ -592,12 +619,17 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   };
   std::vector<uint64_t> build_key_vec;
   if (!pack_keys(build, build_keys, &build_key_vec)) {
-    return Status::DeadlineExceeded("join timed out");
+    return AbortStatus(ctx, "join");
   }
 
   int radix_bits = strategy == JoinStrategy::kRadixHash
                        ? RadixBitsFor(build.rows())
                        : 0;
+  // Memory rung of the degradation ladder: shrink the radix fan-out so
+  // the transient histogram/cursor arrays and per-partition buffers cost
+  // less; at 0 bits the join falls through to the single flat index,
+  // which never copies the inputs.
+  if (ctx.low_memory) radix_bits = std::max(0, radix_bits - 2);
   if (radix_bits > 0) {
     // Radix-partitioned hash join: scatter both sides by the high bits of
     // the key hash, then build and probe one cache-sized FlatJoinIndex
@@ -608,7 +640,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     // concatenate in partition order, reproducing the serial output.
     std::vector<uint64_t> probe_key_vec;
     if (!pack_keys(probe, probe_keys, &probe_key_vec)) {
-      return Status::DeadlineExceeded("join timed out");
+      return AbortStatus(ctx, "join");
     }
     // Tuple-mode scatter: only the rows themselves move; each
     // partition's keys are re-packed from its cache-resident tuple run,
@@ -621,28 +653,39 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
         !BuildRadixPartitionsParallel(probe_key_vec, radix_bits, ctx,
                                       &pparts, probe.data().data(),
                                       probe.arity())) {
-      return Status::DeadlineExceeded("join timed out");
+      return AbortStatus(ctx, "join");
     }
     auto join_partitions = [&](size_t part_begin, size_t part_end,
                                std::vector<NodeId>* dst) -> bool {
       std::vector<uint64_t> part_keys;
       DeadlinePoller part_poll(deadline);
+      // Per-worker charge for this morsel's output growth beyond its
+      // entry capacity — at dop 1 `dst` aliases out_data, whose reserve
+      // out_charge already holds. (The transient per-partition index
+      // charges through its own ctor.)
+      GrowthCharge dst_charge(ctx.mem);
+      const size_t base_bytes = dst->capacity() * sizeof(NodeId);
+      auto part_abort = [&] {
+        return deadline.Expired() ||
+               !dst_charge.Update(dst->capacity() * sizeof(NodeId) -
+                                  base_bytes);
+      };
       for (size_t part = part_begin; part < part_end; ++part) {
         uint32_t bb = bparts.offsets[part], be = bparts.offsets[part + 1];
         uint32_t pb = pparts.offsets[part], pe = pparts.offsets[part + 1];
         if (bb == be || pb == pe) continue;
         part_keys.resize(be - bb);
         for (uint32_t i = bb; i < be; ++i) {
-          if (part_poll.Expired()) return false;
+          if (part_poll.Due() && part_abort()) return false;
           part_keys[i - bb] = PackKey(bparts.Row(i), build_keys);
         }
-        FlatJoinIndex index(part_keys.data(), part_keys.size());
+        FlatJoinIndex index(part_keys.data(), part_keys.size(), ctx.mem);
         for (uint32_t p = pb; p < pe; ++p) {
-          if (part_poll.Expired()) return false;
+          if (part_poll.Due() && part_abort()) return false;
           const NodeId* prow = pparts.Row(p);
           auto [it, end] = index.Equal(PackKey(prow, probe_keys));
           for (; it != end; ++it) {
-            if (part_poll.Expired()) return false;
+            if (part_poll.Due() && part_abort()) return false;
             const NodeId* brow = bparts.Row(bb + *it);
             const NodeId* lrow = build_left ? brow : prow;
             const NodeId* rrow = build_left ? prow : brow;
@@ -663,7 +706,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     if (!ParallelAppend(pool, par, parts,
                         ParallelGrain(parts, par, /*min_grain=*/1), deadline,
                         &out_data, join_partitions)) {
-      return Status::DeadlineExceeded("join timed out");
+      return AbortStatus(ctx, "join");
     }
     return finish(0);
   }
@@ -673,15 +716,24 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   // only — at dop > 1 the probe side splits into morsels sharing it, each
   // emitting into its own buffer; buffers concatenate in morsel order, so
   // the probe-order output (and any sort-prefix claim on it) survives.
-  FlatJoinIndex index(build_key_vec);
+  FlatJoinIndex index(build_key_vec, ctx.mem);
   auto probe_range = [&](size_t range_begin, size_t range_end,
                          std::vector<NodeId>* dst) -> bool {
     DeadlinePoller probe_poll(deadline);
+    // Growth beyond the entry capacity only — at dop 1 `dst` aliases
+    // out_data, whose reserve out_charge already holds.
+    GrowthCharge dst_charge(ctx.mem);
+    const size_t base_bytes = dst->capacity() * sizeof(NodeId);
+    auto range_abort = [&] {
+      return deadline.Expired() ||
+             !dst_charge.Update(dst->capacity() * sizeof(NodeId) -
+                                base_bytes);
+    };
     for (size_t p = range_begin; p < range_end; ++p) {
       const NodeId* prow = probe.Row(p);
       auto [it, end] = index.Equal(PackKey(prow, probe_keys));
       for (; it != end; ++it) {
-        if (probe_poll.Expired()) return false;
+        if (probe_poll.Due() && range_abort()) return false;
         const NodeId* brow = build.Row(*it);
         const NodeId* lrow = build_left ? brow : prow;
         const NodeId* rrow = build_left ? prow : brow;
@@ -697,7 +749,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   if (!ParallelAppend(pool, par, probe.rows(),
                       ParallelGrain(probe.rows(), par), deadline, &out_data,
                       probe_range)) {
-    return Status::DeadlineExceeded("join timed out");
+    return AbortStatus(ctx, "join");
   }
   // When the left side drove the probe loop, the output streams in
   // left-row order with the left columns leading, so its prefix survives
@@ -736,12 +788,16 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     NodeId max_key = right.Row(right.rows() - 1)[0];
     std::vector<bool> present(static_cast<size_t>(max_key) + 1, false);
     for (size_t r = 0; r < right.rows(); ++r) {
-      if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
+      if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
+        return AbortStatus(ctx, "semi-join");
+      }
       present[right.Row(r)[0]] = true;
     }
     int lk = left_keys[0];
     for (size_t l = 0; l < left.rows(); ++l) {
-      if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
+      if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
+        return AbortStatus(ctx, "semi-join");
+      }
       NodeId key = left.Row(l)[lk];
       if (key <= max_key && present[key]) out.AddRow(left.Row(l));
     }
@@ -752,13 +808,15 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
   // Flat existence set; row groups are only needed when the packed key
   // folds more than two columns and probes must re-verify equality.
   bool verify = shared.size() > 2;
-  FlatKeySet keys(verify ? 0 : right.rows());
+  FlatKeySet keys(verify ? 0 : right.rows(), ctx.mem);
   std::vector<uint64_t> right_key_vec;
   if (verify) {
     right_key_vec.resize(right.rows());
   }
   for (size_t r = 0; r < right.rows(); ++r) {
-    if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
+    if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
+      return AbortStatus(ctx, "semi-join");
+    }
     uint64_t key = PackKey(right.Row(r), right_keys);
     if (verify) {
       right_key_vec[r] = key;
@@ -766,9 +824,11 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
       keys.Insert(key);
     }
   }
-  FlatJoinIndex index(right_key_vec);
+  FlatJoinIndex index(right_key_vec, ctx.mem);
   for (size_t l = 0; l < left.rows(); ++l) {
-    if (poll.Expired()) return Status::DeadlineExceeded("semi-join timed out");
+    if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
+      return AbortStatus(ctx, "semi-join");
+    }
     uint64_t key = PackKey(left.Row(l), left_keys);
     bool matched = false;
     if (verify) {
@@ -802,8 +862,8 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
   DeadlinePoller poll(deadline);
   for (size_t r = 0; r < body.rows(); ++r) {
     pairs.emplace_back(body.Row(r)[src], body.Row(r)[tgt]);
-    if (poll.Expired()) {
-      return Status::DeadlineExceeded("closure timed out");
+    if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
+      return AbortStatus(ctx, "closure");
     }
   }
   BinaryRelation base = BinaryRelation::FromPairs(std::move(pairs));
@@ -868,14 +928,18 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
         seed_source ? max_z : max_x, e.second);
   }
   PairDedupSet seen(static_cast<uint64_t>(max_x) + 1,
-                    static_cast<uint64_t>(max_z) + 1, acc.size() * 4);
+                    static_cast<uint64_t>(max_z) + 1, acc.size() * 4,
+                    ctx.mem);
   for (const Edge& e : acc) seen.Insert(e.first, e.second);
   std::vector<Edge> delta = acc;
   std::vector<Edge> next;
+  // Charges the accumulator/frontier buffers against the query budget,
+  // re-measured once per round (they only grow).
+  GrowthCharge mem_charge(ctx.mem);
   DeadlinePoller poll(deadline);
   while (!delta.empty()) {
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded("seeded closure timed out");
+    if (deadline.Expired() || ctx.MemBreached()) {
+      return AbortStatus(ctx, "seeded closure");
     }
     next.clear();
     // Source seeds: extend (x,y) by successors z of y to (x,z).
@@ -918,8 +982,8 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
             next.push_back(candidate);
           }
           if (poll.Due()) {
-            if (deadline.Expired()) {
-              return Status::DeadlineExceeded("seeded closure timed out");
+            if (deadline.Expired() || ctx.MemBreached()) {
+              return AbortStatus(ctx, "seeded closure");
             }
             if (acc.size() + next.size() > kMaxClosurePairs) {
               return Status::ResourceExhausted(
@@ -933,6 +997,11 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
     if (acc.size() > kMaxClosurePairs) {
       return Status::ResourceExhausted(
           "seeded closure exceeded the result cap");
+    }
+    if (!mem_charge.Update(static_cast<size_t>(
+            (acc.capacity() + delta.capacity() + next.capacity()) *
+            sizeof(Edge)))) {
+      return AbortStatus(ctx, "seeded closure");
     }
     delta.swap(next);
   }

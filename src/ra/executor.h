@@ -48,6 +48,14 @@ class Executor {
     return actual_rows_;
   }
 
+  /// Materialized result bytes per plan node of the most recent Run()
+  /// (memo hits record the shared table's size under their own node).
+  /// EXPLAIN's analyze mode prints these as "mem=" so each operator's
+  /// contribution to the query's footprint is visible.
+  const std::unordered_map<const RaExpr*, size_t>& actual_bytes() const {
+    return actual_bytes_;
+  }
+
  private:
   Result<Table> Eval(const RaExpr* e, const ExecContext& ctx);
   Result<Table> EvalJoin(const RaExpr* e, const ExecContext& ctx);
@@ -63,6 +71,11 @@ class Executor {
   std::unordered_map<const RaExpr*, std::string> key_cache_;
   std::unordered_map<std::string, Table> memo_;
   std::unordered_map<const RaExpr*, size_t> actual_rows_;
+  std::unordered_map<const RaExpr*, size_t> actual_bytes_;
+  /// Charge for the memoized result tables of the current Run() against
+  /// the query's memory budget (no-op when the context is ungoverned);
+  /// released when the next Run() starts or the executor dies.
+  TrackedBytes table_bytes_;
 };
 
 }  // namespace gqopt

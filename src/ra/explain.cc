@@ -196,9 +196,25 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
 
 namespace {
 
+// Compact byte-count rendering for the "mem =" annotation.
+std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  if (bytes < size_t{1} << 10) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else if (bytes < size_t{1} << 20) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / (1 << 20));
+  }
+  return buf;
+}
+
 void RenderExplain(
     const RaExpr& e, Estimator* estimator,
-    const std::unordered_map<const RaExpr*, size_t>* actual_rows, int depth,
+    const std::unordered_map<const RaExpr*, size_t>* actual_rows,
+    const std::unordered_map<const RaExpr*, size_t>* actual_bytes, int depth,
     std::string* out) {
   const PlanEstimate& est = estimator->Estimate(&e);
   out->append(static_cast<size_t>(depth) * 2, ' ');
@@ -211,23 +227,49 @@ void RenderExplain(
     rows += it != actual_rows->end() ? "/" + std::to_string(it->second)
                                      : "/?";
   }
-  char buf[128];
+  // Materialized result bytes, when the caller recorded them.
+  std::string mem;
+  if (actual_bytes != nullptr) {
+    auto it = actual_bytes->find(&e);
+    mem = ", mem = " + (it != actual_bytes->end() ? HumanBytes(it->second)
+                                                  : std::string("?"));
+  }
+  char buf[160];
   if (e.sorted_prefix() > 0) {
     std::snprintf(buf, sizeof(buf),
-                  " (cost = %.2f, rows = %s, sorted = %zu)", est.cost,
-                  rows.c_str(), e.sorted_prefix());
+                  " (cost = %.2f, rows = %s%s, sorted = %zu)", est.cost,
+                  rows.c_str(), mem.c_str(), e.sorted_prefix());
   } else {
-    std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %s)", est.cost,
-                  rows.c_str());
+    std::snprintf(buf, sizeof(buf), " (cost = %.2f, rows = %s%s)", est.cost,
+                  rows.c_str(), mem.c_str());
   }
   *out += e.NodeString();
   *out += buf;
   *out += "\n";
   if (e.left()) {
-    RenderExplain(*e.left(), estimator, actual_rows, depth + 1, out);
+    RenderExplain(*e.left(), estimator, actual_rows, actual_bytes, depth + 1,
+                  out);
   }
   if (e.right()) {
-    RenderExplain(*e.right(), estimator, actual_rows, depth + 1, out);
+    RenderExplain(*e.right(), estimator, actual_rows, actual_bytes, depth + 1,
+                  out);
+  }
+}
+
+// Sums estimated materialized bytes over the distinct nodes of a plan
+// DAG (structurally shared subplans evaluate — and are memoized — once,
+// so they are counted once).
+void SumPlanMemory(const RaExpr* e, Estimator* estimator,
+                   std::unordered_map<const RaExpr*, bool>* seen,
+                   double* total) {
+  if (!seen->emplace(e, true).second) return;
+  const PlanEstimate& est = estimator->Estimate(e);
+  *total += est.rows * static_cast<double>(e->columns().size()) *
+            static_cast<double>(sizeof(NodeId));
+  if (e->left()) SumPlanMemory(e->left().get(), estimator, seen, total);
+  if (e->right()) SumPlanMemory(e->right().get(), estimator, seen, total);
+  if (e->op() == RaOp::kTransitiveClosure && e->seed()) {
+    SumPlanMemory(e->seed().get(), estimator, seen, total);
   }
 }
 
@@ -236,17 +278,29 @@ void RenderExplain(
 std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog) {
   Estimator estimator(catalog);
   std::string out;
-  RenderExplain(*plan, &estimator, nullptr, 0, &out);
+  RenderExplain(*plan, &estimator, nullptr, nullptr, 0, &out);
   return out;
 }
 
 std::string ExplainPlanAnalyze(
     const RaExprPtr& plan, const Catalog& catalog,
-    const std::unordered_map<const RaExpr*, size_t>& actual_rows) {
+    const std::unordered_map<const RaExpr*, size_t>& actual_rows,
+    const std::unordered_map<const RaExpr*, size_t>* actual_bytes) {
   Estimator estimator(catalog);
   std::string out;
-  RenderExplain(*plan, &estimator, &actual_rows, 0, &out);
+  RenderExplain(*plan, &estimator, &actual_rows, actual_bytes, 0, &out);
   return out;
+}
+
+int64_t EstimatePlanMemory(const RaExprPtr& plan, const Catalog& catalog) {
+  Estimator estimator(catalog);
+  std::unordered_map<const RaExpr*, bool> seen;
+  double total = 0;
+  SumPlanMemory(plan.get(), &estimator, &seen, &total);
+  // Clamp to int64 range: a wildly over-estimated plan should read as
+  // "does not fit any budget", not overflow into a negative admission.
+  double cap = 9.0e18;
+  return static_cast<int64_t>(std::min(total, cap));
 }
 
 }  // namespace gqopt

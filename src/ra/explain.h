@@ -57,10 +57,20 @@ std::string ExplainPlan(const RaExprPtr& plan, const Catalog& catalog);
 /// plan ("rows = <est>/<actual>"), making estimator error visible per
 /// node. `actual_rows` is Executor::actual_rows() after Run; nodes the
 /// run never produced (memo-shared duplicates, unexecuted plans) print
-/// "rows = <est>/?".
+/// "rows = <est>/?". `actual_bytes` (Executor::actual_bytes()), when
+/// non-null, adds each node's materialized result size as "mem = ..." so
+/// the operators dominating the query's memory footprint are visible.
 std::string ExplainPlanAnalyze(
     const RaExprPtr& plan, const Catalog& catalog,
-    const std::unordered_map<const RaExpr*, size_t>& actual_rows);
+    const std::unordered_map<const RaExpr*, size_t>& actual_rows,
+    const std::unordered_map<const RaExpr*, size_t>* actual_bytes = nullptr);
+
+/// Estimated memory footprint of executing `plan`, in bytes: the sum over
+/// distinct plan nodes of estimated rows x arity x sizeof(NodeId) — the
+/// materialized-table bytes the executor's memo will hold, which is what
+/// its budget enforcement charges. Used by the serving layer's admission
+/// control to refuse queries that cannot fit the remaining server budget.
+int64_t EstimatePlanMemory(const RaExprPtr& plan, const Catalog& catalog);
 
 }  // namespace gqopt
 

@@ -189,6 +189,7 @@ class Optimizer {
     dp_options.dop = options_.dop;
     dp_options.max_relations = options_.dp_max_relations;
     dp_options.deadline = options_.planning_deadline;
+    dp_options.low_memory = options_.low_memory;
     RaExprPtr acc = DpPlanJoinOrder(core, &estimator_, dp_options);
     if (acc == nullptr) return nullptr;
 
@@ -243,9 +244,11 @@ class Optimizer {
       }
     }
     JoinPhysical phys = AnalyzeJoinShape(*acc, *next);
-    if (phys.strategy == JoinStrategy::kFlatHash &&
+    if (phys.strategy == JoinStrategy::kFlatHash && !options_.low_memory &&
         std::min(Rows(acc), Rows(next)) >=
             static_cast<double>(kRadixMinBuildRows)) {
+      // Skipped under the memory rung: the radix scatter copies both
+      // inputs, the flat index copies neither.
       phys.strategy = JoinStrategy::kRadixHash;
     }
     // Parallelism hint: hash joins partition their work (radix scatter,

@@ -43,6 +43,12 @@ struct OptimizerOptions {
   /// Deadline polled by the DP enumeration loops (planning-time budget,
   /// distinct from the execution deadline). Default: never expires.
   Deadline planning_deadline;
+  /// Memory rung of the degradation ladder: bias the join cost model
+  /// against hash strategies and keep flat indexes over radix scatters,
+  /// so plans stream through merge/offset orders where possible. Set by
+  /// the serving layer under memory pressure; plan-affecting, so it is
+  /// part of the plan-cache fingerprint.
+  bool low_memory = false;
 };
 
 /// Returns an optimized equivalent of `plan`.

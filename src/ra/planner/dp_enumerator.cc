@@ -48,7 +48,8 @@ double NdvOf(const Candidate& c, uint16_t col) {
 // Join factory's sorted-prefix derivation — so the materialized tree
 // re-derives exactly the properties the enumerator costed.
 Candidate Combine(const Candidate& l, const Candidate& r,
-                  const std::vector<uint16_t>& shared, int dop) {
+                  const std::vector<uint16_t>& shared, int dop,
+                  bool low_memory) {
   Candidate out;
   out.left = &l;
   out.right = &r;
@@ -81,8 +82,11 @@ Candidate Combine(const Candidate& l, const Candidate& r,
       out.strategy = JoinStrategy::kOffset;  // probe = right: order lost
       out.sorted_prefix = 0;
     } else {
+      // Under the memory rung, stick with the flat index: the radix
+      // scatter copies both inputs (the executor mirrors this choice).
       out.strategy =
-          std::min(l.rows, r.rows) >= static_cast<double>(kRadixMinBuildRows)
+          !low_memory && std::min(l.rows, r.rows) >=
+                             static_cast<double>(kRadixMinBuildRows)
               ? JoinStrategy::kRadixHash
               : JoinStrategy::kFlatHash;
       out.sorted_prefix = 0;
@@ -106,7 +110,7 @@ Candidate Combine(const Candidate& l, const Candidate& r,
   out.rows = l.rows * r.rows * selectivity;
   out.cost = l.cost + r.cost +
              JoinWorkCost(out.strategy, l.rows, r.rows, out.rows,
-                          out.parallel_hint);
+                          out.parallel_hint, low_memory);
 
   out.cols = l.cols;
   out.col_mask = l.col_mask | r.col_mask;
@@ -282,7 +286,8 @@ RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
               if ((shared_mask >> col) & 1) shared.push_back(col);
             }
             Insert(&plans, &storage,
-                   Combine(*l, *r, shared, options.dop));
+                   Combine(*l, *r, shared, options.dop,
+                           options.low_memory));
           }
         }
       }
@@ -300,7 +305,8 @@ RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
   const Candidate* acc = component_plans[0];
   for (size_t i = 1; i < component_plans.size(); ++i) {
     storage.push_back(
-        Combine(*acc, *component_plans[i], {}, options.dop));
+        Combine(*acc, *component_plans[i], {}, options.dop,
+                options.low_memory));
     acc = &storage.back();
   }
   return Materialize(*acc, relations);

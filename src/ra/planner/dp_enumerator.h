@@ -59,6 +59,10 @@ struct DpPlannerOptions {
   size_t max_relations = kDpMaxJoinRelations;
   /// Enumeration polls this deadline and bails to nullptr on expiry.
   Deadline deadline;
+  /// Memory rung of the degradation ladder: penalize hash strategies in
+  /// the cost model and skip the flat->radix size refinement, so plans
+  /// lean on merge/offset orders that stream with O(1) extra state.
+  bool low_memory = false;
 };
 
 /// Enumerates join orders over `relations` (the flattened, already

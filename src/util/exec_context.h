@@ -9,8 +9,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string_view>
 
 #include "util/deadline.h"
+#include "util/mem_tracker.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace gqopt {
@@ -48,6 +51,19 @@ struct ExecContext {
   size_t parallel_min_rows = kParallelMinRows;
   /// Pool to run on; null means ThreadPool::Shared() when dop > 1.
   ThreadPool* pool = nullptr;
+  /// Per-query memory tracker (null = ungoverned). Operators charge
+  /// their buffers here and poll breached() at deadline-poll cadence;
+  /// see util/mem_tracker.h for the charge-and-latch model.
+  MemoryTracker* mem = nullptr;
+  /// Degradation ladder's memory rung: prefer low-memory join paths
+  /// (merge/offset over radix/flat-hash, reduced radix fan-out). Set by
+  /// the serving layer under memory pressure — a physical choice only,
+  /// results stay bit-identical.
+  bool low_memory = false;
+
+  /// True once the memory budget is breached (cheap relaxed load; false
+  /// when ungoverned). Operators poll this next to Deadline::Expired().
+  bool MemBreached() const { return mem != nullptr && mem->breached(); }
 
   /// The pool parallel operators should submit to, or null when serial.
   ThreadPool* TaskPool() const {
@@ -64,6 +80,15 @@ struct ExecContext {
     return dop;
   }
 };
+
+/// The status an aborted operator returns: the typed "resource: " breach
+/// status when the memory budget latched, a deadline expiry otherwise.
+/// Lets the bool-returning parallel loops keep one abort signal — the
+/// caller distinguishes the cause after the fact.
+inline Status AbortStatus(const ExecContext& ctx, std::string_view what) {
+  if (ctx.MemBreached()) return ctx.mem->BreachStatus(what);
+  return Status::DeadlineExceeded(std::string(what) + " timed out");
+}
 
 /// Morsel size for n items across `dop` workers: a few morsels per worker
 /// for stealing balance, floored so tiny morsels never dominate. Depends

@@ -19,6 +19,7 @@ constexpr PointName kPointNames[] = {
     {"catalog-build", FaultPoint::kCatalogBuild},
     {"stats-build", FaultPoint::kStatsBuild},
     {"csr-build", FaultPoint::kCsrBuild},
+    {"mem", FaultPoint::kMemReserve},
 };
 
 bool ParsePoint(std::string_view name, FaultPoint* out) {

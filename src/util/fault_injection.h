@@ -48,9 +48,13 @@ enum class FaultPoint : uint8_t {
   kCatalogBuild,
   kStatsBuild,
   kCsrBuild,
+  /// MemoryTracker::Charge in probe_faults mode (per-query trackers):
+  /// kAlloc forces a reservation failure, latching the tracker's breach
+  /// exactly like a real budget overrun ("mem" in GQOPT_FAULTS specs).
+  kMemReserve,
 };
 
-inline constexpr size_t kNumFaultPoints = 8;
+inline constexpr size_t kNumFaultPoints = 9;
 
 /// What happens when an armed point is reached.
 enum class FaultKind : uint8_t {

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mem_tracker.h"
+
 namespace gqopt {
 
 /// SplitMix64 finalizer: cheap, well-mixed 64-bit hash.
@@ -29,11 +31,16 @@ inline uint64_t HashKey64(uint64_t key) {
 /// accumulator every delta round.
 class FlatKeySet {
  public:
-  explicit FlatKeySet(size_t expected = 0) {
+  /// `mem`, when set, is charged for the slot array (and every Grow
+  /// doubling); the charge is released when the set dies. Growth keeps
+  /// going past a breach — the owning loop polls the tracker's latch.
+  explicit FlatKeySet(size_t expected = 0, MemoryTracker* mem = nullptr)
+      : charge_(mem) {
     size_t cap = 16;
     while (cap < expected * 2) cap <<= 1;
     slots_.assign(cap, kEmpty);
     mask_ = cap - 1;
+    charge_.Add(static_cast<int64_t>(cap * sizeof(uint64_t)));
   }
 
   /// Inserts `key`; returns true when it was not already present.
@@ -72,6 +79,9 @@ class FlatKeySet {
 
   void Grow() {
     std::vector<uint64_t> old = std::move(slots_);
+    // Charged before the allocation (the rehash transiently holds both
+    // tables), released down to the new size once the old table dies.
+    charge_.Add(static_cast<int64_t>(old.size() * 2 * sizeof(uint64_t)));
     slots_.assign(old.size() * 2, kEmpty);
     mask_ = slots_.size() - 1;
     for (uint64_t key : old) {
@@ -80,8 +90,11 @@ class FlatKeySet {
       while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
       slots_[slot] = key;
     }
+    old = {};
+    charge_.Drop(static_cast<int64_t>(slots_.size() / 2 * sizeof(uint64_t)));
   }
 
+  TrackedBytes charge_;
   std::vector<uint64_t> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
@@ -97,12 +110,18 @@ class PairDedupSet {
  public:
   /// `x_bound`/`z_bound`: exclusive upper bounds on the pair components.
   /// `expected`: initial hash capacity hint for the sparse fallback.
-  PairDedupSet(uint64_t x_bound, uint64_t z_bound, size_t expected)
+  /// `mem`, when set, is charged for the bitmap or the hash slots.
+  PairDedupSet(uint64_t x_bound, uint64_t z_bound, size_t expected,
+               MemoryTracker* mem = nullptr)
       : dense_(x_bound * z_bound <= kDenseBits &&
                (x_bound == 0 || z_bound <= kDenseBits / x_bound)),
         stride_(z_bound),
-        hash_(dense_ ? 0 : expected) {
-    if (dense_) bits_.assign((x_bound * z_bound + 63) / 64, 0);
+        charge_(mem),
+        hash_(dense_ ? 0 : expected, dense_ ? nullptr : mem) {
+    if (dense_) {
+      bits_.assign((x_bound * z_bound + 63) / 64, 0);
+      charge_.Add(static_cast<int64_t>(bits_.size() * sizeof(uint64_t)));
+    }
   }
 
   /// Inserts (x, z); returns true when it was not already present.
@@ -137,6 +156,7 @@ class PairDedupSet {
 
   bool dense_;
   uint64_t stride_;
+  TrackedBytes charge_;
   std::vector<uint64_t> bits_;
   FlatKeySet hash_;
 };
@@ -153,10 +173,14 @@ class FlatJoinIndex {
   /// Builds the index over `n` keys; `keys[r]` is the join key of build
   /// row `r`. The span form lets radix-partitioned joins index one
   /// partition's contiguous key run in place; Equal() then returns row
-  /// ids relative to the span start.
-  FlatJoinIndex(const uint64_t* keys, size_t n) {
+  /// ids relative to the span start. `mem`, when set, is charged for the
+  /// slot table and row groups (the per-query memory budget).
+  FlatJoinIndex(const uint64_t* keys, size_t n, MemoryTracker* mem = nullptr)
+      : charge_(mem) {
     size_t cap = 16;
     while (cap < n * 2) cap <<= 1;
+    charge_.Add(static_cast<int64_t>(cap * sizeof(Slot) +
+                                     n * 2 * sizeof(uint32_t)));
     slots_.assign(cap, Slot{0, 0, 0});
     mask_ = cap - 1;
     rows_.resize(n);
@@ -184,10 +208,13 @@ class FlatJoinIndex {
     for (size_t r = 0; r < n; ++r) {
       rows_[slots_[slot_of_row[r]].cursor++] = static_cast<uint32_t>(r);
     }
+    // The transient slot_of_row scratch dies here.
+    charge_.Drop(static_cast<int64_t>(n * sizeof(uint32_t)));
   }
 
-  explicit FlatJoinIndex(const std::vector<uint64_t>& keys)
-      : FlatJoinIndex(keys.data(), keys.size()) {}
+  explicit FlatJoinIndex(const std::vector<uint64_t>& keys,
+                         MemoryTracker* mem = nullptr)
+      : FlatJoinIndex(keys.data(), keys.size(), mem) {}
 
   /// The contiguous [begin, end) run of build rows with `key`.
   std::pair<const uint32_t*, const uint32_t*> Equal(uint64_t key) const {
@@ -211,6 +238,7 @@ class FlatJoinIndex {
     uint32_t count;   // 0 marks an empty slot
   };
 
+  TrackedBytes charge_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> rows_;  // build rows grouped by key
   size_t mask_ = 0;

@@ -1,0 +1,142 @@
+#include "util/mem_tracker.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/fault_injection.h"
+
+namespace gqopt {
+
+MemoryTracker::MemoryTracker(int64_t limit_bytes, std::string label,
+                             MemoryTracker* parent, bool probe_faults)
+    : limit_(limit_bytes),
+      parent_(parent),
+      probe_faults_(probe_faults),
+      label_(std::move(label)) {}
+
+MemoryTracker::~MemoryTracker() {
+  // Whatever was acquired from the parent goes back wholesale; children
+  // release their charges before destruction (TrackedBytes RAII), so
+  // acquired_ >= consumed_ == 0 here in balanced use.
+  int64_t acquired = acquired_.load(std::memory_order_relaxed);
+  if (parent_ != nullptr && acquired > 0) parent_->Release(acquired);
+}
+
+bool MemoryTracker::Charge(int64_t bytes) {
+  return ChargeImpl(bytes, /*latch=*/true);
+}
+
+bool MemoryTracker::ChargeImpl(int64_t bytes, bool latch) {
+  if (bytes <= 0) return !breached();
+  if (latch && probe_faults_ &&
+      FaultHit(FaultPoint::kMemReserve) == FaultKind::kAlloc) {
+    // Injected reservation failure: identical latch-and-refuse behavior
+    // to a real breach, without allocating gigabytes in tests.
+    consumed_.fetch_add(bytes, std::memory_order_relaxed);
+    LatchBreach();
+    return false;
+  }
+  int64_t now = consumed_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t seen_peak = peak_.load(std::memory_order_relaxed);
+  while (now > seen_peak &&
+         !peak_.compare_exchange_weak(seen_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  bool ok = true;
+  int64_t lim = limit();
+  if (lim > 0 && now > lim) ok = false;
+  if (parent_ != nullptr && !RefillFromParent(now, latch)) ok = false;
+  // Only the tracker the caller polls latches: a query overrunning the
+  // shared server budget must poison itself, not every query after it —
+  // once its reservations flow back, the budget is whole again.
+  if (!ok && latch) LatchBreach();
+  return ok && !breached();
+}
+
+bool MemoryTracker::RefillFromParent(int64_t needed, bool latch) {
+  int64_t acquired = acquired_.load(std::memory_order_acquire);
+  while (acquired < needed) {
+    // Round the reservation up to the next chunk boundary past `needed`;
+    // the winning CAS thread charges the parent for the extension, so
+    // parent accounting lags local consumption by less than one chunk
+    // per racing thread.
+    int64_t target =
+        ((needed / kMemRefillChunk) + 1) * kMemRefillChunk;
+    // Under a tight parent budget the chunk slack would trip a ceiling
+    // the query's actual usage never reached (and hog room concurrent
+    // queries could use): fall back to an exact reservation and let the
+    // parent judge the true consumption.
+    if (target - acquired > parent_->available()) target = needed;
+    if (acquired_.compare_exchange_weak(acquired, target,
+                                        std::memory_order_acq_rel)) {
+      if (!parent_->ChargeImpl(target - acquired, /*latch=*/false)) {
+        if (latch) LatchBreach();
+        return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t now = consumed_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  if (parent_ == nullptr) return;
+  // Return slack beyond two chunks so a shrink-then-grow cycle does not
+  // ping-pong the parent atomic; the destructor returns the rest.
+  int64_t acquired = acquired_.load(std::memory_order_acquire);
+  while (acquired - now > 2 * kMemRefillChunk) {
+    int64_t target = std::max<int64_t>(0, now + kMemRefillChunk);
+    if (acquired_.compare_exchange_weak(acquired, target,
+                                        std::memory_order_acq_rel)) {
+      parent_->Release(acquired - target);
+      return;
+    }
+  }
+}
+
+Status MemoryTracker::BreachStatus(std::string_view what) const {
+  std::string message("resource: memory limit exceeded in ");
+  message.append(what);
+  message.append(" (");
+  message.append(label_.empty() ? "tracker" : label_);
+  message.append(": consumed ");
+  message.append(std::to_string(consumed()));
+  int64_t lim = limit();
+  if (lim > 0) {
+    message.append(" of ");
+    message.append(std::to_string(lim));
+  }
+  message.append(" bytes)");
+  return Status::ResourceExhausted(message);
+}
+
+int64_t ParseByteSize(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || value < 0) return 0;
+  int64_t bytes = value;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+      bytes <<= 10;
+      ++end;
+      break;
+    case 'm':
+      bytes <<= 20;
+      ++end;
+      break;
+    case 'g':
+      bytes <<= 30;
+      ++end;
+      break;
+    default:
+      break;
+  }
+  // Trailing garbage (beyond an optional 'b') invalidates the knob.
+  if (std::tolower(static_cast<unsigned char>(*end)) == 'b') ++end;
+  return *end == '\0' ? bytes : 0;
+}
+
+}  // namespace gqopt

@@ -1,0 +1,200 @@
+// Hierarchical memory governance (docs/ROBUSTNESS.md): a server-global
+// budget at the root, one child tracker per query, atomic accounting with
+// chunked refills so per-query charges rarely touch the shared root.
+//
+// The enforcement model is charge-and-latch: every Charge() is recorded
+// unconditionally (the accounting stays truthful even while over budget),
+// and crossing the tracker's own limit — or the limit of any ancestor —
+// latches a breach flag instead of throwing. Operator hot loops poll the
+// latch at their existing deadline-poll cadence and abort with the typed
+// "resource: " status of BreachStatus(), so a breach surfaces exactly like
+// a deadline expiry: a Status, never a std::bad_alloc or an OOM kill.
+// Overshoot is bounded by one poll stride plus one refill chunk per
+// worker, which is the price of keeping Charge() to a few relaxed
+// atomics on the hot path.
+//
+//   MemoryTracker server(256 << 20, "server");
+//   MemoryTracker query(0, "query", &server);   // query-level, unbounded
+//   query.Charge(bytes);                        // false once over budget
+//   if (query.breached()) return query.BreachStatus("radix join");
+//
+// The kMemReserve fault point (util/fault_injection.h) injects a breach
+// into trackers constructed with probe_faults=true — per-query trackers —
+// so every abort path is deterministically testable without allocating
+// gigabytes.
+
+#ifndef GQOPT_UTIL_MEM_TRACKER_H_
+#define GQOPT_UTIL_MEM_TRACKER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gqopt {
+
+/// Refill granularity: a child acquires budget from its parent in chunks
+/// of this size, so the shared root atomic is touched once per 256 KB of
+/// growth instead of once per container doubling.
+constexpr int64_t kMemRefillChunk = int64_t{1} << 18;
+
+/// \brief Thread-safe hierarchical byte accountant. limit <= 0 means
+/// unbounded (the tracker still accounts and reports peaks — an unbounded
+/// child of a bounded parent enforces the parent's budget through the
+/// refill path).
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(int64_t limit_bytes = 0, std::string label = "",
+                         MemoryTracker* parent = nullptr,
+                         bool probe_faults = false);
+  ~MemoryTracker();
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Records `bytes` of growth. Returns true while within budget; returns
+  /// false — latching breached() — when this tracker or an ancestor is
+  /// over its limit (or the kMemReserve fault fires). The charge is
+  /// recorded either way: pair every Charge with a Release.
+  bool Charge(int64_t bytes);
+
+  /// Returns `bytes` of previously charged growth.
+  void Release(int64_t bytes);
+
+  /// True once any Charge crossed a limit (sticky until ResetBreach).
+  bool breached() const {
+    return breached_.load(std::memory_order_relaxed);
+  }
+  /// Latches the breach flag directly (fault injection, tests).
+  void LatchBreach() { breached_.store(true, std::memory_order_relaxed); }
+  /// Clears the latch; accounting is untouched.
+  void ResetBreach() { breached_.store(false, std::memory_order_relaxed); }
+
+  int64_t consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of consumed() over the tracker's lifetime.
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  /// Remaining budget (INT64_MAX when unbounded, 0 when overdrawn).
+  int64_t available() const {
+    int64_t lim = limit();
+    if (lim <= 0) return INT64_MAX;
+    return std::max<int64_t>(0, lim - consumed());
+  }
+  /// Adjusts the limit (explicit setter beats the construction-time env
+  /// knob). Does not re-evaluate past charges.
+  void set_limit(int64_t limit_bytes) {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
+  const std::string& label() const { return label_; }
+
+  /// The typed status a breached operation aborts with: "resource: memory
+  /// limit exceeded in <what> ..." (ResourceExhausted). The "resource: "
+  /// prefix is stable — api::ClassifyError keys on it.
+  Status BreachStatus(std::string_view what) const;
+
+ private:
+  /// Charge with latching control: the tracker the caller polls (the
+  /// leaf a query charges directly) latches on breach, while ancestors
+  /// charged through the refill path only *report* being over budget —
+  /// a sticky latch on the shared root would poison every later query
+  /// instead of just the one that overran.
+  bool ChargeImpl(int64_t bytes, bool latch);
+
+  /// Extends acquired_ to cover `needed` local consumption, charging the
+  /// parent in chunks. Returns false when the parent (chain) is over
+  /// budget; latches this tracker only when `latch` is set.
+  bool RefillFromParent(int64_t needed, bool latch);
+
+  std::atomic<int64_t> limit_;
+  std::atomic<int64_t> consumed_{0};
+  std::atomic<int64_t> peak_{0};
+  /// Bytes reserved from the parent (>= consumed_ up to CAS races).
+  std::atomic<int64_t> acquired_{0};
+  std::atomic<bool> breached_{false};
+  MemoryTracker* parent_;
+  bool probe_faults_;
+  std::string label_;
+};
+
+/// Parses a human byte size ("268435456", "256k", "64m", "2g"; suffixes
+/// case-insensitive). Returns 0 (unbounded) for null, empty, or
+/// unparsable input — a malformed knob must never invent a limit.
+int64_t ParseByteSize(const char* text);
+
+/// \brief RAII ledger of bytes charged to one tracker: Add() charges,
+/// the destructor releases everything still held. Null-tracker instances
+/// are free no-ops, so call sites stay unconditional.
+class TrackedBytes {
+ public:
+  TrackedBytes() = default;
+  explicit TrackedBytes(MemoryTracker* mem) : mem_(mem) {}
+  ~TrackedBytes() {
+    if (mem_ != nullptr && held_ > 0) mem_->Release(held_);
+  }
+  TrackedBytes(TrackedBytes&& other) noexcept
+      : mem_(other.mem_), held_(other.held_) {
+    other.mem_ = nullptr;
+    other.held_ = 0;
+  }
+  TrackedBytes& operator=(TrackedBytes&& other) noexcept {
+    if (this != &other) {
+      if (mem_ != nullptr && held_ > 0) mem_->Release(held_);
+      mem_ = other.mem_;
+      held_ = other.held_;
+      other.mem_ = nullptr;
+      other.held_ = 0;
+    }
+    return *this;
+  }
+  TrackedBytes(const TrackedBytes&) = delete;
+  TrackedBytes& operator=(const TrackedBytes&) = delete;
+
+  /// Charges `bytes` more; false on breach (charge still recorded).
+  bool Add(int64_t bytes) {
+    if (bytes <= 0) return true;
+    held_ += bytes;
+    return mem_ == nullptr || mem_->Charge(bytes);
+  }
+  /// Returns `bytes` of the held charge early.
+  void Drop(int64_t bytes) {
+    if (bytes <= 0) return;
+    held_ -= bytes;
+    if (mem_ != nullptr) mem_->Release(bytes);
+  }
+  int64_t held() const { return held_; }
+  MemoryTracker* tracker() const { return mem_; }
+
+ private:
+  MemoryTracker* mem_ = nullptr;
+  int64_t held_ = 0;
+};
+
+/// \brief Monotone capacity charger for a buffer that grows inside a hot
+/// loop: Update(current_bytes) charges only the delta past the
+/// high-water mark already charged, so calling it at poll cadence costs
+/// nothing when the buffer did not grow. Returns false once the tracker
+/// breached (the loop's abort signal).
+class GrowthCharge {
+ public:
+  GrowthCharge() = default;
+  explicit GrowthCharge(MemoryTracker* mem) : bytes_(mem) {}
+
+  bool Update(size_t current_bytes) {
+    MemoryTracker* mem = bytes_.tracker();
+    if (mem == nullptr) return true;
+    int64_t now = static_cast<int64_t>(current_bytes);
+    if (now > bytes_.held()) return bytes_.Add(now - bytes_.held());
+    return !mem->breached();
+  }
+
+ private:
+  TrackedBytes bytes_;
+};
+
+}  // namespace gqopt
+
+#endif  // GQOPT_UTIL_MEM_TRACKER_H_

@@ -60,6 +60,9 @@ struct RadixPartitions {
   std::vector<uint32_t> offsets;  // size (1 << bits) + 1
   std::vector<uint32_t> data;     // partition-ordered tuples
   size_t row_width = 0;
+  /// Memory-budget charge for `data` + `offsets`; held by the builders
+  /// below, released when the partitions die.
+  TrackedBytes charge;
 
   size_t partitions() const { return size_t{1} << bits; }
 
@@ -73,15 +76,18 @@ struct RadixPartitions {
 /// then cursor scatter via the shared prefix-sum helper). `keys[r]` is
 /// row r's join key; `row_data` is the rows themselves, row-major with
 /// `row_width` words per row. Returns false when `deadline` expires
-/// mid-build.
+/// mid-build or `mem` (charged for the scattered copy) breaches its
+/// budget — the caller turns either into AbortStatus(ctx, ...).
 inline bool BuildRadixPartitions(const std::vector<uint64_t>& keys, int bits,
                                  const Deadline& deadline,
                                  RadixPartitions* out,
                                  const uint32_t* row_data,
-                                 size_t row_width) {
+                                 size_t row_width,
+                                 MemoryTracker* mem = nullptr) {
   size_t num_parts = size_t{1} << bits;
   out->bits = bits;
   out->row_width = row_width;
+  out->charge = TrackedBytes(mem);
   std::vector<uint32_t> counts(num_parts, 0);
   DeadlinePoller poll(deadline);
   for (uint64_t key : keys) {
@@ -91,6 +97,13 @@ inline bool BuildRadixPartitions(const std::vector<uint64_t>& keys, int bits,
   uint32_t total = ExclusivePrefixSum(&counts);
   out->offsets.assign(counts.begin(), counts.end());
   out->offsets.push_back(total);
+  // The scattered copy is the radix join's dominant footprint: charge it
+  // up front so a budgeted query aborts before the allocation, not after.
+  if (!out->charge.Add(static_cast<int64_t>(
+          (keys.size() * row_width + out->offsets.size()) *
+          sizeof(uint32_t)))) {
+    return false;
+  }
   // `counts` now holds partition start offsets; reuse it as the scatter
   // write cursors.
   out->data.resize(keys.size() * row_width);
@@ -125,7 +138,7 @@ inline bool BuildRadixPartitionsParallel(const std::vector<uint64_t>& keys,
   ThreadPool* pool = ctx.TaskPool();
   if (dop <= 1 || pool == nullptr || keys.empty()) {
     return BuildRadixPartitions(keys, bits, ctx.deadline, out, row_data,
-                                row_width);
+                                row_width, ctx.mem);
   }
   size_t n = keys.size();
   size_t num_parts = size_t{1} << bits;
@@ -133,6 +146,11 @@ inline bool BuildRadixPartitionsParallel(const std::vector<uint64_t>& keys,
   size_t chunks = (n + chunk - 1) / chunk;
   out->bits = bits;
   out->row_width = row_width;
+  out->charge = TrackedBytes(ctx.mem);
+  if (!out->charge.Add(static_cast<int64_t>(
+          (n * row_width + num_parts + 1) * sizeof(uint32_t)))) {
+    return false;
+  }
 
   std::vector<std::vector<uint32_t>> counts(
       chunks, std::vector<uint32_t>(num_parts, 0));

@@ -1,0 +1,245 @@
+// Unit tests for the hierarchical memory tracker (util/mem_tracker.h):
+// accounting truthfulness, the sticky breach latch, chunked parent
+// refills, concurrent charge/release balance, the RAII helpers and the
+// GQOPT_*_MEM_LIMIT byte-size parser.
+
+#include "util/mem_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/fault_injection.h"
+
+namespace gqopt {
+namespace {
+
+TEST(MemTrackerTest, AccountsConsumptionAndPeak) {
+  MemoryTracker mem(0, "t");
+  EXPECT_TRUE(mem.Charge(100));
+  EXPECT_TRUE(mem.Charge(50));
+  EXPECT_EQ(mem.consumed(), 150);
+  EXPECT_EQ(mem.peak(), 150);
+  mem.Release(120);
+  EXPECT_EQ(mem.consumed(), 30);
+  EXPECT_EQ(mem.peak(), 150);  // high-water mark survives releases
+  EXPECT_TRUE(mem.Charge(20));
+  EXPECT_EQ(mem.peak(), 150);
+  EXPECT_FALSE(mem.breached());
+}
+
+TEST(MemTrackerTest, UnboundedNeverBreaches) {
+  MemoryTracker mem;  // limit 0 = unbounded
+  EXPECT_TRUE(mem.Charge(int64_t{8} << 40));
+  EXPECT_FALSE(mem.breached());
+  EXPECT_EQ(mem.available(), INT64_MAX);
+}
+
+TEST(MemTrackerTest, BreachLatchesAndIsSticky) {
+  MemoryTracker mem(1000, "t");
+  EXPECT_TRUE(mem.Charge(900));
+  EXPECT_FALSE(mem.breached());
+  // The crossing charge is still recorded (truthful accounting) but
+  // returns false and latches.
+  EXPECT_FALSE(mem.Charge(200));
+  EXPECT_TRUE(mem.breached());
+  EXPECT_EQ(mem.consumed(), 1100);
+  EXPECT_EQ(mem.available(), 0);
+  // Sticky: dropping back under the limit does not clear the latch —
+  // only an explicit ResetBreach does.
+  mem.Release(600);
+  EXPECT_TRUE(mem.breached());
+  EXPECT_FALSE(mem.Charge(1));
+  mem.ResetBreach();
+  EXPECT_TRUE(mem.Charge(1));
+}
+
+TEST(MemTrackerTest, BreachStatusIsTypedAndPrefixed) {
+  MemoryTracker mem(10, "query");
+  EXPECT_FALSE(mem.Charge(100));
+  Status status = mem.BreachStatus("radix join");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(status.message().starts_with("resource: "));
+  EXPECT_NE(status.message().find("radix join"), std::string::npos);
+  EXPECT_NE(status.message().find("query"), std::string::npos);
+}
+
+TEST(MemTrackerTest, ChildRefillsFromParentInChunks) {
+  MemoryTracker parent(0, "server");
+  MemoryTracker child(0, "query", &parent);
+  // A small charge acquires a full chunk from the parent, so subsequent
+  // small growth stays local (the parent atomic is not touched again
+  // until the chunk is exhausted).
+  EXPECT_TRUE(child.Charge(1));
+  int64_t first = parent.consumed();
+  EXPECT_GE(first, kMemRefillChunk);
+  EXPECT_TRUE(child.Charge(kMemRefillChunk / 2));
+  EXPECT_EQ(parent.consumed(), first);
+  // Crossing the chunk boundary extends the reservation.
+  EXPECT_TRUE(child.Charge(kMemRefillChunk));
+  EXPECT_GT(parent.consumed(), first);
+}
+
+TEST(MemTrackerTest, ChildBreachesOnParentLimit) {
+  MemoryTracker parent(kMemRefillChunk, "server");
+  MemoryTracker child(0, "query", &parent);  // child itself unbounded
+  EXPECT_FALSE(child.Charge(4 * kMemRefillChunk));
+  EXPECT_TRUE(child.breached());
+  // The shared parent reports the overrun but is NOT latched: the latch
+  // poisons only the query that overran, not every query after it.
+  EXPECT_FALSE(parent.breached());
+}
+
+TEST(MemTrackerTest, ParentRecoversAfterOverrunningChildDies) {
+  MemoryTracker parent(2 * kMemRefillChunk, "server");
+  {
+    MemoryTracker overrunner(0, "query", &parent);
+    EXPECT_FALSE(overrunner.Charge(8 * kMemRefillChunk));
+    overrunner.Release(8 * kMemRefillChunk);
+  }
+  EXPECT_EQ(parent.consumed(), 0);
+  // A later well-behaved query charges against a whole budget again.
+  MemoryTracker next(0, "query", &parent);
+  EXPECT_TRUE(next.Charge(kMemRefillChunk / 2));
+  EXPECT_FALSE(next.breached());
+}
+
+TEST(MemTrackerTest, DestructorReturnsReservationToParent) {
+  MemoryTracker parent(0, "server");
+  {
+    MemoryTracker child(0, "query", &parent);
+    EXPECT_TRUE(child.Charge(3 * kMemRefillChunk));
+    child.Release(3 * kMemRefillChunk);
+    EXPECT_GT(parent.consumed(), 0);  // slack reservation still held
+  }
+  EXPECT_EQ(parent.consumed(), 0);
+}
+
+TEST(MemTrackerTest, ConcurrentChargeReleaseBalances) {
+  MemoryTracker root(0, "server");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root] {
+      MemoryTracker child(0, "query", &root);
+      for (int i = 0; i < kIters; ++i) {
+        int64_t bytes = 64 + (i % 7) * 4096;
+        ASSERT_TRUE(child.Charge(bytes));
+        if (i % 3 == 0) child.Charge(kMemRefillChunk);
+        child.Release(bytes);
+        if (i % 3 == 0) child.Release(kMemRefillChunk);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every child released what it charged and returned its reservation at
+  // destruction: the root must be exactly balanced, and never breached.
+  EXPECT_EQ(root.consumed(), 0);
+  EXPECT_FALSE(root.breached());
+  EXPECT_GT(root.peak(), 0);
+}
+
+TEST(MemTrackerTest, ConcurrentChargesObserveSharedLimit) {
+  // Root budget far below what the threads try to charge: every thread
+  // must observe the breach through its own child, and accounting must
+  // stay exact.
+  MemoryTracker root(4 * kMemRefillChunk, "server");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> breaches{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root, &breaches] {
+      MemoryTracker child(0, "query", &root);
+      bool ok = true;
+      for (int i = 0; i < 64 && ok; ++i) {
+        ok = child.Charge(kMemRefillChunk);
+      }
+      if (!ok) breaches.fetch_add(1);
+      child.Release(child.consumed());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(breaches.load(), kThreads);
+  EXPECT_EQ(root.consumed(), 0);
+}
+
+TEST(MemTrackerTest, FaultInjectionBreachesProbedTracker) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Arm(FaultPoint::kMemReserve, FaultKind::kAlloc);
+  MemoryTracker probed(0, "query", nullptr, /*probe_faults=*/true);
+  MemoryTracker silent(0, "query");
+  EXPECT_FALSE(probed.Charge(1));
+  EXPECT_TRUE(probed.breached());
+  EXPECT_TRUE(silent.Charge(1));  // only probing trackers observe faults
+  injector.DisarmAll();
+}
+
+TEST(MemTrackerTest, TrackedBytesReleasesOnDestruction) {
+  MemoryTracker mem(0, "t");
+  {
+    TrackedBytes charge(&mem);
+    EXPECT_TRUE(charge.Add(500));
+    EXPECT_EQ(mem.consumed(), 500);
+    charge.Drop(200);
+    EXPECT_EQ(mem.consumed(), 300);
+    EXPECT_EQ(charge.held(), 300);
+  }
+  EXPECT_EQ(mem.consumed(), 0);
+}
+
+TEST(MemTrackerTest, TrackedBytesMoveTransfersOwnership) {
+  MemoryTracker mem(0, "t");
+  TrackedBytes a(&mem);
+  EXPECT_TRUE(a.Add(100));
+  TrackedBytes b(std::move(a));
+  EXPECT_EQ(b.held(), 100);
+  EXPECT_EQ(a.held(), 0);  // NOLINT(bugprone-use-after-move)
+  b = TrackedBytes(&mem);  // assignment releases the old charge
+  EXPECT_EQ(mem.consumed(), 0);
+}
+
+TEST(MemTrackerTest, GrowthChargeChargesDeltasOnly) {
+  MemoryTracker mem(0, "t");
+  GrowthCharge growth(&mem);
+  EXPECT_TRUE(growth.Update(1000));
+  EXPECT_EQ(mem.consumed(), 1000);
+  EXPECT_TRUE(growth.Update(800));  // shrink: no new charge
+  EXPECT_EQ(mem.consumed(), 1000);
+  EXPECT_TRUE(growth.Update(1500));
+  EXPECT_EQ(mem.consumed(), 1500);
+  GrowthCharge untracked;  // null tracker: free no-op
+  EXPECT_TRUE(untracked.Update(1 << 30));
+}
+
+TEST(MemTrackerTest, GrowthChargeReportsBreach) {
+  MemoryTracker mem(1000, "t");
+  GrowthCharge growth(&mem);
+  EXPECT_TRUE(growth.Update(900));
+  EXPECT_FALSE(growth.Update(1200));
+  // Once breached, even non-growing updates report it (the hot-loop
+  // abort signal stays up).
+  EXPECT_FALSE(growth.Update(100));
+}
+
+TEST(MemTrackerTest, ParseByteSizeHandlesSuffixesAndGarbage) {
+  EXPECT_EQ(ParseByteSize(nullptr), 0);
+  EXPECT_EQ(ParseByteSize(""), 0);
+  EXPECT_EQ(ParseByteSize("12345"), 12345);
+  EXPECT_EQ(ParseByteSize("4k"), int64_t{4} << 10);
+  EXPECT_EQ(ParseByteSize("256K"), int64_t{256} << 10);
+  EXPECT_EQ(ParseByteSize("64m"), int64_t{64} << 20);
+  EXPECT_EQ(ParseByteSize("2g"), int64_t{2} << 30);
+  EXPECT_EQ(ParseByteSize("2gb"), int64_t{2} << 30);
+  // Malformed knobs must parse as "unbounded", never invent a limit.
+  EXPECT_EQ(ParseByteSize("lots"), 0);
+  EXPECT_EQ(ParseByteSize("-5"), 0);
+  EXPECT_EQ(ParseByteSize("10x"), 0);
+  EXPECT_EQ(ParseByteSize("10kb2"), 0);
+}
+
+}  // namespace
+}  // namespace gqopt

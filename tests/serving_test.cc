@@ -559,6 +559,88 @@ TEST(FaultMatrixTest, AllPointsAllKindsUnderConcurrentTraffic) {
   }
 }
 
+// ---- Memory governance under load ------------------------------------------
+
+// Storm a light+heavy query mix through a Server whose database budget is
+// about a quarter of the heavy query's natural peak: every failure must be
+// a typed "resource:" abort or "overloaded:" shed (never a crash, a
+// bad_alloc, or an untyped error), every admitted result must stay
+// bit-identical to the pre-limit baseline, and the budget must be whole
+// again once the storm drains.
+TEST(ServingStormTest, MemoryStormUnderSmallServerBudget) {
+  FaultGuard faults;
+  Database db(YagoSchema(), GenerateYago({.persons = 200, .seed = 11}));
+  ExecOptions options;
+  options.timeout_ms = 0;
+
+  const char* kHeavy = "x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)";
+  const char* kLight = "x1, x2 <- (x1, owns, x2)";
+
+  // Measure the natural peak and snapshot both baselines before the
+  // ceiling drops.
+  Session probe(db, options);
+  auto unbounded = probe.Query(kHeavy);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  const std::vector<std::vector<NodeId>> heavy_rows = unbounded->SortedRows();
+  const int64_t natural_peak = unbounded->mem_peak_bytes;
+  ASSERT_GT(natural_peak, 0);
+  auto light_result = probe.Query(kLight);
+  ASSERT_TRUE(light_result.ok()) << light_result.status().ToString();
+  const std::vector<std::vector<NodeId>> light_rows =
+      light_result->SortedRows();
+
+  int64_t budget = natural_peak / 4;
+  if (budget < 1) budget = 1;
+  db.set_memory_limit(budget);
+
+  ServerOptions server_options;
+  server_options.workers = 4;
+  server_options.queue_capacity = 64;
+  Server server(db, server_options);
+
+  constexpr size_t kThreads = 6;
+  std::vector<std::string> errors(kThreads);
+  std::atomic<int> heavy_rejections{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 8; ++rep) {
+        bool heavy = (t + rep) % 2 == 0;
+        const char* query = heavy ? kHeavy : kLight;
+        auto response = server.Query(query, options);
+        if (response.result.ok()) {
+          const auto& expected = heavy ? heavy_rows : light_rows;
+          if (response.result->SortedRows() != expected) {
+            errors[t] = std::string("rows diverged on ") + query;
+            return;
+          }
+        } else {
+          QueryStage stage = ClassifyError(response.result.status());
+          if (stage != QueryStage::kResource &&
+              stage != QueryStage::kOverloaded) {
+            errors[t] = std::string("untyped failure under budget: ") +
+                        response.result.status().ToString();
+            return;
+          }
+          if (heavy) heavy_rejections.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) EXPECT_EQ(errors[t], "");
+  // At a quarter of its own natural peak, the heavy query cannot have
+  // sailed through every time.
+  EXPECT_GT(heavy_rejections.load(), 0);
+  // The drained storm returned every reservation: the ledger is clean,
+  // and lifting the ceiling restores full service with identical rows.
+  EXPECT_EQ(db.memory().consumed(), 0);
+  db.set_memory_limit(0);
+  auto after = Session(db, options).Query(kHeavy);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->SortedRows(), heavy_rows);
+}
+
 // ---- FaultInjector unit behavior -------------------------------------------
 
 TEST(FaultInjectorTest, EveryNStride) {

@@ -52,15 +52,26 @@ SELF_PARALLEL = [
 
 
 def load_benchmarks(path):
-    with open(path) as f:
-        snapshot = json.load(f)
+    """Loads a snapshot, failing loudly (SystemExit 1) when it is missing
+    or malformed — a broken snapshot must break the tier-1 run, not be
+    silently reported as 'no pairs'."""
+    try:
+        with open(path) as f:
+            snapshot = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_diff: cannot read snapshot {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: malformed JSON in {path}: {e}")
+    if not isinstance(snapshot, dict) or "benchmarks" not in snapshot:
+        sys.exit(f"bench_diff: {path} is not a google-benchmark JSON "
+                 "snapshot (no 'benchmarks' key)")
     # Without --benchmark_repetitions every entry is a lone iteration run.
     # With repetitions, the per-rep entries share one name and only the
     # aggregates are trustworthy — use each benchmark's mean and ignore
     # the individual reps rather than silently keeping the last one.
     iterations = {}
     means = {}
-    for entry in snapshot.get("benchmarks", []):
+    for entry in snapshot["benchmarks"]:
         if entry.get("run_type") == "aggregate":
             if entry.get("aggregate_name") == "mean":
                 means[entry.get("run_name", entry["name"])] = entry

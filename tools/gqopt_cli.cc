@@ -125,9 +125,13 @@ void DoRewrite(const api::Session& session, const std::string& text,
       MeasureRelational(db, query.executable(), options);
   RunMeasurement base_graph = MeasureGraph(db, query.query(), options);
   auto render = [](const RunMeasurement& m) {
-    return m.feasible ? FormatSeconds(m.seconds) + "s, " +
-                            std::to_string(m.result_rows) + " rows"
-                      : "timeout (" + m.error + ")";
+    if (m.feasible) {
+      return FormatSeconds(m.seconds) + "s, " +
+             std::to_string(m.result_rows) + " rows";
+    }
+    // A memory-budget breach is not a timeout: label it for what it is.
+    bool resource = m.error.find("resource: ") != std::string::npos;
+    return (resource ? "over budget (" : "timeout (") + m.error + ")";
   };
   std::printf("relational baseline: %s\n", render(base_rel).c_str());
   std::printf("relational schema:   %s\n", render(schema_rel).c_str());
@@ -174,6 +178,12 @@ void DoCacheStats(const api::Database& db) {
   } else {
     std::printf("plan cache: %s, %zu entries (unbounded)\n",
                 stats.enabled ? "enabled" : "disabled", stats.entries);
+  }
+  if (stats.mem_capacity > 0) {
+    std::printf("  bytes         %zu of %zu budget\n", stats.bytes,
+                stats.mem_capacity);
+  } else {
+    std::printf("  bytes         %zu (no byte budget)\n", stats.bytes);
   }
   std::printf("  hits          %llu\n",
               static_cast<unsigned long long>(stats.hits));
@@ -244,11 +254,14 @@ void DoStress(const api::Database& db, const api::ExecOptions& options,
               clients, seconds > 0 ? requests / seconds : 0.0);
   std::printf("  ok            %llu\n", static_cast<unsigned long long>(
                                             ok.load()));
-  std::printf("  shed          %llu (queue full %llu, deadline %llu)\n",
-              static_cast<unsigned long long>(stats.shed_queue_full +
-                                              stats.shed_deadline),
-              static_cast<unsigned long long>(stats.shed_queue_full),
-              static_cast<unsigned long long>(stats.shed_deadline));
+  std::printf(
+      "  shed          %llu (queue full %llu, deadline %llu, memory %llu)\n",
+      static_cast<unsigned long long>(stats.shed_queue_full +
+                                      stats.shed_deadline +
+                                      stats.shed_memory),
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.shed_deadline),
+      static_cast<unsigned long long>(stats.shed_memory));
   std::printf("  degraded      %llu\n",
               static_cast<unsigned long long>(stats.degraded));
   std::printf("  retries       %llu\n",
@@ -275,7 +288,7 @@ void DoFaults(const std::string& rest) {
     std::puts(
         "malformed spec; expected point=kind[:every_n],... with points\n"
         "parse|rewrite|plan|execute|snapshot-build|catalog-build|\n"
-        "stats-build|csr-build and kinds deadline|alloc|invalidate");
+        "stats-build|csr-build|mem and kinds deadline|alloc|invalidate");
     return;
   }
   std::printf("%s\n", injector.Describe().c_str());

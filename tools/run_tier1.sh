@@ -2,7 +2,7 @@
 # Tier-1 verification: configure, build, run the test suite, and refresh
 # the micro-benchmark JSON snapshot (BENCH_micro.json at the repo root).
 #
-# Usage: tools/run_tier1.sh [--no-bench] [--tsan]
+# Usage: tools/run_tier1.sh [--no-bench] [--tsan] [--asan]
 #
 # GQOPT_DOP (degree of parallelism, default 1) passes through to every
 # test and benchmark binary: executors and closures run their partitioned
@@ -14,6 +14,11 @@
 # build-tsan/ tree, benches off) and runs them serial and at dop=4: the
 # serving layer's stress/storm tests must come back with zero reported
 # races. It replaces the normal run — do both for a full verification.
+#
+# --asan builds the memory-governance surface under ASan+UBSan (its own
+# build-asan/ tree, benches off) and runs the tracker, budget-enforcement
+# and serving suites: every "resource:" abort path must come back with
+# zero heap misuse or arithmetic UB. Also replaces the normal run.
 
 set -euo pipefail
 
@@ -22,10 +27,12 @@ cd "$repo_root"
 
 run_bench=1
 run_tsan=0
+run_asan=0
 for arg in "$@"; do
   case "$arg" in
     --no-bench) run_bench=0 ;;
     --tsan) run_tsan=1 ;;
+    --asan) run_asan=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -41,6 +48,21 @@ if [[ "$run_tsan" -eq 1 ]]; then
   GQOPT_DOP=4 ctest --test-dir build-tsan --output-on-failure \
     -R '(serving|parallel_differential|csr_differential|thread_pool)_test'
   echo "TSan tier-1 subset passed (build-tsan/)"
+  exit 0
+fi
+
+if [[ "$run_asan" -eq 1 ]]; then
+  # The memory-governance surface: the tracker itself, the typed
+  # budget-breach paths through the executor/facade, and the serving
+  # storm that exercises admission + degradation under a tight budget.
+  cmake -B build-asan -S . -DGQOPT_SANITIZE=address \
+    -DGQOPT_BUILD_BENCHES=OFF -DGQOPT_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure \
+    -R '(mem_tracker|memory_governance|serving|api)_test'
+  GQOPT_DOP=4 ctest --test-dir build-asan --output-on-failure \
+    -R '(mem_tracker|memory_governance|serving)_test'
+  echo "ASan+UBSan tier-1 subset passed (build-asan/)"
   exit 0
 fi
 
@@ -81,10 +103,18 @@ if [[ "$run_bench" -eq 1 ]]; then
       --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
+    # A run that silently produced no snapshot (or a truncated one) must
+    # fail the tier-1 run, not leave a stale file pretending to be fresh.
+    if [[ ! -s BENCH_micro.json ]]; then
+      echo "bench_micro produced no snapshot at BENCH_micro.json" >&2
+      exit 1
+    fi
     echo "wrote $repo_root/BENCH_micro.json"
     if command -v python3 >/dev/null; then
-      # Same-snapshot counterpart ratios (the ROADMAP methodology).
-      python3 tools/bench_diff.py BENCH_micro.json || true
+      # Same-snapshot counterpart ratios (the ROADMAP methodology);
+      # bench_diff exits non-zero on a malformed/unpaired snapshot and
+      # that failure propagates (set -e) — no '|| true' safety blanket.
+      python3 tools/bench_diff.py BENCH_micro.json
     fi
   else
     echo "bench_micro not built (google-benchmark missing?); skipping" >&2
