@@ -936,5 +936,134 @@ BENCHMARK(BM_MemTrackerCharge)
     ->Threads(4)
     ->UseRealTime();
 
+// ---- top-k / ORDER BY / LIMIT ---------------------------------------------
+// The asymptotic-win family: a bounded heap is O(n log k) against the
+// baseline's O(n log n) full sort, so at fixed k the speedup must GROW
+// with the input size. Args are {rows, skewed}: uniform edge targets and
+// a skew toward low node ids (dense duplicate groups stress the heap's
+// tie handling). The baseline executes the unfused Limit(Sort(x)) plan —
+// a full sort followed by truncation — on identical inputs in the same
+// process, so tools/bench_diff.py ratios are machine-drift-free.
+
+constexpr size_t kTopKBenchK = 64;
+
+PropertyGraph TopKBenchGraph(size_t edges, bool skewed) {
+  Rng rng(29);
+  size_t nodes = edges / 4 + 64;
+  PropertyGraph graph;
+  for (size_t i = 0; i < nodes; ++i) {
+    graph.AddNode(i % 64 == 0 ? "SEED" : "N");
+  }
+  for (size_t i = 0; i < edges; ++i) {
+    NodeId src = static_cast<NodeId>(rng.Uniform(nodes));
+    NodeId tgt = skewed
+                     ? static_cast<NodeId>(rng.Uniform(rng.Uniform(nodes) + 1))
+                     : static_cast<NodeId>(rng.Uniform(nodes));
+    (void)graph.AddEdge(src, "e1", tgt);
+  }
+  return graph;
+}
+
+// Projection-swapped scan: columns (x, y) with x the edge target, so the
+// input reaches the ordered operator unsorted on its key.
+RaExprPtr UnsortedScan() {
+  return RaExpr::Project(RaExpr::EdgeScan("e1", "y", "x"),
+                         {{"x", "x"}, {"y", "y"}});
+}
+
+void BM_TopKVsSortAll(benchmark::State& state) {
+  PropertyGraph graph = TopKBenchGraph(
+      static_cast<size_t>(state.range(0)), state.range(1) != 0);
+  Catalog catalog(graph);
+  RaExprPtr plan =
+      RaExpr::TopK(UnsortedScan(), {{"x", false}}, kTopKBenchK);
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopKVsSortAll)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 23, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 23, 1});
+
+void BM_SortAllThenTruncate(benchmark::State& state) {
+  PropertyGraph graph = TopKBenchGraph(
+      static_cast<size_t>(state.range(0)), state.range(1) != 0);
+  Catalog catalog(graph);
+  // Unfused: full sort, then truncate (what Limit(Sort(x)) executes
+  // when the optimizer's TopK fusion is bypassed).
+  RaExprPtr plan = RaExpr::Limit(
+      RaExpr::Sort(UnsortedScan(), {{"x", false}}), kTopKBenchK);
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortAllThenTruncate)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 23, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 23, 1});
+
+// Seeded-closure top-k: the frontier prune must skip real work (the
+// "pruned" counter is the number of frontier entries + candidate pairs
+// dropped — asserted non-zero, so the pair never silently degrades into
+// measuring two identical executions).
+
+void BM_ClosureTopKPruned(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 2);
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::TopK(
+      RaExpr::TransitiveClosure(RaExpr::EdgeScan("e1", "s", "t"), "s", "t",
+                                RaExpr::NodeScan({"SEED"}, "s"),
+                                SeedSide::kSource),
+      {{"s", false}}, 8);
+  Executor executor(catalog);
+  for (auto _ : state) {
+    auto result = executor.Run(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  if (executor.topk_pruned_frontier() == 0) {
+    state.SkipWithError("closure top-k prune skipped no frontier entries");
+    return;
+  }
+  state.counters["pruned"] =
+      static_cast<double>(executor.topk_pruned_frontier());
+}
+BENCHMARK(BM_ClosureTopKPruned)->Arg(1024)->Arg(4096);
+
+void BM_ClosureTopKFull(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph graph = RandomJoinGraph(n, n * 2);
+  Catalog catalog(graph);
+  RaExprPtr plan = RaExpr::TopK(
+      RaExpr::TransitiveClosure(RaExpr::EdgeScan("e1", "s", "t"), "s", "t",
+                                RaExpr::NodeScan({"SEED"}, "s"),
+                                SeedSide::kSource),
+      {{"s", false}}, 8);
+  Executor executor(catalog);
+  ExecContext ctx;
+  ctx.topk_pruning = false;  // full fixpoint feeding the bounded heap
+  for (auto _ : state) {
+    auto result = executor.Run(plan, ctx);
+    benchmark::DoNotOptimize(result);
+  }
+  if (executor.topk_pruned_frontier() != 0) {
+    state.SkipWithError("pruning fired with the knob off");
+  }
+}
+BENCHMARK(BM_ClosureTopKFull)->Arg(1024)->Arg(4096);
+
 }  // namespace
 }  // namespace gqopt

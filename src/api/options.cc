@@ -28,6 +28,9 @@ ExecOptions ExecOptions::FromEnv() {
   if (const char* cache = std::getenv("GQOPT_PLAN_CACHE")) {
     options.use_plan_cache = std::string(cache) != "0";
   }
+  if (const char* prune = std::getenv("GQOPT_TOPK_PRUNING")) {
+    options.topk_closure_pruning = std::string(prune) != "0";
+  }
   options.mem_limit_bytes = ParseByteSize(std::getenv("GQOPT_MEM_LIMIT"));
   return options;
 }
@@ -49,6 +52,7 @@ ExecContext ExecOptions::MakeExecContext() const {
   ctx.dop = dop;
   ctx.parallel_min_rows = parallel_min_rows;
   ctx.low_memory = low_memory;
+  ctx.topk_pruning = topk_closure_pruning;
   return ctx;
 }
 

@@ -31,6 +31,8 @@ namespace api {
 ///   GQOPT_PLANNER      "greedy" or "dp"               (field planner)
 ///   GQOPT_PLAN_CACHE   "0" disables plan-cache use    (field use_plan_cache)
 ///   GQOPT_MEM_LIMIT    per-query memory budget        (field mem_limit_bytes)
+///   GQOPT_TOPK_PRUNING "0" disables closure top-k pruning
+///                                             (field topk_closure_pruning)
 struct ExecOptions {
   // ---- execution-time knobs ------------------------------------------
   /// Per-execution deadline in milliseconds; <= 0 means no deadline.
@@ -51,6 +53,12 @@ struct ExecOptions {
   /// is also a child of the Database-wide budget (GQOPT_SERVER_MEM_LIMIT),
   /// so an unbounded query still stops at the server ceiling.
   int64_t mem_limit_bytes = 0;
+  /// Allow a TopK over a seeded transitive closure to prune frontier
+  /// entries that cannot beat the current k-th candidate. Execution-time
+  /// only (never changes results or the chosen plan), so it is NOT part
+  /// of the plan-cache fingerprint. FromEnv() reads GQOPT_TOPK_PRUNING
+  /// ("0" disables).
+  bool topk_closure_pruning = true;
 
   // ---- planning-time knobs (part of the plan-cache key) --------------
   /// Join-order planner for join clusters.

@@ -17,7 +17,13 @@
 //   pressure 2 (queue >= 3/4 full)  + skip the schema rewrite
 //                                   + serve slightly-stale statistics
 //   memory pressure >= 1 (server    plan and execute low-footprint
-//     budget >= 1/2 consumed)       (ExecOptions::low_memory)
+//     budget >= 1/2 consumed)       (ExecOptions::low_memory; ordered
+//                                   queries keep their bounded-heap TopK
+//                                   — O(k) state — instead of ever
+//                                   falling back to a full sort buffer,
+//                                   and the estimator's min(k, rows)
+//                                   output cap keeps admission-control
+//                                   footprint estimates small)
 // Shedding (queue full, deadline already expired when a worker picks
 // the request up, or — when GQOPT_SERVER_MEM_LIMIT is set — the plan's
 // estimated footprint exceeding the remaining server budget) fails fast

@@ -291,6 +291,8 @@ Result<RewriteResult> RewriteQuery(const Ucqt& input,
 
   if (out_disjuncts.empty()) {
     result.query.head_vars = input.head_vars;
+    result.query.order_by = input.order_by;
+    result.query.limit = input.limit;
     result.unsatisfiable = true;
     result.stats.disjuncts_after = 0;
     return result;
@@ -307,9 +309,12 @@ Result<RewriteResult> RewriteQuery(const Ucqt& input,
     return result;
   }
 
+  // The rewrite only touches disjunct bodies: the query's ORDER BY /
+  // LIMIT suffix rides through unchanged.
   GQOPT_ASSIGN_OR_RETURN(result.query,
                          Ucqt::Make(input.head_vars,
-                                    std::move(out_disjuncts)));
+                                    std::move(out_disjuncts),
+                                    input.order_by, input.limit));
 
   for (const Cqt& cqt : result.query.disjuncts) {
     result.stats.atoms_added += cqt.atoms.size();

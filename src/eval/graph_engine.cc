@@ -272,6 +272,41 @@ Result<ResultSet> GraphEngine::Run(const Ucqt& query,
     }
   }
   out.Normalize();
+  // Apply the query's ordering suffix with the same total order the
+  // relational TopK uses (declared keys with their directions, then the
+  // remaining columns ascending), so both engines return bit-identical
+  // ordered prefixes. Normalize() already sorted rows fully ascending,
+  // so a stable sort on the declared keys leaves exactly that tie-break.
+  if (!query.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    keys.reserve(query.order_by.size());
+    for (const OrderKey& key : query.order_by) {
+      int idx = -1;
+      for (size_t i = 0; i < out.vars.size(); ++i) {
+        if (out.vars[i] == key.var) idx = static_cast<int>(i);
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("order key '" + key.var +
+                                       "' is not a head variable");
+      }
+      keys.emplace_back(idx, key.descending);
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [&keys](const std::vector<NodeId>& a,
+                             const std::vector<NodeId>& b) {
+                       for (const auto& [idx, descending] : keys) {
+                         if (a[idx] != b[idx]) {
+                           return descending ? a[idx] > b[idx]
+                                             : a[idx] < b[idx];
+                         }
+                       }
+                       return false;
+                     });
+  }
+  if (query.limit >= 0 &&
+      out.rows.size() > static_cast<size_t>(query.limit)) {
+    out.rows.resize(static_cast<size_t>(query.limit));
+  }
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "query/query_parser.h"
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,61 @@ Result<Cqt> ParseCqt(std::string_view text,
   return cqt;
 }
 
+// First depth-0, token-boundary occurrence of `word` in `text` (npos when
+// none). Relations and label sets keep their content at depth > 0, so a
+// depth-0 "order by" / "limit" can only be the trailing clause.
+size_t FindTopLevelWord(std::string_view text, std::string_view word) {
+  int depth = 0;
+  for (size_t i = 0; i + word.size() <= text.size(); ++i) {
+    char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      continue;
+    }
+    if (depth != 0 || text.compare(i, word.size(), word) != 0) continue;
+    bool before_ok =
+        i == 0 || std::isspace(static_cast<unsigned char>(text[i - 1])) ||
+        text[i - 1] == ')' || text[i - 1] == '}';
+    size_t after = i + word.size();
+    bool after_ok =
+        after == text.size() ||
+        std::isspace(static_cast<unsigned char>(text[after]));
+    if (before_ok && after_ok) return i;
+  }
+  return std::string_view::npos;
+}
+
+Result<std::vector<OrderKey>> ParseOrderKeys(std::string_view text) {
+  std::vector<OrderKey> keys;
+  for (const std::string& item : Split(text, ',')) {
+    std::string_view k = StripWhitespace(item);
+    OrderKey key;
+    size_t sp = k.find_first_of(" \t");
+    if (sp == std::string_view::npos) {
+      key.var = std::string(k);
+    } else {
+      key.var = std::string(StripWhitespace(k.substr(0, sp)));
+      std::string_view dir = StripWhitespace(k.substr(sp));
+      if (dir == "desc") {
+        key.descending = true;
+      } else if (dir != "asc") {
+        return Status::InvalidArgument("bad order direction: '" +
+                                       std::string(dir) + "'");
+      }
+    }
+    if (!IsIdentifier(key.var)) {
+      return Status::InvalidArgument("bad order by variable: '" + key.var +
+                                     "'");
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
 }  // namespace
 
 Result<Ucqt> ParseUcqt(std::string_view text) {
@@ -153,6 +209,29 @@ Result<Ucqt> ParseUcqt(std::string_view text) {
   GQOPT_ASSIGN_OR_RETURN(std::vector<std::string> head_vars,
                          ParseVarList(text.substr(0, arrow)));
   std::string_view body = text.substr(arrow + 2);
+
+  // Trailing top-k clauses — "... order by v [desc], w limit N" — are
+  // carved off the body tail before the disjunct split (both sit at
+  // depth 0; limit last).
+  std::vector<OrderKey> order_by;
+  long long limit = -1;
+  size_t limit_pos = FindTopLevelWord(body, "limit");
+  if (limit_pos != std::string_view::npos) {
+    std::string_view num = StripWhitespace(body.substr(limit_pos + 5));
+    if (num.empty() || num.size() > 18 ||
+        num.find_first_not_of("0123456789") != std::string_view::npos) {
+      return Status::InvalidArgument("limit needs a nonnegative integer: '" +
+                                     std::string(num) + "'");
+    }
+    limit = std::stoll(std::string(num));
+    body = body.substr(0, limit_pos);
+  }
+  size_t order_pos = FindTopLevelWord(body, "order by");
+  if (order_pos != std::string_view::npos) {
+    GQOPT_ASSIGN_OR_RETURN(order_by,
+                           ParseOrderKeys(body.substr(order_pos + 8)));
+    body = body.substr(0, order_pos);
+  }
 
   std::vector<Cqt> disjuncts;
   // '++' separates disjuncts; SplitTopLevel on '+' would break closures, so
@@ -176,7 +255,8 @@ Result<Ucqt> ParseUcqt(std::string_view text) {
     GQOPT_ASSIGN_OR_RETURN(Cqt cqt, ParseCqt(piece, head_vars));
     disjuncts.push_back(std::move(cqt));
   }
-  return Ucqt::Make(std::move(head_vars), std::move(disjuncts));
+  return Ucqt::Make(std::move(head_vars), std::move(disjuncts),
+                    std::move(order_by), limit);
 }
 
 }  // namespace gqopt

@@ -57,17 +57,42 @@ std::string Cqt::ToString() const {
   return Join(parts, ", ");
 }
 
+std::string OrderKey::ToString() const {
+  return descending ? var + " desc" : var;
+}
+
 Result<Ucqt> Ucqt::Make(std::vector<std::string> head_vars,
-                        std::vector<Cqt> disjuncts) {
+                        std::vector<Cqt> disjuncts,
+                        std::vector<OrderKey> order_by, long long limit) {
   for (const Cqt& cqt : disjuncts) {
     if (cqt.head_vars != head_vars) {
       return Status::InvalidArgument(
           "UCQT disjuncts must be union compatible (same head variables)");
     }
   }
+  for (size_t i = 0; i < order_by.size(); ++i) {
+    if (std::find(head_vars.begin(), head_vars.end(), order_by[i].var) ==
+        head_vars.end()) {
+      return Status::InvalidArgument("order by variable " + order_by[i].var +
+                                     " is not a head variable");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (order_by[j].var == order_by[i].var) {
+        return Status::InvalidArgument("duplicate order by variable " +
+                                       order_by[i].var);
+      }
+    }
+  }
+  if (limit >= 0 && order_by.empty()) {
+    return Status::InvalidArgument(
+        "limit requires an order by (an unordered limit is "
+        "nondeterministic)");
+  }
   Ucqt out;
   out.head_vars = std::move(head_vars);
   out.disjuncts = std::move(disjuncts);
+  out.order_by = std::move(order_by);
+  out.limit = limit;
   return out;
 }
 
@@ -93,11 +118,24 @@ bool Ucqt::IsRecursive() const {
 
 std::string Ucqt::ToString() const {
   std::string out = Join(head_vars, ", ") + " <- ";
-  if (disjuncts.empty()) return out + "{}";
-  for (size_t i = 0; i < disjuncts.size(); ++i) {
-    if (i > 0) out += " ++ ";
-    out += disjuncts[i].ToString();
+  if (disjuncts.empty()) {
+    out += "{}";
+  } else {
+    for (size_t i = 0; i < disjuncts.size(); ++i) {
+      if (i > 0) out += " ++ ";
+      out += disjuncts[i].ToString();
+    }
   }
+  // Order and bound are part of query identity (plan-cache keys hash this
+  // rendering), so they always print when present.
+  if (!order_by.empty()) {
+    out += " order by ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].ToString();
+    }
+  }
+  if (limit >= 0) out += " limit " + std::to_string(limit);
   return out;
 }
 

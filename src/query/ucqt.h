@@ -48,18 +48,43 @@ struct Cqt {
   std::string ToString() const;
 };
 
+/// One ORDER BY key of a query: a head variable and its direction.
+struct OrderKey {
+  std::string var;
+  bool descending = false;
+
+  std::string ToString() const;
+  bool operator==(const OrderKey&) const = default;
+};
+
 /// \brief Union of conjunctive queries with Tarski's algebra (§2.4.1).
 ///
 /// All disjuncts must be union-compatible (same head variables). An empty
 /// disjunct list denotes the unsatisfiable query (used when type inference
 /// proves the result empty under the schema).
+///
+/// The optional `order by v [desc], ... limit N` suffix orders the result
+/// rows by the named head variables (ties broken by the remaining head
+/// variables ascending — a deterministic total order) and truncates to
+/// the first N. Both clauses are part of query identity: they render in
+/// ToString(), so plan-cache keys distinguish different orders and
+/// bounds.
 struct Ucqt {
   std::vector<std::string> head_vars;
   std::vector<Cqt> disjuncts;
+  /// ORDER BY keys over head variables (empty = unordered set semantics).
+  std::vector<OrderKey> order_by;
+  /// Row bound; negative = no LIMIT. `limit >= 0` with empty order_by is
+  /// rejected by Make — an unordered LIMIT is nondeterministic.
+  long long limit = -1;
 
-  /// Validates union compatibility of `disjuncts` against `head_vars`.
+  /// Validates union compatibility of `disjuncts` against `head_vars`,
+  /// that every order key names a distinct head variable, and that a
+  /// LIMIT only appears together with an ORDER BY.
   static Result<Ucqt> Make(std::vector<std::string> head_vars,
-                           std::vector<Cqt> disjuncts);
+                           std::vector<Cqt> disjuncts,
+                           std::vector<OrderKey> order_by = {},
+                           long long limit = -1);
 
   /// Convenience: single-relation query `head <- (src, path, tgt)`.
   static Ucqt FromPath(const std::string& source_var, PathExprPtr path,

@@ -1,6 +1,8 @@
 #include "ra/executor.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 #include "eval/closure_expand.h"
 #include "eval/csr_view.h"
@@ -44,6 +46,7 @@ Result<Table> Executor::Run(const RaExprPtr& plan, const ExecContext& ctx) {
   key_cache_.clear();
   actual_rows_.clear();
   actual_bytes_.clear();
+  topk_pruned_frontier_ = 0;
   // Rebind the memo charge to this run's budget: releases the previous
   // run's table bytes, then accrues this run's materialized results.
   table_bytes_ = TrackedBytes(ctx.mem);
@@ -145,7 +148,113 @@ void CanonicalKey(const RaExpr* e,
         *out += ")";
       }
       return;
+    case RaOp::kSort:
+    case RaOp::kTopK:
+      // Keys (with directions) and the bound are part of node identity:
+      // a different order or k produces different rows.
+      *out += e->op() == RaOp::kSort
+                  ? "O["
+                  : "K[" + std::to_string(e->limit()) + ";";
+      for (const SortKey& k : e->sort_keys()) {
+        col(k.column);
+        if (k.descending) *out += "v";
+        *out += ",";
+      }
+      *out += "](";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      return;
+    case RaOp::kLimit:
+      *out += "L[" + std::to_string(e->limit()) + "](";
+      CanonicalKey(e->left().get(), columns, out);
+      *out += ")";
+      return;
   }
+}
+
+// Resolves the total comparison order of a Sort/TopK node against a
+// concrete table: the sort keys (each with its direction) followed by the
+// remaining columns ascending in output order. Covering every column makes
+// the order total, so equal-comparing rows are byte-identical and any
+// sort/heap over it is deterministic without a stability requirement.
+Result<std::vector<std::pair<int, bool>>> SortOrderOf(const RaExpr* e,
+                                                      const Table& t) {
+  std::vector<std::pair<int, bool>> order;
+  order.reserve(t.arity());
+  std::vector<bool> keyed(t.arity(), false);
+  for (const SortKey& k : e->sort_keys()) {
+    int idx = t.ColumnIndex(k.column);
+    if (idx < 0) {
+      return Status::Internal("sort key references unknown column " +
+                              k.column);
+    }
+    order.emplace_back(idx, k.descending);
+    keyed[idx] = true;
+  }
+  for (size_t i = 0; i < t.arity(); ++i) {
+    if (!keyed[i]) order.emplace_back(static_cast<int>(i), false);
+  }
+  return order;
+}
+
+bool RowLess(const NodeId* a, const NodeId* b,
+             const std::vector<std::pair<int, bool>>& order) {
+  for (auto [idx, desc] : order) {
+    if (a[idx] != b[idx]) return desc ? a[idx] > b[idx] : a[idx] < b[idx];
+  }
+  return false;
+}
+
+// Marks `t` with the ordering a Sort/TopK output carries — the same
+// positional derivation as the RaExpr::Sort factory: keys sitting at
+// their own leading positions form the declared prefix (with their
+// directions); once the run covers every key, the ascending tie-break on
+// the remaining columns makes the whole row order known.
+void MarkSortedByKeys(Table* t, const RaExpr* e) {
+  const std::vector<SortKey>& keys = e->sort_keys();
+  size_t run = 0;
+  std::vector<bool> desc;
+  while (run < keys.size() && run < t->arity() &&
+         keys[run].column == t->columns()[run]) {
+    desc.push_back(keys[run].descending);
+    ++run;
+  }
+  if (run == keys.size()) {
+    t->MarkSortPrefix(t->arity(), std::move(desc));
+  } else {
+    t->MarkSortPrefix(run, std::move(desc));
+  }
+}
+
+// Runtime mirror of OrderSatisfiedBy: the concrete table's derived
+// ordering already delivers Sort(t, keys) verbatim (full-arity prefix,
+// keys leading with matching directions, ascending tie-break beyond).
+bool TableOrderSatisfies(const Table& t, const RaExpr* e) {
+  if (t.sort_prefix() != t.arity()) return false;
+  const std::vector<SortKey>& keys = e->sort_keys();
+  if (keys.size() > t.arity()) return false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i].column != t.columns()[i] ||
+        t.sort_descending(i) != keys[i].descending) {
+      return false;
+    }
+  }
+  for (size_t i = keys.size(); i < t.arity(); ++i) {
+    if (t.sort_descending(i)) return false;
+  }
+  return true;
+}
+
+// First `k` rows of `t` as a fresh table carrying `t`'s ordering.
+Table TruncateRows(const Table& t, size_t k,
+                   const std::vector<std::string>& columns) {
+  if (t.rows() <= k) return t;
+  std::vector<NodeId> data(t.data().begin(),
+                           t.data().begin() +
+                               static_cast<long>(k * t.arity()));
+  Table out = Table::FromData(columns, std::move(data));
+  out.MarkSortPrefixFrom(t, t.sort_prefix());
+  return out;
 }
 
 }  // namespace
@@ -174,14 +283,27 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
     return AbortStatus(ctx, "plan execution");
   }
 
+  // Child contexts drop the limit hint unless the operator explicitly
+  // forwards it: only a 1:1 order-preserving operator (Project) or one
+  // that re-derives its own bound (Limit) may pass it down — anything
+  // else (filters, joins, distinct, sorts) needs its full input.
+  ExecContext inner = ctx;
+  inner.limit_hint = 0;
+
   Result<Table> result = [&]() -> Result<Table> {
     switch (e->op()) {
       case RaOp::kEdgeScan: {
         const BinaryRelation& edges = catalog_.EdgeTable(e->label());
+        // A limit hint truncates the scan: the first rows of a sorted
+        // scan are exactly the unhinted output's prefix.
+        size_t cap = ctx.limit_hint == 0
+                         ? std::numeric_limits<size_t>::max()
+                         : ctx.limit_hint * 2;
         std::vector<NodeId> data;
-        data.reserve(edges.size() * 2);
+        data.reserve(std::min(edges.size() * 2, cap));
         DeadlinePoller poll(deadline);
         for (const Edge& pair : edges.pairs()) {
+          if (data.size() >= cap) break;
           data.push_back(pair.first);
           data.push_back(pair.second);
           if (poll.Expired()) {
@@ -197,6 +319,7 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
         Table t({e->columns()[0]});
         DeadlinePoller poll(deadline);
         for (NodeId n : catalog_.NodeExtentUnion(e->labels())) {
+          if (ctx.limit_hint != 0 && t.rows() >= ctx.limit_hint) break;
           t.AddRow(&n);
           if (poll.Expired()) {
             return Status::DeadlineExceeded("node scan timed out");
@@ -265,11 +388,11 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
           }
         }
         Table t = Table::FromData(e->columns(), std::move(data));
-        t.MarkSortPrefix(std::min(identity_run, child.sort_prefix()));
+        t.MarkSortPrefixFrom(child, identity_run);
         return t;
       }
       case RaOp::kSelectEq: {
-        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), ctx));
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), inner));
         int a = child.ColumnIndex(e->eq_columns().first);
         int b = child.ColumnIndex(e->eq_columns().second);
         if (a < 0 || b < 0) {
@@ -286,6 +409,14 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
                                 std::vector<NodeId>* dst) -> bool {
           DeadlinePoller range_poll(deadline);
           for (size_t r = begin; r < end; ++r) {
+            // Per-morsel limit cap: morsel buffers concatenate in order,
+            // so capping each at limit_hint rows preserves the operator's
+            // output prefix (a morsel only truncates once it alone holds
+            // the whole answer).
+            if (ctx.limit_hint != 0 &&
+                dst->size() >= ctx.limit_hint * arity) {
+              return true;
+            }
             const NodeId* row = child.Row(r);
             if (row[a] == row[b]) {
               dst->insert(dst->end(), row, row + arity);
@@ -301,7 +432,7 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
           return Status::DeadlineExceeded("selection timed out");
         }
         Table t = Table::FromData(child.columns(), std::move(data));
-        t.MarkSortPrefix(child_prefix);  // filtering preserves order
+        t.MarkSortPrefixFrom(child, child_prefix);  // filtering keeps order
         return t;
       }
       case RaOp::kJoin:
@@ -309,8 +440,8 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
       case RaOp::kSemiJoin:
         return EvalSemiJoin(e, ctx);
       case RaOp::kUnion: {
-        GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
-        GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
+        GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), inner));
+        GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), inner));
         // Align right columns to the left order.
         std::vector<int> align;
         align.reserve(left.arity());
@@ -345,19 +476,25 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
         Table t = Table::FromData(left.columns(), std::move(data));
         // Concatenation drops ordering unless one side was empty.
         if (right.rows() == 0) {
-          t.MarkSortPrefix(left.sort_prefix());
+          t.MarkSortPrefixFrom(left, left.sort_prefix());
         } else if (left.rows() == 0 && align_identity) {
-          t.MarkSortPrefix(right.sort_prefix());
+          t.MarkSortPrefixFrom(right, right.sort_prefix());
         }
         return t;
       }
       case RaOp::kDistinct: {
-        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), ctx));
+        GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), inner));
         child.SortDistinct();
         return child;
       }
       case RaOp::kTransitiveClosure:
-        return EvalClosure(e, ctx);
+        return EvalClosure(e, inner);
+      case RaOp::kSort:
+        return EvalSort(e, ctx);
+      case RaOp::kLimit:
+        return EvalLimit(e, ctx);
+      case RaOp::kTopK:
+        return EvalTopK(e, ctx);
     }
     return Status::Internal("unhandled RA op");
   }();
@@ -377,15 +514,23 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
     if (!table_bytes_.Add(static_cast<int64_t>(bytes))) {
       return AbortStatus(ctx, "plan execution");
     }
-    memo_.emplace(key, result.value());
+    // A hinted evaluation may have stopped early: the truncated table is
+    // correct for this caller but must never masquerade as the node's
+    // full result for another. (Memo READS under a hint stay valid — a
+    // full table's prefix is the hinted answer.)
+    if (ctx.limit_hint == 0) memo_.emplace(key, result.value());
   }
   return result;
 }
 
 Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   const Deadline& deadline = ctx.deadline;
-  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
-  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
+  // Children need their full inputs (a join row can draw on any child
+  // row); the hint only bounds this join's own emit loops below.
+  ExecContext inner = ctx;
+  inner.limit_hint = 0;
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), inner));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), inner));
 
   std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
   std::vector<int> left_keys, right_keys;
@@ -433,22 +578,35 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   auto emit = [&](const NodeId* lrow, const NodeId* rrow) {
     emit_to(lrow, rrow, &out_data);
   };
-  auto finish = [&](size_t sorted_prefix) {
+  // Early-termination bound from a Limit above: once the output holds
+  // limit_hint rows the caller keeps only those, so the order-preserving
+  // emit loops stop producing (expressed in flat NodeId counts).
+  const size_t limit_cap =
+      ctx.limit_hint == 0 ? std::numeric_limits<size_t>::max()
+                          : ctx.limit_hint * e->columns().size();
+  auto limit_reached = [&] { return out_data.size() >= limit_cap; };
+  // `order_src` carries the per-column directions of the side whose
+  // ordering survives (null = no ordering claim).
+  auto finish = [&](const Table* order_src, size_t sorted_prefix) {
     Table t = Table::FromData(e->columns(), std::move(out_data));
-    t.MarkSortPrefix(sorted_prefix);
+    if (order_src != nullptr) {
+      t.MarkSortPrefixFrom(*order_src, sorted_prefix);
+    } else {
+      t.MarkSortPrefix(sorted_prefix);
+    }
     return t;
   };
 
   if (shared.empty()) {
     // Cross product; left rows drive the outer loop, so the left side's
     // ordering survives.
-    for (size_t l = 0; l < left.rows(); ++l) {
-      for (size_t r = 0; r < right.rows(); ++r) {
+    for (size_t l = 0; l < left.rows() && !limit_reached(); ++l) {
+      for (size_t r = 0; r < right.rows() && !limit_reached(); ++r) {
         if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
         emit(left.Row(l), right.Row(r));
       }
     }
-    return finish(left.sort_prefix());
+    return finish(&left, left.sort_prefix());
   }
 
   // ---- Physical strategy -------------------------------------------------
@@ -459,8 +617,11 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   size_t m = shared.size();
   // Merge: the shared columns are the leading m columns of both sides at
   // pairwise-equal positions (one key order) and both inputs are sorted
-  // at least that deep.
-  bool merge_ok = left.sort_prefix() >= m && right.sort_prefix() >= m;
+  // ASCENDING at least that deep. The ascending_prefix() check (not
+  // sort_prefix()) closes the latent tie-break hole: a descending
+  // producer marking a plain prefix used to masquerade as merge input.
+  bool merge_ok =
+      left.ascending_prefix() >= m && right.ascending_prefix() >= m;
   for (size_t j = 0; merge_ok && j < m; ++j) {
     merge_ok = left_keys[j] == right_keys[j] &&
                left_keys[j] < static_cast<int>(m);
@@ -471,7 +632,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   // dense node ids; false for a tiny table with a huge maximum id, where
   // hashing wins).
   auto offset_worthwhile = [](const Table& t) {
-    if (t.sort_prefix() < 1 || t.rows() == 0) return false;
+    if (t.ascending_prefix() < 1 || t.rows() == 0) return false;
     NodeId max_key = t.Row(t.rows() - 1)[0];
     return static_cast<size_t>(max_key) < 8 * t.rows() + 1024;
   };
@@ -524,7 +685,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     };
     size_t l = 0, r = 0;
     size_t ln = left.rows(), rn = right.rows();
-    while (l < ln && r < rn) {
+    while (l < ln && r < rn && !limit_reached()) {
       if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       int c = cmp_keys(left.Row(l), right.Row(r));
       if (c < 0) {
@@ -545,8 +706,8 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
         ++re;
         if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       }
-      for (size_t li = l; li < le; ++li) {
-        for (size_t ri = r; ri < re; ++ri) {
+      for (size_t li = l; li < le && !limit_reached(); ++li) {
+        for (size_t ri = r; ri < re && !limit_reached(); ++ri) {
           if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
           emit(left.Row(li), right.Row(ri));
         }
@@ -556,7 +717,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
     }
     // Output streams in left-row order (each row repeated per matching
     // right run), so the left side's full sorted prefix survives.
-    return finish(left.sort_prefix());
+    return finish(&left, left.sort_prefix());
   }
 
   if (strategy == JoinStrategy::kOffset) {
@@ -577,18 +738,20 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
         [&bld_data, bld_arity](uint32_t r) { return bld_data[r * bld_arity]; },
         &offsets);
     if (abort_now()) return AbortStatus(ctx, "join");
-    for (size_t p = 0; p < prb.rows(); ++p) {
+    for (size_t p = 0; p < prb.rows() && !limit_reached(); ++p) {
       const NodeId* prow = prb.Row(p);
       if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
       NodeId key = prow[prb_key];
       if (key > max_key) continue;
-      for (uint32_t r = offsets[key]; r < offsets[key + 1]; ++r) {
+      for (uint32_t r = offsets[key];
+           r < offsets[key + 1] && !limit_reached(); ++r) {
         if (poll.Due() && abort_now()) return AbortStatus(ctx, "join");
         const NodeId* brow = bld.Row(r);
         emit(right_indexable ? prow : brow, right_indexable ? brow : prow);
       }
     }
-    return finish(right_indexable ? left.sort_prefix() : 0);
+    return finish(right_indexable ? &left : nullptr,
+                  right_indexable ? left.sort_prefix() : 0);
   }
 
   // Hash join, building on the smaller input.
@@ -708,7 +871,7 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
                         &out_data, join_partitions)) {
       return AbortStatus(ctx, "join");
     }
-    return finish(0);
+    return finish(nullptr, 0);
   }
 
   // Flat hash join: contiguous (key, row) entries with linear-probing
@@ -730,6 +893,9 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
                                 base_bytes);
     };
     for (size_t p = range_begin; p < range_end; ++p) {
+      // Per-morsel limit cap (ordered concatenation preserves the
+      // operator's output prefix — see the selection case).
+      if (ctx.limit_hint != 0 && dst->size() >= limit_cap) return true;
       const NodeId* prow = probe.Row(p);
       auto [it, end] = index.Equal(PackKey(prow, probe_keys));
       for (; it != end; ++it) {
@@ -754,14 +920,17 @@ Result<Table> Executor::EvalJoin(const RaExpr* e, const ExecContext& ctx) {
   // When the left side drove the probe loop, the output streams in
   // left-row order with the left columns leading, so its prefix survives
   // (the radix path scatters probe rows and cannot claim this).
-  return finish(build_left ? 0 : left.sort_prefix());
+  return finish(build_left ? nullptr : &left,
+                build_left ? 0 : left.sort_prefix());
 }
 
 Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
                                      const ExecContext& ctx) {
   const Deadline& deadline = ctx.deadline;
-  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), ctx));
-  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), ctx));
+  ExecContext inner = ctx;
+  inner.limit_hint = 0;
+  GQOPT_ASSIGN_OR_RETURN(Table left, Eval(e->left().get(), inner));
+  GQOPT_ASSIGN_OR_RETURN(Table right, Eval(e->right().get(), inner));
   std::vector<std::string> shared = SharedColumns(*e->left(), *e->right());
   if (shared.empty()) {
     // Degenerate: keep left iff right non-empty.
@@ -778,11 +947,12 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
   Table out(left.columns());
   DeadlinePoller poll(deadline);
 
-  // Offset fast path: existence bitmap over a right side sorted on the
-  // single shared column, gated on a dense key domain (the bitmap costs
+  // Offset fast path: existence bitmap over a right side sorted
+  // ASCENDING on the single shared column (the max-key bound below reads
+  // the last row), gated on a dense key domain (the bitmap costs
   // O(max key)).
   if (shared.size() == 1 && right_keys[0] == 0 &&
-      right.sort_prefix() >= 1 && right.rows() > 0 &&
+      right.ascending_prefix() >= 1 && right.rows() > 0 &&
       static_cast<size_t>(right.Row(right.rows() - 1)[0]) <
           64 * right.rows() + 1024) {
     NodeId max_key = right.Row(right.rows() - 1)[0];
@@ -795,13 +965,14 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     }
     int lk = left_keys[0];
     for (size_t l = 0; l < left.rows(); ++l) {
+      if (ctx.limit_hint != 0 && out.rows() >= ctx.limit_hint) break;
       if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
         return AbortStatus(ctx, "semi-join");
       }
       NodeId key = left.Row(l)[lk];
       if (key <= max_key && present[key]) out.AddRow(left.Row(l));
     }
-    out.MarkSortPrefix(left_prefix);
+    out.MarkSortPrefixFrom(left, left_prefix);
     return out;
   }
 
@@ -826,6 +997,7 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
   }
   FlatJoinIndex index(right_key_vec, ctx.mem);
   for (size_t l = 0; l < left.rows(); ++l) {
+    if (ctx.limit_hint != 0 && out.rows() >= ctx.limit_hint) break;
     if (poll.Due() && (deadline.Expired() || ctx.MemBreached())) {
       return AbortStatus(ctx, "semi-join");
     }
@@ -844,12 +1016,12 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
     }
     if (matched) out.AddRow(left.Row(l));
   }
-  out.MarkSortPrefix(left_prefix);
+  out.MarkSortPrefixFrom(left, left_prefix);
   return out;
 }
 
-Result<Table> Executor::EvalClosure(const RaExpr* e,
-                                    const ExecContext& ctx) {
+Result<Table> Executor::EvalClosure(const RaExpr* e, const ExecContext& ctx,
+                                    const ClosureTopKBound& bound) {
   const Deadline& deadline = ctx.deadline;
   GQOPT_ASSIGN_OR_RETURN(Table body, Eval(e->left().get(), ctx));
   int src = body.ColumnIndex(e->src_col());
@@ -883,7 +1055,7 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
     seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
     GQOPT_ASSIGN_OR_RETURN(
         acc, SeededClosure(base, seeds,
-                           e->seed_side() == SeedSide::kSource, ctx));
+                           e->seed_side() == SeedSide::kSource, ctx, bound));
   }
 
   std::vector<NodeId> data;
@@ -900,7 +1072,8 @@ Result<Table> Executor::EvalClosure(const RaExpr* e,
 Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
                                                const std::vector<NodeId>& seeds,
                                                bool seed_source,
-                                               const ExecContext& ctx) {
+                                               const ExecContext& ctx,
+                                               const ClosureTopKBound& bound) {
   const Deadline& deadline = ctx.deadline;
   // Semi-naive expansion from the seeds over a CSR of the (reversed, for
   // target seeds) base relation, deduplicating each candidate pair with a
@@ -933,6 +1106,45 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
   for (const Edge& e : acc) seen.Insert(e.first, e.second);
   std::vector<Edge> delta = acc;
   std::vector<Edge> next;
+
+  // ---- Top-k frontier prune -----------------------------------------------
+  // Expansion preserves the fixed-side component (source seeds extend
+  // (x,y) to (x,z); target seeds extend (x,y) to (w,y)), so once k result
+  // pairs exist, any pair whose fixed value sorts strictly after the k-th
+  // best fixed value — and every pair reachable from it — is outside the
+  // top k under a leading key on the fixed column. Track the k best fixed
+  // values (duplicates count: the bound is the k-th ROW's key) in a
+  // worst-on-top heap; drop frontier entries and fresh candidates that
+  // sort strictly past its top. Ties are kept, so results are exact.
+  const bool prune = bound.k > 0;
+  std::vector<NodeId> best;  // worst-on-top heap, size <= bound.k
+  auto fixed_of = [seed_source](const Edge& p) {
+    return seed_source ? p.first : p.second;
+  };
+  // a strictly before b in key order.
+  auto better = [desc = bound.descending](NodeId a, NodeId b) {
+    return desc ? a > b : a < b;
+  };
+  // std heaps put the comparator's maximum at front; comparing by
+  // `better` makes the front the worst retained value — the bound.
+  auto observe = [&](NodeId v) {
+    if (best.size() < bound.k) {
+      best.push_back(v);
+      std::push_heap(best.begin(), best.end(), better);
+    } else if (better(v, best.front())) {
+      std::pop_heap(best.begin(), best.end(), better);
+      best.back() = v;
+      std::push_heap(best.begin(), best.end(), better);
+    }
+  };
+  auto prunable = [&](NodeId v) {
+    return best.size() == bound.k && better(best.front(), v);
+  };
+  if (prune) {
+    best.reserve(bound.k);
+    for (const Edge& p : acc) observe(fixed_of(p));
+  }
+
   // Charges the accumulator/frontier buffers against the query budget,
   // re-measured once per round (they only grow).
   GrowthCharge mem_charge(ctx.mem);
@@ -940,6 +1152,19 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
   while (!delta.empty()) {
     if (deadline.Expired() || ctx.MemBreached()) {
       return AbortStatus(ctx, "seeded closure");
+    }
+    if (prune) {
+      // Pre-filter the frontier against the current bound (it only ever
+      // tightens, so a once-per-round serial pass is race-free at any
+      // dop and keeps the expansion itself unchanged).
+      size_t kept = 0;
+      for (const Edge& d : delta) {
+        if (prunable(fixed_of(d))) continue;
+        delta[kept++] = d;
+      }
+      topk_pruned_frontier_ += delta.size() - kept;
+      delta.resize(kept);
+      if (delta.empty()) break;
     }
     next.clear();
     // Source seeds: extend (x,y) by successors z of y to (x,z).
@@ -993,6 +1218,24 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
         }
       }
     }
+    if (prune) {
+      // Filter the round's candidates, tightening the bound as survivors
+      // are admitted (serial, in frontier order — deterministic at every
+      // dop because the parallel round reproduces the serial candidate
+      // order). Pruned candidates never re-enter (they are already in
+      // the dedup set) and are excluded from the result — sound because
+      // a bounded evaluation only ever feeds the TopK that set the bound
+      // and is never memoized as the closure's full result.
+      size_t kept = 0;
+      for (const Edge& c : next) {
+        NodeId v = fixed_of(c);
+        if (prunable(v)) continue;
+        observe(v);
+        next[kept++] = c;
+      }
+      topk_pruned_frontier_ += next.size() - kept;
+      next.resize(kept);
+    }
     acc.insert(acc.end(), next.begin(), next.end());
     if (acc.size() > kMaxClosurePairs) {
       return Status::ResourceExhausted(
@@ -1007,6 +1250,156 @@ Result<BinaryRelation> Executor::SeededClosure(const BinaryRelation& base,
   }
   SortUniquePairs(&acc);
   return BinaryRelation::FromSortedUnique(std::move(acc));
+}
+
+namespace {
+
+// Bounded-heap top-k over `child` under the node's total order: one pass
+// holding at most k row indices in a worst-on-top heap — O(n log k) time
+// and O(k) extra memory where a full sort buffer would be O(n). The
+// total order (all columns) makes equal-comparing rows byte-identical,
+// so which duplicate the heap retains is unobservable.
+Result<Table> BoundedTopK(const Table& child, const RaExpr* e, size_t k,
+                          const ExecContext& ctx) {
+  // The child's derived ordering may already deliver the requested
+  // order verbatim — then the top k rows are literally the first k.
+  if (TableOrderSatisfies(child, e)) {
+    return TruncateRows(child, k, e->columns());
+  }
+  GQOPT_ASSIGN_OR_RETURN(auto order, SortOrderOf(e, child));
+  size_t n = child.rows();
+  size_t arity = child.arity();
+  const NodeId* base = child.data().data();
+  auto less = [&](uint32_t a, uint32_t b) {
+    return RowLess(base + size_t{a} * arity, base + size_t{b} * arity,
+                   order);
+  };
+  // Charge the heap and the gathered output against the query budget
+  // up front — both are bounded by k, never by n.
+  GrowthCharge charge(ctx.mem);
+  if (!charge.Update(std::min(k, n) *
+                     (sizeof(uint32_t) + arity * sizeof(NodeId)))) {
+    return AbortStatus(ctx, "top-k");
+  }
+  std::vector<uint32_t> heap;
+  heap.reserve(std::min(k, n));
+  DeadlinePoller poll(ctx.deadline);
+  for (size_t r = 0; r < n; ++r) {
+    if (poll.Due() && (ctx.deadline.Expired() || ctx.MemBreached())) {
+      return AbortStatus(ctx, "top-k");
+    }
+    uint32_t idx = static_cast<uint32_t>(r);
+    if (heap.size() < k) {
+      heap.push_back(idx);
+      std::push_heap(heap.begin(), heap.end(), less);
+    } else if (less(idx, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.back() = idx;
+      std::push_heap(heap.begin(), heap.end(), less);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), less);
+  std::vector<NodeId> data;
+  data.reserve(heap.size() * arity);
+  for (uint32_t r : heap) {
+    data.insert(data.end(), base + size_t{r} * arity,
+                base + (size_t{r} + 1) * arity);
+  }
+  Table t = Table::FromData(e->columns(), std::move(data));
+  MarkSortedByKeys(&t, e);
+  return t;
+}
+
+}  // namespace
+
+Result<Table> Executor::EvalSort(const RaExpr* e, const ExecContext& ctx) {
+  // A full sort consumes its entire input; no hint flows down.
+  ExecContext inner = ctx;
+  inner.limit_hint = 0;
+  GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), inner));
+  if (TableOrderSatisfies(child, e)) {
+    return child.RenamedTo(e->columns());
+  }
+  GQOPT_ASSIGN_OR_RETURN(auto order, SortOrderOf(e, child));
+  size_t n = child.rows();
+  size_t arity = child.arity();
+  // Index sort + gather: the comparator walks rows in key order, the
+  // gather rebuilds contiguous row-major output. Both buffers are
+  // charged before the sort commits to them.
+  GrowthCharge charge(ctx.mem);
+  if (!charge.Update(n * sizeof(uint32_t) + n * arity * sizeof(NodeId)) ||
+      ctx.deadline.Expired()) {
+    return AbortStatus(ctx, "sort");
+  }
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  const NodeId* base = child.data().data();
+  // The order covers every column, so the comparison is total and
+  // std::sort is deterministic without a stability requirement.
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return RowLess(base + size_t{a} * arity, base + size_t{b} * arity,
+                   order);
+  });
+  if (ctx.deadline.Expired() || ctx.MemBreached()) {
+    return AbortStatus(ctx, "sort");
+  }
+  std::vector<NodeId> data;
+  data.reserve(n * arity);
+  for (uint32_t r : perm) {
+    data.insert(data.end(), base + size_t{r} * arity,
+                base + (size_t{r} + 1) * arity);
+  }
+  Table t = Table::FromData(e->columns(), std::move(data));
+  MarkSortedByKeys(&t, e);
+  return t;
+}
+
+Result<Table> Executor::EvalLimit(const RaExpr* e, const ExecContext& ctx) {
+  size_t k = e->limit();
+  if (ctx.limit_hint != 0) k = std::min(k, ctx.limit_hint);
+  if (k == 0) return Table(e->columns());
+  // Forward the bound: order-preserving children stop producing once k
+  // rows are held; the truncation below is what makes the result exact.
+  ExecContext inner = ctx;
+  inner.limit_hint = k;
+  GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), inner));
+  return TruncateRows(child, k, e->columns());
+}
+
+Result<Table> Executor::EvalTopK(const RaExpr* e, const ExecContext& ctx) {
+  size_t k = e->limit();
+  if (k == 0) return Table(e->columns());
+  const RaExpr* child_e = e->left().get();
+  // Seeded-closure prune: when the child is a seeded transitive closure
+  // and the leading key is the closure's fixed-side column, frontier
+  // entries that cannot beat the current k-th candidate are dead —
+  // evaluate the closure with the bound (outside the memo: the bounded
+  // result is not the closure's full table).
+  if (ctx.topk_pruning && child_e->op() == RaOp::kTransitiveClosure &&
+      child_e->seed_side() != SeedSide::kNone && !e->sort_keys().empty()) {
+    const std::string& fixed_col =
+        child_e->seed_side() == SeedSide::kSource ? child_e->src_col()
+                                                  : child_e->tgt_col();
+    // When an unbounded sibling already memoized the full closure, the
+    // prune has nothing to save — reuse the shared table instead.
+    if (e->sort_keys()[0].column == fixed_col &&
+        memo_.find(KeyOf(child_e)) == memo_.end()) {
+      ExecContext inner = ctx;
+      inner.limit_hint = 0;
+      ClosureTopKBound bound{k, e->sort_keys()[0].descending};
+      GQOPT_ASSIGN_OR_RETURN(Table closure,
+                             EvalClosure(child_e, inner, bound));
+      // EXPLAIN analyze shows the bounded cardinality — the prune's
+      // effect is visible as the child's actual row count.
+      actual_rows_[child_e] = closure.rows();
+      actual_bytes_[child_e] = closure.data().size() * sizeof(NodeId);
+      return BoundedTopK(closure, e, k, ctx);
+    }
+  }
+  ExecContext inner = ctx;
+  inner.limit_hint = 0;
+  GQOPT_ASSIGN_OR_RETURN(Table child, Eval(child_e, inner));
+  return BoundedTopK(child, e, k, ctx);
 }
 
 }  // namespace gqopt

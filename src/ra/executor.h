@@ -56,15 +56,41 @@ class Executor {
     return actual_bytes_;
   }
 
+  /// Frontier entries + candidate pairs the seeded-closure top-k prune
+  /// dropped during the most recent Run() (0 when no TopK sat over a
+  /// seeded closure, or pruning was disabled). The asymptotic-win benches
+  /// and the differential suite assert on this counter — work actually
+  /// skipped — rather than on wall time.
+  size_t topk_pruned_frontier() const { return topk_pruned_frontier_; }
+
  private:
+  /// Bound for the seeded-closure top-k frontier prune: once `k` result
+  /// pairs are held, frontier entries and candidate pairs whose
+  /// fixed-side component is strictly worse than the current k-th best
+  /// fixed-side value can never enter the top k (expansion preserves the
+  /// fixed component), so they are dropped. `k == 0` disables.
+  struct ClosureTopKBound {
+    ClosureTopKBound() : k(0), descending(false) {}
+    ClosureTopKBound(size_t k_in, bool descending_in)
+        : k(k_in), descending(descending_in) {}
+    size_t k;
+    bool descending;  // direction of the leading TopK key
+  };
+
   Result<Table> Eval(const RaExpr* e, const ExecContext& ctx);
   Result<Table> EvalJoin(const RaExpr* e, const ExecContext& ctx);
   Result<Table> EvalSemiJoin(const RaExpr* e, const ExecContext& ctx);
-  Result<Table> EvalClosure(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalClosure(const RaExpr* e, const ExecContext& ctx,
+                            const ClosureTopKBound& bound = ClosureTopKBound());
+  Result<Table> EvalSort(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalLimit(const RaExpr* e, const ExecContext& ctx);
+  Result<Table> EvalTopK(const RaExpr* e, const ExecContext& ctx);
   Result<BinaryRelation> SeededClosure(const BinaryRelation& base,
                                        const std::vector<NodeId>& seeds,
                                        bool seed_source,
-                                       const ExecContext& ctx);
+                                       const ExecContext& ctx,
+                                       const ClosureTopKBound& bound =
+                                           ClosureTopKBound());
   const std::string& KeyOf(const RaExpr* e);
 
   const Catalog& catalog_;
@@ -72,6 +98,7 @@ class Executor {
   std::unordered_map<std::string, Table> memo_;
   std::unordered_map<const RaExpr*, size_t> actual_rows_;
   std::unordered_map<const RaExpr*, size_t> actual_bytes_;
+  size_t topk_pruned_frontier_ = 0;
   /// Charge for the memoized result tables of the current Run() against
   /// the query's memory budget (no-op when the context is ungoverned);
   /// released when the next Run() starts or the executor dies.

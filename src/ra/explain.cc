@@ -189,6 +189,40 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
       est.ndv[e->tgt_col()] = std::max(1.0, std::min(tgt_ndv, est.rows));
       break;
     }
+    case RaOp::kSort: {
+      const PlanEstimate& child = Estimate(e->left().get());
+      est.rows = child.rows;
+      est.cost =
+          child.cost + child.rows * std::log2(std::max(2.0, child.rows));
+      est.ndv = child.ndv;
+      break;
+    }
+    case RaOp::kLimit: {
+      const PlanEstimate& child = Estimate(e->left().get());
+      est.rows = std::min(child.rows, static_cast<double>(e->limit()));
+      est.cost = child.cost + est.rows;
+      est.ndv = child.ndv;
+      for (auto& [col, ndv] : est.ndv) {
+        ndv = std::max(1.0, std::min(ndv, est.rows));
+      }
+      break;
+    }
+    case RaOp::kTopK: {
+      // Bounded heap: one pass over the child at log2(k) per row — and
+      // est.rows = min(k, child) is what keeps SumPlanMemory's
+      // materialization figure bounded by k, the admission-control win
+      // over Sort + Limit.
+      const PlanEstimate& child = Estimate(e->left().get());
+      est.rows = std::min(child.rows, static_cast<double>(e->limit()));
+      est.cost = child.cost +
+                 child.rows *
+                     std::log2(static_cast<double>(e->limit()) + 2.0);
+      est.ndv = child.ndv;
+      for (auto& [col, ndv] : est.ndv) {
+        ndv = std::max(1.0, std::min(ndv, est.rows));
+      }
+      break;
+    }
   }
   est.rows = std::max(0.0, est.rows);
   return memo_.emplace(e, std::move(est)).first->second;

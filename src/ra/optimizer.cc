@@ -71,11 +71,55 @@ class Optimizer {
                                          e->tgt_col(), std::move(seed),
                                          e->seed_side());
       }
+      case RaOp::kSort: {
+        RaExprPtr child = RewriteOrdered(e->left(), e->sort_keys());
+        // A child whose derived ordering already delivers the requested
+        // order makes the Sort a no-op — elide it.
+        if (OrderSatisfiedBy(*child, e->sort_keys())) return child;
+        if (child == e->left()) return e;
+        return RaExpr::Sort(std::move(child), e->sort_keys());
+      }
+      case RaOp::kLimit: {
+        RaExprPtr child = Rewrite(e->left());
+        // Limit(Sort(x)) fuses to TopK: a k-bounded heap replaces the
+        // full sort buffer. (An elided Sort never reaches here — the
+        // kSort case already returned its ordered child, leaving a plain
+        // Limit that truncates for free.)
+        if (child->op() == RaOp::kSort) {
+          return RaExpr::TopK(child->left(), child->sort_keys(),
+                              e->limit());
+        }
+        if (child == e->left()) return e;
+        return RaExpr::Limit(std::move(child), e->limit());
+      }
+      case RaOp::kTopK: {
+        RaExprPtr child = RewriteOrdered(e->left(), e->sort_keys());
+        // A child already delivering the order downgrades the TopK to a
+        // plain Limit — the first k rows, no heap at all.
+        if (OrderSatisfiedBy(*child, e->sort_keys())) {
+          return RaExpr::Limit(std::move(child), e->limit());
+        }
+        if (child == e->left()) return e;
+        return RaExpr::TopK(std::move(child), e->sort_keys(), e->limit());
+      }
     }
     return e;
   }
 
  private:
+  // Rewrites the subtree under a Sort/TopK with its keys published as the
+  // requested interesting order: the DP enumerator's winner selection
+  // charges plans that do not deliver the requested ascending prefix a
+  // full sort of their output, so an already-ordered join tree can win.
+  RaExprPtr RewriteOrdered(const RaExprPtr& e,
+                           const std::vector<SortKey>& keys) {
+    std::vector<SortKey> saved = std::move(requested_order_);
+    requested_order_ = keys;
+    RaExprPtr out = Rewrite(e);
+    requested_order_ = std::move(saved);
+    return out;
+  }
+
   // Flattens nested joins into a conjunct list.
   void Flatten(const RaExprPtr& e, std::vector<RaExprPtr>* conjuncts) {
     if (e->op() == RaOp::kJoin) {
@@ -190,6 +234,7 @@ class Optimizer {
     dp_options.max_relations = options_.dp_max_relations;
     dp_options.deadline = options_.planning_deadline;
     dp_options.low_memory = options_.low_memory;
+    dp_options.requested_order = requested_order_;
     RaExprPtr acc = DpPlanJoinOrder(core, &estimator_, dp_options);
     if (acc == nullptr) return nullptr;
 
@@ -270,6 +315,9 @@ class Optimizer {
 
   Estimator estimator_;
   const OptimizerOptions& options_;
+  // The ORDER BY keys of the nearest enclosing Sort/TopK being rewritten
+  // (empty outside one); see RewriteOrdered.
+  std::vector<SortKey> requested_order_;
   // Keeps estimate-only join probes alive for the estimator's lifetime
   // (see JoinedRows).
   std::vector<RaExprPtr> estimate_probes_;

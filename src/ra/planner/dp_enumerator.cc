@@ -1,6 +1,7 @@
 #include "ra/planner/dp_enumerator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -172,12 +173,32 @@ void Insert(std::vector<const Candidate*>* plans,
   }
 }
 
-const Candidate* Best(const std::vector<const Candidate*>& plans) {
+// Requested-order penalty: a candidate already sorted ascending on the
+// query's ORDER BY prefix feeds the sort/top-k above for free; anything
+// else pays a full sort of its output. Applied at winner selection only —
+// the subset tables keep per-order winners alive through pruning
+// regardless, so the penalty chooses among survivors instead of
+// distorting dominance mid-enumeration.
+double SortPenalty(const Candidate& c, const std::vector<uint16_t>& want) {
+  if (want.empty()) return 0;
+  bool satisfied = want.size() <= c.sorted_prefix;
+  for (size_t i = 0; satisfied && i < want.size(); ++i) {
+    satisfied = c.cols[i] == want[i];
+  }
+  if (satisfied) return 0;
+  return c.rows * std::log2(std::max(2.0, c.rows));
+}
+
+const Candidate* Best(const std::vector<const Candidate*>& plans,
+                      const std::vector<uint16_t>& want) {
   const Candidate* best = nullptr;
+  double best_cost = 0;
   for (const Candidate* c : plans) {
-    if (best == nullptr || c->cost < best->cost ||
-        (c->cost == best->cost && c->sorted_prefix > best->sorted_prefix)) {
+    double cost = c->cost + SortPenalty(*c, want);
+    if (best == nullptr || cost < best_cost ||
+        (cost == best_cost && c->sorted_prefix > best->sorted_prefix)) {
       best = c;
+      best_cost = cost;
     }
   }
   return best;
@@ -214,7 +235,9 @@ RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
     leaf.leaf = static_cast<int>(i);
     leaf.rows = est.rows;
     leaf.cost = est.cost;
-    leaf.sorted_prefix = relations[i]->sorted_prefix();
+    // Candidates only model ascending runs (the merge/offset shape math
+    // assumes them), so a descending-marked prefix stops here.
+    leaf.sorted_prefix = relations[i]->ascending_prefix();
     for (const std::string& col : relations[i]->columns()) {
       auto [it, inserted] = col_ids.emplace(
           col, static_cast<uint16_t>(col_ids.size()));
@@ -228,6 +251,21 @@ RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
     }
     storage.push_back(std::move(leaf));
     leaves.push_back(&storage.back());
+  }
+
+  // Requested interesting order, interned to column ids. A key over a
+  // column this cluster does not produce — or a descending key, which no
+  // ascending candidate can deliver — makes the request unsatisfiable:
+  // the penalty then hits every candidate equally and selection
+  // degenerates to pure cost, so `want` is simply cleared.
+  std::vector<uint16_t> want;
+  for (const SortKey& key : options.requested_order) {
+    auto it = col_ids.find(key.column);
+    if (it == col_ids.end() || key.descending) {
+      want.clear();
+      break;
+    }
+    want.push_back(it->second);
   }
 
   // Connected components of the join graph (relations sharing a column).
@@ -293,7 +331,7 @@ RaExprPtr DpPlanJoinOrder(const std::vector<RaExprPtr>& relations,
       }
     }
     if (best[full].empty()) return nullptr;  // cannot happen: connected
-    component_plans.push_back(Best(best[full]));
+    component_plans.push_back(Best(best[full], want));
   }
 
   // Cross-join disconnected components smallest-first (the cheapest

@@ -63,6 +63,13 @@ struct DpPlannerOptions {
   /// the cost model and skip the flat->radix size refinement, so plans
   /// lean on merge/offset orders that stream with O(1) extra state.
   bool low_memory = false;
+  /// The query's ORDER BY keys, when one sits above this cluster: a
+  /// requested interesting order. Winner selection charges candidates
+  /// that do NOT deliver the requested ascending prefix a full sort of
+  /// their output (rows * log2 rows), so an already-ordered plan wins
+  /// whenever the sort it saves outweighs its extra join cost. Empty =
+  /// no order requested (pure cheapest-cost selection).
+  std::vector<SortKey> requested_order;
 };
 
 /// Enumerates join orders over `relations` (the flattened, already

@@ -19,6 +19,32 @@ void Render(const RaExpr& e, int depth, std::string* out) {
   if (e.right()) Render(*e.right(), depth + 1, out);
 }
 
+// Direction vector for the leading `prefix` columns of `src` (empty when
+// all ascending) — the positional propagation order-preserving factories
+// use.
+std::vector<bool> DirsOf(const RaExpr& src, size_t prefix) {
+  std::vector<bool> out;
+  for (size_t i = 0; i < prefix; ++i) {
+    if (src.sort_descending(i)) {
+      out.resize(prefix, false);
+      for (size_t j = i; j < prefix; ++j) out[j] = src.sort_descending(j);
+      break;
+    }
+  }
+  return out;
+}
+
+// "a desc,b" — the keys part of the Sort/TopK EXPLAIN annotation.
+std::string SortKeysString(const std::vector<SortKey>& keys) {
+  std::string out;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ",";
+    out += keys[i].column;
+    if (keys[i].descending) out += " desc";
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* JoinStrategyName(JoinStrategy s) {
@@ -79,6 +105,7 @@ RaExprPtr RaExpr::Project(
     ++identity_run;
   }
   e->sorted_prefix_ = std::min(identity_run, e->left_->sorted_prefix());
+  e->sort_desc_ = DirsOf(*e->left_, e->sorted_prefix_);
   e->mappings_ = std::move(mappings);
   return e;
 }
@@ -90,6 +117,7 @@ RaExprPtr RaExpr::SelectEq(RaExprPtr child, std::string col_a,
   e->op_ = RaOp::kSelectEq;
   e->columns_ = child->columns();
   e->sorted_prefix_ = child->sorted_prefix();  // filtering preserves order
+  e->sort_desc_ = DirsOf(*child, e->sorted_prefix_);
   e->left_ = std::move(child);
   e->eq_columns_ = {std::move(col_a), std::move(col_b)};
   return e;
@@ -119,6 +147,9 @@ RaExprPtr RaExpr::Join(RaExprPtr l, RaExprPtr r, JoinStrategy strategy,
       strategy == JoinStrategy::kAuto || strategy == phys.strategy
           ? phys.sorted_prefix
           : 0;
+  // Every shape that predicts an order propagates the left (probe)
+  // side's, so its directions carry over verbatim.
+  e->sort_desc_ = DirsOf(*e->left_, e->sorted_prefix_);
   return e;
 }
 
@@ -128,6 +159,7 @@ RaExprPtr RaExpr::SemiJoin(RaExprPtr l, RaExprPtr r) {
   e->op_ = RaOp::kSemiJoin;
   e->columns_ = l->columns();
   e->sorted_prefix_ = l->sorted_prefix();  // filters the left side
+  e->sort_desc_ = DirsOf(*l, e->sorted_prefix_);
   e->left_ = std::move(l);
   e->right_ = std::move(r);
   return e;
@@ -171,6 +203,76 @@ RaExprPtr RaExpr::TransitiveClosure(RaExprPtr body, std::string src_col,
   e->left_ = std::move(body);
   e->right_ = std::move(seed);
   return e;
+}
+
+RaExprPtr RaExpr::Sort(RaExprPtr child, std::vector<SortKey> keys) {
+  assert(child);
+  assert(!keys.empty());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kSort;
+  e->columns_ = child->columns();
+  // The output is a deterministic total order (keys, then the remaining
+  // columns ascending). Positionally, that is a sorted prefix exactly as
+  // deep as the keys' leading-column run: keys[i] sorting output column
+  // i gives a fully sorted table once the run covers every key (the
+  // ascending tie-break sorts the rest); a key targeting a non-leading
+  // column breaks positional order at that point.
+  size_t run = 0;
+  std::vector<bool> desc;
+  while (run < keys.size() && run < e->columns_.size() &&
+         keys[run].column == e->columns_[run]) {
+    desc.push_back(keys[run].descending);
+    ++run;
+  }
+  if (run == keys.size()) {
+    e->sorted_prefix_ = e->columns_.size();  // tie-break covers the rest
+  } else {
+    e->sorted_prefix_ = run;
+  }
+  e->sort_desc_ = std::move(desc);
+  e->sort_keys_ = std::move(keys);
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::Limit(RaExprPtr child, size_t k) {
+  assert(child);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kLimit;
+  e->columns_ = child->columns();
+  // A prefix of the child keeps the child's ordering property verbatim.
+  e->sorted_prefix_ = child->sorted_prefix();
+  for (size_t i = 0; i < e->sorted_prefix_; ++i) {
+    e->sort_desc_.push_back(child->sort_descending(i));
+  }
+  e->limit_ = k;
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::TopK(RaExprPtr child, std::vector<SortKey> keys,
+                       size_t k) {
+  auto e = std::const_pointer_cast<RaExpr>(
+      Sort(std::move(child), std::move(keys)));
+  // Same output ordering as Sort (the heap emits sorted); only the row
+  // bound and the evaluation strategy differ.
+  e->op_ = RaOp::kTopK;
+  e->limit_ = k;
+  return e;
+}
+
+bool OrderSatisfiedBy(const RaExpr& plan, const std::vector<SortKey>& keys) {
+  if (plan.sorted_prefix() < plan.columns().size()) return false;
+  if (keys.size() > plan.columns().size()) return false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i].column != plan.columns()[i]) return false;
+    if (keys[i].descending != plan.sort_descending(i)) return false;
+  }
+  // Tie-break: the columns past the keys must be ascending.
+  for (size_t i = keys.size(); i < plan.columns().size(); ++i) {
+    if (plan.sort_descending(i)) return false;
+  }
+  return true;
 }
 
 std::string RaExpr::NodeString() const {
@@ -220,6 +322,13 @@ std::string RaExpr::NodeString() const {
       if (seed_side_ == SeedSide::kTarget) out += " seeded-on-target";
       return out;
     }
+    case RaOp::kSort:
+      return "Sort " + cols() + " [keys=" + SortKeysString(sort_keys_) + "]";
+    case RaOp::kLimit:
+      return "Limit " + cols() + " [k=" + std::to_string(limit_) + "]";
+    case RaOp::kTopK:
+      return "TopK " + cols() + " [topk k=" + std::to_string(limit_) +
+             " keys=" + SortKeysString(sort_keys_) + "]";
   }
   return "?";
 }
@@ -245,8 +354,12 @@ JoinPhysical AnalyzeJoinShape(const RaExpr& l, const RaExpr& r) {
   };
   // Merge: every shared column sits at the same position < m on both
   // sides (so the leading m columns are the keys, in one order) and both
-  // inputs are sorted at least that deep.
-  if (l.sorted_prefix() >= m && r.sorted_prefix() >= m) {
+  // inputs are sorted at least that deep — *ascending*: the streaming
+  // merge advances the smaller key, so a descending run on either side
+  // (a descending Sort output) disqualifies it. Before the property
+  // carried directions this was the latent tie-break hole: prefixes
+  // never said which way they ran.
+  if (l.ascending_prefix() >= m && r.ascending_prefix() >= m) {
     bool aligned = true;
     for (const std::string& col : shared) {
       size_t lp = pos(l, col);
@@ -263,15 +376,16 @@ JoinPhysical AnalyzeJoinShape(const RaExpr& l, const RaExpr& r) {
       return out;
     }
   }
-  // Offset: a single shared column leading a sorted side; that side is
+  // Offset: a single shared column leading an ascending-sorted side
+  // (the offset array indexes keys in increasing order); that side is
   // the build, the other probes in its own order.
   if (m == 1) {
-    if (pos(r, shared[0]) == 0 && r.sorted_prefix() >= 1) {
+    if (pos(r, shared[0]) == 0 && r.ascending_prefix() >= 1) {
       out.strategy = JoinStrategy::kOffset;
       out.sorted_prefix = l.sorted_prefix();  // probe = left, in order
       return out;
     }
-    if (pos(l, shared[0]) == 0 && l.sorted_prefix() >= 1) {
+    if (pos(l, shared[0]) == 0 && l.ascending_prefix() >= 1) {
       out.strategy = JoinStrategy::kOffset;  // probe = right: order lost
       return out;
     }

@@ -33,6 +33,20 @@ enum class RaOp : uint8_t {
   kUnion,              // set union (same column set)
   kDistinct,           // duplicate elimination
   kTransitiveClosure,  // TC of a binary child, optionally seeded
+  kSort,               // total-order sort: keys, then remaining cols asc
+  kLimit,              // first k rows of the child, in child order
+  kTopK,               // Sort + Limit fused into a bounded heap
+};
+
+/// One ORDER BY key: an output column and its direction. Ties beyond the
+/// key list are always broken by the remaining columns ascending (in
+/// output-column order), so every Sort/TopK result is a deterministic
+/// total order — the invariant the differential suites pin.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+
+  bool operator==(const SortKey&) const = default;
 };
 
 /// Which side a transitive closure is seeded from.
@@ -102,6 +116,28 @@ class RaExpr {
   /// value is a prediction the runtime validates before relying on it.
   size_t sorted_prefix() const { return sorted_prefix_; }
 
+  /// Direction of sorted-prefix column `col` (true = descending). Every
+  /// operator except a descending Sort produces ascending runs, so the
+  /// vector is empty (= all ascending) almost everywhere.
+  bool sort_descending(size_t col) const {
+    return col < sort_desc_.size() && sort_desc_[col];
+  }
+
+  /// The leading run of the sorted prefix that is ascending — the
+  /// property merge/offset join applicability actually requires (a
+  /// descending run cannot feed a streaming merge or an offset array).
+  size_t ascending_prefix() const {
+    for (size_t i = 0; i < sorted_prefix_; ++i) {
+      if (sort_descending(i)) return i;
+    }
+    return sorted_prefix_;
+  }
+
+  /// ORDER BY keys (kSort, kTopK).
+  const std::vector<SortKey>& sort_keys() const { return sort_keys_; }
+  /// Row bound k (kLimit, kTopK).
+  size_t limit() const { return limit_; }
+
   /// Physical join strategy annotation (kJoin only; kAuto when the plan
   /// has not been through the optimizer). Fixed at construction — nodes
   /// stay truly immutable, so optimizing one plan can never re-annotate
@@ -147,6 +183,20 @@ class RaExpr {
                                      std::string tgt_col,
                                      RaExprPtr seed = nullptr,
                                      SeedSide seed_side = SeedSide::kNone);
+  /// Deterministic total-order sort: rows ordered by `keys` (each with
+  /// its direction), ties broken by the remaining output columns
+  /// ascending in output order. `keys` must be non-empty, name distinct
+  /// child columns, and contain no duplicates.
+  static RaExprPtr Sort(RaExprPtr child, std::vector<SortKey> keys);
+  /// First `k` rows of the child, in the child's row order. Only
+  /// deterministic when the child's order is (Sort output, or a plan
+  /// whose full sorted prefix covers the arity) — the optimizer only
+  /// emits it in those positions.
+  static RaExprPtr Limit(RaExprPtr child, size_t k);
+  /// Sort + Limit fused: the first `k` rows of Sort(child, keys),
+  /// computed with a k-bounded heap instead of a full sort buffer.
+  static RaExprPtr TopK(RaExprPtr child, std::vector<SortKey> keys,
+                        size_t k);
 
   /// Single-line description of this node (no children), for EXPLAIN.
   std::string NodeString() const;
@@ -167,8 +217,12 @@ class RaExpr {
   RaExprPtr left_, right_;
   std::vector<std::string> columns_;
   size_t sorted_prefix_ = 0;
+  /// Per-column direction of the sorted prefix (empty = all ascending).
+  std::vector<bool> sort_desc_;
   JoinStrategy join_strategy_ = JoinStrategy::kAuto;
   int parallel_hint_ = 0;
+  std::vector<SortKey> sort_keys_;  // kSort, kTopK
+  size_t limit_ = 0;                // kLimit, kTopK
 };
 
 /// Sorted vector of the column names shared by `l` and `r`.
@@ -185,6 +239,15 @@ struct JoinPhysical {
   size_t sorted_prefix = 0;
 };
 JoinPhysical AnalyzeJoinShape(const RaExpr& l, const RaExpr& r);
+
+/// True when `plan`'s derived ordering already delivers Sort(plan, keys)
+/// verbatim: the keys name the plan's leading output columns in order
+/// with matching directions, and the plan's sorted prefix covers its
+/// full arity (so the implicit ascending tie-break on the remaining
+/// columns holds too — anything less leaves the k-th-row boundary
+/// nondeterministic). The check the optimizer uses to elide a Sort and
+/// downgrade a TopK to a plain Limit.
+bool OrderSatisfiedBy(const RaExpr& plan, const std::vector<SortKey>& keys);
 
 }  // namespace gqopt
 

@@ -16,6 +16,18 @@ void Table::AddRow(const NodeId* values) {
   std::vector<NodeId>& data = Mutable();
   data.insert(data.end(), values, values + arity());
   sort_prefix_ = 0;
+  sort_desc_.clear();
+}
+
+void Table::MarkSortPrefixFrom(const Table& src, size_t prefix) {
+  prefix = std::min(prefix, src.sort_prefix_);
+  std::vector<bool> desc;
+  if (!src.sort_desc_.empty()) {
+    desc.assign(src.sort_desc_.begin(),
+                src.sort_desc_.begin() +
+                    static_cast<long>(std::min(prefix, src.sort_desc_.size())));
+  }
+  MarkSortPrefix(prefix, std::move(desc));
 }
 
 void Table::SortDistinct() {
@@ -87,6 +99,7 @@ Table Table::RenamedTo(std::vector<std::string> columns) const {
   Table out(std::move(columns));
   out.block_ = block_;  // shared copy-on-write: no data copy
   out.sort_prefix_ = sort_prefix_;  // renaming is positional: order is kept
+  out.sort_desc_ = sort_desc_;
   return out;
 }
 

@@ -63,26 +63,68 @@ class Table {
   void SortDistinct();
 
   /// Physical ordering property: the number of leading columns the rows
-  /// are known to be (non-strictly) lexicographically sorted on. 0 means
-  /// no known ordering; arity() means fully sorted. Every executor
-  /// operator derives its output prefix from its inputs (filters keep it,
+  /// are known to be (non-strictly) lexicographically sorted on, each in
+  /// the per-column direction reported by sort_descending(). 0 means no
+  /// known ordering; arity() means fully sorted. Every executor operator
+  /// derives its output prefix from its inputs (filters keep it,
   /// projections keep the identity-mapped leading run, merge/offset joins
   /// keep the probe side's), so the planner's ordering-based join
   /// strategies stay valid at runtime. Cleared by row mutation.
   size_t sort_prefix() const { return sort_prefix_; }
 
-  /// Declares the rows sorted on the first `prefix` columns
+  /// Direction of sorted-prefix column `col`: true = descending. Columns
+  /// past the declared direction vector (and every column of a prefix
+  /// declared without directions) are ascending — the historical default,
+  /// which left the direction unspecified and let a descending producer
+  /// masquerade as merge-join input.
+  bool sort_descending(size_t col) const {
+    return col < sort_desc_.size() && sort_desc_[col];
+  }
+
+  /// The leading run of the sorted prefix that is ascending. This — not
+  /// sort_prefix() — is the property the merge/offset join and the
+  /// sorted-offset/bitmap fast paths require: they binary-search and
+  /// max-key-bound ascending runs.
+  size_t ascending_prefix() const {
+    for (size_t i = 0; i < sort_prefix_; ++i) {
+      if (sort_descending(i)) return i;
+    }
+    return sort_prefix_;
+  }
+
+  /// Declares the rows sorted ascending on the first `prefix` columns
   /// (caller-asserted; clamped to arity()).
   void MarkSortPrefix(size_t prefix) {
     sort_prefix_ = prefix < arity() ? prefix : arity();
+    sort_desc_.clear();
   }
 
-  /// True when the rows are known to be fully lexicographically sorted.
-  bool sorted() const { return sort_prefix_ == arity(); }
+  /// Declares the rows sorted on the first `prefix` columns with
+  /// per-column directions (`descending[i]` true = column i descending;
+  /// missing entries are ascending).
+  void MarkSortPrefix(size_t prefix, std::vector<bool> descending) {
+    sort_prefix_ = prefix < arity() ? prefix : arity();
+    descending.resize(sort_prefix_, false);
+    sort_desc_ = std::move(descending);
+  }
 
-  /// Declares the rows fully lexicographically sorted (used by scans and
-  /// closures that produce sorted output by construction).
-  void MarkSorted() { sort_prefix_ = arity(); }
+  /// Declares the rows sorted like the leading `prefix` columns of `src`
+  /// (clamped to src's known prefix; directions copied). The positional
+  /// propagation used by order-preserving operators.
+  void MarkSortPrefixFrom(const Table& src, size_t prefix);
+
+  /// True when the rows are known to be fully lexicographically sorted,
+  /// every column ascending (the canonical order SortDistinct produces).
+  bool sorted() const {
+    return sort_prefix_ == arity() && ascending_prefix() == arity();
+  }
+
+  /// Declares the rows fully lexicographically sorted ascending (used by
+  /// scans and closures that produce sorted output by construction).
+  void MarkSorted() {
+    sort_prefix_ = arity();
+    sort_desc_.clear();
+  }
 
   /// Raw storage (row-major).
   const std::vector<NodeId>& data() const { return *block_; }
@@ -105,6 +147,9 @@ class Table {
   std::vector<std::string> columns_;
   std::shared_ptr<std::vector<NodeId>> block_;
   size_t sort_prefix_ = 0;
+  /// Per-column direction of the sorted prefix (true = descending).
+  /// Empty means all ascending — the common case stays allocation-free.
+  std::vector<bool> sort_desc_;
 };
 
 }  // namespace gqopt

@@ -23,6 +23,26 @@ RaExprPtr KeepEndpoints(RaExprPtr expr, const std::string& src_col,
       std::move(expr), {{src_col, src_col}, {tgt_col, tgt_col}}));
 }
 
+// Appends the query's ORDER BY / LIMIT suffix to a finished plan. The
+// Sort keys name head-variable columns directly; the optimizer later
+// elides the Sort when the plan already delivers the order, or fuses
+// Limit(Sort(x)) into a bounded-heap TopK.
+RaExprPtr ApplyOrderAndLimit(RaExprPtr plan, const Ucqt& query) {
+  if (!query.order_by.empty()) {
+    std::vector<SortKey> keys;
+    keys.reserve(query.order_by.size());
+    for (const OrderKey& key : query.order_by) {
+      keys.push_back(SortKey{key.var, key.descending});
+    }
+    plan = RaExpr::Sort(std::move(plan), std::move(keys));
+  }
+  if (query.limit >= 0) {
+    plan = RaExpr::Limit(std::move(plan),
+                         static_cast<size_t>(query.limit));
+  }
+  return plan;
+}
+
 }  // namespace
 
 Result<RaExprPtr> PathToRa(const PathExprPtr& path, const std::string& src_col,
@@ -167,17 +187,14 @@ Result<RaExprPtr> UcqtToRa(const Ucqt& query) {
   if (!result) {
     // Empty UCQT: an empty table with the head columns. Model as a scan of
     // an impossible node-label union.
-    if (query.head_vars.size() == 1) {
-      return RaExprPtr(RaExpr::NodeScan({}, query.head_vars[0]));
-    }
     RaExprPtr empty = RaExpr::NodeScan({}, query.head_vars[0]);
     for (size_t i = 1; i < query.head_vars.size(); ++i) {
       empty = RaExpr::Join(std::move(empty),
                            RaExpr::NodeScan({}, query.head_vars[i]));
     }
-    return empty;
+    return ApplyOrderAndLimit(std::move(empty), query);
   }
-  return RaExprPtr(RaExpr::Distinct(std::move(result)));
+  return ApplyOrderAndLimit(RaExpr::Distinct(std::move(result)), query);
 }
 
 }  // namespace gqopt

@@ -145,7 +145,29 @@ Result<std::string> EmitCypher(const Ucqt& query) {
   if (parts.empty()) {
     return std::string("RETURN NULL LIMIT 0;");
   }
-  return Join(parts, "\nUNION\n") + ";";
+  std::string order_clause;
+  if (!query.order_by.empty()) {
+    order_clause = "\nORDER BY ";
+    for (size_t i = 0; i < query.order_by.size(); ++i) {
+      if (i > 0) order_clause += ", ";
+      order_clause += query.order_by[i].var;
+      if (query.order_by[i].descending) order_clause += " DESC";
+    }
+  }
+  if (query.limit >= 0) {
+    order_clause += "\nLIMIT " + std::to_string(query.limit);
+  }
+  if (order_clause.empty()) {
+    return Join(parts, "\nUNION\n") + ";";
+  }
+  if (parts.size() == 1) {
+    return parts[0] + order_clause + ";";
+  }
+  // ORDER BY cannot trail a UNION directly: wrap the union in a CALL
+  // subquery and order its combined output.
+  std::string cypher = "CALL {\n  " + Join(parts, "\nUNION\n  ") + "\n}";
+  cypher += "\nRETURN " + Join(query.head_vars, ", ") + order_clause + ";";
+  return cypher;
 }
 
 }  // namespace gqopt

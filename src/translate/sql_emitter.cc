@@ -191,6 +191,18 @@ Result<std::string> EmitSql(const Ucqt& query, const SqlOptions& options) {
   } else {
     sql = body;
   }
+  // A trailing ORDER BY / LIMIT applies to the whole UNION.
+  if (!query.order_by.empty()) {
+    sql += "\nORDER BY ";
+    for (size_t i = 0; i < query.order_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += query.order_by[i].var;
+      if (query.order_by[i].descending) sql += " DESC";
+    }
+  }
+  if (query.limit >= 0) {
+    sql += "\nLIMIT " + std::to_string(query.limit);
+  }
   sql += ";";
 
   if (!options.as_view) return sql;

@@ -60,6 +60,18 @@ struct ExecContext {
   /// the serving layer under memory pressure — a physical choice only,
   /// results stay bit-identical.
   bool low_memory = false;
+  /// Early-termination bound: when non-zero, the caller only consumes
+  /// the first `limit_hint` rows of this operator's output. Set by the
+  /// executor's Limit evaluation and forwarded only through operators
+  /// whose output order is deterministic and equal to their unhinted
+  /// order (so truncation can only drop tail rows); a hinted result is
+  /// never memoized. 0 = produce everything.
+  size_t limit_hint = 0;
+  /// Enables the seeded-closure top-k frontier prune (on by default).
+  /// The prune only ever skips frontier entries that provably cannot
+  /// reach the top k, so results are identical either way — the knob
+  /// exists so differential tests can pin pruned vs unpruned runs.
+  bool topk_pruning = true;
 
   /// True once the memory budget is breached (cheap relaxed load; false
   /// when ungoverned). Operators poll this next to Deadline::Expired().

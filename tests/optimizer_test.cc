@@ -292,5 +292,52 @@ TEST_F(OptimizerTest, ExplainShowsOrderingProperty) {
   EXPECT_NE(explain.find("sorted = 2"), std::string::npos) << explain;
 }
 
+TEST_F(OptimizerTest, FusesLimitOverSortIntoTopK) {
+  RaExprPtr plan = RaExpr::Limit(
+      RaExpr::Sort(RaExpr::EdgeScan("owns", "x", "y"),
+                   {{"y", true}}),
+      5);
+  RaExprPtr optimized = OptimizePlan(plan, catalog_);
+  EXPECT_EQ(optimized->op(), RaOp::kTopK);
+  EXPECT_EQ(optimized->limit(), 5u);
+  ASSERT_EQ(optimized->sort_keys().size(), 1u);
+  EXPECT_EQ(optimized->sort_keys()[0].column, "y");
+  EXPECT_TRUE(optimized->sort_keys()[0].descending);
+  EXPECT_EQ(CountOp(optimized, RaOp::kSort), 0u);
+}
+
+TEST_F(OptimizerTest, ElidesSortWhenOrderAlreadyDelivered) {
+  // EdgeScan output is fully sorted ascending on (x, y): an ascending
+  // Sort on the leading prefix is a no-op and disappears.
+  RaExprPtr scan = RaExpr::EdgeScan("owns", "x", "y");
+  RaExprPtr optimized =
+      OptimizePlan(RaExpr::Sort(scan, {{"x", false}}), catalog_);
+  EXPECT_EQ(optimized.get(), scan.get());
+  // A descending request is NOT delivered; the Sort must stay.
+  RaExprPtr kept =
+      OptimizePlan(RaExpr::Sort(scan, {{"x", true}}), catalog_);
+  EXPECT_EQ(kept->op(), RaOp::kSort);
+}
+
+TEST_F(OptimizerTest, DowngradesTopKToLimitWhenOrderDelivered) {
+  RaExprPtr scan = RaExpr::EdgeScan("owns", "x", "y");
+  RaExprPtr optimized = OptimizePlan(
+      RaExpr::TopK(scan, {{"x", false}, {"y", false}}, 3), catalog_);
+  EXPECT_EQ(optimized->op(), RaOp::kLimit);
+  EXPECT_EQ(optimized->limit(), 3u);
+  EXPECT_EQ(optimized->left().get(), scan.get());
+}
+
+TEST_F(OptimizerTest, ExplainAnnotatesTopK) {
+  RaExprPtr plan = RaExpr::Limit(
+      RaExpr::Sort(RaExpr::EdgeScan("owns", "x", "y"),
+                   {{"y", true}, {"x", false}}),
+      4);
+  std::string explain =
+      ExplainPlan(OptimizePlan(plan, catalog_), catalog_);
+  EXPECT_NE(explain.find("topk k=4"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("keys=y desc,x"), std::string::npos) << explain;
+}
+
 }  // namespace
 }  // namespace gqopt

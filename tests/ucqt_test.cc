@@ -125,5 +125,73 @@ TEST(UcqtTest, AllVarsOrder) {
             (std::vector<std::string>{"x", "y", "z", "w"}));
 }
 
+TEST(UcqtOrderByTest, ParsesOrderByAndLimit) {
+  auto q = ParseUcqt("x, y <- (x, knows, y) order by y desc, x limit 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_EQ(q->order_by[0].var, "y");
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_EQ(q->order_by[1].var, "x");
+  EXPECT_FALSE(q->order_by[1].descending);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(UcqtOrderByTest, ExplicitAscAndOrderWithoutLimit) {
+  auto q = ParseUcqt("x, y <- (x, knows, y) order by x asc");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_FALSE(q->order_by[0].descending);
+  EXPECT_EQ(q->limit, -1);
+}
+
+TEST(UcqtOrderByTest, AppliesToTheWholeUnion) {
+  auto q = ParseUcqt(
+      "x, y <- (x, a, y) ++ (x, b, y) order by x limit 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_EQ(q->order_by.size(), 1u);
+  EXPECT_EQ(q->limit, 3);
+}
+
+TEST(UcqtOrderByTest, OrderedToStringRoundTrips) {
+  for (const char* text :
+       {"x, y <- (x, knows, y) order by y desc, x limit 7",
+        "x, y <- (x, knows+, y) order by x",
+        "x, y <- (x, a, y) ++ (x, b, y) order by y asc limit 0"}) {
+    auto q = ParseUcqt(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    auto reparsed = ParseUcqt(q->ToString());
+    ASSERT_TRUE(reparsed.ok()) << q->ToString();
+    EXPECT_EQ(reparsed->ToString(), q->ToString());
+    EXPECT_EQ(reparsed->order_by, q->order_by);
+    EXPECT_EQ(reparsed->limit, q->limit);
+  }
+}
+
+TEST(UcqtOrderByTest, RejectsInvalidClauses) {
+  // Limit without an order: nondeterministic, rejected.
+  EXPECT_FALSE(ParseUcqt("x, y <- (x, knows, y) limit 5").ok());
+  // Order by a non-head variable.
+  EXPECT_FALSE(ParseUcqt("x <- (x, knows, y) order by y").ok());
+  // Duplicate order key.
+  EXPECT_FALSE(ParseUcqt("x, y <- (x, knows, y) order by x, x desc").ok());
+  // Bad direction / bad limit value.
+  EXPECT_FALSE(ParseUcqt("x, y <- (x, knows, y) order by x down").ok());
+  EXPECT_FALSE(
+      ParseUcqt("x, y <- (x, knows, y) order by x limit -1").ok());
+  EXPECT_FALSE(
+      ParseUcqt("x, y <- (x, knows, y) order by x limit many").ok());
+}
+
+TEST(UcqtOrderByTest, MakeValidatesOrderKeys) {
+  Cqt cqt;
+  cqt.head_vars = {"x", "y"};
+  cqt.relations.push_back(Relation{"x", PathExpr::Edge("e"), "y"});
+  EXPECT_TRUE(
+      Ucqt::Make({"x", "y"}, {cqt}, {OrderKey{"y", true}}, 4).ok());
+  EXPECT_FALSE(Ucqt::Make({"x", "y"}, {cqt}, {OrderKey{"z", false}}).ok());
+  EXPECT_FALSE(Ucqt::Make({"x", "y"}, {cqt}, {}, 4).ok());
+}
+
 }  // namespace
 }  // namespace gqopt

@@ -34,6 +34,13 @@ PAIRS = [
     # The same cached-vs-cold payoff end to end through the concurrent
     # serving layer, at {1,2,4} client threads (suffix-matched).
     ("BM_ServingThroughputCached", "BM_ServingThroughputCold"),
+    # Bounded-heap top-k vs the retained full-sort-then-truncate baseline
+    # on identical inputs; the speedup must grow with input size at
+    # fixed k (the O(n log k) vs O(n log n) asymptotic win).
+    ("BM_TopKVsSortAll", "BM_SortAllThenTruncate"),
+    # Seeded-closure top-k with the frontier prune vs the same query with
+    # pruning disabled (full fixpoint feeding the bounded heap).
+    ("BM_ClosureTopKPruned", "BM_ClosureTopKFull"),
 ]
 
 # Pairs whose clients block on the server's worker pool (UseRealTime):

@@ -2,7 +2,7 @@
 # Tier-1 verification: configure, build, run the test suite, and refresh
 # the micro-benchmark JSON snapshot (BENCH_micro.json at the repo root).
 #
-# Usage: tools/run_tier1.sh [--no-bench] [--tsan] [--asan]
+# Usage: tools/run_tier1.sh [--no-bench] [--tsan] [--asan] [--topk]
 #
 # GQOPT_DOP (degree of parallelism, default 1) passes through to every
 # test and benchmark binary: executors and closures run their partitioned
@@ -19,6 +19,11 @@
 # build-asan/ tree, benches off) and runs the tracker, budget-enforcement
 # and serving suites: every "resource:" abort path must come back with
 # zero heap misuse or arithmetic UB. Also replaces the normal run.
+#
+# --topk is a fast smoke target: build, then run only the ordering
+# suites (differential + randomized property + parser) across the
+# dop / planner / plan-cache / low-memory matrix. Useful while iterating
+# on the Sort/Limit/TopK operators; a full run still covers everything.
 
 set -euo pipefail
 
@@ -28,14 +33,32 @@ cd "$repo_root"
 run_bench=1
 run_tsan=0
 run_asan=0
+run_topk=0
 for arg in "$@"; do
   case "$arg" in
     --no-bench) run_bench=0 ;;
     --tsan) run_tsan=1 ;;
     --asan) run_asan=1 ;;
+    --topk) run_topk=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$run_topk" -eq 1 ]]; then
+  cmake -B build -S . -DGQOPT_BUILD_EXAMPLES=ON
+  cmake --build build -j "$(nproc)"
+  topk_suites='(topk_differential|topk_property|ucqt|optimizer)_test'
+  for dop in 1 2 4; do
+    GQOPT_DOP=$dop ctest --test-dir build --output-on-failure \
+      -R "$topk_suites"
+  done
+  GQOPT_PLANNER=greedy ctest --test-dir build --output-on-failure \
+    -R "$topk_suites"
+  GQOPT_PLAN_CACHE=0 ctest --test-dir build --output-on-failure \
+    -R '(topk_differential|topk_property)_test'
+  echo "top-k smoke subset passed"
+  exit 0
+fi
 
 if [[ "$run_tsan" -eq 1 ]]; then
   # The concurrency surface: the serving layer, the differential suites
@@ -44,9 +67,9 @@ if [[ "$run_tsan" -eq 1 ]]; then
     -DGQOPT_BUILD_BENCHES=OFF -DGQOPT_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure \
-    -R '(serving|api|parallel_differential|csr_differential|thread_pool)_test'
+    -R '(serving|api|parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
   GQOPT_DOP=4 ctest --test-dir build-tsan --output-on-failure \
-    -R '(serving|parallel_differential|csr_differential|thread_pool)_test'
+    -R '(serving|parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
   echo "TSan tier-1 subset passed (build-tsan/)"
   exit 0
 fi
@@ -58,10 +81,12 @@ if [[ "$run_asan" -eq 1 ]]; then
   cmake -B build-asan -S . -DGQOPT_SANITIZE=address \
     -DGQOPT_BUILD_BENCHES=OFF -DGQOPT_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j "$(nproc)"
+  # topk_differential/topk_property cover the bounded-heap operator's
+  # index buffers and the closure frontier prune under ASan.
   ctest --test-dir build-asan --output-on-failure \
-    -R '(mem_tracker|memory_governance|serving|api)_test'
+    -R '(mem_tracker|memory_governance|serving|api|topk_differential|topk_property)_test'
   GQOPT_DOP=4 ctest --test-dir build-asan --output-on-failure \
-    -R '(mem_tracker|memory_governance|serving)_test'
+    -R '(mem_tracker|memory_governance|serving|topk_differential)_test'
   echo "ASan+UBSan tier-1 subset passed (build-asan/)"
   exit 0
 fi
@@ -75,32 +100,32 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # Parallel correctness: the differential + threading suites at dop=4
 # (serial and parallel execution must produce identical tables).
 GQOPT_DOP=4 ctest --test-dir build --output-on-failure \
-  -R '(parallel_differential|csr_differential|thread_pool)_test'
+  -R '(parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
 
 # Planner correctness: the differential suites once more with the DP
 # join enumerator pinned on (the ambient default, but the knob may be
 # overridden in the environment), and once with the retained greedy pass
 # so both planners stay covered by every tier-1 run.
 GQOPT_PLANNER=dp ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api|serving)_test'
+  -R '(planner|optimizer|ra|parallel_differential|topk_differential|topk_property|end_to_end|api|serving)_test'
 GQOPT_PLANNER=greedy ctest --test-dir build --output-on-failure \
-  -R '(planner|optimizer|ra|parallel_differential|end_to_end|api|serving)_test'
+  -R '(planner|optimizer|ra|parallel_differential|topk_differential|topk_property|end_to_end|api|serving)_test'
 
 # Facade correctness with the plan cache forced off and on: the API and
 # end-to-end suites must behave identically in both modes (tests that
 # assert cache hits pin the enabled state with the explicit setter, which
 # takes precedence over GQOPT_PLAN_CACHE — see src/api/options.h).
 GQOPT_PLAN_CACHE=0 ctest --test-dir build --output-on-failure \
-  -R '(api|end_to_end|serving)_test'
+  -R '(api|end_to_end|serving|topk_differential)_test'
 GQOPT_PLAN_CACHE=1 ctest --test-dir build --output-on-failure \
-  -R '(api|end_to_end|serving)_test'
+  -R '(api|end_to_end|serving|topk_differential)_test'
 
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
     # The interesting subset: evaluation-core primitives with their
     # retained naive counterparts for drift-free before/after ratios.
     ./build/bench_micro \
-      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput' \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput|TopK|SortAll' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     # A run that silently produced no snapshot (or a truncated one) must
