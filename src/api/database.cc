@@ -1,5 +1,6 @@
 #include "api/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +70,19 @@ bool IsStale(const Status& status) {
   return status.message().find("stale prepared query") != std::string::npos;
 }
 
+/// Records every edge-scan label of `plan` with the statistics row count
+/// it was costed under — the inputs of the cached-plan drift check.
+void CollectEdgeScanLabels(
+    const RaExpr* e, const GraphStatistics& stats,
+    std::vector<std::pair<std::string, size_t>>* out) {
+  if (e == nullptr) return;
+  if (e->op() == RaOp::kEdgeScan) {
+    out->emplace_back(e->label(), stats.EdgeFor(e->label()).rows);
+  }
+  CollectEdgeScanLabels(e->left().get(), stats, out);
+  CollectEdgeScanLabels(e->right().get(), stats, out);
+}
+
 }  // namespace
 
 QueryStage ClassifyError(const Status& status) {
@@ -121,12 +135,21 @@ std::vector<std::vector<NodeId>> QueryResult::SortedRows() const {
 
 // ---- Snapshot --------------------------------------------------------------
 
-Snapshot::Snapshot(uint64_t generation, GraphSchema schema,
-                   PropertyGraph graph)
+Snapshot::Snapshot(uint64_t generation, uint64_t data_generation,
+                   GraphSchema schema,
+                   std::shared_ptr<const PropertyGraph> graph,
+                   std::shared_ptr<const Catalog> base_catalog,
+                   inc::SealedDeltaPtr delta)
     : generation_(generation),
+      data_generation_(data_generation),
       schema_(std::move(schema)),
       graph_(std::move(graph)),
-      catalog_(graph_) {}
+      base_catalog_(std::move(base_catalog)),
+      delta_(std::move(delta)) {
+  if (delta_ != nullptr && !delta_->empty()) {
+    overlay_ = std::make_unique<const Catalog>(base_catalog_.get(), delta_);
+  }
+}
 
 // ---- PreparedQuery ---------------------------------------------------------
 
@@ -153,8 +176,19 @@ Result<std::string> PreparedQuery::ExplainAnalyze(
         "execute: stale prepared query ", now, generation_, ""));
   }
   GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
+  // Same snapshot re-resolution as Execute: run against the data the
+  // caller would actually query.
+  SnapshotPtr snap = snapshot_;
+  if (snap->data_generation() != db_->data_generation()) {
+    snap = db_->snapshot();
+    if (snap->generation() != generation_) {
+      return Status::InvalidArgument(StaleMessage(
+          "execute: stale prepared query ", snap->generation(), generation_,
+          ""));
+    }
+  }
   try {
-    Executor executor(snapshot_->catalog());
+    Executor executor(snap->catalog());
     MemoryTracker query_mem(session.options().mem_limit_bytes, "query",
                             &db_->mem_, /*probe_faults=*/true);
     ExecContext ctx = session.options().MakeExecContext();
@@ -162,7 +196,7 @@ Result<std::string> PreparedQuery::ExplainAnalyze(
     auto table = executor.Run(plan_, ctx);
     if (!table.ok()) return StageError(QueryStage::kExecute, table.status());
     std::string out =
-        ExplainPlanAnalyze(plan_, snapshot_->catalog(),
+        ExplainPlanAnalyze(plan_, snap->catalog(),
                            executor.actual_rows(), &executor.actual_bytes());
     out.append("(");
     out.append(std::to_string(table->rows()));
@@ -188,18 +222,31 @@ Result<QueryResult> PreparedQuery::Execute(const Session& session,
     return Status::InvalidArgument(
         "execute: session belongs to a different Database");
   }
-  // One atomic generation read, then everything runs on the Snapshot
-  // captured at Prepare: a mutation landing after this check cannot swap
-  // the catalog out from under the executor (the old TOCTOU window), it
-  // only makes the *next* Execute refuse.
+  // One atomic generation read, then everything runs on one Snapshot: a
+  // mutation landing after this check cannot swap the catalog out from
+  // under the executor (the old TOCTOU window), it only makes the *next*
+  // Execute refuse.
   uint64_t now = db_->generation();
   if (generation_ != now) {
     return Status::InvalidArgument(StaleMessage(
         "execute: stale prepared query ", now, generation_, ""));
   }
   GQOPT_RETURN_NOT_OK(db_->StageFault(QueryStage::kExecute));
+  // Delta-mode data mutations advance the data generation without
+  // staling the handle: re-resolve the current publication so the cached
+  // plan serves the fresh rows. Legacy mode never moves the data
+  // generation, so this stays the Prepare-time snapshot.
+  SnapshotPtr snap = snapshot_;
+  if (snap->data_generation() != db_->data_generation()) {
+    snap = db_->snapshot();
+    if (snap->generation() != generation_) {
+      return Status::InvalidArgument(StaleMessage(
+          "execute: stale prepared query ", snap->generation(), generation_,
+          ""));
+    }
+  }
   try {
-    Executor executor(snapshot_->catalog());
+    Executor executor(snap->catalog());
     // Per-query budget, child of the Database-wide root: the run charges
     // against both its own limit and the shared server ceiling, and the
     // reservation flows back to the root when the tracker dies.
@@ -235,7 +282,27 @@ Database::Database() : Database(GraphSchema(), PropertyGraph()) {}
 Database::Database(GraphSchema schema, PropertyGraph graph)
     : schema_(std::move(schema)),
       graph_(std::move(graph)),
-      mem_(ParseByteSize(std::getenv("GQOPT_SERVER_MEM_LIMIT")), "server") {}
+      mem_(ParseByteSize(std::getenv("GQOPT_SERVER_MEM_LIMIT")), "server") {
+  if (const char* env = std::getenv("GQOPT_DELTA")) {
+    delta_enabled_ = std::string_view(env) != "0";
+  }
+  if (const char* rows = std::getenv("GQOPT_DELTA_MERGE_ROWS")) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(rows, &end, 10);
+    // Malformed or zero values keep the default threshold.
+    if (end != rows && value > 0) {
+      delta_merge_rows_ = static_cast<size_t>(value);
+    }
+  }
+  if (const char* drift = std::getenv("GQOPT_PLAN_DRIFT")) {
+    char* end = nullptr;
+    double value = std::strtod(drift, &end);
+    // A ratio below 1 would re-plan on every lookup; clamp it out.
+    if (end != drift && value >= 1.0) {
+      plan_drift_threshold_.store(value, std::memory_order_relaxed);
+    }
+  }
+}
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& schema_path, const std::string& graph_path) {
@@ -262,15 +329,26 @@ SnapshotPtr Database::StaleOkSnapshot(bool* served_stale) const {
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     if (snapshot_) return snapshot_;
-    // Same generation means same data: only the statistics are behind a
-    // refresh. An older generation must never be served.
-    if (last_snapshot_ && last_snapshot_->generation() == generation()) {
+    // Same generations mean same data: only the statistics are behind a
+    // refresh. Older data (schema OR delta) must never be served.
+    if (last_snapshot_ && last_snapshot_->generation() == generation() &&
+        last_snapshot_->data_generation() == data_generation()) {
       if (served_stale != nullptr) *served_stale = true;
       return last_snapshot_;
     }
   }
   std::lock_guard<std::mutex> lock(state_mu_);
   return BuildSnapshotLocked();
+}
+
+void Database::EnsureBaseLocked() const {
+  if (base_graph_ == nullptr) {
+    // Freeze the master into the shared base copy — once per
+    // compaction/mutation cycle, never per query. The master stays in
+    // place so graph() references survive every snapshot swap.
+    base_graph_ = std::make_shared<const PropertyGraph>(graph_);
+    base_catalog_.reset();
+  }
 }
 
 SnapshotPtr Database::BuildSnapshotLocked() const {
@@ -283,13 +361,20 @@ SnapshotPtr Database::BuildSnapshotLocked() const {
   if (FaultHit(FaultPoint::kSnapshotBuild) == FaultKind::kAlloc) {
     throw std::bad_alloc();
   }
-  // Copy the master into the immutable publication — once per generation
-  // (or statistics refresh), never per query. The master stays in place
-  // so graph() references survive every snapshot swap. The build runs
+  EnsureBaseLocked();
+  if (base_catalog_ == nullptr) {
+    base_catalog_ = std::make_shared<const Catalog>(*base_graph_);
+  }
+  // Pending delta rows ride along as one immutable seal: the overlay the
+  // snapshot builds over it is the only way readers see them, so a
+  // reader can never observe a partially merged delta. The build runs
   // outside publish_mu_ (readers of the old publication never wait on
   // it) and the result is published with two pointer stores.
-  auto built =
-      std::make_shared<const Snapshot>(generation(), schema_, graph_);
+  inc::SealedDeltaPtr seal;
+  if (!delta_.empty()) seal = delta_.Seal();
+  auto built = std::make_shared<const Snapshot>(
+      generation(), data_generation(), schema_, base_graph_, base_catalog_,
+      std::move(seal));
   std::lock_guard<std::mutex> lock(publish_mu_);
   last_snapshot_ = built;
   snapshot_ = built;
@@ -301,12 +386,26 @@ void Database::MutatedLocked() {
   // access, so a bulk load pays one rebuild at its first query instead
   // of one per AddNode/AddEdge.
   generation_.fetch_add(1, std::memory_order_acq_rel);
+  base_graph_.reset();
+  base_catalog_.reset();
+  // Whatever was pending described the state being replaced.
+  delta_.DiscardPending();
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     snapshot_.reset();
     last_snapshot_.reset();  // dead generation; free it eagerly
   }
   cache_.Invalidate();
+}
+
+void Database::DataMutatedLocked() {
+  // Retire the publication so the next reader seals the new pending
+  // state; cached plans and outstanding handles stay valid (Execute
+  // re-resolves, the plan-cache lookup drift-checks).
+  data_generation_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  snapshot_.reset();
+  last_snapshot_.reset();  // older data; never a stale-serving source
 }
 
 void Database::Use(GraphSchema schema, PropertyGraph graph) {
@@ -319,30 +418,153 @@ void Database::Use(GraphSchema schema, PropertyGraph graph) {
 NodeId Database::AddNode(std::string_view label,
                          std::vector<Property> properties) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  NodeId id = graph_.AddNode(label, std::move(properties));
-  MutatedLocked();
+  if (!delta_enabled_) {
+    NodeId id = graph_.AddNode(label, std::move(properties));
+    MutatedLocked();
+    return id;
+  }
+  EnsureBaseLocked();
+  NodeId id = delta_.AddNode(*base_graph_, label, std::move(properties));
+  DataMutatedLocked();
+  if (delta_.pending_rows() >= delta_merge_rows_) {
+    // Auto-compaction failure is counted and retried at the next
+    // threshold crossing; the mutation itself already succeeded.
+    (void)CompactLocked();
+  }
   return id;
 }
 
 Status Database::AddEdge(NodeId source, std::string_view label,
                          NodeId target) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  GQOPT_RETURN_NOT_OK(graph_.AddEdge(source, label, target));
-  MutatedLocked();
+  if (!delta_enabled_) {
+    GQOPT_RETURN_NOT_OK(graph_.AddEdge(source, label, target));
+    MutatedLocked();
+    return Status::OK();
+  }
+  EnsureBaseLocked();
+  size_t before = delta_.pending_rows();
+  GQOPT_RETURN_NOT_OK(delta_.AddEdge(*base_graph_, source, label, target));
+  // A duplicate append changes nothing — keep the publication.
+  if (delta_.pending_rows() == before) return Status::OK();
+  DataMutatedLocked();
+  if (delta_.pending_rows() >= delta_merge_rows_) {
+    (void)CompactLocked();
+  }
   return Status::OK();
+}
+
+Status Database::Compact() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return CompactLocked();
+}
+
+Status Database::CompactLocked() {
+  if (delta_.empty()) return Status::OK();
+  // The injected fault fires BEFORE the base graph is touched: the
+  // pending rows stay buffered, published snapshots keep serving, and
+  // the next compaction retries.
+  switch (FaultHit(FaultPoint::kDeltaMerge)) {
+    case FaultKind::kDeadline:
+      delta_.CountFailedCompaction();
+      return Status::DeadlineExceeded("compact: injected deadline expiry");
+    case FaultKind::kAlloc:
+      delta_.CountFailedCompaction();
+      return Status::ResourceExhausted("compact: injected allocation failure");
+    default:
+      break;
+  }
+  try {
+    ReplayDeltaInto(&graph_);
+  } catch (const std::bad_alloc&) {
+    // Published snapshots read the frozen base copy, never the master,
+    // so a half-merged master is invisible; the resumable replay above
+    // picks up where this attempt stopped.
+    delta_.CountFailedCompaction();
+    return Status::ResourceExhausted(
+        "compact: allocation failed (out of memory or injected)");
+  }
+  delta_.ClearAfterCompaction();
+  // The master changed: drop the frozen base (the next snapshot
+  // re-freezes the compacted graph) and retire the publication.
+  base_graph_.reset();
+  base_catalog_.reset();
+  DataMutatedLocked();
+  return Status::OK();
+}
+
+void Database::ReplayDeltaInto(PropertyGraph* graph) const {
+  // Replay pending nodes. Resumable onto a partially merged target
+  // (the master after a failed compaction): ids are assigned
+  // monotonically, so the already-appended prefix is exactly the first
+  // (num_nodes - base_nodes) entries.
+  const std::vector<inc::PendingNode>& nodes = delta_.nodes();
+  size_t already = graph->num_nodes() - delta_.base_nodes();
+  for (size_t i = already; i < nodes.size(); ++i) {
+    graph->AppendNodeFinalized(nodes[i].label, nodes[i].properties);
+  }
+  for (const auto& [label, run] : delta_.edges()) {
+    if (run.forward.empty()) continue;
+    // Skip labels a failed earlier attempt already merged: base and
+    // run were disjoint, so membership of the run's first edge means
+    // the whole run landed.
+    const std::vector<Edge>& existing = graph->EdgesByLabel(label);
+    if (std::binary_search(existing.begin(), existing.end(),
+                           run.forward.front())) {
+      continue;
+    }
+    graph->MergeSortedEdges(label, run.forward, run.reverse);
+  }
+}
+
+std::shared_ptr<const PropertyGraph> Database::MaterializedGraph() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (delta_.empty()) {
+    // Borrow the master (aliasing pointer, no ownership): same lifetime
+    // contract as graph(), no copy on the common read-only path.
+    return std::shared_ptr<const PropertyGraph>(std::shared_ptr<void>(),
+                                                &graph_);
+  }
+  auto merged = std::make_shared<PropertyGraph>(graph_);
+  ReplayDeltaInto(merged.get());
+  return merged;
+}
+
+inc::DeltaStats Database::delta_stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  inc::DeltaStats stats = delta_.stats();
+  stats.enabled = delta_enabled_;
+  return stats;
+}
+
+void Database::set_delta_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  delta_enabled_ = enabled;
+}
+
+void Database::set_delta_merge_rows(size_t rows) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  delta_merge_rows_ = rows == 0 ? 1 : rows;
+}
+
+void Database::set_plan_drift_threshold(double threshold) {
+  plan_drift_threshold_.store(threshold < 1.0 ? 1.0 : threshold,
+                              std::memory_order_relaxed);
 }
 
 void Database::RefreshStatistics() {
   std::lock_guard<std::mutex> lock(state_mu_);
-  // Plans were costed under the old statistics; outstanding handles stay
-  // executable (the generation is unchanged) but the cache must re-plan.
-  // last_snapshot_ is kept: it is the same-generation source for
-  // degraded stale-statistics serving until the rebuild lands.
+  // Same data, same generations: outstanding handles AND cached plan
+  // entries stay valid — only the statistics re-collect (the base
+  // catalog slot drops, so the next snapshot builds fresh ones over the
+  // unchanged base graph). last_snapshot_ is kept: it is the
+  // same-generation source for degraded stale-statistics serving until
+  // the rebuild lands.
+  base_catalog_.reset();
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     snapshot_.reset();
   }
-  cache_.Invalidate();
 }
 
 Status Database::StageFault(QueryStage stage) const {
@@ -367,16 +589,39 @@ Status Database::StageFault(QueryStage stage) const {
     case FaultKind::kAlloc:
       return StageError(
           stage, Status::ResourceExhausted("injected allocation failure"));
-    case FaultKind::kInvalidate:
-      // Forced mid-request cache invalidation: retire the publication and
-      // the plan cache without a generation bump. The request continues
-      // on the state it already captured.
-      const_cast<Database*>(this)->RefreshStatistics();
+    case FaultKind::kInvalidate: {
+      // Forced mid-request cache invalidation: retire the publication
+      // AND the plan cache without a generation bump (RefreshStatistics
+      // alone keeps the plan cache these days). The request continues on
+      // the state it already captured.
+      Database* self = const_cast<Database*>(this);
+      self->RefreshStatistics();
+      self->ClearPlanCache();
       break;
+    }
     default:
       break;
   }
   return Status::OK();
+}
+
+bool Database::PlanStillFits(const PreparedQuery& cached) const {
+  // Estimated-cardinality drift: compare the row counts the plan was
+  // costed under against the current statistics, label by label. Within
+  // the threshold the plan keeps serving (same pointer — no re-plan);
+  // past it the entry is dropped and the query re-plans under the fresh
+  // numbers.
+  double threshold = plan_drift_threshold_.load(std::memory_order_relaxed);
+  SnapshotPtr snap = snapshot();
+  if (snap->generation() != cached.generation_) return false;
+  const GraphStatistics& stats = snap->catalog().stats();
+  for (const auto& [label, planned] : cached.planned_label_rows_) {
+    double current = static_cast<double>(stats.EdgeFor(label).rows) + 1;
+    double costed = static_cast<double>(planned) + 1;
+    double ratio = current > costed ? current / costed : costed / current;
+    if (ratio > threshold) return false;
+  }
+  return true;
 }
 
 Result<PreparedQueryPtr> Database::Prepare(std::string_view text,
@@ -422,8 +667,12 @@ Result<PreparedQueryPtr> Database::PrepareImpl(const std::string& key,
     if (PreparedQueryPtr cached = cache_.Lookup(key)) {
       // An Insert can race a concurrent mutation's Invalidate and land a
       // dead-generation plan after the clear; validating here turns that
-      // window into a plain miss instead of serving a stale plan.
-      if (cached->generation_ == generation()) {
+      // window into a plain miss instead of serving a stale plan. Plans
+      // survive delta-mode data mutations as long as their estimated
+      // cardinalities have not drifted past the threshold.
+      if (cached->generation_ == generation() &&
+          (cached->data_generation_ == data_generation() ||
+           PlanStillFits(*cached))) {
         if (cache_hit != nullptr) *cache_hit = true;
         return cached;
       }
@@ -442,6 +691,7 @@ Result<PreparedQueryPtr> Database::PrepareImpl(const std::string& key,
   prepared->db_ = this;
   prepared->snapshot_ = snap;
   prepared->generation_ = snap->generation();
+  prepared->data_generation_ = snap->data_generation();
   prepared->stale_statistics_ = stale_stats;
 
   GQOPT_RETURN_NOT_OK(StageFault(QueryStage::kParse));
@@ -474,6 +724,8 @@ Result<PreparedQueryPtr> Database::PrepareImpl(const std::string& key,
       OptimizePlan(plan.value(), snap->catalog(), options.ToOptimizerOptions());
   prepared->estimated_memory_bytes_ =
       EstimatePlanMemory(prepared->plan_, snap->catalog());
+  CollectEdgeScanLabels(prepared->plan_.get(), snap->catalog().stats(),
+                        &prepared->planned_label_rows_);
 
   PreparedQueryPtr shared = std::move(prepared);
   // Skip the insert when a mutation already outdated this plan — the

@@ -16,6 +16,17 @@
 // Everything below src/api (core/rewriter.h, ra/ucqt_to_ra.h,
 // ra/optimizer.h) is an implementation layer: code outside src/ goes
 // through this facade (or api/stages.h for white-box tests and benches).
+//
+// Two generations stamp every publication (docs/ARCHITECTURE.md):
+//   generation       (schema) — bumped by Use() and by the legacy
+//                    whole-invalidate mutation path; outstanding handles
+//                    and cached plans from older schema generations are
+//                    dead.
+//   data_generation  — bumped by delta-mode AddNode/AddEdge and by
+//                    compaction; cached plans and handles stay VALID
+//                    across it (Execute re-resolves the snapshot, the
+//                    plan-cache lookup re-plans only when the estimated
+//                    cardinalities drifted past GQOPT_PLAN_DRIFT).
 
 #ifndef GQOPT_API_DATABASE_H_
 #define GQOPT_API_DATABASE_H_
@@ -25,12 +36,14 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "api/options.h"
 #include "api/plan_cache.h"
 #include "core/rewriter.h"
 #include "graph/property_graph.h"
+#include "inc/delta_store.h"
 #include "query/ucqt.h"
 #include "ra/catalog.h"
 #include "ra/ra_expr.h"
@@ -73,32 +86,52 @@ QueryStage ClassifyError(const Status& status);
 std::string_view QueryStageName(QueryStage stage);
 
 /// \brief One immutable, generation-stamped publication of the database
-/// state: the schema, the finalized graph, and the catalog (edge tables +
-/// statistics) built over it.
+/// state: the schema, the frozen base graph, the base catalog (edge
+/// tables + statistics) and — when pending mutations exist — the sealed
+/// delta with the overlay catalog that merges it into every read.
 ///
 /// Snapshots are what reader threads actually query: the Database
 /// publishes one through a guarded shared_ptr slot, mutations retire it and
-/// the next reader builds a fresh one (copy-on-swap). Everything inside a
-/// published Snapshot is either deeply immutable or synchronized lazy
-/// cache state (see Catalog/GraphStatistics/PropertyGraph), so any number
-/// of threads can execute against one concurrently.
+/// the next reader builds a fresh one (copy-on-swap for the base, seal
+/// reuse for the delta). Everything inside a published Snapshot is either
+/// deeply immutable or synchronized lazy cache state (see
+/// Catalog/GraphStatistics/PropertyGraph), so any number of threads can
+/// execute against one concurrently. A reader holds exactly one seal (or
+/// none) for its whole execution — it can never observe a partially
+/// merged delta.
 class Snapshot {
  public:
-  Snapshot(uint64_t generation, GraphSchema schema, PropertyGraph graph);
+  Snapshot(uint64_t generation, uint64_t data_generation, GraphSchema schema,
+           std::shared_ptr<const PropertyGraph> graph,
+           std::shared_ptr<const Catalog> base_catalog,
+           inc::SealedDeltaPtr delta);
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
-  /// Database generation this snapshot was built from.
+  /// Schema generation this snapshot was built from.
   uint64_t generation() const { return generation_; }
+  /// Data generation (delta appends + compactions) at build time.
+  uint64_t data_generation() const { return data_generation_; }
   const GraphSchema& schema() const { return schema_; }
-  const PropertyGraph& graph() const { return graph_; }
-  const Catalog& catalog() const { return catalog_; }
+  /// The frozen base graph (pending delta rows are NOT in it — they are
+  /// overlaid by catalog()).
+  const PropertyGraph& graph() const { return *graph_; }
+  /// The catalog queries run against: the overlay (base ∪ sealed delta)
+  /// when pending mutations exist, the base catalog otherwise.
+  const Catalog& catalog() const {
+    return overlay_ != nullptr ? *overlay_ : *base_catalog_;
+  }
+  /// The sealed pending delta, or null when none existed at build time.
+  const inc::SealedDeltaPtr& delta() const { return delta_; }
 
  private:
   uint64_t generation_;
+  uint64_t data_generation_;
   GraphSchema schema_;
-  PropertyGraph graph_;
-  Catalog catalog_;  // references graph_; finalizes it at construction
+  std::shared_ptr<const PropertyGraph> graph_;
+  std::shared_ptr<const Catalog> base_catalog_;
+  inc::SealedDeltaPtr delta_;
+  std::unique_ptr<const Catalog> overlay_;  // built iff delta non-empty
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
@@ -134,12 +167,13 @@ struct QueryResult {
 /// Parse, typecheck, schema rewrite, UCQT→RA translation and optimization
 /// ran exactly once; the handle can be executed any number of times and
 /// from any number of threads (Execute creates per-call executor state
-/// over the captured Snapshot). Handles pin the Snapshot they were
-/// prepared against: after the graph mutates or the dataset is swapped,
-/// Execute refuses with an "execute: stale" status (and Explain reports
-/// the staleness instead of rendering against changed state) and the
-/// caller re-prepares — but an execution already in flight when the
-/// mutation lands finishes correctly on its captured snapshot.
+/// over the captured Snapshot). Handles pin the SCHEMA generation they
+/// were prepared against: after Use() (or a legacy-mode mutation) Execute
+/// refuses with an "execute: stale" status and the caller re-prepares.
+/// Delta-mode data mutations do NOT stale a handle — Execute notices the
+/// advanced data generation and re-resolves the current snapshot, so the
+/// same plan serves the fresh data. An execution already in flight when
+/// any mutation lands finishes correctly on the snapshot it captured.
 class PreparedQuery {
  public:
   /// The cache-key text this query was prepared from (normalized input
@@ -161,8 +195,11 @@ class PreparedQuery {
   const std::vector<std::string>& columns() const {
     return query_.head_vars;
   }
-  /// Database generation this plan was prepared against.
+  /// Schema generation this plan was prepared against.
   uint64_t generation() const { return generation_; }
+  /// Data generation at Prepare time (the snapshot the cost estimates
+  /// came from; Execute may run against a newer one).
+  uint64_t data_generation() const { return data_generation_; }
   /// True when the plan was built against the previous same-generation
   /// snapshot (degraded statistics serving; see
   /// ExecOptions::allow_stale_statistics).
@@ -189,8 +226,10 @@ class PreparedQuery {
 
   /// Same, under an externally supplied deadline (the serving layer's
   /// admission-time deadline, which keeps counting across queueing and
-  /// planning). The generation check and the execution both observe the
-  /// one Snapshot captured at Prepare: a concurrent mutation can make
+  /// planning). The generation check and the execution both observe one
+  /// Snapshot: the one captured at Prepare, or — when delta-mode data
+  /// mutations advanced the data generation since — the current
+  /// publication, fetched once. A concurrent schema mutation can make
   /// this call refuse as stale, but never corrupt a run in flight.
   Result<QueryResult> Execute(const Session& session,
                               const Deadline& deadline) const;
@@ -202,12 +241,17 @@ class PreparedQuery {
   const Database* db_ = nullptr;
   SnapshotPtr snapshot_;
   uint64_t generation_ = 0;
+  uint64_t data_generation_ = 0;
   bool stale_statistics_ = false;
   int64_t estimated_memory_bytes_ = 0;
   std::string text_;
   Ucqt query_;
   RewriteResult rewrite_;
   RaExprPtr plan_;
+  /// Edge-scan labels of the plan with the statistics row counts they
+  /// were costed under — the drift check compares these against the
+  /// current counts to decide whether a cached plan may keep serving.
+  std::vector<std::pair<std::string, size_t>> planned_label_rows_;
 };
 
 using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
@@ -223,14 +267,22 @@ using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
 /// concurrently with each other AND with the mutators. Readers work
 /// against an immutable Snapshot published through a swapped shared_ptr slot
 /// (double-checked build: the first reader after a mutation rebuilds it
-/// once, under a writer mutex); mutators bump the generation and retire
-/// the publication (copy-on-swap), so in-flight executions finish on the
-/// state they captured and later executions refuse as stale. The
-/// single-object accessors graph()/schema() return the master state
-/// (stable references for the Database lifetime, contents change under
-/// mutation); catalog() references the current publication and is only
-/// stable until the next mutation/Use/RefreshStatistics — concurrent
-/// pipelines should hold a snapshot() or a PreparedQuery instead.
+/// once, under a writer mutex); mutators bump a generation and retire
+/// the publication, so in-flight executions finish on the state they
+/// captured. The single-object accessors graph()/schema() return the
+/// master state (stable references for the Database lifetime, contents
+/// change under mutation); catalog() references the current publication
+/// and is only stable until the next mutation/Use/RefreshStatistics —
+/// concurrent pipelines should hold a snapshot() or a PreparedQuery
+/// instead.
+///
+/// Write modes: with the delta DISABLED (default; GQOPT_DELTA=1 or
+/// set_delta_enabled(true) to opt in) AddNode/AddEdge mutate the master
+/// graph in place and invalidate everything — the legacy semantics.
+/// With the delta ENABLED they append to a side buffer (src/inc): the
+/// base stays frozen, readers overlay the sealed pending rows, cached
+/// plans keep serving (drift-checked), and the buffer merges into the
+/// base when it exceeds GQOPT_DELTA_MERGE_ROWS rows or on Compact().
 class Database {
  public:
   /// An empty database (no schema, no nodes) — populate with Use() or the
@@ -250,17 +302,32 @@ class Database {
   /// The master graph. The reference is stable for the lifetime of the
   /// Database (snapshots copy it; mutations change it in place), but
   /// reading it concurrently with the mutators is the caller's problem —
-  /// concurrent pipelines should hold a snapshot() instead.
+  /// concurrent pipelines should hold a snapshot() instead. In delta
+  /// mode, pending (uncompacted) rows are NOT visible here; Compact()
+  /// folds them in.
   const PropertyGraph& graph() const { return graph_; }
+  /// The effective graph, pending delta rows included: with no rows
+  /// pending this borrows the master (same lifetime contract as
+  /// graph()); otherwise it materializes a merged copy by replaying the
+  /// delta — for flat-graph consumers like the graph engine and the
+  /// consistency checker that cannot read the overlay. Never mutates
+  /// the master or the delta store.
+  std::shared_ptr<const PropertyGraph> MaterializedGraph() const;
   /// The relational catalog of the current snapshot (built on first use
   /// after a mutation, so bulk loading through AddNode/AddEdge costs one
   /// rebuild at the next query, not one per call). The reference is
   /// stable until the next mutation/Use/RefreshStatistics.
   const Catalog& catalog() const;
-  /// Bumped by every mutation; PreparedQuery handles from older
-  /// generations refuse to execute.
+  /// Schema generation: bumped by Use() and by legacy-mode mutations;
+  /// PreparedQuery handles from older schema generations refuse to
+  /// execute.
   uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
+  }
+  /// Data generation: bumped by every delta-mode mutation and by each
+  /// compaction. Handles and cached plans survive it.
+  uint64_t data_generation() const {
+    return data_generation_.load(std::memory_order_acquire);
   }
 
   /// The current publication, building it if a mutation retired it.
@@ -269,28 +336,59 @@ class Database {
   SnapshotPtr snapshot() const;
 
   /// Like snapshot(), but if the current publication is retired while a
-  /// previous one of the SAME generation exists (a statistics refresh in
-  /// progress), returns the previous one instead of rebuilding — the
+  /// previous one of the SAME generations exists (a statistics refresh
+  /// in progress), returns the previous one instead of rebuilding — the
   /// degradation ladder's "serve slightly-stale statistics" rung. Never
   /// returns data from an older generation. `served_stale`, when
   /// non-null, reports whether the stale path was taken.
   SnapshotPtr StaleOkSnapshot(bool* served_stale = nullptr) const;
 
   /// Swaps in a new dataset (schema + graph). Invalidates the plan cache
-  /// and all outstanding PreparedQuery handles.
+  /// and all outstanding PreparedQuery handles; discards any pending
+  /// delta rows (they described the dataset being replaced).
   void Use(GraphSchema schema, PropertyGraph graph);
 
-  /// Graph mutations; each retires the published snapshot (the catalog
-  /// and statistics rebuild lazily on next use), invalidates the plan
-  /// cache and bumps the generation.
+  /// Graph mutations. Delta disabled (default): mutate the master in
+  /// place, retire the publication, invalidate the plan cache, bump the
+  /// schema generation. Delta enabled: append to the pending buffer and
+  /// bump only the data generation — handles and cached plans keep
+  /// serving — then auto-compact once the buffer exceeds the merge
+  /// threshold (a failed auto-compaction is counted and retried later;
+  /// the mutation itself still succeeds).
   NodeId AddNode(std::string_view label, std::vector<Property> properties = {});
   Status AddEdge(NodeId source, std::string_view label, NodeId target);
 
+  /// Merges all pending delta rows into the base graph (no-op when none
+  /// are pending). On success the master graph contains every row,
+  /// the publication is retired (the next reader builds a delta-free
+  /// snapshot) and the data generation is bumped. On failure — injected
+  /// kDeltaMerge fault or a real allocation failure — the pending rows
+  /// stay buffered, published snapshots keep serving, and the typed
+  /// "compact: " status reports the cause; a later Compact() retries.
+  Status Compact();
+
+  /// Delta-store counters (pending sizes, appends, dropped duplicates,
+  /// seals, compactions). Consistent snapshot under the state mutex.
+  inc::DeltaStats delta_stats() const;
+
+  /// Switches the write path between legacy whole-invalidation and
+  /// delta-buffered incremental maintenance. Overrides GQOPT_DELTA.
+  /// Disabling does not discard already-pending rows — Compact() first
+  /// if exact master-graph state matters.
+  void set_delta_enabled(bool enabled);
+  /// Pending-row threshold that triggers auto-compaction (default 4096).
+  /// Overrides GQOPT_DELTA_MERGE_ROWS.
+  void set_delta_merge_rows(size_t rows);
+  /// Cardinality drift ratio beyond which a cached plan re-plans instead
+  /// of serving (default 2.0; must be >= 1). Overrides GQOPT_PLAN_DRIFT.
+  void set_plan_drift_threshold(double threshold);
+
   /// Retires the published snapshot so statistics re-collect from the
-  /// current graph, and invalidates the plan cache (cached plans were
-  /// costed under the old statistics). The generation is unchanged:
-  /// outstanding handles stay executable, and StaleOkSnapshot may keep
-  /// serving the previous publication until the rebuild lands.
+  /// current graph. The generation is unchanged and — unlike a mutation
+  /// — BOTH outstanding handles and cached plan entries stay valid: only
+  /// the estimates refresh (re-prepares after the refresh cost plans
+  /// under the new numbers). StaleOkSnapshot may keep serving the
+  /// previous publication until the rebuild lands.
   void RefreshStatistics();
 
   /// Parse + typecheck + schema rewrite + translate + optimize, or a plan
@@ -350,24 +448,54 @@ class Database {
                                        bool* cache_hit) const;
   /// Double-checked snapshot build; caller holds state_mu_.
   SnapshotPtr BuildSnapshotLocked() const;
-  /// Generation bump + publication retire + plan-cache invalidation;
-  /// caller holds state_mu_.
+  /// Schema-generation bump + publication retire + plan-cache
+  /// invalidation + pending-delta discard; caller holds state_mu_.
   void MutatedLocked();
+  /// Data-generation bump + publication retire, plan cache KEPT; caller
+  /// holds state_mu_.
+  void DataMutatedLocked();
+  /// Freezes the master into base_graph_ if not frozen yet; caller holds
+  /// state_mu_.
+  void EnsureBaseLocked() const;
+  /// The compaction body (see Compact()); caller holds state_mu_.
+  Status CompactLocked();
+  /// Replays pending delta rows into `graph` (node prefix + per-label
+  /// skip makes it resumable onto a partially merged target); caller
+  /// holds state_mu_. May throw std::bad_alloc.
+  void ReplayDeltaInto(PropertyGraph* graph) const;
+  /// True when the cached plan's estimated cardinalities still hold
+  /// within the drift threshold against the current statistics.
+  bool PlanStillFits(const PreparedQuery& cached) const;
   /// Probes the fault injector at a stage boundary: returns the injected
   /// stage-prefixed failure, or OK (kInvalidate drops the published
-  /// caches — same effect as RefreshStatistics — and continues).
+  /// caches AND the plan cache — the legacy refresh effect — and
+  /// continues).
   Status StageFault(QueryStage stage) const;
 
-  // Guards the master state (schema_, graph_) and serializes snapshot
-  // builds. Readers never take it on the fast path — they load the
-  // atomic publication.
+  // Guards the master state (schema_, graph_, delta_, base slots) and
+  // serializes snapshot builds. Readers never take it on the fast path —
+  // they load the atomic publication.
   mutable std::mutex state_mu_;
   GraphSchema schema_;
-  // The master graph: mutated in place under state_mu_, copied into each
-  // Snapshot publication (once per generation, not per query). It never
+  // The master graph: mutated in place under state_mu_ (legacy mutations
+  // and compactions), frozen while delta rows are pending. It never
   // moves, so the graph() reference is stable for the Database lifetime.
   PropertyGraph graph_;
   std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> data_generation_{0};
+  // Incremental write path (guarded by state_mu_): the pending buffer,
+  // the frozen copy of the master that published snapshots share, and
+  // the base catalog built over that copy. The base slots reset on
+  // compaction / legacy mutation (content changed) and base_catalog_
+  // alone on RefreshStatistics (same data, fresh statistics).
+  bool delta_enabled_ = false;
+  size_t delta_merge_rows_ = 4096;
+  inc::DeltaStore delta_;
+  mutable std::shared_ptr<const PropertyGraph> base_graph_;
+  mutable std::shared_ptr<const Catalog> base_catalog_;
+  // Read on the lock-free Prepare path; relaxed ordering is fine (any
+  // recent value yields a correct plan).
+  std::atomic<double> plan_drift_threshold_{2.0};
   // Leaf mutex guarding only the two publication slots below — taken for
   // pointer copies, never across a build. (Not std::atomic<shared_ptr>:
   // libstdc++'s _Sp_atomic trips ThreadSanitizer, and the robustness

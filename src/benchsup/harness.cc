@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "eval/graph_engine.h"
 #include "util/deadline.h"
@@ -51,7 +52,10 @@ RunMeasurement MeasureRelational(const api::Database& db, const Ucqt& query,
 RunMeasurement MeasureGraph(const api::Database& db, const Ucqt& query,
                             const api::ExecOptions& options) {
   RunMeasurement out;
-  GraphEngine engine(db.graph());
+  // Pending delta rows are invisible on the master graph; materialize
+  // the effective graph so this leg agrees with the relational overlay.
+  std::shared_ptr<const PropertyGraph> graph = db.MaterializedGraph();
+  GraphEngine engine(*graph);
   int repetitions = std::max(1, options.repetitions);
   double total = 0;
   for (int rep = 0; rep < repetitions; ++rep) {

@@ -1,0 +1,43 @@
+// Incremental transitive-closure maintenance: extend an existing
+// semi-naive fixpoint by a batch of new edges instead of recomputing it
+// from scratch. Used by the overlay Catalog's per-label closure cache
+// (ra/catalog.h): the closure computed at seal k is extended by the
+// edges seal k+1 added, reusing the semi-naive round machinery
+// (eval/closure_expand.h) and the PairDedupSet dedup.
+
+#ifndef GQOPT_INC_CLOSURE_DELTA_H_
+#define GQOPT_INC_CLOSURE_DELTA_H_
+
+#include <vector>
+
+#include "eval/binary_relation.h"
+#include "graph/property_graph.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace gqopt {
+namespace inc {
+
+/// Extends `old_closure` — the transitive closure of some edge set E —
+/// to the closure of E ∪ `new_edges`. `merged` must be exactly
+/// E ∪ new_edges (the current full relation: its CSR drives the
+/// right-composition rounds) and `new_edges` sorted-unique.
+///
+/// Correctness: every pair the new closure adds decomposes as an
+/// old-closure prefix (possibly empty), a first new edge, and an
+/// arbitrary suffix over the merged relation. Seeding the frontier with
+/// new_edges ∪ (old_closure ∘ new_edges) covers prefix + first new
+/// edge; semi-naive right-composition over `merged` closes the suffix.
+/// The result is the same pair set as a full recompute, returned in the
+/// same canonical sorted-unique form — bit-identical.
+///
+/// Deadline, memory budget, result cap and dop behavior mirror
+/// BinaryRelation::TransitiveClosure (same typed statuses).
+Result<BinaryRelation> ExtendTransitiveClosure(
+    const BinaryRelation& old_closure, const std::vector<Edge>& new_edges,
+    const BinaryRelation& merged, const ExecContext& ctx);
+
+}  // namespace inc
+}  // namespace gqopt
+
+#endif  // GQOPT_INC_CLOSURE_DELTA_H_

@@ -293,7 +293,10 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
   Result<Table> result = [&]() -> Result<Table> {
     switch (e->op()) {
       case RaOp::kEdgeScan: {
-        const BinaryRelation& edges = catalog_.EdgeTable(e->label());
+        // The merged view unions the base run with any pending delta run
+        // (overlay catalogs) in (source, target) order — a base catalog
+        // degenerates to the plain sorted edge vector.
+        inc::MergedEdgeRun edges = catalog_.EdgeView(e->label());
         // A limit hint truncates the scan: the first rows of a sorted
         // scan are exactly the unhinted output's prefix.
         size_t cap = ctx.limit_hint == 0
@@ -302,14 +305,18 @@ Result<Table> Executor::Eval(const RaExpr* e, const ExecContext& ctx) {
         std::vector<NodeId> data;
         data.reserve(std::min(edges.size() * 2, cap));
         DeadlinePoller poll(deadline);
-        for (const Edge& pair : edges.pairs()) {
-          if (data.size() >= cap) break;
+        Status scan_status = Status::OK();
+        edges.Scan([&](const Edge& pair) {
+          if (data.size() >= cap) return false;
           data.push_back(pair.first);
           data.push_back(pair.second);
           if (poll.Expired()) {
-            return Status::DeadlineExceeded("edge scan timed out");
+            scan_status = Status::DeadlineExceeded("edge scan timed out");
+            return false;
           }
-        }
+          return true;
+        });
+        if (!scan_status.ok()) return scan_status;
         Table t = Table::FromData({e->columns()[0], e->columns()[1]},
                                   std::move(data));
         t.MarkSorted();  // edge tables are sorted by (source, target)
@@ -1023,6 +1030,29 @@ Result<Table> Executor::EvalSemiJoin(const RaExpr* e,
 Result<Table> Executor::EvalClosure(const RaExpr* e, const ExecContext& ctx,
                                     const ClosureTopKBound& bound) {
   const Deadline& deadline = ctx.deadline;
+  // Overlay fast path: an unseeded closure directly over one edge label
+  // reads the incrementally-maintained fixpoint (ra/catalog.h) instead
+  // of recomputing from the scanned pairs. Bit-identical by the
+  // ExtendTransitiveClosure contract; restricted to the un-renamed
+  // forward orientation so the cached relation matches the body exactly.
+  if (catalog_.is_overlay() && e->seed_side() == SeedSide::kNone &&
+      e->left()->op() == RaOp::kEdgeScan &&
+      e->src_col() == e->left()->columns()[0] &&
+      e->tgt_col() == e->left()->columns()[1]) {
+    GQOPT_ASSIGN_OR_RETURN(
+        std::shared_ptr<const BinaryRelation> closure,
+        catalog_.TransitiveClosureFor(e->left()->label(), ctx));
+    std::vector<NodeId> data;
+    data.reserve(closure->size() * 2);
+    for (const Edge& pair : closure->pairs()) {
+      data.push_back(pair.first);
+      data.push_back(pair.second);
+    }
+    Table out =
+        Table::FromData({e->src_col(), e->tgt_col()}, std::move(data));
+    out.MarkSorted();
+    return out;
+  }
   GQOPT_ASSIGN_OR_RETURN(Table body, Eval(e->left().get(), ctx));
   int src = body.ColumnIndex(e->src_col());
   int tgt = body.ColumnIndex(e->tgt_col());

@@ -22,12 +22,24 @@ double ReachablePairBound(const LabelGraph& lg,
   return bound;
 }
 
+void SortUniqueNames(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+void SortUniquePairsByName(
+    std::vector<std::pair<std::string, std::string>>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
 }  // namespace
 
 const EdgeLabelStats GraphStatistics::kEmpty{};
 
 const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
                                             const Deadline& deadline) const {
+  if (base_ != nullptr) return EdgeForOverlay(label, deadline);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = edge_cache_.find(label);
@@ -107,8 +119,14 @@ const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
   };
   for (size_t id = 0; id < names.size(); ++id) {
     size_t count = graph_.NodesWithLabel(names[id]).size();
-    if (src_label_seen[id]) stats.source_label_bound += count;
-    if (tgt_label_seen[id]) stats.target_label_bound += count;
+    if (src_label_seen[id]) {
+      stats.source_label_bound += count;
+      stats.src_labels.push_back(names[id]);
+    }
+    if (tgt_label_seen[id]) {
+      stats.target_label_bound += count;
+      stats.tgt_labels.push_back(names[id]);
+    }
   }
   size_t payload = 0;
   for (size_t sl = 0; sl < num_labels; ++sl) {
@@ -116,17 +134,169 @@ const EdgeLabelStats& GraphStatistics::EdgeFor(const std::string& label,
       if (!pair_seen[sl * num_labels + tl]) continue;
       lg.AddEdge(vertex(static_cast<SymbolId>(sl)),
                  vertex(static_cast<SymbolId>(tl)), payload++);
+      stats.label_pairs.emplace_back(names[sl], names[tl]);
     }
   }
   stats.closure_bound = ReachablePairBound(lg, extent);
+  // Canonical (lexicographic) order for the retained sets so an overlay
+  // merge and a post-compaction recollect produce identical entries.
+  SortUniqueNames(&stats.src_labels);
+  SortUniqueNames(&stats.tgt_labels);
+  SortUniquePairsByName(&stats.label_pairs);
 
-  return edge_cache_.emplace(label, stats).first->second;
+  return edge_cache_.emplace(label, std::move(stats)).first->second;
+}
+
+double GraphStatistics::ReachableBoundByName(
+    const std::vector<std::pair<std::string, std::string>>& pairs) const {
+  // Vertices that appear in no pair cannot lie on a non-empty walk, so
+  // building the label graph from the pair endpoints alone is exact.
+  LabelGraph lg;
+  std::vector<size_t> extent;
+  auto vertex = [&](const std::string& name) {
+    size_t before = lg.num_vertices();
+    size_t v = lg.AddVertex(name);
+    if (v == before) extent.push_back(NodeCount(name));
+    return v;
+  };
+  size_t payload = 0;
+  for (const auto& [from, to] : pairs) {
+    size_t f = vertex(from);
+    size_t t = vertex(to);
+    lg.AddEdge(f, t, payload++);
+  }
+  return ReachablePairBound(lg, extent);
+}
+
+const EdgeLabelStats& GraphStatistics::EdgeForOverlay(
+    const std::string& label, const Deadline& deadline) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = edge_cache_.find(label);
+    if (it != edge_cache_.end()) return it->second;
+  }
+  const std::vector<Edge>& base_run = graph_.EdgesByLabel(label);
+  const std::vector<Edge>& fwd = delta_->ForwardRun(label);
+  const EdgeLabelStats& base_stats = base_->EdgeFor(label, deadline);
+  if (base_stats.rows != base_run.size()) {
+    // The base collection degraded on the deadline (zeroed, uncached);
+    // degrade identically and retry on the next query.
+    return kEmpty;
+  }
+  // Bounds depend on node extents, so even an edge-untouched label needs
+  // a refreshed entry when the delta grew one of its endpoint extents.
+  bool extents_moved = false;
+  for (const auto& [name, ids] : delta_->nodes_by_label()) {
+    (void)ids;
+    if (std::binary_search(base_stats.src_labels.begin(),
+                           base_stats.src_labels.end(), name) ||
+        std::binary_search(base_stats.tgt_labels.begin(),
+                           base_stats.tgt_labels.end(), name)) {
+      extents_moved = true;
+      break;
+    }
+  }
+  if (fwd.empty() && !extents_moved) return base_stats;
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = edge_cache_.find(label);
+  if (it != edge_cache_.end()) return it->second;
+
+  EdgeLabelStats stats;
+  stats.rows = base_stats.rows + fwd.size();  // runs are disjoint
+  stats.src_labels = base_stats.src_labels;
+  stats.tgt_labels = base_stats.tgt_labels;
+  stats.label_pairs = base_stats.label_pairs;
+
+  // Distinct counts: the delta run adds a source/target only when the
+  // base run has no edge with that endpoint. Both runs are sorted, so
+  // run-counting plus one binary search per distinct delta endpoint
+  // keeps this O(|delta| log |base|).
+  stats.distinct_sources = base_stats.distinct_sources;
+  stats.distinct_targets = base_stats.distinct_targets;
+  DeadlinePoller poll(deadline);
+  NodeId prev = 0;
+  bool first = true;
+  for (const Edge& e : fwd) {
+    if (first || e.first != prev) {
+      auto lo = std::lower_bound(base_run.begin(), base_run.end(),
+                                 Edge{e.first, 0});
+      if (lo == base_run.end() || lo->first != e.first) {
+        ++stats.distinct_sources;
+      }
+      prev = e.first;
+      first = false;
+    }
+    stats.src_labels.push_back(delta_->NodeLabelName(graph_, e.first));
+    stats.tgt_labels.push_back(delta_->NodeLabelName(graph_, e.second));
+    stats.label_pairs.emplace_back(delta_->NodeLabelName(graph_, e.first),
+                                   delta_->NodeLabelName(graph_, e.second));
+    if (poll.Expired()) return kEmpty;  // degrade, do not cache partials
+  }
+  const std::vector<Edge>& base_rev = graph_.ReverseEdgesByLabel(label);
+  const std::vector<Edge>& rev = delta_->ReverseRun(label);
+  prev = 0;
+  first = true;
+  for (const Edge& e : rev) {
+    if (first || e.first != prev) {
+      auto lo = std::lower_bound(base_rev.begin(), base_rev.end(),
+                                 Edge{e.first, 0});
+      if (lo == base_rev.end() || lo->first != e.first) {
+        ++stats.distinct_targets;
+      }
+      prev = e.first;
+      first = false;
+    }
+    if (poll.Expired()) return kEmpty;
+  }
+  if (stats.distinct_sources > 0) {
+    stats.avg_out_degree = static_cast<double>(stats.rows) /
+                           static_cast<double>(stats.distinct_sources);
+  }
+  if (stats.distinct_targets > 0) {
+    stats.avg_in_degree = static_cast<double>(stats.rows) /
+                          static_cast<double>(stats.distinct_targets);
+  }
+
+  SortUniqueNames(&stats.src_labels);
+  SortUniqueNames(&stats.tgt_labels);
+  SortUniquePairsByName(&stats.label_pairs);
+  for (const std::string& name : stats.src_labels) {
+    stats.source_label_bound += NodeCount(name);
+  }
+  for (const std::string& name : stats.tgt_labels) {
+    stats.target_label_bound += NodeCount(name);
+  }
+  stats.closure_bound = ReachableBoundByName(stats.label_pairs);
+
+  return edge_cache_.emplace(label, std::move(stats)).first->second;
 }
 
 double GraphStatistics::GlobalClosureBound(const Deadline& deadline) const {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (global_closure_bound_ >= 0) return global_closure_bound_;
+  }
+  if (base_ != nullptr) {
+    // Overlay: extend the base's retained pair set by the pairs the
+    // delta edges introduce, with delta-aware extents.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    if (!base_->GetGlobalLabelPairs(&pairs, deadline)) {
+      return 0;  // base degraded: no bound, do not cache
+    }
+    for (const auto& [edge_label, run] : delta_->edges()) {
+      (void)edge_label;
+      for (const Edge& e : run.forward) {
+        pairs.emplace_back(delta_->NodeLabelName(graph_, e.first),
+                           delta_->NodeLabelName(graph_, e.second));
+      }
+    }
+    SortUniquePairsByName(&pairs);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (global_closure_bound_ >= 0) return global_closure_bound_;
+    global_label_pairs_ = std::move(pairs);
+    global_closure_bound_ = ReachableBoundByName(global_label_pairs_);
+    return global_closure_bound_;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (global_closure_bound_ >= 0) return global_closure_bound_;
@@ -153,11 +323,25 @@ double GraphStatistics::GlobalClosureBound(const Deadline& deadline) const {
   size_t payload = 0;
   for (size_t sl = 0; sl < num_labels; ++sl) {
     for (size_t tl = 0; tl < num_labels; ++tl) {
-      if (pair_seen[sl * num_labels + tl]) lg.AddEdge(sl, tl, payload++);
+      if (pair_seen[sl * num_labels + tl]) {
+        lg.AddEdge(sl, tl, payload++);
+        global_label_pairs_.emplace_back(names[sl], names[tl]);
+      }
     }
   }
+  SortUniquePairsByName(&global_label_pairs_);
   global_closure_bound_ = ReachablePairBound(lg, extent);
   return global_closure_bound_;
+}
+
+bool GraphStatistics::GetGlobalLabelPairs(
+    std::vector<std::pair<std::string, std::string>>* out,
+    const Deadline& deadline) const {
+  GlobalClosureBound(deadline);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (global_closure_bound_ < 0) return false;
+  *out = global_label_pairs_;
+  return true;
 }
 
 }  // namespace gqopt

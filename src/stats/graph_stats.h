@@ -8,6 +8,15 @@
 // label pays one deadline-polled pass over its edge table; every later
 // plan reads the cache. The catalog (ra/catalog.h) owns one instance per
 // graph, so statistics are shared by all planners and estimators.
+//
+// Incremental (overlay) mode: a statistics instance built over a base
+// instance plus a SealedDelta (src/inc) maintains the numbers live —
+// labels the delta does not touch forward to the base cache untouched,
+// touched labels extend the base's exact counts with one pass over the
+// (small) delta run instead of re-scanning the base edges. The retained
+// label-pair sets make the schema-derived bounds extendable the same
+// way. Overlay numbers are exact: identical to a full recollect over the
+// compacted graph (tests/inc_test.cc pins this).
 
 #ifndef GQOPT_STATS_GRAPH_STATS_H_
 #define GQOPT_STATS_GRAPH_STATS_H_
@@ -15,9 +24,11 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/property_graph.h"
+#include "inc/delta_store.h"
 #include "util/deadline.h"
 
 namespace gqopt {
@@ -45,6 +56,12 @@ struct EdgeLabelStats {
   /// bound available" (empty label, or collection cut short by the
   /// deadline) — consumers must treat 0 as unbounded, not as empty.
   double closure_bound = 0;
+  /// Observed endpoint labels and ordered label pairs (by node-label
+  /// name), retained from the collection pass so delta overlays can
+  /// extend the bounds without re-scanning the edges. Sorted.
+  std::vector<std::string> src_labels;
+  std::vector<std::string> tgt_labels;
+  std::vector<std::pair<std::string, std::string>> label_pairs;
 };
 
 /// \brief Lazily-collected, cached statistics for one PropertyGraph.
@@ -57,6 +74,13 @@ class GraphStatistics {
  public:
   explicit GraphStatistics(const PropertyGraph& graph) : graph_(graph) {}
 
+  /// Overlay over `base`'s cached numbers plus a sealed delta. `graph`
+  /// is the (frozen) base graph; `base` and `delta` must outlive this
+  /// instance (the overlay Catalog holds all three).
+  GraphStatistics(const PropertyGraph& graph, const GraphStatistics* base,
+                  const inc::SealedDelta* delta)
+      : graph_(graph), base_(base), delta_(delta) {}
+
   /// Statistics of `label`'s edge table, collecting them on first use.
   /// Collection polls `deadline`; on expiry a partial result is NOT
   /// cached and zeroed stats are returned (estimates degrade, plans stay
@@ -64,24 +88,51 @@ class GraphStatistics {
   const EdgeLabelStats& EdgeFor(const std::string& label,
                              const Deadline& deadline = {}) const;
 
-  /// Extent size of one node label.
+  /// Extent size of one node label (including pending delta nodes in
+  /// overlay mode).
   size_t NodeCount(const std::string& label) const {
-    return graph_.NodesWithLabel(label).size();
+    size_t n = graph_.NodesWithLabel(label).size();
+    if (delta_ != nullptr) n += delta_->NodesWithLabel(label).size();
+    return n;
   }
 
-  size_t total_nodes() const { return graph_.num_nodes(); }
-  size_t total_edges() const { return graph_.num_edges(); }
+  size_t total_nodes() const {
+    return graph_.num_nodes() +
+           (delta_ != nullptr ? delta_->nodes().size() : 0);
+  }
+  size_t total_edges() const {
+    return graph_.num_edges() +
+           (delta_ != nullptr ? delta_->edge_count() : 0);
+  }
 
   /// Upper bound on the closure of *any* composition of edge labels: the
   /// reachable-label-pair bound over the full observed label graph.
   /// Collected once, deadline-polled.
   double GlobalClosureBound(const Deadline& deadline = {}) const;
 
+  /// The ordered label pairs (by name) observed across all edge labels,
+  /// collecting them if needed. False when collection degraded on the
+  /// deadline (nothing cached). Feeds the overlay's incremental
+  /// GlobalClosureBound.
+  bool GetGlobalLabelPairs(
+      std::vector<std::pair<std::string, std::string>>* out,
+      const Deadline& deadline) const;
+
  private:
+  const EdgeLabelStats& EdgeForOverlay(const std::string& label,
+                                       const Deadline& deadline) const;
+  double ReachableBoundByName(
+      const std::vector<std::pair<std::string, std::string>>& pairs) const;
+
   const PropertyGraph& graph_;
+  const GraphStatistics* base_ = nullptr;   // overlay mode only
+  const inc::SealedDelta* delta_ = nullptr; // overlay mode only
   mutable std::shared_mutex mu_;
   mutable std::unordered_map<std::string, EdgeLabelStats> edge_cache_;
   mutable double global_closure_bound_ = -1;  // -1 = not yet collected
+  // Retained alongside global_closure_bound_ (valid when bound >= 0).
+  mutable std::vector<std::pair<std::string, std::string>>
+      global_label_pairs_;
   static const EdgeLabelStats kEmpty;
 };
 

@@ -20,6 +20,7 @@ constexpr PointName kPointNames[] = {
     {"stats-build", FaultPoint::kStatsBuild},
     {"csr-build", FaultPoint::kCsrBuild},
     {"mem", FaultPoint::kMemReserve},
+    {"delta-merge", FaultPoint::kDeltaMerge},
 };
 
 bool ParsePoint(std::string_view name, FaultPoint* out) {

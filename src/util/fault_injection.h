@@ -52,9 +52,15 @@ enum class FaultPoint : uint8_t {
   /// kAlloc forces a reservation failure, latching the tracker's breach
   /// exactly like a real budget overrun ("mem" in GQOPT_FAULTS specs).
   kMemReserve,
+  /// Delta-store compaction (Database::Compact and the automatic merge
+  /// triggered when pending mutations exceed GQOPT_DELTA_MERGE_ROWS):
+  /// kDeadline/kAlloc abort the merge with a typed "compact: " status
+  /// before the base graph is touched — pending rows stay in the delta
+  /// and the next compaction retries ("delta-merge" in GQOPT_FAULTS).
+  kDeltaMerge,
 };
 
-inline constexpr size_t kNumFaultPoints = 9;
+inline constexpr size_t kNumFaultPoints = 10;
 
 /// What happens when an armed point is reached.
 enum class FaultKind : uint8_t {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -198,6 +199,9 @@ TEST(ServingStormTest, CachedServerStormMatchesSerial) {
 TEST(ServingMutationTest, MutationDuringTrafficStaysSound) {
   FaultGuard faults;
   Database db(YagoSchema(), GenerateYago({.persons = 120, .seed = 7}));
+  // Pin the legacy write path: this test asserts the full
+  // rebuild-per-mutation generation counting.
+  db.set_delta_enabled(false);
   ExecOptions options = ExecOptions::FromEnv();
   options.timeout_ms = 0;
   auto baseline = BaselineRows(db, kQueries[0], options);
@@ -245,6 +249,7 @@ TEST(ServingMutationTest, MutationDuringTrafficStaysSound) {
 TEST(ServingMutationTest, PreparedHandleExecuteVsConcurrentMutator) {
   FaultGuard faults;
   Database db(YagoSchema(), GenerateYago({.persons = 120, .seed = 7}));
+  db.set_delta_enabled(false);  // the stale-or-refuse contract is legacy
   ExecOptions options;
   options.timeout_ms = 0;
   auto baseline = BaselineRows(db, kQueries[0], options);
@@ -276,6 +281,85 @@ TEST(ServingMutationTest, PreparedHandleExecuteVsConcurrentMutator) {
   stop.store(true, std::memory_order_release);
   mutator.join();
   EXPECT_EQ(error, "");
+}
+
+// Delta-mode storm: a writer appends through the delta store — with the
+// kDeltaMerge fault injected so a third of the merges fail, and periodic
+// explicit compactions — while readers query concurrently. Inserts are
+// monotone, so every read must return a superset of the pre-storm rows
+// and a reader's successive results must never shrink; a torn or
+// partially merged view would violate both. tools/run_tier1.sh runs this
+// under --tsan.
+TEST(ServingMutationTest, DeltaMutateQueryStormUnderMergeFaults) {
+  FaultGuard faults;
+  Database db(YagoSchema(), GenerateYago({.persons = 80, .seed = 13}));
+  db.set_delta_enabled(true);
+  db.set_delta_merge_rows(64);
+  ExecOptions options;
+  options.timeout_ms = 0;
+  const char* query = "x1, x2 <- (x1, owns, x2)";
+  auto baseline = BaselineRows(db, query, options);
+  FaultInjector::Global().Arm(FaultPoint::kDeltaMerge, FaultKind::kAlloc,
+                              /*every_n=*/3);
+
+  constexpr size_t kReaders = 3;
+  constexpr int kWrites = 120;
+  std::vector<std::string> errors(kReaders);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Session session(db, options);
+      size_t last_rows = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto result = session.Query(query);
+        if (!result.ok()) {
+          errors[t] = result.status().ToString();
+          return;
+        }
+        auto rows = result->SortedRows();
+        if (rows.size() < last_rows) {
+          errors[t] = "rows shrank under insert-only traffic";
+          return;
+        }
+        if (!std::includes(rows.begin(), rows.end(), baseline.begin(),
+                           baseline.end())) {
+          errors[t] = "pre-storm rows went missing";
+          return;
+        }
+        last_rows = rows.size();
+      }
+    });
+  }
+  std::string write_error;
+  for (int i = 0; i < kWrites && write_error.empty(); ++i) {
+    NodeId person = db.AddNode("PERSON");
+    NodeId property = db.AddNode("PROPERTY");
+    Status added = db.AddEdge(person, "owns", property);
+    if (!added.ok()) write_error = added.ToString();
+    // Explicit compactions race the injected failures: a failed merge
+    // keeps the rows pending, a later one lands them.
+    if (i % 16 == 15) (void)db.Compact();
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(write_error, "");
+  for (size_t t = 0; t < kReaders; ++t) EXPECT_EQ(errors[t], "");
+
+  // Disarmed, the drain compacts everything and the final table holds
+  // exactly the baseline plus every written edge.
+  FaultGuard::Reset();
+  ASSERT_TRUE(db.Compact().ok());
+  EXPECT_EQ(db.delta_stats().pending_edges, 0u);
+  EXPECT_EQ(db.delta_stats().pending_nodes, 0u);
+  Session session(db, options);
+  auto drained = session.Query(query);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(drained->rows(), baseline.size() + kWrites);
+  inc::DeltaStats stats = db.delta_stats();
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_GE(stats.failed_compactions, 1u);
 }
 
 // ---- Shedding and the degradation ladder -----------------------------------
@@ -396,6 +480,10 @@ TEST(DegradationTest, ApplyDegradationRungs) {
 TEST(DegradationTest, StaleStatisticsServing) {
   FaultGuard faults;
   Database db(YagoSchema(), GenerateYago({.persons = 60, .seed = 7}));
+  // Pin legacy mutation semantics: the final assertion relies on AddNode
+  // discarding the cached (stale-planned) entry, whereas delta mode
+  // deliberately retains it across data mutations.
+  db.set_delta_enabled(false);
   ExecOptions options;
   ASSERT_TRUE(db.Prepare(kQueries[0], options).ok());  // publish a snapshot
   db.RefreshStatistics();

@@ -41,6 +41,10 @@ PAIRS = [
     # Seeded-closure top-k with the frontier prune vs the same query with
     # pruning disabled (full fixpoint feeding the bounded heap).
     ("BM_ClosureTopKPruned", "BM_ClosureTopKFull"),
+    # Mixed read/write through the facade: delta-buffered writes with
+    # overlay reads and retained plans vs the legacy rebuild-per-write
+    # path (catalog + statistics + plans reconstructed on each mutation).
+    ("BM_MixedReadWriteDelta", "BM_MixedReadWriteRebuild"),
 ]
 
 # Pairs whose clients block on the server's worker pool (UseRealTime):

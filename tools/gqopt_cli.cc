@@ -12,6 +12,9 @@
 //   gqopt> sql     x1, x2 <- (x1, knows+, x2)
 //   gqopt> cypher  x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)
 //   gqopt> cache             # plan-cache counters (incl. LRU evictions)
+//   gqopt> delta on          # route writes through the delta store
+//   gqopt> mutate edge 3 knows 17
+//   gqopt> compact           # merge pending delta rows into the base
 //   gqopt> stress 4 200 x1, x2 <- (x1, knows+, x2)
 //   gqopt> faults plan=deadline:5
 //   gqopt> schema            # print the active schema
@@ -66,6 +69,13 @@ void PrintHelp() {
       "  sql <query>                recursive SQL translation\n"
       "  cypher <query>             Cypher translation\n"
       "  cache                      plan-cache counters (hits/evictions)\n"
+      "  delta [on|off]             delta-store counters, or switch the\n"
+      "                             write path (on: buffered + retained\n"
+      "                             plans; off: rebuild per mutation)\n"
+      "  mutate node <label>        insert a node, print its id\n"
+      "  mutate edge <src> <label> <tgt>\n"
+      "                             insert an edge by endpoint ids\n"
+      "  compact                    merge pending delta rows into the base\n"
       "  stress <clients> <reqs> [query]\n"
       "                             concurrent storm through the serving\n"
       "                             layer; reports throughput + shed/\n"
@@ -195,6 +205,64 @@ void DoCacheStats(const api::Database& db) {
               static_cast<unsigned long long>(stats.evictions));
 }
 
+void DoDelta(api::Database& db, const std::string& rest) {
+  if (rest == "on" || rest == "off") {
+    db.set_delta_enabled(rest == "on");
+    std::printf("delta writes %s\n",
+                rest == "on" ? "enabled (mutations buffer and cached plans "
+                               "are retained)"
+                             : "disabled (mutations rebuild the catalog)");
+    return;
+  }
+  if (!rest.empty()) {
+    std::puts("usage: delta [on|off]");
+    return;
+  }
+  inc::DeltaStats stats = db.delta_stats();
+  std::printf("delta store: %s, %zu pending rows (%zu nodes, %zu edges)\n",
+              stats.enabled ? "enabled" : "disabled",
+              stats.pending_nodes + stats.pending_edges, stats.pending_nodes,
+              stats.pending_edges);
+  std::printf("  appended      %llu nodes, %llu edges\n",
+              static_cast<unsigned long long>(stats.appended_nodes),
+              static_cast<unsigned long long>(stats.appended_edges));
+  std::printf("  duplicates    %llu dropped\n",
+              static_cast<unsigned long long>(stats.dropped_duplicates));
+  std::printf("  seals         %llu\n",
+              static_cast<unsigned long long>(stats.seals));
+  std::printf("  compactions   %llu (%llu rows merged, %llu failed)\n",
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<unsigned long long>(stats.compacted_rows),
+              static_cast<unsigned long long>(stats.failed_compactions));
+}
+
+void DoMutate(api::Database& db, const std::string& rest) {
+  auto parts = Split(rest, ' ');
+  if (parts.size() == 2 && parts[0] == "node") {
+    NodeId id = db.AddNode(parts[1]);
+    std::printf("node %llu (%s)\n", static_cast<unsigned long long>(id),
+                parts[1].c_str());
+    return;
+  }
+  if (parts.size() == 4 && parts[0] == "edge") {
+    char* end = nullptr;
+    NodeId source = static_cast<NodeId>(std::strtoul(parts[1].c_str(), &end,
+                                                     10));
+    NodeId target =
+        static_cast<NodeId>(std::strtoul(parts[3].c_str(), nullptr, 10));
+    Status status = db.AddEdge(source, parts[2], target);
+    if (!status.ok()) {
+      std::printf("%s\n", status.ToString().c_str());
+    } else {
+      std::printf("edge %llu -%s-> %llu\n",
+                  static_cast<unsigned long long>(source), parts[2].c_str(),
+                  static_cast<unsigned long long>(target));
+    }
+    return;
+  }
+  std::puts("usage: mutate node <label> | mutate edge <src> <label> <tgt>");
+}
+
 // stress <clients> <requests> [query] — a concurrent storm through the
 // serving layer: `clients` threads share `requests` QueryWithRetry calls
 // against a Server over the live database, then the serving counters are
@@ -288,7 +356,8 @@ void DoFaults(const std::string& rest) {
     std::puts(
         "malformed spec; expected point=kind[:every_n],... with points\n"
         "parse|rewrite|plan|execute|snapshot-build|catalog-build|\n"
-        "stats-build|csr-build|mem and kinds deadline|alloc|invalidate");
+        "stats-build|csr-build|mem|delta-merge and kinds\n"
+        "deadline|alloc|invalidate");
     return;
   }
   std::printf("%s\n", injector.Describe().c_str());
@@ -355,7 +424,9 @@ int main() {
     } else if (command == "schema") {
       std::fputs(db.schema().ToString().c_str(), stdout);
     } else if (command == "check") {
-      ConsistencyReport report = CheckConsistency(db.graph(), db.schema(), 5);
+      // Pending delta rows included: check the effective graph.
+      ConsistencyReport report =
+          CheckConsistency(*db.MaterializedGraph(), db.schema(), 5);
       if (report.consistent()) {
         std::puts("consistent with the schema");
       } else {
@@ -377,6 +448,20 @@ int main() {
       DoTranslate(session, rest, /*to_sql=*/false);
     } else if (command == "cache") {
       DoCacheStats(db);
+    } else if (command == "delta") {
+      DoDelta(db, rest);
+    } else if (command == "mutate") {
+      DoMutate(db, rest);
+    } else if (command == "compact") {
+      auto status = db.Compact();
+      if (status.ok()) {
+        inc::DeltaStats stats = db.delta_stats();
+        std::printf("compacted (%llu compactions, %llu rows merged total)\n",
+                    static_cast<unsigned long long>(stats.compactions),
+                    static_cast<unsigned long long>(stats.compacted_rows));
+      } else {
+        std::printf("%s\n", status.ToString().c_str());
+      }
     } else if (command == "stress") {
       DoStress(db, session.options(), rest);
     } else if (command == "faults") {

@@ -67,7 +67,7 @@ if [[ "$run_tsan" -eq 1 ]]; then
     -DGQOPT_BUILD_BENCHES=OFF -DGQOPT_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure \
-    -R '(serving|api|parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
+    -R '(serving|api|delta_differential|parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
   GQOPT_DOP=4 ctest --test-dir build-tsan --output-on-failure \
     -R '(serving|parallel_differential|csr_differential|topk_differential|topk_property|thread_pool)_test'
   echo "TSan tier-1 subset passed (build-tsan/)"
@@ -120,12 +120,19 @@ GQOPT_PLAN_CACHE=0 ctest --test-dir build --output-on-failure \
 GQOPT_PLAN_CACHE=1 ctest --test-dir build --output-on-failure \
   -R '(api|end_to_end|serving|topk_differential)_test'
 
+# Mutation matrix: the facade suites once more with delta-mode writes as
+# the ambient default (GQOPT_DELTA=1). Tests that pin the legacy
+# rebuild-per-mutation semantics call set_delta_enabled(false)
+# explicitly, which takes precedence over the environment knob.
+GQOPT_DELTA=1 ctest --test-dir build --output-on-failure \
+  -R '(inc|delta_differential|api|end_to_end|topk_differential)_test'
+
 if [[ "$run_bench" -eq 1 ]]; then
   if [[ -x build/bench_micro ]]; then
     # The interesting subset: evaluation-core primitives with their
     # retained naive counterparts for drift-free before/after ratios.
     ./build/bench_micro \
-      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput|TopK|SortAll' \
+      --benchmark_filter='Compose|Closure|SemiJoinSource|Join|MemoizedUnion|PlanEnumeration|PreparedVsCold|ColdPrepare|ServingThroughput|TopK|SortAll|MixedReadWrite' \
       --benchmark_min_time=0.2 \
       --json=BENCH_micro.json
     # A run that silently produced no snapshot (or a truncated one) must
