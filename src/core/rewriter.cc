@@ -293,6 +293,7 @@ Result<RewriteResult> RewriteQuery(const Ucqt& input,
     result.query.head_vars = input.head_vars;
     result.query.order_by = input.order_by;
     result.query.limit = input.limit;
+    result.query.offset = input.offset;
     result.unsatisfiable = true;
     result.stats.disjuncts_after = 0;
     return result;
@@ -310,11 +311,12 @@ Result<RewriteResult> RewriteQuery(const Ucqt& input,
   }
 
   // The rewrite only touches disjunct bodies: the query's ORDER BY /
-  // LIMIT suffix rides through unchanged.
+  // LIMIT [OFFSET] suffix rides through unchanged.
   GQOPT_ASSIGN_OR_RETURN(result.query,
                          Ucqt::Make(input.head_vars,
                                     std::move(out_disjuncts),
-                                    input.order_by, input.limit));
+                                    input.order_by, input.limit,
+                                    input.offset));
 
   for (const Cqt& cqt : result.query.disjuncts) {
     result.stats.atoms_added += cqt.atoms.size();

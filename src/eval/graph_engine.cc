@@ -303,6 +303,13 @@ Result<ResultSet> GraphEngine::Run(const Ucqt& query,
                        return false;
                      });
   }
+  // The ordered window: rows [offset, offset + limit) of the sorted
+  // output, matching the relational Limit/TopK operators.
+  if (query.offset > 0) {
+    size_t skip = std::min(out.rows.size(),
+                           static_cast<size_t>(query.offset));
+    out.rows.erase(out.rows.begin(), out.rows.begin() + skip);
+  }
   if (query.limit >= 0 &&
       out.rows.size() > static_cast<size_t>(query.limit)) {
     out.rows.resize(static_cast<size_t>(query.limit));

@@ -210,11 +210,23 @@ Result<Ucqt> ParseUcqt(std::string_view text) {
                          ParseVarList(text.substr(0, arrow)));
   std::string_view body = text.substr(arrow + 2);
 
-  // Trailing top-k clauses — "... order by v [desc], w limit N" — are
-  // carved off the body tail before the disjunct split (both sit at
-  // depth 0; limit last).
+  // Trailing top-k clauses — "... order by v [desc], w limit N
+  // offset M" — are carved off the body tail in reverse (all sit at
+  // depth 0; offset last, then limit, then order by).
   std::vector<OrderKey> order_by;
   long long limit = -1;
+  long long offset = 0;
+  size_t offset_pos = FindTopLevelWord(body, "offset");
+  if (offset_pos != std::string_view::npos) {
+    std::string_view num = StripWhitespace(body.substr(offset_pos + 6));
+    if (num.empty() || num.size() > 18 ||
+        num.find_first_not_of("0123456789") != std::string_view::npos) {
+      return Status::InvalidArgument("offset needs a nonnegative integer: '" +
+                                     std::string(num) + "'");
+    }
+    offset = std::stoll(std::string(num));
+    body = body.substr(0, offset_pos);
+  }
   size_t limit_pos = FindTopLevelWord(body, "limit");
   if (limit_pos != std::string_view::npos) {
     std::string_view num = StripWhitespace(body.substr(limit_pos + 5));
@@ -256,7 +268,7 @@ Result<Ucqt> ParseUcqt(std::string_view text) {
     disjuncts.push_back(std::move(cqt));
   }
   return Ucqt::Make(std::move(head_vars), std::move(disjuncts),
-                    std::move(order_by), limit);
+                    std::move(order_by), limit, offset);
 }
 
 }  // namespace gqopt

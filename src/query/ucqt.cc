@@ -63,7 +63,8 @@ std::string OrderKey::ToString() const {
 
 Result<Ucqt> Ucqt::Make(std::vector<std::string> head_vars,
                         std::vector<Cqt> disjuncts,
-                        std::vector<OrderKey> order_by, long long limit) {
+                        std::vector<OrderKey> order_by, long long limit,
+                        long long offset) {
   for (const Cqt& cqt : disjuncts) {
     if (cqt.head_vars != head_vars) {
       return Status::InvalidArgument(
@@ -88,11 +89,20 @@ Result<Ucqt> Ucqt::Make(std::vector<std::string> head_vars,
         "limit requires an order by (an unordered limit is "
         "nondeterministic)");
   }
+  if (offset < 0) {
+    return Status::InvalidArgument("offset must be nonnegative");
+  }
+  if (offset > 0 && limit < 0) {
+    return Status::InvalidArgument(
+        "offset requires a limit (the suffix grammar is "
+        "'limit N offset M')");
+  }
   Ucqt out;
   out.head_vars = std::move(head_vars);
   out.disjuncts = std::move(disjuncts);
   out.order_by = std::move(order_by);
   out.limit = limit;
+  out.offset = offset;
   return out;
 }
 
@@ -136,6 +146,7 @@ std::string Ucqt::ToString() const {
     }
   }
   if (limit >= 0) out += " limit " + std::to_string(limit);
+  if (offset > 0) out += " offset " + std::to_string(offset);
   return out;
 }
 

@@ -63,12 +63,12 @@ struct OrderKey {
 /// disjunct list denotes the unsatisfiable query (used when type inference
 /// proves the result empty under the schema).
 ///
-/// The optional `order by v [desc], ... limit N` suffix orders the result
-/// rows by the named head variables (ties broken by the remaining head
-/// variables ascending — a deterministic total order) and truncates to
-/// the first N. Both clauses are part of query identity: they render in
-/// ToString(), so plan-cache keys distinguish different orders and
-/// bounds.
+/// The optional `order by v [desc], ... limit N [offset M]` suffix orders
+/// the result rows by the named head variables (ties broken by the
+/// remaining head variables ascending — a deterministic total order) and
+/// keeps rows [M, M + N) of that order (M defaults to 0). All three
+/// clauses are part of query identity: they render in ToString(), so
+/// plan-cache keys distinguish different orders, bounds and windows.
 struct Ucqt {
   std::vector<std::string> head_vars;
   std::vector<Cqt> disjuncts;
@@ -77,14 +77,19 @@ struct Ucqt {
   /// Row bound; negative = no LIMIT. `limit >= 0` with empty order_by is
   /// rejected by Make — an unordered LIMIT is nondeterministic.
   long long limit = -1;
+  /// Rows skipped before the bound applies (SQL OFFSET / Cypher SKIP);
+  /// only meaningful with a LIMIT — `offset > 0` without one is rejected
+  /// by Make, matching the parser's `limit N offset M` grammar.
+  long long offset = 0;
 
   /// Validates union compatibility of `disjuncts` against `head_vars`,
-  /// that every order key names a distinct head variable, and that a
-  /// LIMIT only appears together with an ORDER BY.
+  /// that every order key names a distinct head variable, that a LIMIT
+  /// only appears together with an ORDER BY, and that an OFFSET only
+  /// appears together with a LIMIT.
   static Result<Ucqt> Make(std::vector<std::string> head_vars,
                            std::vector<Cqt> disjuncts,
                            std::vector<OrderKey> order_by = {},
-                           long long limit = -1);
+                           long long limit = -1, long long offset = 0);
 
   /// Convenience: single-relation query `head <- (src, path, tgt)`.
   static Ucqt FromPath(const std::string& source_var, PathExprPtr path,

@@ -50,7 +50,22 @@ Result<Table> Executor::Run(const RaExprPtr& plan, const ExecContext& ctx) {
   // Rebind the memo charge to this run's budget: releases the previous
   // run's table bytes, then accrues this run's materialized results.
   table_bytes_ = TrackedBytes(ctx.mem);
+  // Preloaded results enter the memo up front, charged like any other
+  // materialized table, so Eval's memo lookups short-circuit their nodes.
+  for (const auto& [node, table] : preloads_) {
+    const std::string& key = KeyOf(node);
+    if (memo_.find(key) != memo_.end()) continue;
+    size_t bytes = table.data().size() * sizeof(NodeId);
+    if (!table_bytes_.Add(static_cast<int64_t>(bytes))) {
+      return AbortStatus(ctx, "plan execution");
+    }
+    memo_.emplace(key, table);
+  }
   return Eval(plan.get(), ctx);
+}
+
+void Executor::Preload(const RaExpr* node, Table table) {
+  preloads_.emplace_back(node, std::move(table));
 }
 
 namespace {
@@ -150,11 +165,17 @@ void CanonicalKey(const RaExpr* e,
       return;
     case RaOp::kSort:
     case RaOp::kTopK:
-      // Keys (with directions) and the bound are part of node identity:
-      // a different order or k produces different rows.
+      // Keys (with directions), the bound, and the window offset are part
+      // of node identity: a different order, k, or offset produces
+      // different rows. An offset of 0 renders nothing, keeping every
+      // pre-offset key byte-identical.
       *out += e->op() == RaOp::kSort
                   ? "O["
-                  : "K[" + std::to_string(e->limit()) + ";";
+                  : "K[" + std::to_string(e->limit()) +
+                        (e->offset() > 0
+                             ? "@" + std::to_string(e->offset())
+                             : "") +
+                        ";";
       for (const SortKey& k : e->sort_keys()) {
         col(k.column);
         if (k.descending) *out += "v";
@@ -165,7 +186,9 @@ void CanonicalKey(const RaExpr* e,
       *out += ")";
       return;
     case RaOp::kLimit:
-      *out += "L[" + std::to_string(e->limit()) + "](";
+      *out += "L[" + std::to_string(e->limit()) +
+              (e->offset() > 0 ? "@" + std::to_string(e->offset()) : "") +
+              "](";
       CanonicalKey(e->left().get(), columns, out);
       *out += ")";
       return;
@@ -252,6 +275,22 @@ Table TruncateRows(const Table& t, size_t k,
   std::vector<NodeId> data(t.data().begin(),
                            t.data().begin() +
                                static_cast<long>(k * t.arity()));
+  Table out = Table::FromData(columns, std::move(data));
+  out.MarkSortPrefixFrom(t, t.sort_prefix());
+  return out;
+}
+
+// Rows [offset, offset + k) of `t` as a fresh table carrying `t`'s
+// ordering; TruncateRows is the offset-0 special case (which can share
+// the child's storage when it already fits).
+Table WindowRows(const Table& t, size_t offset, size_t k,
+                 const std::vector<std::string>& columns) {
+  if (offset == 0) return TruncateRows(t, k, columns);
+  size_t begin = std::min(offset, t.rows());
+  size_t end = std::min(offset + k, t.rows());
+  std::vector<NodeId> data(
+      t.data().begin() + static_cast<long>(begin * t.arity()),
+      t.data().begin() + static_cast<long>(end * t.arity()));
   Table out = Table::FromData(columns, std::move(data));
   out.MarkSortPrefixFrom(t, t.sort_prefix());
   return out;
@@ -1291,10 +1330,14 @@ namespace {
 // so which duplicate the heap retains is unobservable.
 Result<Table> BoundedTopK(const Table& child, const RaExpr* e, size_t k,
                           const ExecContext& ctx) {
+  // A window offset widens the heap — the skipped prefix must be held
+  // to know where the window starts — and is skipped on the gather.
+  size_t bound = k + e->offset();
   // The child's derived ordering may already deliver the requested
-  // order verbatim — then the top k rows are literally the first k.
+  // order verbatim — then the window is literally rows
+  // [offset, offset + k).
   if (TableOrderSatisfies(child, e)) {
-    return TruncateRows(child, k, e->columns());
+    return WindowRows(child, e->offset(), k, e->columns());
   }
   GQOPT_ASSIGN_OR_RETURN(auto order, SortOrderOf(e, child));
   size_t n = child.rows();
@@ -1305,21 +1348,21 @@ Result<Table> BoundedTopK(const Table& child, const RaExpr* e, size_t k,
                    order);
   };
   // Charge the heap and the gathered output against the query budget
-  // up front — both are bounded by k, never by n.
+  // up front — both are bounded by k + offset, never by n.
   GrowthCharge charge(ctx.mem);
-  if (!charge.Update(std::min(k, n) *
+  if (!charge.Update(std::min(bound, n) *
                      (sizeof(uint32_t) + arity * sizeof(NodeId)))) {
     return AbortStatus(ctx, "top-k");
   }
   std::vector<uint32_t> heap;
-  heap.reserve(std::min(k, n));
+  heap.reserve(std::min(bound, n));
   DeadlinePoller poll(ctx.deadline);
   for (size_t r = 0; r < n; ++r) {
     if (poll.Due() && (ctx.deadline.Expired() || ctx.MemBreached())) {
       return AbortStatus(ctx, "top-k");
     }
     uint32_t idx = static_cast<uint32_t>(r);
-    if (heap.size() < k) {
+    if (heap.size() < bound) {
       heap.push_back(idx);
       std::push_heap(heap.begin(), heap.end(), less);
     } else if (less(idx, heap.front())) {
@@ -1329,9 +1372,11 @@ Result<Table> BoundedTopK(const Table& child, const RaExpr* e, size_t k,
     }
   }
   std::sort_heap(heap.begin(), heap.end(), less);
+  size_t skip = std::min(e->offset(), heap.size());
   std::vector<NodeId> data;
-  data.reserve(heap.size() * arity);
-  for (uint32_t r : heap) {
+  data.reserve((heap.size() - skip) * arity);
+  for (size_t i = skip; i < heap.size(); ++i) {
+    uint32_t r = heap[i];
     data.insert(data.end(), base + size_t{r} * arity,
                 base + (size_t{r} + 1) * arity);
   }
@@ -1388,12 +1433,13 @@ Result<Table> Executor::EvalLimit(const RaExpr* e, const ExecContext& ctx) {
   size_t k = e->limit();
   if (ctx.limit_hint != 0) k = std::min(k, ctx.limit_hint);
   if (k == 0) return Table(e->columns());
-  // Forward the bound: order-preserving children stop producing once k
-  // rows are held; the truncation below is what makes the result exact.
+  // Forward the bound: order-preserving children stop producing once
+  // offset + k rows are held (the skipped window prefix still has to
+  // materialize); the slice below is what makes the result exact.
   ExecContext inner = ctx;
-  inner.limit_hint = k;
+  inner.limit_hint = k + e->offset();
   GQOPT_ASSIGN_OR_RETURN(Table child, Eval(e->left().get(), inner));
-  return TruncateRows(child, k, e->columns());
+  return WindowRows(child, e->offset(), k, e->columns());
 }
 
 Result<Table> Executor::EvalTopK(const RaExpr* e, const ExecContext& ctx) {
@@ -1416,7 +1462,10 @@ Result<Table> Executor::EvalTopK(const RaExpr* e, const ExecContext& ctx) {
         memo_.find(KeyOf(child_e)) == memo_.end()) {
       ExecContext inner = ctx;
       inner.limit_hint = 0;
-      ClosureTopKBound bound{k, e->sort_keys()[0].descending};
+      // A window offset widens the prune bound: the k-th surviving row
+      // sits at heap position k + offset.
+      ClosureTopKBound bound{k + e->offset(),
+                             e->sort_keys()[0].descending};
       GQOPT_ASSIGN_OR_RETURN(Table closure,
                              EvalClosure(child_e, inner, bound));
       // EXPLAIN analyze shows the bounded cardinality — the prune's

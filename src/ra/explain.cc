@@ -198,9 +198,14 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
       break;
     }
     case RaOp::kLimit: {
+      // A window offset shrinks neither the scan (the skipped prefix
+      // still materializes) nor the output bound k, but a short child
+      // may run out before the window starts.
       const PlanEstimate& child = Estimate(e->left().get());
-      est.rows = std::min(child.rows, static_cast<double>(e->limit()));
-      est.cost = child.cost + est.rows;
+      est.rows = std::min(
+          std::max(0.0, child.rows - static_cast<double>(e->offset())),
+          static_cast<double>(e->limit()));
+      est.cost = child.cost + est.rows + static_cast<double>(e->offset());
       est.ndv = child.ndv;
       for (auto& [col, ndv] : est.ndv) {
         ndv = std::max(1.0, std::min(ndv, est.rows));
@@ -213,10 +218,13 @@ const PlanEstimate& Estimator::Estimate(const RaExpr* e) {
       // materialization figure bounded by k, the admission-control win
       // over Sort + Limit.
       const PlanEstimate& child = Estimate(e->left().get());
-      est.rows = std::min(child.rows, static_cast<double>(e->limit()));
-      est.cost = child.cost +
-                 child.rows *
-                     std::log2(static_cast<double>(e->limit()) + 2.0);
+      est.rows = std::min(
+          std::max(0.0, child.rows - static_cast<double>(e->offset())),
+          static_cast<double>(e->limit()));
+      est.cost =
+          child.cost +
+          child.rows * std::log2(static_cast<double>(e->limit()) +
+                                 static_cast<double>(e->offset()) + 2.0);
       est.ndv = child.ndv;
       for (auto& [col, ndv] : est.ndv) {
         ndv = std::max(1.0, std::min(ndv, est.rows));

@@ -86,21 +86,22 @@ class Optimizer {
         // kSort case already returned its ordered child, leaving a plain
         // Limit that truncates for free.)
         if (child->op() == RaOp::kSort) {
-          return RaExpr::TopK(child->left(), child->sort_keys(),
-                              e->limit());
+          return RaExpr::TopK(child->left(), child->sort_keys(), e->limit(),
+                              e->offset());
         }
         if (child == e->left()) return e;
-        return RaExpr::Limit(std::move(child), e->limit());
+        return RaExpr::Limit(std::move(child), e->limit(), e->offset());
       }
       case RaOp::kTopK: {
         RaExprPtr child = RewriteOrdered(e->left(), e->sort_keys());
         // A child already delivering the order downgrades the TopK to a
         // plain Limit — the first k rows, no heap at all.
         if (OrderSatisfiedBy(*child, e->sort_keys())) {
-          return RaExpr::Limit(std::move(child), e->limit());
+          return RaExpr::Limit(std::move(child), e->limit(), e->offset());
         }
         if (child == e->left()) return e;
-        return RaExpr::TopK(std::move(child), e->sort_keys(), e->limit());
+        return RaExpr::TopK(std::move(child), e->sort_keys(), e->limit(),
+                            e->offset());
       }
     }
     return e;

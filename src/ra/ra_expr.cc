@@ -235,29 +235,32 @@ RaExprPtr RaExpr::Sort(RaExprPtr child, std::vector<SortKey> keys) {
   return e;
 }
 
-RaExprPtr RaExpr::Limit(RaExprPtr child, size_t k) {
+RaExprPtr RaExpr::Limit(RaExprPtr child, size_t k, size_t offset) {
   assert(child);
   auto e = std::shared_ptr<RaExpr>(new RaExpr());
   e->op_ = RaOp::kLimit;
   e->columns_ = child->columns();
-  // A prefix of the child keeps the child's ordering property verbatim.
+  // A contiguous window of the child keeps the child's ordering
+  // property verbatim (skipping a prefix cannot unsort the rest).
   e->sorted_prefix_ = child->sorted_prefix();
   for (size_t i = 0; i < e->sorted_prefix_; ++i) {
     e->sort_desc_.push_back(child->sort_descending(i));
   }
   e->limit_ = k;
+  e->offset_ = offset;
   e->left_ = std::move(child);
   return e;
 }
 
 RaExprPtr RaExpr::TopK(RaExprPtr child, std::vector<SortKey> keys,
-                       size_t k) {
+                       size_t k, size_t offset) {
   auto e = std::const_pointer_cast<RaExpr>(
       Sort(std::move(child), std::move(keys)));
   // Same output ordering as Sort (the heap emits sorted); only the row
-  // bound and the evaluation strategy differ.
+  // window and the evaluation strategy differ.
   e->op_ = RaOp::kTopK;
   e->limit_ = k;
+  e->offset_ = offset;
   return e;
 }
 
@@ -324,11 +327,17 @@ std::string RaExpr::NodeString() const {
     }
     case RaOp::kSort:
       return "Sort " + cols() + " [keys=" + SortKeysString(sort_keys_) + "]";
-    case RaOp::kLimit:
-      return "Limit " + cols() + " [k=" + std::to_string(limit_) + "]";
-    case RaOp::kTopK:
-      return "TopK " + cols() + " [topk k=" + std::to_string(limit_) +
-             " keys=" + SortKeysString(sort_keys_) + "]";
+    case RaOp::kLimit: {
+      std::string out = "Limit " + cols() + " [k=" + std::to_string(limit_);
+      if (offset_ > 0) out += " offset=" + std::to_string(offset_);
+      return out + "]";
+    }
+    case RaOp::kTopK: {
+      std::string out = "TopK " + cols() + " [topk k=" +
+                        std::to_string(limit_);
+      if (offset_ > 0) out += " offset=" + std::to_string(offset_);
+      return out + " keys=" + SortKeysString(sort_keys_) + "]";
+    }
   }
   return "?";
 }

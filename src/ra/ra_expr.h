@@ -137,6 +137,9 @@ class RaExpr {
   const std::vector<SortKey>& sort_keys() const { return sort_keys_; }
   /// Row bound k (kLimit, kTopK).
   size_t limit() const { return limit_; }
+  /// Rows skipped before the bound applies (kLimit, kTopK): the node
+  /// emits rows [offset, offset + k) of its ordered input. 0 = none.
+  size_t offset() const { return offset_; }
 
   /// Physical join strategy annotation (kJoin only; kAuto when the plan
   /// has not been through the optimizer). Fixed at construction — nodes
@@ -188,15 +191,16 @@ class RaExpr {
   /// ascending in output order. `keys` must be non-empty, name distinct
   /// child columns, and contain no duplicates.
   static RaExprPtr Sort(RaExprPtr child, std::vector<SortKey> keys);
-  /// First `k` rows of the child, in the child's row order. Only
-  /// deterministic when the child's order is (Sort output, or a plan
-  /// whose full sorted prefix covers the arity) — the optimizer only
-  /// emits it in those positions.
-  static RaExprPtr Limit(RaExprPtr child, size_t k);
-  /// Sort + Limit fused: the first `k` rows of Sort(child, keys),
-  /// computed with a k-bounded heap instead of a full sort buffer.
+  /// Rows [offset, offset + k) of the child, in the child's row order.
+  /// Only deterministic when the child's order is (Sort output, or a
+  /// plan whose full sorted prefix covers the arity) — the optimizer
+  /// only emits it in those positions.
+  static RaExprPtr Limit(RaExprPtr child, size_t k, size_t offset = 0);
+  /// Sort + Limit fused: rows [offset, offset + k) of Sort(child, keys),
+  /// computed with a (k + offset)-bounded heap instead of a full sort
+  /// buffer.
   static RaExprPtr TopK(RaExprPtr child, std::vector<SortKey> keys,
-                        size_t k);
+                        size_t k, size_t offset = 0);
 
   /// Single-line description of this node (no children), for EXPLAIN.
   std::string NodeString() const;
@@ -223,6 +227,7 @@ class RaExpr {
   int parallel_hint_ = 0;
   std::vector<SortKey> sort_keys_;  // kSort, kTopK
   size_t limit_ = 0;                // kLimit, kTopK
+  size_t offset_ = 0;               // kLimit, kTopK
 };
 
 /// Sorted vector of the column names shared by `l` and `r`.

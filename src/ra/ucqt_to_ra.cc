@@ -37,8 +37,8 @@ RaExprPtr ApplyOrderAndLimit(RaExprPtr plan, const Ucqt& query) {
     plan = RaExpr::Sort(std::move(plan), std::move(keys));
   }
   if (query.limit >= 0) {
-    plan = RaExpr::Limit(std::move(plan),
-                         static_cast<size_t>(query.limit));
+    plan = RaExpr::Limit(std::move(plan), static_cast<size_t>(query.limit),
+                         static_cast<size_t>(query.offset));
   }
   return plan;
 }

@@ -1,0 +1,37 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+namespace gqopt {
+namespace shard {
+
+const char* ShardPolicyName(ShardPolicy policy) {
+  return policy == ShardPolicy::kRange ? "range" : "hash";
+}
+
+ShardSpec ShardSpec::FromEnv() {
+  ShardSpec spec;
+  if (const char* env = std::getenv("GQOPT_SHARDS")) {
+    int value = std::atoi(env);
+    spec.shards = std::clamp(value, 1, kMaxShards);
+  }
+  if (const char* env = std::getenv("GQOPT_SHARD_POLICY")) {
+    if (std::string_view(env) == "range") spec.policy = ShardPolicy::kRange;
+  }
+  return spec;
+}
+
+Partitioner::Partitioner(const ShardSpec& spec, size_t num_nodes)
+    : shards_(std::clamp(spec.shards, 1, kMaxShards)),
+      policy_(spec.policy),
+      chunk_(1) {
+  // Range chunks cover the partition-time id space evenly; the last
+  // shard absorbs the remainder and every later (delta) id.
+  size_t k = static_cast<size_t>(shards_);
+  chunk_ = std::max<size_t>(1, (num_nodes + k - 1) / k);
+}
+
+}  // namespace shard
+}  // namespace gqopt

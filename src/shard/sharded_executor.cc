@@ -1,0 +1,521 @@
+#include "shard/sharded_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/csr_view.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace gqopt {
+namespace shard {
+namespace {
+
+// Cap on materialized closure pairs — the same value as ra/executor.cc
+// and eval/binary_relation.cc, so a query that is infeasible unsharded is
+// infeasible sharded with the same typed status.
+constexpr size_t kMaxClosurePairs = size_t{1} << 24;
+
+uint64_t PackPair(NodeId x, NodeId y) {
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+
+/// True when `tc` is a closure the exchange can compute: its body is the
+/// plain un-renamed forward scan of one edge label, so the shard runs ARE
+/// the body's pairs. Rewritten bodies (reversed columns, filtered edges)
+/// fall back to the plain executor.
+bool Collectible(const RaExpr* tc) {
+  return tc->op() == RaOp::kTransitiveClosure &&
+         tc->left()->op() == RaOp::kEdgeScan &&
+         tc->src_col() == tc->left()->columns()[0] &&
+         tc->tgt_col() == tc->left()->columns()[1];
+}
+
+/// Collects the collectible closure nodes of `e`'s DAG, each pointer once.
+void CollectClosures(const RaExpr* e,
+                     std::unordered_set<const RaExpr*>* visited,
+                     std::vector<const RaExpr*>* out) {
+  if (e == nullptr || !visited->insert(e).second) return;
+  if (Collectible(e)) out->push_back(e);
+  if (e->left() != nullptr) CollectClosures(e->left().get(), visited, out);
+  if (e->right() != nullptr) CollectClosures(e->right().get(), visited, out);
+}
+
+/// What the driver walk learns about one edge label in the core.
+struct LabelUse {
+  size_t count = 0;           // kEdgeScan occurrences
+  bool under_closure = false; // any occurrence inside a fixpoint subtree
+  const RaExpr* node = nullptr;
+};
+
+/// Walks `e` counting edge-scan occurrences per label. Occurrences are
+/// counted by LABEL, not by node: two scans of one label — even with
+/// different column names — share the executor's canonical memo key, so
+/// a shard-sliced driver table would leak into the other scan. Returns
+/// false when the core contains an ordering operator (kSort/kLimit/kTopK
+/// below the Distinct would see per-shard row order, not global order —
+/// fan-out must not apply).
+bool WalkCore(const RaExpr* e, bool in_closure,
+              std::unordered_map<std::string, LabelUse>* uses) {
+  if (e == nullptr) return true;
+  switch (e->op()) {
+    case RaOp::kSort:
+    case RaOp::kLimit:
+    case RaOp::kTopK:
+      return false;
+    case RaOp::kEdgeScan: {
+      LabelUse& use = (*uses)[e->label()];
+      ++use.count;
+      use.under_closure |= in_closure;
+      use.node = e;
+      return true;
+    }
+    case RaOp::kTransitiveClosure:
+      // Body and seed are both fixpoint-internal: the closure is not
+      // union-distributive in either, so neither may carry the driver.
+      return WalkCore(e->left().get(), true, uses) &&
+             (e->right() == nullptr ||
+              WalkCore(e->right().get(), true, uses));
+    default:
+      return WalkCore(e->left().get(), in_closure, uses) &&
+             (e->right() == nullptr ||
+              WalkCore(e->right().get(), in_closure, uses));
+  }
+}
+
+/// The edge scan the core fans out on: a label scanned exactly once,
+/// never inside a fixpoint; among the eligible labels, the one with the
+/// largest edge table (splitting the biggest input buys the most), ties
+/// by name so the choice is deterministic. Null = no fan-out.
+const RaExpr* PickDriver(const RaExpr* core, const Catalog& catalog,
+                         const Deadline& deadline, std::string* label_out) {
+  std::unordered_map<std::string, LabelUse> uses;
+  if (!WalkCore(core, false, &uses)) return nullptr;
+  const RaExpr* best = nullptr;
+  size_t best_rows = 0;
+  std::string best_label;
+  for (const auto& [label, use] : uses) {
+    if (use.count != 1 || use.under_closure) continue;
+    size_t rows = catalog.stats().EdgeFor(label, deadline).rows;
+    if (best == nullptr || rows > best_rows ||
+        (rows == best_rows && label < best_label)) {
+      best = use.node;
+      best_rows = rows;
+      best_label = label;
+    }
+  }
+  if (best != nullptr) *label_out = best_label;
+  return best;
+}
+
+/// Merges two sorted-unique disjoint runs into one sorted run.
+std::vector<Edge> MergeRuns(const std::vector<Edge>& a,
+                            const std::vector<Edge>& b) {
+  std::vector<Edge> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+struct FirstLess {
+  bool operator()(const Edge& e, NodeId v) const { return e.first < v; }
+  bool operator()(NodeId v, const Edge& e) const { return v < e.first; }
+};
+
+/// One shard's adjacency in the expansion orientation, either borrowing
+/// the prebuilt shard runs/CSRs or owning a per-query base∪delta merge.
+struct Adjacency {
+  const std::vector<Edge>* pairs = nullptr;
+  const CsrView* csr = nullptr;
+  std::vector<Edge> owned;
+  CsrView owned_csr;
+
+  std::pair<const Edge*, const Edge*> Neighbors(NodeId v) const {
+    const std::vector<Edge>& p = *pairs;
+    if (csr != nullptr && csr->indexed()) {
+      auto [lo, hi] = csr->Range(v);
+      return {p.data() + lo, p.data() + hi};
+    }
+    auto [lo, hi] = std::equal_range(p.begin(), p.end(), v, FirstLess{});
+    return {p.data() + (lo - p.begin()), p.data() + (hi - p.begin())};
+  }
+};
+
+/// Per-shard exchange state. `seen` deduplicates the pairs this shard
+/// owns; `outbox[o]` stages candidates for shard `o` between the
+/// expansion and delivery phases of a round.
+struct ShardState {
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> acc;
+  std::vector<Edge> frontier;
+  std::vector<Edge> next;
+  std::vector<std::vector<Edge>> outbox;
+};
+
+}  // namespace
+
+Result<Table> ShardedExecutor::ExchangeClosure(const RaExpr* tc,
+                                               const ExecContext& ctx) {
+  const std::string& label = tc->left()->label();
+  const bool seeded = tc->seed_side() != SeedSide::kNone;
+  // "Forward" orientation (unseeded + source-seeded) expands pairs at the
+  // target end through successor lists; target-seeded expands at the
+  // source end through predecessor lists. Pairs are always stored as the
+  // actual (source, target).
+  const bool forward = tc->seed_side() != SeedSide::kTarget;
+
+  std::vector<NodeId> seeds;
+  if (seeded) {
+    // The seed plan is closure-external: evaluate it with a scratch plain
+    // executor, exactly as EvalClosure does.
+    Executor seed_exec(catalog_);
+    GQOPT_ASSIGN_OR_RETURN(Table seed_table, seed_exec.Run(tc->seed(), ctx));
+    seeds.reserve(seed_table.rows());
+    for (size_t r = 0; r < seed_table.rows(); ++r) {
+      seeds.push_back(seed_table.Row(r)[0]);
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  }
+
+  const Partitioner& part = sharded_.partitioner();
+  const int K = part.shards();
+  const bool with_delta = delta_ != nullptr && delta_->TouchesEdgeLabel(label);
+
+  // Per-shard adjacency in the expansion orientation. With a pending
+  // delta the shard's prebuilt run is merged with the shard-filtered
+  // delta run per query (both sorted-unique and disjoint, so a two-way
+  // merge yields a sorted run) and locally indexed; otherwise the
+  // partition-time runs and CSRs are borrowed as-is.
+  std::vector<Adjacency> adj(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    const ShardLabelRuns& runs = sharded_.RunsFor(k, label);
+    const std::vector<Edge>& base = forward ? runs.forward : runs.reverse;
+    Adjacency& a = adj[static_cast<size_t>(k)];
+    if (with_delta) {
+      const std::vector<Edge>& delta_run =
+          forward ? delta_->ForwardRun(label) : delta_->ReverseRun(label);
+      std::vector<Edge> filtered;
+      for (const Edge& e : delta_run) {
+        if (part.ShardOf(e.first) == k) filtered.push_back(e);
+      }
+      a.owned = MergeRuns(base, filtered);
+      a.owned_csr = CsrView::Build(a.owned);
+      a.pairs = &a.owned;
+      a.csr = &a.owned_csr;
+    } else {
+      a.pairs = &base;
+      a.csr = forward ? runs.forward_csr.get() : runs.reverse_csr.get();
+    }
+  }
+
+  // A pair p = (x, y) is owned by the shard of its expansion endpoint —
+  // shard(y) forward (expansion reads succ(y)), shard(x) target-seeded
+  // (expansion reads pred(x)) — so expansion is always a local adjacency
+  // lookup on the owner.
+  auto expand_key = [forward](const Edge& p) {
+    return forward ? p.second : p.first;
+  };
+  auto compose = [forward](const Edge& p, NodeId n) {
+    return forward ? Edge{p.first, n} : Edge{n, p.second};
+  };
+
+  std::vector<ShardState> state(static_cast<size_t>(K));
+  for (ShardState& s : state) {
+    s.outbox.resize(static_cast<size_t>(K));
+  }
+
+  // Seed round: every adjacency entry (a, b) is one base pair — (a, b)
+  // forward, (b, a) target-seeded — and in BOTH orientations `a` is the
+  // seed-filtered endpoint and shard(b) the owner.
+  size_t total_acc = 0;
+  DeadlinePoller poll(ctx.deadline);
+  for (int k = 0; k < K; ++k) {
+    for (const Edge& e : *adj[static_cast<size_t>(k)].pairs) {
+      if (seeded &&
+          !std::binary_search(seeds.begin(), seeds.end(), e.first)) {
+        continue;
+      }
+      Edge p = forward ? e : Edge{e.second, e.first};
+      int owner = part.ShardOf(e.second);
+      ShardState& s = state[static_cast<size_t>(owner)];
+      if (!s.seen.insert(PackPair(p.first, p.second)).second) continue;
+      s.acc.push_back(p);
+      s.frontier.push_back(p);
+      ++total_acc;
+      if (poll.Due() && (ctx.deadline.Expired() || ctx.MemBreached())) {
+        return AbortStatus(ctx, "sharded closure");
+      }
+    }
+  }
+
+  if (total_acc > kMaxClosurePairs) {
+    return Status::ResourceExhausted(
+        "transitive closure exceeded the result cap");
+  }
+
+  GrowthCharge mem_charge(ctx.mem);
+  bool any_frontier = total_acc > 0;
+  while (any_frontier) {
+    // Expansion phase: each shard expands its own frontier through its
+    // local adjacency into per-destination outboxes — no shared state, so
+    // the shards fan out across the pool at dop > 1 (bit-identical to the
+    // serial loop: outbox contents depend only on the shard's frontier).
+    std::atomic<bool> aborted{false};
+    auto expand = [&](size_t begin, size_t end) -> bool {
+      DeadlinePoller body_poll(ctx.deadline);
+      for (size_t k = begin; k < end; ++k) {
+        ShardState& s = state[k];
+        for (const Edge& p : s.frontier) {
+          auto [it, stop] = adj[k].Neighbors(expand_key(p));
+          for (; it != stop; ++it) {
+            Edge q = compose(p, it->second);
+            s.outbox[static_cast<size_t>(part.ShardOf(it->second))]
+                .push_back(q);
+          }
+          if (body_poll.Due() &&
+              (ctx.deadline.Expired() || ctx.MemBreached())) {
+            aborted.store(true, std::memory_order_relaxed);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    bool completed;
+    if (ctx.dop > 1 && K > 1) {
+      completed = ParallelFor(ctx.TaskPool(), ctx.dop,
+                              static_cast<size_t>(K), 1, ctx.deadline,
+                              expand);
+    } else {
+      completed = expand(0, static_cast<size_t>(K));
+    }
+    if (!completed || aborted.load(std::memory_order_relaxed)) {
+      return AbortStatus(ctx, "sharded closure");
+    }
+
+    // Exchange phase (serial): ship every outbox to its owner, which
+    // deduplicates against its seen set and re-frontiers fresh pairs.
+    // The injectable failure surface of the sharded path — probed once
+    // per round, before any delivery mutates the round's state.
+    switch (FaultHit(FaultPoint::kShardExchange)) {
+      case FaultKind::kDeadline:
+        return Status::DeadlineExceeded(
+            "shard frontier exchange: injected deadline expiry");
+      case FaultKind::kAlloc:
+        return Status::ResourceExhausted(
+            "resource: shard frontier exchange allocation failed");
+      default:
+        break;
+    }
+    any_frontier = false;
+    for (int k = 0; k < K; ++k) {
+      ShardState& from = state[static_cast<size_t>(k)];
+      from.frontier.clear();
+      for (int o = 0; o < K; ++o) {
+        std::vector<Edge>& box = from.outbox[static_cast<size_t>(o)];
+        ShardState& to = state[static_cast<size_t>(o)];
+        for (const Edge& q : box) {
+          if (!to.seen.insert(PackPair(q.first, q.second)).second) continue;
+          to.acc.push_back(q);
+          to.next.push_back(q);
+          ++total_acc;
+          if (o != k) ++exchanged_pairs_;
+        }
+        box.clear();
+        if (poll.Due() && (ctx.deadline.Expired() || ctx.MemBreached())) {
+          return AbortStatus(ctx, "sharded closure");
+        }
+      }
+    }
+    if (total_acc > kMaxClosurePairs) {
+      return Status::ResourceExhausted(
+          "transitive closure exceeded the result cap");
+    }
+    size_t held = 0;
+    for (const ShardState& s : state) {
+      held += (s.acc.capacity() + s.frontier.capacity() +
+               s.next.capacity()) *
+              sizeof(Edge);
+      held += s.seen.size() * sizeof(uint64_t) * 2;
+    }
+    if (!mem_charge.Update(held)) {
+      return AbortStatus(ctx, "sharded closure");
+    }
+    for (ShardState& s : state) {
+      s.frontier.swap(s.next);
+      if (!s.frontier.empty()) any_frontier = true;
+    }
+  }
+
+  // Every pair has exactly one owner, so the per-shard accumulators are
+  // disjoint; the sort canonicalizes them into the closure order the
+  // plain evaluation produces.
+  std::vector<Edge> all;
+  all.reserve(total_acc);
+  for (ShardState& s : state) {
+    all.insert(all.end(), s.acc.begin(), s.acc.end());
+  }
+  SortUniquePairs(&all);
+  std::vector<NodeId> data;
+  data.reserve(all.size() * 2);
+  for (const Edge& p : all) {
+    data.push_back(p.first);
+    data.push_back(p.second);
+  }
+  Table out = Table::FromData({tc->src_col(), tc->tgt_col()}, std::move(data));
+  out.MarkSorted();
+  return out;
+}
+
+Result<Table> ShardedExecutor::Run(const RaExprPtr& plan,
+                                   const ExecContext& ctx) {
+  shard_core_rows_.clear();
+  exchanged_pairs_ = 0;
+  driver_label_.clear();
+
+  // 1. Closures first: compute every collectible fixpoint via frontier
+  // exchange and preload it everywhere it could be looked up.
+  std::unordered_set<const RaExpr*> visited;
+  std::vector<const RaExpr*> closures;
+  CollectClosures(plan.get(), &visited, &closures);
+  std::vector<std::pair<const RaExpr*, Table>> closure_tables;
+  closure_tables.reserve(closures.size());
+  for (const RaExpr* tc : closures) {
+    GQOPT_ASSIGN_OR_RETURN(Table t, ExchangeClosure(tc, ctx));
+    main_.Preload(tc, t);
+    closure_tables.emplace_back(tc, std::move(t));
+  }
+
+  // 2. Fan-out shape: peel the root ordering chain down to the plan's
+  // Distinct; fan out on a driver scan of its child (the core).
+  const RaExpr* node = plan.get();
+  while (node->op() == RaOp::kSort || node->op() == RaOp::kLimit ||
+         node->op() == RaOp::kTopK) {
+    node = node->left().get();
+  }
+  const RaExpr* distinct =
+      node->op() == RaOp::kDistinct ? node : nullptr;
+  const RaExpr* driver =
+      distinct == nullptr
+          ? nullptr
+          : PickDriver(distinct->left().get(), catalog_, ctx.deadline,
+                       &driver_label_);
+  if (driver == nullptr) {
+    // No eligible driver (or no Distinct to recombine under): the plain
+    // executor computes the identical answer, with the exchanged
+    // closures already preloaded.
+    driver_label_.clear();
+    return main_.Run(plan, ctx);
+  }
+
+  // 3. Per-shard driver slices: shard k's forward run of the driver
+  // label, merged with the shard's delta edges. The slices partition the
+  // full scan, and each is sorted (a shard run is a subsequence of the
+  // sorted base run; the delta merge preserves order).
+  const Partitioner& part = sharded_.partitioner();
+  const int K = part.shards();
+  const std::vector<Edge>* delta_run = nullptr;
+  if (delta_ != nullptr && delta_->TouchesEdgeLabel(driver_label_)) {
+    delta_run = &delta_->ForwardRun(driver_label_);
+  }
+  std::vector<Table> slices;
+  slices.reserve(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    const std::vector<Edge>& base =
+        sharded_.RunsFor(k, driver_label_).forward;
+    std::vector<Edge> merged;
+    const std::vector<Edge>* rows = &base;
+    if (delta_run != nullptr) {
+      std::vector<Edge> filtered;
+      for (const Edge& e : *delta_run) {
+        if (part.ShardOf(e.first) == k) filtered.push_back(e);
+      }
+      merged = MergeRuns(base, filtered);
+      rows = &merged;
+    }
+    std::vector<NodeId> data;
+    data.reserve(rows->size() * 2);
+    for (const Edge& e : *rows) {
+      data.push_back(e.first);
+      data.push_back(e.second);
+    }
+    Table t = Table::FromData(driver->columns(), std::move(data));
+    t.MarkSorted();
+    slices.push_back(std::move(t));
+  }
+
+  // 4. Evaluate the core once per shard, each on a fresh executor seeded
+  // with the shard's driver slice and the shared closure tables. Shards
+  // fan out across the pool at dop > 1 (each running serially inside) —
+  // per-shard results don't depend on scheduling, so parallel and
+  // sequential execution are bit-identical.
+  const RaExprPtr& core = distinct->left();
+  ExecContext shard_ctx = ctx;
+  shard_ctx.dop = 1;
+  shard_ctx.pool = nullptr;
+  std::vector<Table> results(static_cast<size_t>(K));
+  std::vector<Status> statuses(static_cast<size_t>(K), Status::OK());
+  auto run_shard = [&](size_t k) -> bool {
+    Executor ex(catalog_);
+    for (const auto& [tc, table] : closure_tables) ex.Preload(tc, table);
+    ex.Preload(driver, slices[k]);
+    Result<Table> r = ex.Run(core, shard_ctx);
+    if (!r.ok()) {
+      statuses[k] = r.status();
+      return false;
+    }
+    results[k] = std::move(r).value();
+    return true;
+  };
+  bool completed = true;
+  if (ctx.dop > 1 && K > 1) {
+    completed = ParallelFor(ctx.TaskPool(), ctx.dop,
+                            static_cast<size_t>(K), 1, ctx.deadline,
+                            [&](size_t begin, size_t end) {
+                              bool ok = true;
+                              for (size_t k = begin; k < end; ++k) {
+                                ok = run_shard(k) && ok;
+                              }
+                              return ok;
+                            });
+  } else {
+    for (int k = 0; k < K; ++k) run_shard(static_cast<size_t>(k));
+  }
+  // Surface failures deterministically: the lowest failing shard index
+  // wins regardless of which shard hit its error first on the clock.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  // An aborted fan-out with no shard error means the pool stopped on the
+  // deadline before every shard ran.
+  if (!completed) return AbortStatus(ctx, "sharded execution");
+
+  // 5. Union the shard results and canonicalize under the Distinct —
+  // sorted unique rows, exactly what the unsharded Distinct produces.
+  shard_core_rows_.reserve(static_cast<size_t>(K));
+  size_t total_rows = 0;
+  for (const Table& t : results) {
+    shard_core_rows_.push_back(t.rows());
+    total_rows += t.rows();
+  }
+  std::vector<NodeId> data;
+  data.reserve(total_rows * distinct->columns().size());
+  for (const Table& t : results) {
+    data.insert(data.end(), t.data().begin(), t.data().end());
+  }
+  Table unioned = Table::FromData(distinct->columns(), std::move(data));
+  unioned.SortDistinct();
+  main_.Preload(distinct, std::move(unioned));
+
+  // 6. The plain executor evaluates the full plan over the preloads:
+  // ordering operators, analyze counters, memoization, and memory
+  // charging all behave exactly as unsharded.
+  return main_.Run(plan, ctx);
+}
+
+}  // namespace shard
+}  // namespace gqopt

@@ -1,0 +1,104 @@
+// Shard-parallel plan execution over a ShardedGraph: transitive closures
+// run as per-shard semi-naive fixpoints with frontier exchange for
+// crossing edges, and the rest of the plan fans out per shard around one
+// driver scan, with the shard results unioned back under the plan's
+// Distinct. Both transformations preload their results into a plain
+// Executor (ra/executor.h), which then evaluates the full plan unchanged
+// — so ordering operators, memoization, analyze counters, and memory
+// governance behave exactly as in the unsharded path, and the result is
+// bit-identical at every shard count and policy (the shard differential
+// suite pins this).
+//
+// Decomposition argument, in two halves:
+//   - Closures: a reachability pair (x, y) is owned by exactly one shard
+//     (the shard of its expansion endpoint). Each round expands every
+//     frontier pair one edge through the owner's local adjacency, then
+//     ships each candidate to its owner, which deduplicates and
+//     re-frontiers it. This is semi-naive iteration with the dedup set
+//     partitioned by owner — the same pair set as the unsharded fixpoint,
+//     discovered in the same number of rounds.
+//   - Core fan-out: the driver scan appears exactly once in the core (and
+//     never under a fixpoint), and every RRA operator outside fixpoints
+//     is union-distributive in one argument, so evaluating the core with
+//     the driver restricted to shard k's edges and unioning over k yields
+//     exactly the unsharded core's row set; the Distinct on top
+//     re-canonicalizes order and multiplicity.
+//
+// Every decision point degrades to the plain executor (no eligible
+// driver, order operators inside the core, closures with rewritten
+// bodies) — degrading is always safe because the unsharded path computes
+// the same answer.
+
+#ifndef GQOPT_SHARD_SHARDED_EXECUTOR_H_
+#define GQOPT_SHARD_SHARDED_EXECUTOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inc/delta_store.h"
+#include "ra/catalog.h"
+#include "ra/executor.h"
+#include "ra/ra_expr.h"
+#include "ra/table.h"
+#include "shard/sharded_graph.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace gqopt {
+namespace shard {
+
+/// \brief Evaluates RRA plans shard-parallel over a ShardedGraph,
+/// bit-identical to Executor over the same catalog.
+///
+/// One instance per query execution (like Executor). `catalog` is the
+/// query's (possibly overlay) catalog; `sharded` is the snapshot's
+/// partition of the BASE graph; `delta` is the catalog's pending seal
+/// (null when compacted) — delta edges are routed to their owning shard
+/// per query through the partitioner, never re-partitioned.
+class ShardedExecutor {
+ public:
+  ShardedExecutor(const Catalog& catalog, const ShardedGraph& sharded,
+                  const inc::SealedDelta* delta = nullptr)
+      : catalog_(catalog), sharded_(sharded), delta_(delta), main_(catalog) {}
+
+  Result<Table> Run(const RaExprPtr& plan, const ExecContext& ctx);
+
+  /// The underlying executor that ran the (preloaded) plan — EXPLAIN's
+  /// analyze mode reads its actual_rows()/actual_bytes() as usual.
+  const Executor& main() const { return main_; }
+
+  /// Core result rows contributed by each shard in the most recent Run()
+  /// (empty when the run fell back to unsharded evaluation). Analyze mode
+  /// prints these as per-shard rows.
+  const std::vector<size_t>& shard_core_rows() const {
+    return shard_core_rows_;
+  }
+
+  /// Reachability pairs shipped across shards by the frontier exchanges
+  /// of the most recent Run() (0 when no closure ran sharded, or the
+  /// partition had no crossing edges on the closed labels).
+  size_t exchanged_pairs() const { return exchanged_pairs_; }
+
+  /// Edge label of the scan the core fanned out on (empty on fallback).
+  const std::string& driver_label() const { return driver_label_; }
+
+ private:
+  /// Computes one collectible transitive closure via per-shard fixpoints
+  /// with frontier exchange. Probes FaultPoint::kShardExchange once per
+  /// exchange round.
+  Result<Table> ExchangeClosure(const RaExpr* tc, const ExecContext& ctx);
+
+  const Catalog& catalog_;
+  const ShardedGraph& sharded_;
+  const inc::SealedDelta* delta_;
+  Executor main_;
+  std::vector<size_t> shard_core_rows_;
+  size_t exchanged_pairs_ = 0;
+  std::string driver_label_;
+};
+
+}  // namespace shard
+}  // namespace gqopt
+
+#endif  // GQOPT_SHARD_SHARDED_EXECUTOR_H_

@@ -1,0 +1,217 @@
+#include "shard/sharded_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/label_graph.h"
+
+namespace gqopt {
+namespace shard {
+namespace {
+
+/// Sum of count(a) * count(b) over the reachable label pairs — the same
+/// bound formula as stats/graph_stats.cc, rebuilt from retained pair
+/// names so shard-local and merged bounds agree with the unsharded
+/// collection exactly.
+double ReachableBoundByName(
+    const PropertyGraph& graph,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  LabelGraph lg;
+  std::vector<size_t> extent;
+  auto vertex = [&](const std::string& name) {
+    size_t before = lg.num_vertices();
+    size_t v = lg.AddVertex(name);
+    if (v == before) extent.push_back(graph.NodesWithLabel(name).size());
+    return v;
+  };
+  size_t payload = 0;
+  for (const auto& [from, to] : pairs) {
+    size_t f = vertex(from);
+    size_t t = vertex(to);
+    lg.AddEdge(f, t, payload++);
+  }
+  double bound = 0;
+  for (const auto& [from, to] : lg.ReachablePairs()) {
+    bound += static_cast<double>(extent[from]) *
+             static_cast<double>(extent[to]);
+  }
+  return bound;
+}
+
+void SortUniqueNames(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+void SortUniquePairsByName(
+    std::vector<std::pair<std::string, std::string>>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// Finishes an EdgeLabelStats whose counts and retained label vectors are
+/// filled: averages, extent bounds, closure bound, canonical ordering.
+void FinishStats(const PropertyGraph& graph, EdgeLabelStats* stats) {
+  if (stats->distinct_sources > 0) {
+    stats->avg_out_degree = static_cast<double>(stats->rows) /
+                            static_cast<double>(stats->distinct_sources);
+  }
+  if (stats->distinct_targets > 0) {
+    stats->avg_in_degree = static_cast<double>(stats->rows) /
+                           static_cast<double>(stats->distinct_targets);
+  }
+  SortUniqueNames(&stats->src_labels);
+  SortUniqueNames(&stats->tgt_labels);
+  SortUniquePairsByName(&stats->label_pairs);
+  stats->source_label_bound = 0;
+  stats->target_label_bound = 0;
+  for (const std::string& name : stats->src_labels) {
+    stats->source_label_bound += graph.NodesWithLabel(name).size();
+  }
+  for (const std::string& name : stats->tgt_labels) {
+    stats->target_label_bound += graph.NodesWithLabel(name).size();
+  }
+  stats->closure_bound = ReachableBoundByName(graph, stats->label_pairs);
+}
+
+/// Distinct leading components of a sorted run (run counting — the runs
+/// are sorted by their first component).
+size_t DistinctFirsts(const std::vector<Edge>& run) {
+  size_t distinct = 0;
+  NodeId prev = 0;
+  bool first = true;
+  for (const Edge& e : run) {
+    if (first || e.first != prev) {
+      ++distinct;
+      prev = e.first;
+      first = false;
+    }
+  }
+  return distinct;
+}
+
+size_t RunsBytes(const ShardLabelRuns& runs) {
+  return (runs.forward.size() + runs.reverse.size() +
+          runs.crossing.size()) *
+         sizeof(Edge);
+}
+
+}  // namespace
+
+const ShardLabelRuns ShardedGraph::kNoRuns{};
+const EdgeLabelStats ShardedGraph::kNoStats{};
+
+std::shared_ptr<const ShardedGraph> ShardedGraph::Build(
+    const PropertyGraph& graph, const ShardSpec& spec,
+    MemoryTracker* parent) {
+  if (!spec.active()) return nullptr;
+  // shared_ptr over make_shared: the constructor is private and the
+  // control block's few extra bytes are noise next to the runs.
+  std::shared_ptr<ShardedGraph> sharded(new ShardedGraph(graph, spec));
+  const Partitioner& part = sharded->partitioner_;
+  int k = part.shards();
+  sharded->shards_.resize(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Shard& shard = sharded->shards_[static_cast<size_t>(i)];
+    shard.mem = std::make_unique<MemoryTracker>(
+        0, "shard-" + std::to_string(i), parent);
+    shard.bytes = TrackedBytes(shard.mem.get());
+  }
+
+  for (const std::string& label : graph.edge_label_names()) {
+    // Scatter the sorted forward run by source shard: each shard's slice
+    // is a subsequence of a sorted run, hence itself sorted by (s, t).
+    for (const Edge& e : graph.EdgesByLabel(label)) {
+      int src_shard = part.ShardOf(e.first);
+      ShardLabelRuns& runs =
+          sharded->shards_[static_cast<size_t>(src_shard)].labels[label];
+      runs.forward.push_back(e);
+      if (part.ShardOf(e.second) != src_shard) {
+        runs.crossing.push_back(e);
+        ++sharded->crossing_edges_;
+      }
+    }
+    // Reverse run by target shard, same subsequence argument.
+    for (const Edge& e : graph.ReverseEdgesByLabel(label)) {
+      sharded->shards_[static_cast<size_t>(part.ShardOf(e.first))]
+          .labels[label]
+          .reverse.push_back(e);
+    }
+  }
+
+  // Indexes, statistics, and the budget charge, per shard.
+  for (int i = 0; i < k; ++i) {
+    Shard& shard = sharded->shards_[static_cast<size_t>(i)];
+    size_t shard_bytes = 0;
+    for (auto& [label, runs] : shard.labels) {
+      runs.forward_csr =
+          std::make_shared<const CsrView>(CsrView::Build(runs.forward));
+      runs.reverse_csr =
+          std::make_shared<const CsrView>(CsrView::Build(runs.reverse));
+      shard_bytes += RunsBytes(runs);
+
+      // The collection pass of stats/graph_stats.cc over the shard's
+      // runs: the forward run is sorted by source and the reverse run by
+      // target, so both distinct counts are run counts.
+      EdgeLabelStats stats;
+      stats.rows = runs.forward.size();
+      stats.distinct_sources = DistinctFirsts(runs.forward);
+      stats.distinct_targets = DistinctFirsts(runs.reverse);
+      for (const Edge& e : runs.forward) {
+        const std::string& sl = graph.NodeLabel(e.first);
+        const std::string& tl = graph.NodeLabel(e.second);
+        stats.src_labels.push_back(sl);
+        stats.tgt_labels.push_back(tl);
+        stats.label_pairs.emplace_back(sl, tl);
+      }
+      FinishStats(graph, &stats);
+      shard.stats.emplace(label, std::move(stats));
+    }
+    sharded->total_bytes_ += shard_bytes;
+    if (!shard.bytes.Add(static_cast<int64_t>(shard_bytes))) {
+      // Over budget: degrade to unsharded storage. The TrackedBytes
+      // destructors release every charge already landed.
+      return nullptr;
+    }
+  }
+  return sharded;
+}
+
+const ShardLabelRuns& ShardedGraph::RunsFor(int k,
+                                            const std::string& label) const {
+  const Shard& shard = shards_[static_cast<size_t>(k)];
+  auto it = shard.labels.find(label);
+  return it == shard.labels.end() ? kNoRuns : it->second;
+}
+
+const EdgeLabelStats& ShardedGraph::StatsFor(int k,
+                                             const std::string& label) const {
+  const Shard& shard = shards_[static_cast<size_t>(k)];
+  auto it = shard.stats.find(label);
+  return it == shard.stats.end() ? kNoStats : it->second;
+}
+
+EdgeLabelStats ShardedGraph::MergedEdgeStats(const std::string& label) const {
+  EdgeLabelStats merged;
+  for (const Shard& shard : shards_) {
+    auto it = shard.stats.find(label);
+    if (it == shard.stats.end()) continue;
+    const EdgeLabelStats& s = it->second;
+    // The forward runs partition the table by source and the reverse
+    // runs by target, so rows and both distinct counts sum exactly.
+    merged.rows += s.rows;
+    merged.distinct_sources += s.distinct_sources;
+    merged.distinct_targets += s.distinct_targets;
+    merged.src_labels.insert(merged.src_labels.end(), s.src_labels.begin(),
+                             s.src_labels.end());
+    merged.tgt_labels.insert(merged.tgt_labels.end(), s.tgt_labels.begin(),
+                             s.tgt_labels.end());
+    merged.label_pairs.insert(merged.label_pairs.end(),
+                              s.label_pairs.begin(), s.label_pairs.end());
+  }
+  FinishStats(graph_, &merged);
+  return merged;
+}
+
+}  // namespace shard
+}  // namespace gqopt

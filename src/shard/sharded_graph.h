@@ -1,0 +1,132 @@
+// Sharded graph storage (docs/ARCHITECTURE.md): a PropertyGraph split
+// into K shards by a Partitioner, each shard owning durable per-label
+// adjacency runs, CSR views, statistics, and a MemoryTracker child
+// budget. This generalizes the transient radix scatter of util/radix.h
+// into first-class storage the planner and executor can see.
+//
+// Ownership model (the partition invariants every consumer relies on):
+//   - A forward edge (s, t) of label L belongs to shard(s)'s forward run
+//     for L, kept sorted by (s, t) — so the forward runs of one label
+//     PARTITION the label's edge table by source, and per-shard distinct
+//     source counts sum exactly to the global count.
+//   - The same edge appears as (t, s) in shard(t)'s reverse run, sorted
+//     by (t, s) — the reverse runs partition the table by target.
+//   - The crossing subset of a shard's forward run (edges whose target
+//     lives in another shard) is indexed at partition time: it is what
+//     the executor's frontier exchange ships between shards, and a label
+//     with an empty crossing set closes entirely shard-locally.
+//
+// Per-shard statistics are collected with the same pass as
+// stats/graph_stats.cc over the shard's runs; MergedEdgeStats() recombines
+// them into the global EdgeLabelStats field-by-field (the shard
+// differential suite pins exact equality against the unsharded catalog).
+//
+// Build() charges every shard's bytes against a MemoryTracker child
+// ("shard-k") of the caller's budget; on breach the build returns null
+// and the database keeps serving unsharded — a layout degrade, never an
+// answer change.
+
+#ifndef GQOPT_SHARD_SHARDED_GRAPH_H_
+#define GQOPT_SHARD_SHARDED_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/csr_view.h"
+#include "graph/property_graph.h"
+#include "shard/partitioner.h"
+#include "stats/graph_stats.h"
+#include "util/mem_tracker.h"
+
+namespace gqopt {
+namespace shard {
+
+/// Per-label adjacency slices owned by one shard.
+struct ShardLabelRuns {
+  /// Edges (s, t) with shard(s) == this shard, sorted by (s, t).
+  std::vector<Edge> forward;
+  /// Edges as (t, s) with shard(t) == this shard, sorted by (t, s).
+  std::vector<Edge> reverse;
+  /// Subset of `forward` whose target lives in another shard, in run
+  /// order — the frontier-exchange shipping set.
+  std::vector<Edge> crossing;
+  /// CSR offset index over `forward` (by source), built at partition
+  /// time so exchange rounds never race a lazy build.
+  std::shared_ptr<const CsrView> forward_csr;
+  /// CSR offset index over `reverse` (by target).
+  std::shared_ptr<const CsrView> reverse_csr;
+};
+
+/// One shard: its per-label runs, per-label statistics, and its memory
+/// child. Deeply immutable after Build().
+struct Shard {
+  std::unordered_map<std::string, ShardLabelRuns> labels;
+  std::unordered_map<std::string, EdgeLabelStats> stats;
+  /// Child budget ("shard-k") the shard's bytes are charged against for
+  /// the lifetime of the ShardedGraph.
+  std::unique_ptr<MemoryTracker> mem;
+  TrackedBytes bytes;
+};
+
+/// \brief K-way sharded storage over one finalized PropertyGraph.
+///
+/// Immutable after Build() and safe for concurrent const access (the
+/// api::Snapshot shares one across reader threads). The base graph must
+/// outlive it; pending delta rows are NOT in it — the executor routes
+/// delta edges to their owning shard per query through the partitioner.
+class ShardedGraph {
+ public:
+  /// Partitions `graph` under `spec`. Returns null when the spec is
+  /// inactive or when charging the shard bytes against `parent` (null =
+  /// ungoverned) breaches a budget — the caller falls back to unsharded
+  /// storage, which is bit-identical.
+  static std::shared_ptr<const ShardedGraph> Build(const PropertyGraph& graph,
+                                                   const ShardSpec& spec,
+                                                   MemoryTracker* parent);
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  int shards() const { return partitioner_.shards(); }
+  ShardPolicy policy() const { return partitioner_.policy(); }
+
+  const Shard& shard(int k) const { return shards_[k]; }
+
+  /// Shard `k`'s runs for `label` (empty statics for untouched labels).
+  const ShardLabelRuns& RunsFor(int k, const std::string& label) const;
+
+  /// Shard `k`'s statistics for `label` (zeroed for untouched labels).
+  const EdgeLabelStats& StatsFor(int k, const std::string& label) const;
+
+  /// Recombines the per-shard statistics of `label` into the global
+  /// EdgeLabelStats: counts sum (the runs partition the table), label
+  /// sets union, averages and schema bounds recompute — field-by-field
+  /// identical to the unsharded collection over the same graph.
+  EdgeLabelStats MergedEdgeStats(const std::string& label) const;
+
+  /// Total crossing edges across all shards and labels — 0 means every
+  /// label closes shard-locally under this partition.
+  size_t crossing_edges() const { return crossing_edges_; }
+  /// Total bytes charged for the shard runs (the "shard-k" children sum).
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  ShardedGraph(const PropertyGraph& graph, const ShardSpec& spec)
+      : graph_(graph), partitioner_(spec, graph.num_nodes()) {}
+
+  const PropertyGraph& graph_;
+  Partitioner partitioner_;
+  std::vector<Shard> shards_;
+  size_t crossing_edges_ = 0;
+  size_t total_bytes_ = 0;
+
+  static const ShardLabelRuns kNoRuns;
+  static const EdgeLabelStats kNoStats;
+};
+
+using ShardedGraphPtr = std::shared_ptr<const ShardedGraph>;
+
+}  // namespace shard
+}  // namespace gqopt
+
+#endif  // GQOPT_SHARD_SHARDED_GRAPH_H_

@@ -155,6 +155,10 @@ Result<std::string> EmitCypher(const Ucqt& query) {
     }
   }
   if (query.limit >= 0) {
+    // Cypher spells the window prefix SKIP and places it before LIMIT.
+    if (query.offset > 0) {
+      order_clause += "\nSKIP " + std::to_string(query.offset);
+    }
     order_clause += "\nLIMIT " + std::to_string(query.limit);
   }
   if (order_clause.empty()) {

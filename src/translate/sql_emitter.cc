@@ -202,6 +202,9 @@ Result<std::string> EmitSql(const Ucqt& query, const SqlOptions& options) {
   }
   if (query.limit >= 0) {
     sql += "\nLIMIT " + std::to_string(query.limit);
+    if (query.offset > 0) {
+      sql += "\nOFFSET " + std::to_string(query.offset);
+    }
   }
   sql += ";";
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <thread>
 
 #include "util/deadline.h"
 #include "util/mem_tracker.h"
@@ -25,13 +26,27 @@ namespace gqopt {
 /// degrade, mirroring kRadixMinBuildRows for the radix-vs-flat choice.
 constexpr size_t kParallelMinRows = size_t{1} << 15;
 
+/// Core-aware default degree of parallelism: the hardware concurrency
+/// clamped to [1, 256] (0 — unknown — degrades to 1, serial). Parallel
+/// execution is bit-identical to serial, so the default only sets how
+/// wide operators fan out, never what they produce. On a 1-core box
+/// this is 1, i.e. everything stays serial unless GQOPT_DOP raises it.
+inline int DefaultDop() {
+  static const int dop = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hw), 1, 256);
+  }();
+  return dop;
+}
+
 /// Degree of parallelism from the GQOPT_DOP environment variable
-/// (clamped to [1, 256]; unset or unparsable means 1 — serial). Read
-/// once: the knob selects a run-wide mode, not a per-query one.
+/// (clamped to [1, 256]; unparsable means 1 — serial; unset falls back
+/// to the core-aware DefaultDop()). Read once: the knob selects a
+/// run-wide mode, not a per-query one.
 inline int EnvDop() {
   static const int dop = [] {
     const char* env = std::getenv("GQOPT_DOP");
-    if (env == nullptr) return 1;
+    if (env == nullptr) return DefaultDop();
     int value = std::atoi(env);
     return std::clamp(value, 1, 256);
   }();

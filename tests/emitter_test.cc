@@ -93,6 +93,19 @@ TEST(SqlEmitterTest, UnionOfDisjuncts) {
   EXPECT_TRUE(Contains(*sql, "UNION"));
 }
 
+TEST(SqlEmitterTest, OrderLimitOffsetSuffix) {
+  auto sql = EmitSql(
+      Parse("x, y <- (x, knows, y) order by y desc, x limit 10 offset 3"));
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_TRUE(Contains(*sql, "ORDER BY y DESC, x"));
+  EXPECT_TRUE(Contains(*sql, "LIMIT 10"));
+  EXPECT_TRUE(Contains(*sql, "OFFSET 3"));
+  // A zero offset is the default window: not rendered.
+  auto plain = EmitSql(Parse("x, y <- (x, knows, y) order by x limit 10"));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(Contains(*plain, "OFFSET"));
+}
+
 TEST(SqlEmitterTest, EmptyQueryEmitsFalsePredicate) {
   Ucqt empty;
   empty.head_vars = {"x", "y"};
@@ -164,6 +177,20 @@ TEST(CypherEmitterTest, UnionOfDisjuncts) {
   auto cypher = EmitCypher(Parse("x, y <- (x, knows, y) ++ (x, likes, y)"));
   ASSERT_TRUE(cypher.ok());
   EXPECT_TRUE(Contains(*cypher, "UNION"));
+}
+
+TEST(CypherEmitterTest, OrderLimitSkipSuffix) {
+  // Cypher spells the window prefix SKIP, placed before LIMIT.
+  auto cypher = EmitCypher(
+      Parse("x, y <- (x, knows, y) order by y desc, x limit 10 offset 3"));
+  ASSERT_TRUE(cypher.ok()) << cypher.status().ToString();
+  EXPECT_TRUE(Contains(*cypher, "ORDER BY y DESC, x"));
+  EXPECT_TRUE(Contains(*cypher, "SKIP 3"));
+  EXPECT_TRUE(Contains(*cypher, "LIMIT 10"));
+  EXPECT_LT(cypher->find("SKIP 3"), cypher->find("LIMIT 10"));
+  auto plain = EmitCypher(Parse("x, y <- (x, knows, y) order by x limit 10"));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(Contains(*plain, "SKIP"));
 }
 
 TEST(CypherEmitterTest, RejectsBeyondUc2rpq) {

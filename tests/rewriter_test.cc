@@ -255,6 +255,29 @@ TEST(RewriterTest, YagoQuery6PathLengths) {
   EXPECT_EQ(result.stats.all_path_lengths(), (std::vector<int>{1, 2, 3}));
 }
 
+TEST(RewriterTest, OrderLimitOffsetSuffixRidesThrough) {
+  // The rewrite touches only disjunct bodies: the ordering window —
+  // including the offset — must survive both an applied rewrite and an
+  // opportunistic revert verbatim.
+  RewriteResult applied = Rewrite(
+      "x1, x2 <- (x1, owns/isLocatedIn+, x2) order by x2, x1 desc "
+      "limit 6 offset 3",
+      YagoSchema());
+  EXPECT_FALSE(applied.reverted);
+  ASSERT_EQ(applied.query.order_by.size(), 2u);
+  EXPECT_EQ(applied.query.order_by[0].var, "x2");
+  EXPECT_TRUE(applied.query.order_by[1].descending);
+  EXPECT_EQ(applied.query.limit, 6);
+  EXPECT_EQ(applied.query.offset, 3);
+
+  RewriteResult reverted = Rewrite(
+      "x1, x2 <- (x1, knows+, x2) order by x1 limit 4 offset 2",
+      LdbcSchema());
+  EXPECT_TRUE(reverted.reverted);
+  EXPECT_EQ(reverted.query.limit, 4);
+  EXPECT_EQ(reverted.query.offset, 2);
+}
+
 TEST(RewriterTest, RewriteIsDeterministic) {
   RewriteResult a = Rewrite(
       "x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)", Fig1Schema());

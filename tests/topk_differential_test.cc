@@ -384,6 +384,52 @@ TEST_F(TopKFacadeTest, OrderByLimitIdenticalAcrossPlannersAndCache) {
   EXPECT_EQ(reference.size(), 11u);
 }
 
+TEST_F(TopKFacadeTest, OffsetWindowIsASliceOfTheOrderedOutput) {
+  // `limit N offset M` must return exactly rows [M, M + N) of the full
+  // ordered output — across both planners, dop, and the plan cache (the
+  // bounded heap keeps N + M candidates, then drops the first M).
+  const std::string ordered = "x, z <- (x, e1/e2, z) order by z desc, x";
+  api::Session reference_session(db_);
+  reference_session.options().apply_schema_rewrite = false;
+  auto full = reference_session.Query(ordered);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto full_rows = RowsOf(full->table);
+  ASSERT_GT(full_rows.size(), 16u);
+  std::vector<std::vector<NodeId>> expected(full_rows.begin() + 5,
+                                            full_rows.begin() + 16);
+
+  for (PlannerKind planner : {PlannerKind::kDp, PlannerKind::kGreedy}) {
+    for (bool cache : {false, true}) {
+      for (int dop : {1, 4}) {
+        api::Session session(db_);
+        session.options().planner = planner;
+        session.options().use_plan_cache = cache;
+        session.options().dop = dop;
+        session.options().parallel_min_rows = 0;
+        session.options().apply_schema_rewrite = false;
+        auto window = session.Query(ordered + " limit 11 offset 5");
+        ASSERT_TRUE(window.ok()) << window.status().ToString();
+        EXPECT_EQ(RowsOf(window->table), expected)
+            << "planner=" << (planner == PlannerKind::kDp ? "dp" : "greedy")
+            << " cache=" << cache << " dop=" << dop;
+      }
+    }
+  }
+
+  // An offset past the end of the output is an empty window, not an
+  // error; a window straddling the end truncates.
+  api::Session session(db_);
+  session.options().apply_schema_rewrite = false;
+  auto past = session.Query(
+      ordered + " limit 5 offset " + std::to_string(full_rows.size()));
+  ASSERT_TRUE(past.ok()) << past.status().ToString();
+  EXPECT_EQ(past->rows(), 0u);
+  auto straddle = session.Query(
+      ordered + " limit 10 offset " + std::to_string(full_rows.size() - 3));
+  ASSERT_TRUE(straddle.ok()) << straddle.status().ToString();
+  EXPECT_EQ(straddle->rows(), 3u);
+}
+
 TEST_F(TopKFacadeTest, GraphEngineAgreesOnOrderedQueries) {
   // The paper's second engine evaluates the same UCQT directly on the
   // graph; an ordered query must come back as the identical ordered
@@ -391,16 +437,21 @@ TEST_F(TopKFacadeTest, GraphEngineAgreesOnOrderedQueries) {
   // three-way differential disagreed on row counts).
   api::Session session(db_);
   session.options().apply_schema_rewrite = false;
-  const std::string text = "x, y <- (x, e1, y) order by y desc, x limit 7";
-  auto relational = session.Query(text);
-  ASSERT_TRUE(relational.ok()) << relational.status().ToString();
+  for (const std::string text :
+       {std::string("x, y <- (x, e1, y) order by y desc, x limit 7"),
+        std::string(
+            "x, y <- (x, e1, y) order by y desc, x limit 7 offset 4")}) {
+    SCOPED_TRACE(text);
+    auto relational = session.Query(text);
+    ASSERT_TRUE(relational.ok()) << relational.status().ToString();
 
-  auto query = ParseUcqt(text);
-  ASSERT_TRUE(query.ok()) << query.status().ToString();
-  GraphEngine engine(db_.graph());
-  auto graph_result = engine.Run(*query);
-  ASSERT_TRUE(graph_result.ok()) << graph_result.status().ToString();
-  EXPECT_EQ(graph_result->rows, RowsOf(relational->table));
+    auto query = ParseUcqt(text);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    GraphEngine engine(db_.graph());
+    auto graph_result = engine.Run(*query);
+    ASSERT_TRUE(graph_result.ok()) << graph_result.status().ToString();
+    EXPECT_EQ(graph_result->rows, RowsOf(relational->table));
+  }
 }
 
 TEST_F(TopKFacadeTest, PlanCacheDistinguishesOrderAndBound) {

@@ -153,10 +153,23 @@ TEST(UcqtOrderByTest, AppliesToTheWholeUnion) {
   EXPECT_EQ(q->limit, 3);
 }
 
+TEST(UcqtOrderByTest, ParsesOffsetAfterLimit) {
+  auto q = ParseUcqt(
+      "x, y <- (x, knows, y) order by y desc, x limit 10 offset 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->limit, 10);
+  EXPECT_EQ(q->offset, 3);
+  // Absent offset stays 0 (no window shift).
+  auto plain = ParseUcqt("x, y <- (x, knows, y) order by x limit 4");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->offset, 0);
+}
+
 TEST(UcqtOrderByTest, OrderedToStringRoundTrips) {
   for (const char* text :
        {"x, y <- (x, knows, y) order by y desc, x limit 7",
         "x, y <- (x, knows+, y) order by x",
+        "x, y <- (x, knows, y) order by y, x desc limit 5 offset 2",
         "x, y <- (x, a, y) ++ (x, b, y) order by y asc limit 0"}) {
     auto q = ParseUcqt(text);
     ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
@@ -165,6 +178,7 @@ TEST(UcqtOrderByTest, OrderedToStringRoundTrips) {
     EXPECT_EQ(reparsed->ToString(), q->ToString());
     EXPECT_EQ(reparsed->order_by, q->order_by);
     EXPECT_EQ(reparsed->limit, q->limit);
+    EXPECT_EQ(reparsed->offset, q->offset);
   }
 }
 
@@ -181,6 +195,14 @@ TEST(UcqtOrderByTest, RejectsInvalidClauses) {
       ParseUcqt("x, y <- (x, knows, y) order by x limit -1").ok());
   EXPECT_FALSE(
       ParseUcqt("x, y <- (x, knows, y) order by x limit many").ok());
+  // Offset without a limit (the suffix grammar is 'limit N offset M'),
+  // and malformed offset values.
+  EXPECT_FALSE(
+      ParseUcqt("x, y <- (x, knows, y) order by x offset 2").ok());
+  EXPECT_FALSE(
+      ParseUcqt("x, y <- (x, knows, y) order by x limit 5 offset -1").ok());
+  EXPECT_FALSE(
+      ParseUcqt("x, y <- (x, knows, y) order by x limit 5 offset few").ok());
 }
 
 TEST(UcqtOrderByTest, MakeValidatesOrderKeys) {
